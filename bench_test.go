@@ -1,0 +1,341 @@
+// Benchmark harness for the paper's evaluation: one testing.B benchmark
+// per table and figure (simulator-backed, reporting the headline metric of
+// each as a custom unit), plus real-path benchmarks of the actual codecs,
+// broker, and capture clients on localhost.
+//
+// Run with: go test -bench=. -benchmem
+package provlight_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight"
+	"github.com/provlight/provlight/internal/device"
+	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/experiment"
+	"github.com/provlight/provlight/internal/netem"
+	"github.com/provlight/provlight/internal/provlake"
+	"github.com/provlight/provlight/internal/wire"
+	"github.com/provlight/provlight/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Paper tables and figures (simulation-backed; the custom metric is the
+// paper's headline number for that artifact).
+// ---------------------------------------------------------------------------
+
+func reportOverhead(b *testing.B, name string, mean float64) {
+	b.ReportMetric(mean*100, name+"_%overhead")
+}
+
+func BenchmarkTableII_BaselineOverheadEdge(b *testing.B) {
+	var last experiment.TableResult
+	for i := 0; i < b.N; i++ {
+		last = experiment.TableII()
+	}
+	for _, c := range last.Cells {
+		if c.Config.Workload.TaskDuration == 500*time.Millisecond && c.Config.Workload.AttributesPerTask == 100 {
+			reportOverhead(b, string(c.Config.System), c.Overhead.Mean)
+		}
+	}
+}
+
+func BenchmarkTableIII_ProvLakeGrouping(b *testing.B) {
+	var last experiment.TableResult
+	for i := 0; i < b.N; i++ {
+		last = experiment.TableIII()
+	}
+	for _, c := range last.Cells {
+		if c.Config.Link.BandwidthBps == 25e3 && c.Config.Workload.TaskDuration == 500*time.Millisecond {
+			reportOverhead(b, fmt.Sprintf("25Kbit_g%d", c.Config.GroupSize), c.Overhead.Mean)
+		}
+	}
+}
+
+func BenchmarkTableVII_ProvLightOverheadEdge(b *testing.B) {
+	var last experiment.TableResult
+	for i := 0; i < b.N; i++ {
+		last = experiment.TableVII()
+	}
+	for _, c := range last.Cells {
+		if c.Config.Workload.AttributesPerTask == 100 {
+			reportOverhead(b, fmt.Sprintf("%.1fs", c.Config.Workload.TaskDuration.Seconds()), c.Overhead.Mean)
+		}
+	}
+}
+
+func BenchmarkTableVIII_ProvLightGrouping(b *testing.B) {
+	var last experiment.TableResult
+	for i := 0; i < b.N; i++ {
+		last = experiment.TableVIII()
+	}
+	for _, c := range last.Cells {
+		if c.Config.Link.BandwidthBps == 25e3 && c.Config.Workload.TaskDuration == 500*time.Millisecond {
+			reportOverhead(b, fmt.Sprintf("25Kbit_g%d", c.Config.GroupSize), c.Overhead.Mean)
+		}
+	}
+}
+
+func BenchmarkTableIX_Scalability(b *testing.B) {
+	var last experiment.TableResult
+	for i := 0; i < b.N; i++ {
+		last = experiment.TableIX()
+	}
+	for _, c := range last.Cells {
+		reportOverhead(b, fmt.Sprintf("%ddevices", c.Config.Devices), c.Overhead.Mean)
+	}
+}
+
+func BenchmarkTableX_CloudOverhead(b *testing.B) {
+	var last experiment.TableResult
+	for i := 0; i < b.N; i++ {
+		last = experiment.TableX()
+	}
+	for _, c := range last.Cells {
+		if c.Config.Workload.TaskDuration == 500*time.Millisecond {
+			reportOverhead(b, string(c.Config.System), c.Overhead.Mean)
+		}
+	}
+}
+
+func figure6Cell(b *testing.B, sys experiment.System) experiment.Result {
+	b.Helper()
+	var r experiment.Result
+	for i := 0; i < b.N; i++ {
+		r = experiment.Run(experiment.RunConfig{
+			System:      sys,
+			Workload:    workload.Default,
+			Device:      device.A8M3,
+			Link:        netem.GigabitEdge,
+			Repetitions: 10,
+			Seed:        42,
+		})
+	}
+	return r
+}
+
+func BenchmarkFigure6a_CPU(b *testing.B) {
+	for _, sys := range experiment.AllSystems {
+		sys := sys
+		b.Run(string(sys), func(b *testing.B) {
+			r := figure6Cell(b, sys)
+			b.ReportMetric(r.CPUPercent, "cpu_%")
+		})
+	}
+}
+
+func BenchmarkFigure6b_Memory(b *testing.B) {
+	for _, sys := range experiment.AllSystems {
+		sys := sys
+		b.Run(string(sys), func(b *testing.B) {
+			r := figure6Cell(b, sys)
+			b.ReportMetric(r.MemPercent, "mem_%")
+		})
+	}
+}
+
+func BenchmarkFigure6c_Network(b *testing.B) {
+	for _, sys := range experiment.AllSystems {
+		sys := sys
+		b.Run(string(sys), func(b *testing.B) {
+			r := figure6Cell(b, sys)
+			b.ReportMetric(r.NetKBps, "KB/s")
+		})
+	}
+}
+
+func BenchmarkFigure6d_Power(b *testing.B) {
+	for _, sys := range experiment.AllSystems {
+		sys := sys
+		b.Run(string(sys), func(b *testing.B) {
+			r := figure6Cell(b, sys)
+			b.ReportMetric(r.PowerW, "watts")
+			b.ReportMetric(r.PowerOverheadPct, "power_%overhead")
+		})
+	}
+}
+
+func BenchmarkAblations_DesignChoices(b *testing.B) {
+	var last experiment.TableResult
+	for i := 0; i < b.N; i++ {
+		last = experiment.Ablations()
+	}
+	for i, c := range last.Cells {
+		reportOverhead(b, fmt.Sprintf("v%d", i), c.Overhead.Mean)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Real-path benchmarks: actual codecs, broker, and capture clients.
+// ---------------------------------------------------------------------------
+
+func BenchmarkWireEncode100Attrs(b *testing.B) {
+	_, end := workload.Default.SampleTaskRecords("wf")
+	enc := wire.Encoder{}
+	b.ReportAllocs()
+	var size int
+	for i := 0; i < b.N; i++ {
+		frame, err := enc.EncodeFrame(&end)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(frame)
+	}
+	b.ReportMetric(float64(size), "frame_bytes")
+}
+
+func BenchmarkWireDecode100Attrs(b *testing.B) {
+	_, end := workload.Default.SampleTaskRecords("wf")
+	frame, err := (&wire.Encoder{}).EncodeFrame(&end)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireGroupEncode50(b *testing.B) {
+	recs := workload.Default.Records("wf", time.Unix(0, 0))
+	enc := wire.Encoder{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		batch := make([]*provlight.Record, 50)
+		for j := range batch {
+			batch[j] = &recs[1+j]
+		}
+		if _, err := enc.EncodeFrame(batch...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProvLightCaptureRealPipeline measures end-to-end capture cost
+// through the real client -> UDP broker -> translator path on localhost.
+func BenchmarkProvLightCaptureRealPipeline(b *testing.B) {
+	mem := provlight.NewMemoryTarget()
+	server, err := provlight.StartServer(provlight.ServerConfig{
+		Addr:    "127.0.0.1:0",
+		Targets: []provlight.Target{mem},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	client, err := provlight.NewClient(provlight.Config{
+		Broker:   server.Addr(),
+		ClientID: "bench-device",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	wf := client.NewWorkflow("bench")
+	if err := wf.Begin(); err != nil {
+		b.Fatal(err)
+	}
+	attrs := provlight.Attrs(map[string]any{"in": make([]byte, 100)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task := wf.NewTask(fmt.Sprintf("t%d", i), "bench")
+		if err := task.Begin(provlight.NewData(fmt.Sprintf("in%d", i), attrs)); err != nil {
+			b.Fatal(err)
+		}
+		if err := task.End(provlight.NewData(fmt.Sprintf("out%d", i), attrs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	st := client.Stats()
+	b.ReportMetric(float64(st.BytesPublished)/float64(b.N), "wire_bytes/task")
+}
+
+// BenchmarkDfAnalyzerCaptureRealHTTP measures the baseline's blocking
+// HTTP request/response capture path on localhost.
+func BenchmarkDfAnalyzerCaptureRealHTTP(b *testing.B) {
+	srv := dfanalyzer.NewServer(nil)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := dfanalyzer.NewClient("http://" + srv.Addr())
+	df := &dfanalyzer.Dataflow{
+		Tag: "bench",
+		Transformations: []dfanalyzer.Transformation{{
+			Tag: "t",
+			Output: []dfanalyzer.SetSchema{{Tag: "t_output", Attributes: []dfanalyzer.Attribute{
+				{Name: "v", Type: dfanalyzer.Numeric},
+			}}},
+		}},
+	}
+	if err := client.RegisterDataflow(df); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg := &dfanalyzer.TaskMsg{
+			Dataflow: "bench", Transformation: "t", ID: fmt.Sprintf("task%d", i),
+			Status: dfanalyzer.StatusFinished,
+			Sets: []dfanalyzer.SetData{{Tag: "t_output",
+				Elements: []dfanalyzer.Element{{float64(i)}}}},
+		}
+		if err := client.SendTask(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProvLakeCaptureRealHTTP measures the second baseline, with and
+// without message grouping.
+func BenchmarkProvLakeCaptureRealHTTP(b *testing.B) {
+	for _, group := range []int{0, 10} {
+		group := group
+		b.Run(fmt.Sprintf("group%d", group), func(b *testing.B) {
+			srv := provlake.NewServer(nil)
+			if err := srv.Start("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			var opts []provlake.Option
+			if group > 0 {
+				opts = append(opts, provlake.WithGroupSize(group))
+			}
+			client := provlake.NewClient("http://"+srv.Addr(), opts...)
+			recs := workload.Default.Records("wf", time.Now())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := client.Capture(&recs[1+i%(len(recs)-2)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := client.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatedEdgeRun measures the simulator itself: one full
+// Table I cell (10 repetitions x 100 tasks) per iteration.
+func BenchmarkSimulatedEdgeRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.Run(experiment.RunConfig{
+			System:      experiment.ProvLight,
+			Workload:    workload.Default,
+			Device:      device.A8M3,
+			Link:        netem.GigabitEdge,
+			Repetitions: 10,
+			Seed:        1,
+		})
+	}
+}

@@ -1,0 +1,31 @@
+// Command dfanalyzer-server runs the DfAnalyzer-compatible provenance
+// storage and query service (HTTP 1.1, in-memory column store).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/provlight/provlight/internal/dfanalyzer"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:22000", "HTTP listen address")
+	flag.Parse()
+
+	srv := dfanalyzer.NewServer(nil)
+	if err := srv.Start(*addr); err != nil {
+		log.Fatalf("dfanalyzer-server: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("dfanalyzer-server: serving on http://%s", srv.Addr())
+	log.Printf("dfanalyzer-server: endpoints: POST /dataflow, POST /task, POST /query, GET /dataflow/{tag}")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("dfanalyzer-server: served %d requests", srv.Requests())
+}

@@ -1,0 +1,66 @@
+// Command provbench regenerates every table and figure of the paper's
+// evaluation (Tables II, III, VII, VIII, IX, X; Figure 6a-d) plus the
+// §VII-A design-choice ablations, printing the same rows the paper
+// reports.
+//
+// Usage:
+//
+//	provbench -all
+//	provbench -table II            # one table: II, III, VII, VIII, IX, X
+//	provbench -figure 6            # Figure 6 (CPU/memory/network/power)
+//	provbench -ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/provlight/provlight/internal/experiment"
+)
+
+func main() {
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	table := flag.String("table", "", "regenerate one table: II, III, VII, VIII, IX, X")
+	figure := flag.String("figure", "", "regenerate Figure 6 (accepts 6, 6a..6d)")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
+	flag.Parse()
+
+	switch {
+	case *all:
+		for _, tr := range experiment.AllTables() {
+			fmt.Println(tr.Table.String())
+		}
+	case *table != "":
+		var tr experiment.TableResult
+		switch strings.ToUpper(*table) {
+		case "II", "2":
+			tr = experiment.TableII()
+		case "III", "3":
+			tr = experiment.TableIII()
+		case "VII", "7":
+			tr = experiment.TableVII()
+		case "VIII", "8":
+			tr = experiment.TableVIII()
+		case "IX", "9":
+			tr = experiment.TableIX()
+		case "X", "10":
+			tr = experiment.TableX()
+		default:
+			log.Fatalf("provbench: unknown table %q (want II, III, VII, VIII, IX, X)", *table)
+		}
+		fmt.Println(tr.Table.String())
+	case *figure != "":
+		if !strings.HasPrefix(*figure, "6") {
+			log.Fatalf("provbench: unknown figure %q (the paper's evaluation figure is 6)", *figure)
+		}
+		fmt.Println(experiment.Figure6().Table.String())
+	case *ablations:
+		fmt.Println(experiment.Ablations().Table.String())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

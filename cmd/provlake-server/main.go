@@ -1,0 +1,32 @@
+// Command provlake-server runs the ProvLake-compatible provenance manager
+// service (JSON document ingestion over HTTP 1.1).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/provlight/provlight/internal/provlake"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:22001", "HTTP listen address")
+	flag.Parse()
+
+	srv := provlake.NewServer(nil)
+	if err := srv.Start(*addr); err != nil {
+		log.Fatalf("provlake-server: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("provlake-server: serving on http://%s", srv.Addr())
+	log.Printf("provlake-server: endpoints: POST /prov, GET /workflows, GET /workflow?id=")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("provlake-server: stored %d documents over %d requests",
+		srv.Store().Count(), srv.Requests())
+}

@@ -1,0 +1,43 @@
+// Command provlight-broker runs the ProvLight MQTT-SN broker (the Go
+// equivalent of Eclipse RSMB) on a UDP address.
+//
+// Usage:
+//
+//	provlight-broker -addr 0.0.0.0:1883 [-retry 1s] [-v]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/provlight/provlight/internal/broker"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:1883", "UDP listen address")
+	retry := flag.Duration("retry", time.Second, "retransmission interval")
+	verbose := flag.Bool("v", false, "verbose protocol logging")
+	flag.Parse()
+
+	cfg := broker.Config{Addr: *addr, RetryInterval: *retry}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	b, err := broker.New(cfg)
+	if err != nil {
+		log.Fatalf("provlight-broker: %v", err)
+	}
+	defer b.Close()
+	log.Printf("provlight-broker: serving MQTT-SN on udp://%s", b.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := b.Stats()
+	log.Printf("provlight-broker: shutting down (publishes=%d routed=%d retransmissions=%d)",
+		st.PublishesReceived, st.MessagesRouted, st.Retransmissions)
+}

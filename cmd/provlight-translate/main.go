@@ -1,0 +1,90 @@
+// Command provlight-translate runs the ProvLight provenance data
+// translator: it subscribes to device topics on the broker, decodes the
+// binary frames, and forwards records to the selected provenance systems.
+//
+// Usage:
+//
+//	provlight-translate -broker 127.0.0.1:1883 \
+//	    [-topic 'provlight/+/records'] [-workers 4] \
+//	    [-dfanalyzer http://host:port -dataflow tag] \
+//	    [-provlake http://host:port] [-provjson out.json]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/provlake"
+	"github.com/provlight/provlight/internal/translate"
+)
+
+func main() {
+	brokerAddr := flag.String("broker", "127.0.0.1:1883", "MQTT-SN broker address")
+	topic := flag.String("topic", "provlight/+/records", "topic filter to consume")
+	workers := flag.Int("workers", 1, "parallel delivery workers")
+	dfaURL := flag.String("dfanalyzer", "", "DfAnalyzer base URL (enables DfAnalyzer target)")
+	dataflow := flag.String("dataflow", "provlight", "DfAnalyzer dataflow tag")
+	plURL := flag.String("provlake", "", "ProvLake base URL (enables ProvLake target)")
+	provjson := flag.String("provjson", "", "write a PROV-JSON document to this file on exit")
+	flag.Parse()
+
+	var targets []translate.Target
+	mem := translate.NewMemoryTarget()
+	targets = append(targets, mem)
+	if *dfaURL != "" {
+		targets = append(targets, translate.NewDfAnalyzerTarget(dfanalyzer.NewClient(*dfaURL), *dataflow))
+	}
+	if *plURL != "" {
+		targets = append(targets, translate.NewProvLakeTarget(provlake.NewClient(*plURL)))
+	}
+	var pj *translate.PROVJSONTarget
+	if *provjson != "" {
+		pj = translate.NewPROVJSONTarget()
+		targets = append(targets, pj)
+	}
+
+	tr, err := translate.New(translate.Config{
+		Broker:      *brokerAddr,
+		TopicFilter: *topic,
+		Workers:     *workers,
+		Targets:     targets,
+		OnError:     func(err error) { log.Printf("provlight-translate: %v", err) },
+	})
+	if err != nil {
+		log.Fatalf("provlight-translate: %v", err)
+	}
+	log.Printf("provlight-translate: consuming %q from %s with %d targets",
+		*topic, *brokerAddr, len(targets))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			st := tr.Stats()
+			log.Printf("provlight-translate: frames=%d records=%d decode_errs=%d delivery_errs=%d",
+				st.FramesReceived, st.RecordsTranslated, st.DecodeErrors, st.DeliveryErrors)
+		case <-sig:
+			tr.Close()
+			if pj != nil {
+				f, err := os.Create(*provjson)
+				if err != nil {
+					log.Fatalf("provlight-translate: %v", err)
+				}
+				if _, err := pj.WriteTo(f); err != nil {
+					log.Fatalf("provlight-translate: write PROV-JSON: %v", err)
+				}
+				f.Close()
+				log.Printf("provlight-translate: wrote %s", *provjson)
+			}
+			return
+		}
+	}
+}

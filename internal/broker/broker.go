@@ -1,0 +1,758 @@
+// Package broker implements an MQTT-SN gateway/broker over UDP: the Go
+// equivalent of the Eclipse RSMB (Really Small Message Broker) that
+// ProvLight's server side builds on (paper §IV-C1).
+//
+// Features: client sessions with keepalive expiry, topic registration with
+// gateway-scoped 16-bit ids, exact and wildcard ('+', '#') subscriptions,
+// QoS 0/1/2 inbound and outbound flows with exactly-once semantics at
+// QoS 2, retained messages, and last-will publication when a session is
+// lost. A janitor goroutine retransmits unacknowledged outbound messages
+// and expires dead sessions.
+package broker
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/provlight/provlight/internal/mqttsn"
+)
+
+// Config configures a broker.
+type Config struct {
+	// Addr is the UDP listen address (e.g. "127.0.0.1:1883"). Ignored if
+	// Conn is set.
+	Addr string
+	// Conn optionally supplies a pre-made (possibly netem-shaped) socket.
+	Conn net.PacketConn
+	// RetryInterval is the outbound acknowledgement timeout. Default 1s.
+	RetryInterval time.Duration
+	// MaxRetries bounds outbound retransmissions. Default 5.
+	MaxRetries int
+	// Logf, when set, receives debug logs.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts broker activity.
+type Stats struct {
+	Sessions          int
+	PublishesReceived uint64
+	MessagesRouted    uint64
+	DuplicatesDropped uint64
+	Retransmissions   uint64
+	WillsPublished    uint64
+	SessionsExpired   uint64
+}
+
+type message struct {
+	topic   string
+	topicID uint16
+	payload []byte
+	qos     mqttsn.QoS
+	retain  bool
+}
+
+const (
+	obAwaitPuback = iota
+	obAwaitPubrec
+	obAwaitPubcomp
+)
+
+type outbound struct {
+	msg      *message
+	msgID    uint16
+	state    int
+	lastSent time.Time
+	retries  int
+	dup      bool
+}
+
+type session struct {
+	clientID  string
+	addr      net.Addr
+	addrKey   string
+	keepalive time.Duration
+	lastSeen  time.Time
+
+	subs map[string]mqttsn.QoS // filter -> granted qos
+
+	will             *mqttsn.Will
+	awaitingWill     bool
+	pendingConnackKA uint16
+
+	inbound2    map[uint16]*message
+	outbound    map[uint16]*outbound
+	nextMsgID   uint16
+	knownTopics map[uint16]bool
+	pendingReg  map[uint16][]*message // awaiting REGACK before delivery
+}
+
+func (s *session) allocMsgID() uint16 {
+	for {
+		s.nextMsgID++
+		if s.nextMsgID == 0 {
+			continue
+		}
+		if _, inUse := s.outbound[s.nextMsgID]; !inUse {
+			return s.nextMsgID
+		}
+	}
+}
+
+// Broker is an MQTT-SN broker. Create with New, stop with Close.
+type Broker struct {
+	cfg  Config
+	conn net.PacketConn
+
+	mu          sync.Mutex
+	sessions    map[string]*session // by addr string
+	byClientID  map[string]*session
+	topicIDs    map[string]uint16
+	topicNames  map[uint16]string
+	nextTopicID uint16
+	retained    map[string]*message
+	stats       Stats
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New creates a broker and starts serving on its socket.
+func New(cfg Config) (*Broker, error) {
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 5
+	}
+	conn := cfg.Conn
+	if conn == nil {
+		addr := cfg.Addr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var err error
+		conn, err = net.ListenPacket("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("broker: listen %s: %w", addr, err)
+		}
+	}
+	b := &Broker{
+		cfg:        cfg,
+		conn:       conn,
+		sessions:   map[string]*session{},
+		byClientID: map[string]*session{},
+		topicIDs:   map[string]uint16{},
+		topicNames: map[uint16]string{},
+		retained:   map[string]*message{},
+		done:       make(chan struct{}),
+	}
+	b.wg.Add(2)
+	go b.readLoop()
+	go b.janitor()
+	return b, nil
+}
+
+// Addr returns the UDP address the broker serves on.
+func (b *Broker) Addr() string { return b.conn.LocalAddr().String() }
+
+// Stats returns a snapshot of broker counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stats
+	st.Sessions = len(b.sessions)
+	return st
+}
+
+// Close stops the broker and releases its socket.
+func (b *Broker) Close() {
+	select {
+	case <-b.done:
+		return
+	default:
+	}
+	close(b.done)
+	b.conn.Close()
+	b.wg.Wait()
+}
+
+func (b *Broker) logf(format string, args ...any) {
+	if b.cfg.Logf != nil {
+		b.cfg.Logf(format, args...)
+	}
+}
+
+func (b *Broker) sendTo(addr net.Addr, p mqttsn.Packet) {
+	if _, err := b.conn.WriteTo(mqttsn.Marshal(p), addr); err != nil {
+		b.logf("broker: send %s to %s: %v", p.Type(), addr, err)
+	}
+}
+
+func (b *Broker) readLoop() {
+	defer b.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-b.done:
+			return
+		default:
+		}
+		b.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, addr, err := b.conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			select {
+			case <-b.done:
+				return
+			default:
+				if err, ok := err.(net.Error); ok && !err.Timeout() {
+					log.Printf("broker: read: %v", err)
+				}
+				return
+			}
+		}
+		pkt, err := mqttsn.Unmarshal(buf[:n])
+		if err != nil {
+			b.logf("broker: drop malformed datagram from %s: %v", addr, err)
+			continue
+		}
+		b.handle(addr, pkt)
+	}
+}
+
+// janitor retransmits stale outbound messages and expires dead sessions.
+func (b *Broker) janitor() {
+	defer b.wg.Done()
+	tick := time.NewTicker(b.cfg.RetryInterval / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-tick.C:
+			b.sweep()
+		}
+	}
+}
+
+func (b *Broker) sweep() {
+	b.mu.Lock()
+	now := time.Now()
+	type resend struct {
+		addr net.Addr
+		pkt  mqttsn.Packet
+	}
+	var resends []resend
+	var wills []*message
+	for key, s := range b.sessions {
+		// Keepalive expiry with 1.5x grace (spec §6.13 suggests tolerance).
+		if s.keepalive > 0 && now.Sub(s.lastSeen) > s.keepalive+s.keepalive/2 {
+			b.stats.SessionsExpired++
+			if s.will != nil {
+				wills = append(wills, &message{
+					topic: s.will.Topic, payload: s.will.Payload,
+					qos: s.will.QoS, retain: s.will.Retain,
+				})
+				b.stats.WillsPublished++
+			}
+			delete(b.sessions, key)
+			delete(b.byClientID, s.clientID)
+			continue
+		}
+		for msgID, ob := range s.outbound {
+			if now.Sub(ob.lastSent) < b.cfg.RetryInterval {
+				continue
+			}
+			if ob.retries >= b.cfg.MaxRetries {
+				delete(s.outbound, msgID)
+				continue
+			}
+			ob.retries++
+			ob.lastSent = now
+			ob.dup = true
+			b.stats.Retransmissions++
+			switch ob.state {
+			case obAwaitPubcomp:
+				resends = append(resends, resend{s.addr, &mqttsn.Pubrel{}})
+				setMsgID(resends[len(resends)-1].pkt, msgID)
+			default:
+				pub := b.publishPacketLocked(s, ob)
+				resends = append(resends, resend{s.addr, pub})
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, r := range resends {
+		b.sendTo(r.addr, r.pkt)
+	}
+	for _, w := range wills {
+		b.route(w)
+	}
+}
+
+// setMsgID sets the MsgID on PUBREL (helper for sweep).
+func setMsgID(p mqttsn.Packet, id uint16) {
+	if rel, ok := p.(*mqttsn.Pubrel); ok {
+		rel.MsgID = id
+	}
+}
+
+// publishPacketLocked builds the PUBLISH for an outbound entry.
+func (b *Broker) publishPacketLocked(s *session, ob *outbound) *mqttsn.Publish {
+	return &mqttsn.Publish{
+		Flags:   mqttsn.Flags{QoS: ob.msg.qos, DUP: ob.dup, Retain: ob.msg.retain},
+		TopicID: ob.msg.topicID,
+		MsgID:   ob.msgID,
+		Data:    ob.msg.payload,
+	}
+}
+
+// topicID returns (allocating if needed) the gateway-scoped id for a topic.
+func (b *Broker) topicIDLocked(topic string) uint16 {
+	if id, ok := b.topicIDs[topic]; ok {
+		return id
+	}
+	b.nextTopicID++
+	if b.nextTopicID == 0 {
+		b.nextTopicID = 1
+	}
+	id := b.nextTopicID
+	b.topicIDs[topic] = id
+	b.topicNames[id] = topic
+	return id
+}
+
+func (b *Broker) sessionFor(addr net.Addr) *session {
+	return b.sessions[addr.String()]
+}
+
+func (b *Broker) handle(addr net.Addr, pkt mqttsn.Packet) {
+	switch p := pkt.(type) {
+	case *mqttsn.Connect:
+		b.handleConnect(addr, p)
+	case *mqttsn.WillTopic:
+		b.handleWillTopic(addr, p)
+	case *mqttsn.WillMsg:
+		b.handleWillMsg(addr, p)
+	case *mqttsn.Register:
+		b.handleRegister(addr, p)
+	case *mqttsn.Regack:
+		b.handleRegack(addr, p)
+	case *mqttsn.Publish:
+		b.handlePublish(addr, p)
+	case *mqttsn.Pubrel:
+		b.handlePubrel(addr, p)
+	case *mqttsn.Puback:
+		b.handlePuback(addr, p)
+	case *mqttsn.Pubrec:
+		b.handlePubrec(addr, p)
+	case *mqttsn.Pubcomp:
+		b.handlePubcomp(addr, p)
+	case *mqttsn.Subscribe:
+		b.handleSubscribe(addr, p)
+	case *mqttsn.Unsubscribe:
+		b.handleUnsubscribe(addr, p)
+	case *mqttsn.Pingreq:
+		b.touch(addr)
+		b.sendTo(addr, &mqttsn.Pingresp{})
+	case *mqttsn.Disconnect:
+		b.handleDisconnect(addr)
+	case *mqttsn.SearchGw:
+		b.sendTo(addr, &mqttsn.GwInfo{GwID: 1})
+	default:
+		b.logf("broker: ignoring %s from %s", pkt.Type(), addr)
+	}
+}
+
+func (b *Broker) touch(addr net.Addr) {
+	b.mu.Lock()
+	if s := b.sessionFor(addr); s != nil {
+		s.lastSeen = time.Now()
+	}
+	b.mu.Unlock()
+}
+
+func (b *Broker) handleConnect(addr net.Addr, p *mqttsn.Connect) {
+	b.mu.Lock()
+	// Replace any session with the same client id (possibly at an old addr).
+	if old, ok := b.byClientID[p.ClientID]; ok {
+		delete(b.sessions, old.addrKey)
+		delete(b.byClientID, old.clientID)
+	}
+	s := &session{
+		clientID:    p.ClientID,
+		addr:        addr,
+		addrKey:     addr.String(),
+		keepalive:   time.Duration(p.Duration) * time.Second,
+		lastSeen:    time.Now(),
+		subs:        map[string]mqttsn.QoS{},
+		inbound2:    map[uint16]*message{},
+		outbound:    map[uint16]*outbound{},
+		knownTopics: map[uint16]bool{},
+		pendingReg:  map[uint16][]*message{},
+	}
+	b.sessions[s.addrKey] = s
+	b.byClientID[p.ClientID] = s
+	awaitWill := p.Flags.Will
+	s.awaitingWill = awaitWill
+	b.mu.Unlock()
+
+	if awaitWill {
+		b.sendTo(addr, &mqttsn.WillTopicReq{})
+		return
+	}
+	b.sendTo(addr, &mqttsn.Connack{ReturnCode: mqttsn.Accepted})
+}
+
+func (b *Broker) handleWillTopic(addr net.Addr, p *mqttsn.WillTopic) {
+	b.mu.Lock()
+	s := b.sessionFor(addr)
+	if s != nil {
+		if s.will == nil {
+			s.will = &mqttsn.Will{}
+		}
+		s.will.Topic = p.Topic
+		s.will.QoS = p.Flags.QoS
+		s.will.Retain = p.Flags.Retain
+		s.lastSeen = time.Now()
+	}
+	b.mu.Unlock()
+	if s != nil {
+		b.sendTo(addr, &mqttsn.WillMsgReq{})
+	}
+}
+
+func (b *Broker) handleWillMsg(addr net.Addr, p *mqttsn.WillMsg) {
+	b.mu.Lock()
+	s := b.sessionFor(addr)
+	if s != nil {
+		if s.will == nil {
+			s.will = &mqttsn.Will{}
+		}
+		s.will.Payload = p.Msg
+		s.awaitingWill = false
+		s.lastSeen = time.Now()
+	}
+	b.mu.Unlock()
+	if s != nil {
+		b.sendTo(addr, &mqttsn.Connack{ReturnCode: mqttsn.Accepted})
+	}
+}
+
+func (b *Broker) handleRegister(addr net.Addr, p *mqttsn.Register) {
+	b.mu.Lock()
+	s := b.sessionFor(addr)
+	if s == nil {
+		b.mu.Unlock()
+		b.sendTo(addr, &mqttsn.Regack{MsgID: p.MsgID, ReturnCode: mqttsn.RejectedNotSupported})
+		return
+	}
+	s.lastSeen = time.Now()
+	if !mqttsn.ValidTopicName(p.TopicName) {
+		b.mu.Unlock()
+		b.sendTo(addr, &mqttsn.Regack{MsgID: p.MsgID, ReturnCode: mqttsn.RejectedNotSupported})
+		return
+	}
+	id := b.topicIDLocked(p.TopicName)
+	s.knownTopics[id] = true
+	b.mu.Unlock()
+	b.sendTo(addr, &mqttsn.Regack{TopicID: id, MsgID: p.MsgID, ReturnCode: mqttsn.Accepted})
+}
+
+func (b *Broker) handleRegack(addr net.Addr, p *mqttsn.Regack) {
+	b.mu.Lock()
+	s := b.sessionFor(addr)
+	var flush []*message
+	if s != nil {
+		s.lastSeen = time.Now()
+		if p.ReturnCode == mqttsn.Accepted {
+			s.knownTopics[p.TopicID] = true
+			flush = s.pendingReg[p.TopicID]
+			delete(s.pendingReg, p.TopicID)
+		} else {
+			delete(s.pendingReg, p.TopicID)
+		}
+	}
+	b.mu.Unlock()
+	for _, m := range flush {
+		b.deliver(s, m)
+	}
+}
+
+func (b *Broker) handlePublish(addr net.Addr, p *mqttsn.Publish) {
+	b.mu.Lock()
+	s := b.sessionFor(addr)
+	topic, knownTopic := b.topicNames[p.TopicID]
+	if s != nil {
+		s.lastSeen = time.Now()
+	}
+	b.stats.PublishesReceived++
+	b.mu.Unlock()
+
+	// QoS -1 publishes are allowed without a session (spec: predefined
+	// topics); we accept them for already-registered topic ids.
+	if s == nil && p.Flags.QoS != mqttsn.QoSMinusOne {
+		if p.Flags.QoS == mqttsn.QoS1 || p.Flags.QoS == mqttsn.QoS2 {
+			b.sendTo(addr, &mqttsn.Puback{TopicID: p.TopicID, MsgID: p.MsgID, ReturnCode: mqttsn.RejectedNotSupported})
+		}
+		return
+	}
+	if !knownTopic {
+		if p.Flags.QoS == mqttsn.QoS1 || p.Flags.QoS == mqttsn.QoS2 {
+			b.sendTo(addr, &mqttsn.Puback{TopicID: p.TopicID, MsgID: p.MsgID, ReturnCode: mqttsn.RejectedInvalidID})
+		}
+		return
+	}
+	msg := &message{topic: topic, topicID: p.TopicID, payload: p.Data, qos: p.Flags.QoS, retain: p.Flags.Retain}
+	switch p.Flags.QoS {
+	case mqttsn.QoS0, mqttsn.QoSMinusOne:
+		b.route(msg)
+	case mqttsn.QoS1:
+		b.route(msg)
+		b.sendTo(addr, &mqttsn.Puback{TopicID: p.TopicID, MsgID: p.MsgID, ReturnCode: mqttsn.Accepted})
+	case mqttsn.QoS2:
+		b.mu.Lock()
+		if _, dup := s.inbound2[p.MsgID]; dup {
+			b.stats.DuplicatesDropped++
+		} else {
+			s.inbound2[p.MsgID] = msg
+		}
+		b.mu.Unlock()
+		rec := &mqttsn.Pubrec{}
+		rec.MsgID = p.MsgID
+		b.sendTo(addr, rec)
+	}
+}
+
+func (b *Broker) handlePubrel(addr net.Addr, p *mqttsn.Pubrel) {
+	b.mu.Lock()
+	s := b.sessionFor(addr)
+	var msg *message
+	if s != nil {
+		s.lastSeen = time.Now()
+		msg = s.inbound2[p.MsgID]
+		delete(s.inbound2, p.MsgID)
+	}
+	b.mu.Unlock()
+	comp := &mqttsn.Pubcomp{}
+	comp.MsgID = p.MsgID
+	b.sendTo(addr, comp)
+	if msg != nil {
+		b.route(msg) // exactly once: only routed on first PUBREL
+	}
+}
+
+func (b *Broker) handlePuback(addr net.Addr, p *mqttsn.Puback) {
+	b.mu.Lock()
+	if s := b.sessionFor(addr); s != nil {
+		s.lastSeen = time.Now()
+		if ob, ok := s.outbound[p.MsgID]; ok && ob.state == obAwaitPuback {
+			delete(s.outbound, p.MsgID)
+		}
+	}
+	b.mu.Unlock()
+}
+
+func (b *Broker) handlePubrec(addr net.Addr, p *mqttsn.Pubrec) {
+	b.mu.Lock()
+	s := b.sessionFor(addr)
+	send := false
+	if s != nil {
+		s.lastSeen = time.Now()
+		if ob, ok := s.outbound[p.MsgID]; ok && ob.state == obAwaitPubrec {
+			ob.state = obAwaitPubcomp
+			ob.lastSent = time.Now()
+			ob.retries = 0
+			send = true
+		} else if ok {
+			send = true // duplicate PUBREC: re-send PUBREL
+		}
+	}
+	b.mu.Unlock()
+	if send {
+		rel := &mqttsn.Pubrel{}
+		rel.MsgID = p.MsgID
+		b.sendTo(addr, rel)
+	}
+}
+
+func (b *Broker) handlePubcomp(addr net.Addr, p *mqttsn.Pubcomp) {
+	b.mu.Lock()
+	if s := b.sessionFor(addr); s != nil {
+		s.lastSeen = time.Now()
+		if ob, ok := s.outbound[p.MsgID]; ok && ob.state == obAwaitPubcomp {
+			delete(s.outbound, p.MsgID)
+		}
+	}
+	b.mu.Unlock()
+}
+
+func (b *Broker) handleSubscribe(addr net.Addr, p *mqttsn.Subscribe) {
+	b.mu.Lock()
+	s := b.sessionFor(addr)
+	if s == nil {
+		b.mu.Unlock()
+		b.sendTo(addr, &mqttsn.Suback{MsgID: p.MsgID, ReturnCode: mqttsn.RejectedNotSupported})
+		return
+	}
+	s.lastSeen = time.Now()
+	filter := p.TopicName
+	if p.Flags.TopicIDType == mqttsn.TopicPredefined {
+		filter = b.topicNames[p.TopicID]
+	}
+	if !mqttsn.ValidFilter(filter) {
+		b.mu.Unlock()
+		b.sendTo(addr, &mqttsn.Suback{MsgID: p.MsgID, ReturnCode: mqttsn.RejectedNotSupported})
+		return
+	}
+	s.subs[filter] = p.Flags.QoS
+	var topicID uint16
+	if mqttsn.ValidTopicName(filter) { // exact topic: hand out its id now
+		topicID = b.topicIDLocked(filter)
+		s.knownTopics[topicID] = true
+	}
+	// Collect matching retained messages for delivery after SUBACK.
+	var retained []*message
+	for topic, m := range b.retained {
+		if mqttsn.TopicMatches(filter, topic) {
+			retained = append(retained, m)
+		}
+	}
+	grantedQoS := p.Flags.QoS
+	b.mu.Unlock()
+
+	b.sendTo(addr, &mqttsn.Suback{
+		Flags:   mqttsn.Flags{QoS: grantedQoS},
+		TopicID: topicID, MsgID: p.MsgID, ReturnCode: mqttsn.Accepted,
+	})
+	for _, m := range retained {
+		out := *m
+		if out.qos > grantedQoS {
+			out.qos = grantedQoS
+		}
+		b.deliver(s, &out)
+	}
+}
+
+func (b *Broker) handleUnsubscribe(addr net.Addr, p *mqttsn.Unsubscribe) {
+	b.mu.Lock()
+	s := b.sessionFor(addr)
+	if s != nil {
+		s.lastSeen = time.Now()
+		filter := p.TopicName
+		if p.Flags.TopicIDType == mqttsn.TopicPredefined {
+			filter = b.topicNames[p.TopicID]
+		}
+		delete(s.subs, filter)
+	}
+	b.mu.Unlock()
+	ack := &mqttsn.Unsuback{}
+	ack.MsgID = p.MsgID
+	b.sendTo(addr, ack)
+}
+
+func (b *Broker) handleDisconnect(addr net.Addr) {
+	b.mu.Lock()
+	s := b.sessionFor(addr)
+	if s != nil {
+		// Clean disconnect: will is discarded (spec §6.14).
+		delete(b.sessions, s.addrKey)
+		delete(b.byClientID, s.clientID)
+	}
+	b.mu.Unlock()
+	b.sendTo(addr, &mqttsn.Disconnect{})
+}
+
+// route fans a message out to all matching subscribers (and stores it if
+// retained).
+func (b *Broker) route(msg *message) {
+	b.mu.Lock()
+	if msg.retain {
+		if len(msg.payload) == 0 {
+			delete(b.retained, msg.topic)
+		} else {
+			b.retained[msg.topic] = msg
+		}
+	}
+	if msg.topicID == 0 {
+		msg.topicID = b.topicIDLocked(msg.topic)
+	}
+	type target struct {
+		s   *session
+		qos mqttsn.QoS
+	}
+	var targets []target
+	for _, s := range b.sessions {
+		best := mqttsn.QoS(-2)
+		for filter, subQoS := range s.subs {
+			if mqttsn.TopicMatches(filter, msg.topic) && subQoS > best {
+				best = subQoS
+			}
+		}
+		if best >= -1 {
+			q := msg.qos
+			if best < q {
+				q = best
+			}
+			targets = append(targets, target{s, q})
+		}
+	}
+	b.stats.MessagesRouted += uint64(len(targets))
+	b.mu.Unlock()
+
+	for _, t := range targets {
+		out := *msg
+		out.qos = t.qos
+		b.deliver(t.s, &out)
+	}
+}
+
+// deliver sends one message to one subscriber, respecting its QoS and
+// registering the topic first if the client does not know its id.
+func (b *Broker) deliver(s *session, msg *message) {
+	b.mu.Lock()
+	if !s.knownTopics[msg.topicID] {
+		// Queue behind a REGISTER exchange.
+		pending, already := s.pendingReg[msg.topicID]
+		s.pendingReg[msg.topicID] = append(pending, msg)
+		addr := s.addr
+		topic := msg.topic
+		id := msg.topicID
+		var regMsgID uint16
+		if !already {
+			regMsgID = s.allocMsgID()
+		}
+		b.mu.Unlock()
+		if !already {
+			b.sendTo(addr, &mqttsn.Register{TopicID: id, MsgID: regMsgID, TopicName: topic})
+		}
+		return
+	}
+	var pub *mqttsn.Publish
+	switch msg.qos {
+	case mqttsn.QoS1, mqttsn.QoS2:
+		msgID := s.allocMsgID()
+		ob := &outbound{msg: msg, msgID: msgID, lastSent: time.Now()}
+		if msg.qos == mqttsn.QoS1 {
+			ob.state = obAwaitPuback
+		} else {
+			ob.state = obAwaitPubrec
+		}
+		s.outbound[msgID] = ob
+		pub = b.publishPacketLocked(s, ob)
+	default:
+		pub = &mqttsn.Publish{
+			Flags:   mqttsn.Flags{QoS: msg.qos, Retain: msg.retain},
+			TopicID: msg.topicID,
+			Data:    msg.payload,
+		}
+	}
+	addr := s.addr
+	b.mu.Unlock()
+	b.sendTo(addr, pub)
+}

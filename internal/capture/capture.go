@@ -1,0 +1,48 @@
+// Package capture defines the uniform provenance-capture client interface
+// implemented by all three systems in the evaluation (ProvLight,
+// DfAnalyzer, ProvLake), so workloads and the experiment harness can
+// instrument a workflow once and run it against any capture backend
+// (paper §III-A: "We instrument the synthetic workloads with the capture
+// libraries provided by ProvLake and DfAnalyzer").
+package capture
+
+import "github.com/provlight/provlight/internal/provdm"
+
+// Client is a provenance capture library: the device-side component that
+// receives instrumentation events and ships them to a provenance system.
+type Client interface {
+	// Capture records one provenance event. Depending on the backend this
+	// may block for a full HTTP round trip (DfAnalyzer, ProvLake) or just
+	// enqueue an asynchronous publish (ProvLight).
+	Capture(rec *provdm.Record) error
+	// Flush forces any buffered (grouped) records out.
+	Flush() error
+	// Close flushes and releases resources.
+	Close() error
+}
+
+// Nop is a Client that discards everything: the "no capture" baseline used
+// to measure workflow time without provenance (the denominator of the
+// paper's capture-time overhead).
+type Nop struct{}
+
+// Capture implements Client.
+func (Nop) Capture(*provdm.Record) error { return nil }
+
+// Flush implements Client.
+func (Nop) Flush() error { return nil }
+
+// Close implements Client.
+func (Nop) Close() error { return nil }
+
+// Func adapts a function to the Client interface (useful in tests).
+type Func func(rec *provdm.Record) error
+
+// Capture implements Client.
+func (f Func) Capture(rec *provdm.Record) error { return f(rec) }
+
+// Flush implements Client.
+func (Func) Flush() error { return nil }
+
+// Close implements Client.
+func (Func) Close() error { return nil }

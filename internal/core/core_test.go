@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight/internal/capture"
+	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/translate"
+)
+
+var _ capture.Client = (*Client)(nil)
+
+func startPipeline(t *testing.T, cfgMod func(*Config)) (*Client, *translate.MemoryTarget, *Server) {
+	t.Helper()
+	mem := translate.NewMemoryTarget()
+	srv, err := StartServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		Targets:       []translate.Target{mem},
+		RetryInterval: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cfg := Config{
+		Broker:        srv.Addr(),
+		ClientID:      "device-1",
+		RetryInterval: 150 * time.Millisecond,
+		MaxRetries:    10,
+	}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	client, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, mem, srv
+}
+
+func waitRecords(t *testing.T, mem *translate.MemoryTarget, want int) []provdm.Record {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for mem.Len() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d records, want %d", mem.Len(), want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return mem.Records()
+}
+
+func TestListing1EndToEnd(t *testing.T) {
+	// Reproduce Listing 1: 5 chained transformations, tasks with input and
+	// output data derivations, through the full client->broker->translator
+	// pipeline.
+	client, mem, _ := startPipeline(t, nil)
+
+	const transformations = 3
+	const tasksPerTransf = 4
+	attrs := Attrs(map[string]any{"in": int64(1), "param": 0.5})
+
+	wf := client.NewWorkflow("1")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	dataID := 0
+	var prev *Task
+	for tr := 0; tr < transformations; tr++ {
+		for i := 0; i < tasksPerTransf; i++ {
+			dataID++
+			task := wf.NewTask(fmt.Sprintf("%d-%d", tr, i), fmt.Sprintf("transf%d", tr), prev)
+			in := NewData(fmt.Sprintf("in%d", dataID), attrs)
+			if err := task.Begin(in); err != nil {
+				t.Fatal(err)
+			}
+			out := NewData(fmt.Sprintf("out%d", dataID), attrs).DerivedFrom(in.ID())
+			if err := task.End(out); err != nil {
+				t.Fatal(err)
+			}
+			prev = task
+		}
+	}
+	if err := wf.End(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 2 + 2*transformations*tasksPerTransf
+	records := waitRecords(t, mem, total)
+	if records[0].Event != provdm.EventWorkflowBegin {
+		t.Errorf("first record = %s, want workflow.begin", records[0].Event)
+	}
+	// Build the PROV document and validate the full mapping.
+	doc, err := provdm.BuildDocument(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(doc.ElementsOfKind(provdm.KindActivity)); got != transformations*tasksPerTransf {
+		t.Errorf("activities = %d, want %d", got, transformations*tasksPerTransf)
+	}
+	// Derivations made it across the wire.
+	if got := len(doc.RelationsOfKind(provdm.WasDerivedFrom)); got != transformations*tasksPerTransf {
+		t.Errorf("derivations = %d, want %d", got, transformations*tasksPerTransf)
+	}
+}
+
+func TestGroupingEndedTasksOnly(t *testing.T) {
+	client, mem, _ := startPipeline(t, func(c *Config) {
+		c.GroupSize = 5
+	})
+	wf := client.NewWorkflow("g")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		task := wf.NewTask(fmt.Sprintf("t%d", i), "tr")
+		if err := task.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := task.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wf.End(); err != nil {
+		t.Fatal(err)
+	}
+	waitRecords(t, mem, 22)
+
+	st := client.Stats()
+	// begins (10) + workflow.begin are immediate; 10 ends + workflow.end
+	// grouped by 5: 11 immediate frames + 3 group frames.
+	if st.RecordsCaptured != 22 {
+		t.Errorf("captured = %d, want 22", st.RecordsCaptured)
+	}
+	if st.RecordsGrouped != 11 {
+		t.Errorf("grouped records = %d, want 11 (ends + workflow end)", st.RecordsGrouped)
+	}
+	if st.FramesPublished != 14 {
+		t.Errorf("frames = %d, want 14 (11 immediate + 3 groups)", st.FramesPublished)
+	}
+}
+
+func TestCompressionStats(t *testing.T) {
+	bigAttrs := map[string]any{}
+	for i := 0; i < 100; i++ {
+		bigAttrs[fmt.Sprintf("attr_%02d", i)] = int64(i)
+	}
+	client, mem, _ := startPipeline(t, nil)
+	wf := client.NewWorkflow("c")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	task := wf.NewTask("t0", "tr")
+	if err := task.Begin(NewData("in", Attrs(bigAttrs))); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.End(NewData("out", Attrs(bigAttrs))); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.End(); err != nil {
+		t.Fatal(err)
+	}
+	records := waitRecords(t, mem, 4)
+	st := client.Stats()
+	if st.FramesCompressed < 2 {
+		t.Errorf("compressed frames = %d, want >= 2 (100-attr payloads)", st.FramesCompressed)
+	}
+	// The attribute values survived.
+	var taskBegin *provdm.Record
+	for i := range records {
+		if records[i].Event == provdm.EventTaskBegin {
+			taskBegin = &records[i]
+		}
+	}
+	if taskBegin == nil || len(taskBegin.Data) != 1 || len(taskBegin.Data[0].Attributes) != 100 {
+		t.Fatalf("task begin data corrupted: %+v", taskBegin)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	client, _, _ := startPipeline(t, nil)
+	wf := client.NewWorkflow("e")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Begin(); err == nil {
+		t.Error("double workflow begin should fail")
+	}
+	task := wf.NewTask("t", "tr")
+	if err := task.End(); err == nil {
+		t.Error("end before begin should fail")
+	}
+	if err := task.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Begin(); err == nil {
+		t.Error("double task begin should fail")
+	}
+	if err := task.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.End(); err == nil {
+		t.Error("double task end should fail")
+	}
+	if err := wf.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.End(); err == nil {
+		t.Error("double workflow end should fail")
+	}
+}
+
+func TestSynchronousMode(t *testing.T) {
+	client, mem, _ := startPipeline(t, func(c *Config) {
+		c.Synchronous = true
+	})
+	wf := client.NewWorkflow("s")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.End(); err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous publishes complete before End returns; one poll pass is
+	// enough for the translator to drain.
+	waitRecords(t, mem, 2)
+}
+
+func TestParallelTranslatorsPerDeviceTopics(t *testing.T) {
+	// Table IX setup: each device publishes to its own topic; one
+	// translator per topic consumes in parallel.
+	mem := translate.NewMemoryTarget()
+	const devices = 4
+	var filters []string
+	for d := 0; d < devices; d++ {
+		filters = append(filters, fmt.Sprintf("provlight/device-%d/records", d))
+	}
+	srv, err := StartServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		Targets:       []translate.Target{mem},
+		TopicFilters:  filters,
+		RetryInterval: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	for d := 0; d < devices; d++ {
+		client, err := NewClient(Config{
+			Broker:        srv.Addr(),
+			ClientID:      fmt.Sprintf("device-%d", d),
+			RetryInterval: 150 * time.Millisecond,
+			MaxRetries:    10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf := client.NewWorkflow(fmt.Sprintf("wf-%d", d))
+		if err := wf.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		task := wf.NewTask("t0", "tr")
+		if err := task.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := task.End(); err != nil {
+			t.Fatal(err)
+		}
+		if err := wf.End(); err != nil {
+			t.Fatal(err)
+		}
+		client.Close()
+	}
+	records := waitRecords(t, mem, devices*4)
+	wfs := map[string]int{}
+	for _, r := range records {
+		wfs[r.WorkflowID]++
+	}
+	for d := 0; d < devices; d++ {
+		if wfs[fmt.Sprintf("wf-%d", d)] != 4 {
+			t.Errorf("workflow wf-%d has %d records, want 4", d, wfs[fmt.Sprintf("wf-%d", d)])
+		}
+	}
+	// Each translator consumed only its own topic.
+	for i, tr := range srv.Translators {
+		if st := tr.Stats(); st.FramesReceived != 4 {
+			t.Errorf("translator %d received %d frames, want 4", i, st.FramesReceived)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/provlight/provlight/internal/broker"
+	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/translate"
+)
+
+// ServerConfig configures a ProvLight server: the broker plus one or more
+// provenance data translators (paper Fig. 3: "The ProvLight server is
+// composed of a broker and a provenance data translator. Both may be
+// parallelized to scale the data capture").
+type ServerConfig struct {
+	// Addr is the UDP address the broker listens on ("127.0.0.1:0" picks
+	// a free port).
+	Addr string
+	// Targets receive translated records.
+	Targets []translate.Target
+	// Translators is how many parallel translator sessions to run; each
+	// consumes the full topic space unless TopicFilters is set. Default 1.
+	Translators int
+	// TopicFilters optionally pins each translator to its own filter
+	// (e.g. one per device topic, as in the Table IX scalability setup).
+	// When set, it overrides Translators.
+	TopicFilters []string
+	// Workers per translator. Default 1.
+	Workers int
+	// RetryInterval tunes broker and translator retransmissions.
+	RetryInterval time.Duration
+	// OnError receives asynchronous translator errors.
+	OnError func(error)
+}
+
+// Server bundles the broker and translators.
+type Server struct {
+	Broker      *broker.Broker
+	Translators []*translate.Translator
+}
+
+// StartServer launches the broker and its translators.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("provlight: server requires at least one target")
+	}
+	b, err := broker.New(broker.Config{Addr: cfg.Addr, RetryInterval: cfg.RetryInterval})
+	if err != nil {
+		return nil, err
+	}
+	filters := cfg.TopicFilters
+	if len(filters) == 0 {
+		n := cfg.Translators
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			filters = append(filters, "provlight/+/records")
+		}
+	}
+	srv := &Server{Broker: b}
+	for i, filter := range filters {
+		tr, err := translate.New(translate.Config{
+			Broker:        b.Addr(),
+			ClientID:      fmt.Sprintf("translator-%d", i+1),
+			TopicFilter:   filter,
+			QoS:           mqttsn.QoS2,
+			Targets:       cfg.Targets,
+			Workers:       cfg.Workers,
+			RetryInterval: cfg.RetryInterval,
+			OnError:       cfg.OnError,
+		})
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		srv.Translators = append(srv.Translators, tr)
+	}
+	return srv, nil
+}
+
+// Addr returns the broker's UDP address for clients.
+func (s *Server) Addr() string { return s.Broker.Addr() }
+
+// Drain waits until every translator has delivered all received frames.
+func (s *Server) Drain() {
+	for _, t := range s.Translators {
+		t.Drain()
+	}
+}
+
+// Close stops translators and the broker.
+func (s *Server) Close() {
+	for _, t := range s.Translators {
+		t.Close()
+	}
+	if s.Broker != nil {
+		s.Broker.Close()
+	}
+}

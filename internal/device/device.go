@@ -1,0 +1,154 @@
+// Package device models the hardware platforms of the paper's evaluation:
+// the FIT IoT-LAB A8-M3 edge board and the Grid'5000 "gros" cloud server.
+//
+// Profiles capture the two things the experiments need: a CPU speed factor
+// (how much slower provenance-capture CPU work runs on the edge board than
+// on the reference server) and a power model (idle draw, incremental CPU
+// draw, and radio transmission energy) used to reproduce Fig. 6d.
+package device
+
+import "time"
+
+// Profile describes one hardware platform.
+type Profile struct {
+	Name string
+
+	// CPUSpeedFactor is the platform's speed executing capture-library
+	// code relative to the reference cloud server (1.0). The A8-M3's
+	// 600 MHz in-order Cortex-A8 running the interpreted capture stack is
+	// ~17x slower than the Xeon Gold reference for this workload
+	// (calibrated from Table II vs Table X of the paper).
+	CPUSpeedFactor float64
+
+	// MemoryBytes is the total RAM, used to express memory overhead as a
+	// percentage (Fig. 6b).
+	MemoryBytes int64
+
+	// IdleWatts is the platform draw while the synthetic workload runs
+	// without provenance capture (the paper's tasks are timed waits, so
+	// the no-capture baseline is effectively idle draw).
+	IdleWatts float64
+	// CPUActiveWatts is the additional draw at 100% CPU utilization.
+	CPUActiveWatts float64
+	// RadioTxWatts is the additional draw while the network interface
+	// transmits (time-on-air at RadioBitrateBps).
+	RadioTxWatts float64
+	// RadioWakeJoules is the fixed energy cost of one uplink transmission
+	// burst (interface wake-up, framing, MAC overhead), independent of
+	// size. This term is why protocols that send many small messages
+	// draw more power at equal byte volume (Fig. 6d discussion).
+	RadioWakeJoules float64
+	// RadioBitrateBps is the interface bitrate used for time-on-air
+	// energy accounting (the A8-M3's 802.15.4 radio: 250 kbit/s).
+	RadioBitrateBps int64
+}
+
+// A8M3 is the FIT IoT-LAB A8-M3 node: ARM Cortex-A8 @ 600 MHz, 256 MB RAM,
+// 802.15.4 radio, 3.7 V LiPo battery (§III-A(e)).
+var A8M3 = Profile{
+	Name:            "iotlab-a8-m3",
+	CPUSpeedFactor:  1.0 / 17.4,
+	MemoryBytes:     256 << 20,
+	IdleWatts:       1.394, // measured baseline implied by Fig. 6d percentages
+	CPUActiveWatts:  0.20,
+	RadioTxWatts:    0.22,
+	RadioWakeJoules: 0.0027,
+	RadioBitrateBps: 250e3,
+}
+
+// CloudServer is the Grid'5000 "gros" node: Intel Xeon Gold 5220 @ 2.20 GHz,
+// 96 GB RAM, wired Ethernet (§III-A(e)). The power model is not exercised
+// by the paper's figures (power is only measured on the edge), but is
+// populated with representative values for completeness.
+var CloudServer = Profile{
+	Name:            "g5k-gros",
+	CPUSpeedFactor:  1.0,
+	MemoryBytes:     96 << 30,
+	IdleWatts:       65,
+	CPUActiveWatts:  125,
+	RadioTxWatts:    2,
+	RadioWakeJoules: 0,
+	RadioBitrateBps: 1e9,
+}
+
+// CPUTime converts CPU work expressed in reference-server seconds to wall
+// time on this platform.
+func (p Profile) CPUTime(ref time.Duration) time.Duration {
+	if p.CPUSpeedFactor <= 0 {
+		return ref
+	}
+	return time.Duration(float64(ref) / p.CPUSpeedFactor)
+}
+
+// TimeOnAir returns the interface transmission time for n payload bytes.
+func (p Profile) TimeOnAir(n int64) time.Duration {
+	if p.RadioBitrateBps <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n*8) / float64(p.RadioBitrateBps) * float64(time.Second))
+}
+
+// EnergyMeter accumulates the activity of one device over an experiment run
+// and evaluates the profile's power model.
+type EnergyMeter struct {
+	Profile  Profile
+	CPUBusy  time.Duration // time the CPU spent on capture work
+	TxBytes  int64         // payload bytes transmitted
+	TxBursts int64         // number of uplink transmissions
+	RxBytes  int64         // bytes received (acknowledgements etc.)
+	Elapsed  time.Duration // total wall time of the run
+}
+
+// NewEnergyMeter returns a meter for the given profile.
+func NewEnergyMeter(p Profile) *EnergyMeter {
+	return &EnergyMeter{Profile: p}
+}
+
+// AddCPU records d of busy CPU time.
+func (m *EnergyMeter) AddCPU(d time.Duration) { m.CPUBusy += d }
+
+// AddTx records one transmission burst of n bytes.
+func (m *EnergyMeter) AddTx(n int) {
+	m.TxBytes += int64(n)
+	m.TxBursts++
+}
+
+// AddRx records n received bytes.
+func (m *EnergyMeter) AddRx(n int) { m.RxBytes += int64(n) }
+
+// EnergyJoules evaluates the power model:
+//
+//	E = idle*T + cpuActive*busy + radioTx*timeOnAir(bytes) + wake*bursts
+func (m *EnergyMeter) EnergyJoules() float64 {
+	p := m.Profile
+	e := p.IdleWatts * m.Elapsed.Seconds()
+	e += p.CPUActiveWatts * m.CPUBusy.Seconds()
+	e += p.RadioTxWatts * p.TimeOnAir(m.TxBytes).Seconds()
+	e += p.RadioWakeJoules * float64(m.TxBursts)
+	return e
+}
+
+// AvgPowerWatts returns mean power over the elapsed time, or 0 if no time
+// has elapsed.
+func (m *EnergyMeter) AvgPowerWatts() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return m.EnergyJoules() / m.Elapsed.Seconds()
+}
+
+// CPUUtilization returns the capture CPU busy fraction of elapsed time.
+func (m *EnergyMeter) CPUUtilization() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.CPUBusy) / float64(m.Elapsed)
+}
+
+// NetworkRate returns transmitted payload bytes per second of elapsed time.
+func (m *EnergyMeter) NetworkRate() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.TxBytes) / m.Elapsed.Seconds()
+}

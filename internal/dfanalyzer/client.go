@@ -1,0 +1,151 @@
+package dfanalyzer
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+// Client is the DfAnalyzer capture library: every task event performs a
+// blocking HTTP 1.1 request/response to the server, exactly like the
+// original Python/C++ libraries (paper Table VI: "HTTP 1.1, TCP,
+// request/response"). The connection is kept alive between requests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a capture client for the server at baseURL
+// (e.g. "http://127.0.0.1:22000").
+func NewClient(baseURL string) *Client {
+	return &Client{
+		base: baseURL,
+		hc: &http.Client{
+			Timeout: 30 * time.Second,
+		},
+	}
+}
+
+func (c *Client) post(path string, body any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("dfanalyzer: %s returned %s: %s", path, resp.Status, msg)
+	}
+	// Drain so the connection is reused.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// RegisterDataflow registers the dataflow specification.
+func (c *Client) RegisterDataflow(df *Dataflow) error {
+	return c.post("/dataflow", df)
+}
+
+// SendTask ships one task event (blocking request/response).
+func (c *Client) SendTask(msg *TaskMsg) error {
+	return c.post("/task", msg)
+}
+
+// Query runs a query on the server.
+func (c *Client) Query(q Query) ([]Row, error) {
+	data, err := json.Marshal(q)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Post(c.base+"/query", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("dfanalyzer: query returned %s: %s", resp.Status, msg)
+	}
+	var rows []Row
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Capturer adapts the client to the capture.Client interface, translating
+// ProvLight exchange records into DfAnalyzer task messages.
+type Capturer struct {
+	client   *Client
+	dataflow string
+}
+
+// NewCapturer wraps c as a capture.Client for the given dataflow tag.
+func NewCapturer(c *Client, dataflow string) *Capturer {
+	return &Capturer{client: c, dataflow: dataflow}
+}
+
+// RecordToTaskMsg converts one exchange record into a DfAnalyzer task
+// message (shared with the translator).
+func RecordToTaskMsg(dataflow string, rec *provdm.Record) (*TaskMsg, bool) {
+	if rec.Event != provdm.EventTaskBegin && rec.Event != provdm.EventTaskEnd {
+		return nil, false // DfAnalyzer has no workflow lifecycle messages
+	}
+	// Task ids are namespaced by workflow so that multiple devices feeding
+	// the same dataflow (Fig. 5: 64 clients, one provenance system) do not
+	// collide.
+	msg := &TaskMsg{
+		Dataflow:       dataflow,
+		Transformation: rec.Transformation,
+		ID:             rec.WorkflowID + "/" + rec.TaskID,
+		Dependencies:   rec.Dependencies,
+	}
+	ts := rec.Time
+	if rec.Event == provdm.EventTaskBegin {
+		msg.Status = StatusRunning
+		msg.StartTime = &ts
+	} else {
+		msg.Status = StatusFinished
+		msg.EndTime = &ts
+	}
+	side := "_input"
+	if rec.Event == provdm.EventTaskEnd {
+		side = "_output"
+	}
+	if len(rec.Data) > 0 {
+		set := SetData{Tag: rec.Transformation + side}
+		for _, d := range rec.Data {
+			el := make(Element, 0, len(d.Attributes))
+			for _, a := range d.Attributes {
+				el = append(el, a.Value)
+			}
+			set.Elements = append(set.Elements, el)
+		}
+		msg.Sets = []SetData{set}
+	}
+	return msg, true
+}
+
+// Capture implements capture.Client.
+func (cp *Capturer) Capture(rec *provdm.Record) error {
+	msg, ok := RecordToTaskMsg(cp.dataflow, rec)
+	if !ok {
+		return nil
+	}
+	return cp.client.SendTask(msg)
+}
+
+// Flush implements capture.Client (DfAnalyzer has no buffering).
+func (cp *Capturer) Flush() error { return nil }
+
+// Close implements capture.Client.
+func (cp *Capturer) Close() error { return nil }

@@ -1,0 +1,310 @@
+package dfanalyzer
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+func trainingDataflow() *Dataflow {
+	return &Dataflow{
+		Tag: "fltraining",
+		Transformations: []Transformation{
+			{
+				Tag: "training",
+				Input: []SetSchema{{Tag: "training_input", Attributes: []Attribute{
+					{Name: "lr", Type: Numeric},
+					{Name: "batch", Type: Numeric},
+					{Name: "optimizer", Type: Text},
+				}}},
+				Output: []SetSchema{{Tag: "training_output", Attributes: []Attribute{
+					{Name: "epoch", Type: Numeric},
+					{Name: "loss", Type: Numeric},
+					{Name: "accuracy", Type: Numeric},
+				}}},
+			},
+		},
+	}
+}
+
+func TestDataflowValidate(t *testing.T) {
+	if err := trainingDataflow().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Dataflow{
+		{},
+		{Tag: "x", Transformations: []Transformation{{}}},
+		{Tag: "x", Transformations: []Transformation{{Tag: "a"}, {Tag: "a"}}},
+		{Tag: "x", Transformations: []Transformation{{Tag: "a", Input: []SetSchema{{Tag: "s",
+			Attributes: []Attribute{{Name: "v", Type: "WEIRD"}}}}}}},
+		{Tag: "x", Transformations: []Transformation{{Tag: "a", Input: []SetSchema{{Tag: "s",
+			Attributes: []Attribute{{Name: "v", Type: Numeric}, {Name: "v", Type: Text}}}}}}},
+	}
+	for i, df := range bad {
+		if err := df.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func ingestEpochs(t *testing.T, store *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		begin := &TaskMsg{
+			Dataflow: "fltraining", Transformation: "training",
+			ID: fmt.Sprintf("epoch-%d", i), Status: StatusRunning, StartTime: &start,
+			Sets: []SetData{{Tag: "training_input", Elements: []Element{
+				{0.01 * float64(i+1), float64(32), "sgd"},
+			}}},
+		}
+		if err := store.IngestTask(begin); err != nil {
+			t.Fatal(err)
+		}
+		end := time.Now()
+		fin := &TaskMsg{
+			Dataflow: "fltraining", Transformation: "training",
+			ID: fmt.Sprintf("epoch-%d", i), Status: StatusFinished, EndTime: &end,
+			Sets: []SetData{{Tag: "training_output", Elements: []Element{
+				{float64(i), 1.0 / float64(i+1), 0.5 + float64(i)*0.01},
+			}}},
+		}
+		if err := store.IngestTask(fin); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreIngestAndSelect(t *testing.T) {
+	store := NewStore()
+	if err := store.RegisterDataflow(trainingDataflow()); err != nil {
+		t.Fatal(err)
+	}
+	ingestEpochs(t, store, 20)
+
+	if got := store.TaskCount("fltraining"); got != 20 {
+		t.Errorf("task count = %d, want 20", got)
+	}
+	// Paper §I query (ii): top-3 accuracy values.
+	rows, err := store.Select(Query{
+		Dataflow: "fltraining", Set: "training_output",
+		OrderBy: "accuracy", Desc: true, Limit: 3,
+		Project: []string{"epoch", "accuracy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0]["accuracy"].(float64) < rows[1]["accuracy"].(float64) {
+		t.Error("rows not sorted descending")
+	}
+	if rows[0]["epoch"].(float64) != 19 {
+		t.Errorf("best epoch = %v, want 19", rows[0]["epoch"])
+	}
+	// Filtered query: loss below threshold.
+	rows, err = store.Select(Query{
+		Dataflow: "fltraining", Set: "training_output",
+		Where: []Pred{{Attr: "loss", Op: Lt, Value: 0.1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r["loss"].(float64) >= 0.1 {
+			t.Errorf("predicate failed: %v", r)
+		}
+	}
+	if len(rows) != 10 { // 1/(i+1) < 0.1 for i=10..19
+		t.Errorf("filtered rows = %d, want 10", len(rows))
+	}
+	// Text predicate.
+	rows, err = store.Select(Query{
+		Dataflow: "fltraining", Set: "training_input",
+		Where: []Pred{{Attr: "optimizer", Op: Eq, Value: "sgd"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Errorf("text filter rows = %d, want 20", len(rows))
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	store := NewStore()
+	if err := store.IngestTask(&TaskMsg{Dataflow: "nope", Transformation: "t", ID: "1", Status: StatusRunning}); err == nil {
+		t.Error("unknown dataflow should fail")
+	}
+	if err := store.RegisterDataflow(trainingDataflow()); err != nil {
+		t.Fatal(err)
+	}
+	bad := &TaskMsg{Dataflow: "fltraining", Transformation: "training", ID: "1", Status: StatusRunning,
+		Sets: []SetData{{Tag: "missing_set", Elements: []Element{{1.0}}}}}
+	if err := store.IngestTask(bad); err == nil {
+		t.Error("unknown set should fail")
+	}
+	arity := &TaskMsg{Dataflow: "fltraining", Transformation: "training", ID: "1", Status: StatusRunning,
+		Sets: []SetData{{Tag: "training_input", Elements: []Element{{1.0}}}}}
+	if err := store.IngestTask(arity); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	typeErr := &TaskMsg{Dataflow: "fltraining", Transformation: "training", ID: "1", Status: StatusRunning,
+		Sets: []SetData{{Tag: "training_input", Elements: []Element{{"notnum", 1.0, "sgd"}}}}}
+	if err := store.IngestTask(typeErr); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	if _, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output", Where: []Pred{{Attr: "ghost", Op: Eq, Value: 1}}}); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv := NewServer(nil)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient("http://" + srv.Addr())
+
+	if err := client.RegisterDataflow(trainingDataflow()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	msg := &TaskMsg{
+		Dataflow: "fltraining", Transformation: "training", ID: "e0",
+		Status: StatusRunning, StartTime: &start,
+		Sets: []SetData{{Tag: "training_input", Elements: []Element{{0.1, 16.0, "adam"}}}},
+	}
+	if err := client.SendTask(msg); err != nil {
+		t.Fatal(err)
+	}
+	end := time.Now()
+	fin := &TaskMsg{
+		Dataflow: "fltraining", Transformation: "training", ID: "e0",
+		Status: StatusFinished, EndTime: &end,
+		Sets: []SetData{{Tag: "training_output", Elements: []Element{{0.0, 0.4, 0.88}}}},
+	}
+	if err := client.SendTask(fin); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := client.Query(Query{Dataflow: "fltraining", Set: "training_output"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["accuracy"].(float64) != 0.88 {
+		t.Errorf("rows = %v", rows)
+	}
+	// Merged task catalog entry has both times and final status.
+	task, ok := srv.Store().Task("fltraining", "e0")
+	if !ok {
+		t.Fatal("task e0 not found")
+	}
+	if task.Status != StatusFinished || task.StartTime == nil || task.EndTime == nil {
+		t.Errorf("merged task = %+v", task)
+	}
+	if srv.Requests() < 4 {
+		t.Errorf("requests = %d, want >= 4", srv.Requests())
+	}
+}
+
+func TestCapturerTranslatesRecords(t *testing.T) {
+	srv := NewServer(nil)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient("http://" + srv.Addr())
+
+	records := []provdm.Record{
+		{Event: provdm.EventWorkflowBegin, WorkflowID: "wf", Time: time.Now()},
+		{Event: provdm.EventTaskBegin, WorkflowID: "wf", TaskID: "t1", Transformation: "training",
+			Status: provdm.StatusRunning, Time: time.Now(),
+			Data: []provdm.DataRef{{ID: "in", Attributes: []provdm.Attribute{
+				{Name: "lr", Value: 0.05}, {Name: "batch", Value: int64(8)}, {Name: "optimizer", Value: "sgd"},
+			}}}},
+		{Event: provdm.EventTaskEnd, WorkflowID: "wf", TaskID: "t1", Transformation: "training",
+			Status: provdm.StatusFinished, Time: time.Now(),
+			Data: []provdm.DataRef{{ID: "out", Attributes: []provdm.Attribute{
+				{Name: "epoch", Value: int64(1)}, {Name: "loss", Value: 0.2}, {Name: "accuracy", Value: 0.9},
+			}}}},
+	}
+	df := DataflowFromRecords("wf", records)
+	if err := client.RegisterDataflow(df); err != nil {
+		t.Fatal(err)
+	}
+	cap := NewCapturer(client, "wf")
+	for i := range records {
+		if err := cap.Capture(&records[i]); err != nil {
+			t.Fatalf("capture %d: %v", i, err)
+		}
+	}
+	rows, err := client.Query(Query{Dataflow: "wf", Set: "training_output"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["accuracy"].(float64) != 0.9 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestDataflowFromRecords(t *testing.T) {
+	records := []provdm.Record{
+		{Event: provdm.EventTaskBegin, WorkflowID: "w", TaskID: "a", Transformation: "prep",
+			Data: []provdm.DataRef{{ID: "d1", Attributes: []provdm.Attribute{
+				{Name: "path", Value: "x.csv"}, {Name: "rows", Value: int64(10)}}}},
+			Time: time.Now()},
+		{Event: provdm.EventTaskEnd, WorkflowID: "w", TaskID: "a", Transformation: "prep",
+			Status: provdm.StatusFinished,
+			Data: []provdm.DataRef{{ID: "d2", Attributes: []provdm.Attribute{
+				{Name: "clean_rows", Value: int64(9)}}}},
+			Time: time.Now()},
+	}
+	df := DataflowFromRecords("w", records)
+	if err := df.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(df.Transformations) != 1 || df.Transformations[0].Tag != "prep" {
+		t.Fatalf("df = %+v", df)
+	}
+	in := df.Transformations[0].Input[0]
+	if in.Tag != "prep_input" || len(in.Attributes) != 2 {
+		t.Errorf("input set = %+v", in)
+	}
+	if in.Attributes[0].Name != "path" || in.Attributes[0].Type != Text {
+		t.Errorf("path attr = %+v", in.Attributes[0])
+	}
+	if in.Attributes[1].Type != Numeric {
+		t.Errorf("rows attr = %+v", in.Attributes[1])
+	}
+}
+
+// Property: ingesting N single-element tasks yields N rows and Select with
+// no predicates returns them all.
+func TestIngestCountProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n % 40)
+		store := NewStore()
+		if err := store.RegisterDataflow(trainingDataflow()); err != nil {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			msg := &TaskMsg{Dataflow: "fltraining", Transformation: "training",
+				ID: fmt.Sprintf("t%d", i), Status: StatusFinished,
+				Sets: []SetData{{Tag: "training_output", Elements: []Element{
+					{float64(i), 0.5, 0.5}}}}}
+			if err := store.IngestTask(msg); err != nil {
+				return false
+			}
+		}
+		rows, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output"})
+		return err == nil && len(rows) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package dfanalyzer re-implements the DfAnalyzer runtime dataflow
+// analysis tool (Silva et al., SoftwareX 2020): the baseline provenance
+// system the paper compares against (§III) and the storage/query backend
+// the E2Clab Provenance Manager uses (§V).
+//
+// Three components are provided, mirroring the original architecture:
+//
+//   - a dataflow model (dataflows, transformations, attribute-typed sets,
+//     tasks, dependencies);
+//   - an HTTP 1.1 ingestion server backed by a MonetDB-like in-memory
+//     column store with a small query engine;
+//   - a capture client that, like the original Python library, performs a
+//     blocking HTTP request/response per task event — the design property
+//     responsible for its high capture overhead on edge devices (Table II).
+package dfanalyzer
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+// AttrType is a column type in a set schema.
+type AttrType string
+
+// Supported attribute types (the original tool's TEXT/NUMERIC/FILE).
+const (
+	Text    AttrType = "TEXT"
+	Numeric AttrType = "NUMERIC"
+	File    AttrType = "FILE"
+)
+
+// Attribute is one typed column of a set schema.
+type Attribute struct {
+	Name string   `json:"name"`
+	Type AttrType `json:"type"`
+}
+
+// SetSchema describes one dataset (input or output of a transformation).
+type SetSchema struct {
+	Tag        string      `json:"tag"`
+	Attributes []Attribute `json:"attributes"`
+}
+
+// Transformation is one processing step of a dataflow.
+type Transformation struct {
+	Tag    string      `json:"tag"`
+	Input  []SetSchema `json:"input"`
+	Output []SetSchema `json:"output"`
+}
+
+// Dataflow is the dataflow specification registered before execution.
+type Dataflow struct {
+	Tag             string           `json:"tag"`
+	Transformations []Transformation `json:"transformations"`
+}
+
+// Validate checks the specification for emptiness and duplicate tags.
+func (d *Dataflow) Validate() error {
+	if d.Tag == "" {
+		return fmt.Errorf("dfanalyzer: dataflow tag required")
+	}
+	seenT := map[string]bool{}
+	seenS := map[string]bool{}
+	for _, tr := range d.Transformations {
+		if tr.Tag == "" {
+			return fmt.Errorf("dfanalyzer: transformation tag required in %q", d.Tag)
+		}
+		if seenT[tr.Tag] {
+			return fmt.Errorf("dfanalyzer: duplicate transformation %q", tr.Tag)
+		}
+		seenT[tr.Tag] = true
+		for _, s := range append(append([]SetSchema{}, tr.Input...), tr.Output...) {
+			if s.Tag == "" {
+				return fmt.Errorf("dfanalyzer: set tag required in %q", tr.Tag)
+			}
+			if seenS[s.Tag] {
+				continue // sets may be shared between transformations
+			}
+			seenS[s.Tag] = true
+			names := map[string]bool{}
+			for _, a := range s.Attributes {
+				if a.Name == "" {
+					return fmt.Errorf("dfanalyzer: attribute name required in set %q", s.Tag)
+				}
+				if names[a.Name] {
+					return fmt.Errorf("dfanalyzer: duplicate attribute %q in set %q", a.Name, s.Tag)
+				}
+				names[a.Name] = true
+				switch a.Type {
+				case Text, Numeric, File:
+				default:
+					return fmt.Errorf("dfanalyzer: unknown attribute type %q", a.Type)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Status mirrors the original tool's task statuses.
+type Status string
+
+// Task statuses.
+const (
+	StatusRunning  Status = "RUNNING"
+	StatusFinished Status = "FINISHED"
+)
+
+// Element is one row of attribute values, positionally matching the set
+// schema.
+type Element []any
+
+// SetData carries rows for one set of a task message.
+type SetData struct {
+	Tag      string    `json:"tag"`
+	Elements []Element `json:"elements"`
+}
+
+// TaskMsg is the ingestion unit: one POST /task per task event, exactly
+// like the original RESTful capture protocol.
+type TaskMsg struct {
+	Dataflow       string     `json:"dataflow"`
+	Transformation string     `json:"transformation"`
+	ID             string     `json:"id"`
+	Status         Status     `json:"status"`
+	Dependencies   []string   `json:"dependencies,omitempty"`
+	Sets           []SetData  `json:"sets,omitempty"`
+	StartTime      *time.Time `json:"start_time,omitempty"`
+	EndTime        *time.Time `json:"end_time,omitempty"`
+}
+
+// Validate checks the message shape.
+func (m *TaskMsg) Validate() error {
+	if m.Dataflow == "" || m.Transformation == "" || m.ID == "" {
+		return fmt.Errorf("dfanalyzer: task message requires dataflow, transformation, and id")
+	}
+	switch m.Status {
+	case StatusRunning, StatusFinished:
+	default:
+		return fmt.Errorf("dfanalyzer: bad status %q", m.Status)
+	}
+	return nil
+}
+
+// DataflowFromRecords derives a dataflow specification from ProvLight
+// capture records (used by the translator): each transformation gets one
+// input set "<tag>_input" and one output set "<tag>_output" whose columns
+// are the union of attribute names observed.
+func DataflowFromRecords(tag string, records []provdm.Record) *Dataflow {
+	type setAcc struct {
+		order []string
+		types map[string]AttrType
+	}
+	newAcc := func() *setAcc { return &setAcc{types: map[string]AttrType{}} }
+	sets := map[string]*setAcc{} // set tag -> columns
+	var transforms []string
+	seenT := map[string]bool{}
+	for i := range records {
+		r := &records[i]
+		if r.Transformation == "" {
+			continue
+		}
+		if !seenT[r.Transformation] {
+			seenT[r.Transformation] = true
+			transforms = append(transforms, r.Transformation)
+		}
+		var setTag string
+		if r.Event == provdm.EventTaskBegin {
+			setTag = r.Transformation + "_input"
+		} else {
+			setTag = r.Transformation + "_output"
+		}
+		acc, ok := sets[setTag]
+		if !ok {
+			acc = newAcc()
+			sets[setTag] = acc
+		}
+		for _, d := range r.Data {
+			for _, a := range d.Attributes {
+				if _, ok := acc.types[a.Name]; ok {
+					continue
+				}
+				t := Text
+				switch a.Value.(type) {
+				case int64, float64:
+					t = Numeric
+				}
+				acc.types[a.Name] = t
+				acc.order = append(acc.order, a.Name)
+			}
+		}
+	}
+	df := &Dataflow{Tag: tag}
+	for _, tr := range transforms {
+		t := Transformation{Tag: tr}
+		for _, side := range []string{"_input", "_output"} {
+			if acc, ok := sets[tr+side]; ok {
+				s := SetSchema{Tag: tr + side}
+				for _, name := range acc.order {
+					s.Attributes = append(s.Attributes, Attribute{Name: name, Type: acc.types[name]})
+				}
+				if side == "_input" {
+					t.Input = append(t.Input, s)
+				} else {
+					t.Output = append(t.Output, s)
+				}
+			}
+		}
+		df.Transformations = append(df.Transformations, t)
+	}
+	return df
+}

@@ -1,0 +1,160 @@
+package dfanalyzer
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Server exposes the store over the original tool's HTTP 1.1
+// request/response interface (uWSGI-style, Fig. 5 of the paper).
+type Server struct {
+	store *Store
+	http  *http.Server
+	lis   net.Listener
+
+	// ProcessingDelay adds artificial per-request server work, used by
+	// integration tests that emulate the slower Python/uWSGI backend.
+	ProcessingDelay time.Duration
+
+	requests atomic.Uint64
+}
+
+// NewServer creates a server around the given store (a fresh one if nil).
+func NewServer(store *Store) *Server {
+	if store == nil {
+		store = NewStore()
+	}
+	return &Server{store: store}
+}
+
+// Store returns the backing store.
+func (s *Server) Store() *Store { return s.store }
+
+// Requests returns the number of HTTP requests served.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves until Close.
+func (s *Server) Start(addr string) error {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dfanalyzer: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dataflow", s.handleDataflow)
+	mux.HandleFunc("/dataflow/", s.handleDataflowGet)
+	mux.HandleFunc("/task", s.handleTask)
+	mux.HandleFunc("/query", s.handleQuery)
+	s.http = &http.Server{Handler: s.count(mux)}
+	go s.http.Serve(lis)
+	return nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+func (s *Server) count(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if d := s.ProcessingDelay; d > 0 {
+			time.Sleep(d)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleDataflow(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost, http.MethodPut:
+		var df Dataflow
+		if err := json.NewDecoder(r.Body).Decode(&df); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.store.RegisterDataflow(&df); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "registered", "tag": df.Tag})
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.store.Dataflows())
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleDataflowGet(w http.ResponseWriter, r *http.Request) {
+	tag := strings.TrimPrefix(r.URL.Path, "/dataflow/")
+	df, ok := s.store.Dataflow(tag)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("dataflow %q not found", tag))
+		return
+	}
+	writeJSON(w, http.StatusOK, df)
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var msg TaskMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.IngestTask(&msg); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var q Query
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rows, err := s.store.Select(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rows)
+}

@@ -1,0 +1,349 @@
+package dfanalyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the MonetDB-like backend: an in-memory column store holding one
+// table per (dataflow, set) pair plus the task catalog.
+type Store struct {
+	mu        sync.RWMutex
+	dataflows map[string]*Dataflow
+	tables    map[string]*Table // key: dataflow + "\x00" + set tag
+	tasks     map[string]*TaskMsg
+	taskOrder []string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		dataflows: map[string]*Dataflow{},
+		tables:    map[string]*Table{},
+		tasks:     map[string]*TaskMsg{},
+	}
+}
+
+// Table is one columnar table: each attribute is a dense column slice.
+type Table struct {
+	Schema SetSchema
+	// numeric columns hold float64, text/file columns hold string.
+	numCols  map[string][]float64
+	textCols map[string][]string
+	// taskIDs indexes each row back to the producing task.
+	taskIDs []string
+	rows    int
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return t.rows }
+
+func tableKey(dataflow, set string) string { return dataflow + "\x00" + set }
+
+// RegisterDataflow validates and installs a dataflow spec, creating empty
+// tables for every set.
+func (s *Store) RegisterDataflow(df *Dataflow) error {
+	if err := df.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dataflows[df.Tag] = df
+	for _, tr := range df.Transformations {
+		for _, set := range append(append([]SetSchema{}, tr.Input...), tr.Output...) {
+			key := tableKey(df.Tag, set.Tag)
+			if _, ok := s.tables[key]; ok {
+				continue
+			}
+			t := &Table{Schema: set, numCols: map[string][]float64{}, textCols: map[string][]string{}}
+			for _, a := range set.Attributes {
+				if a.Type == Numeric {
+					t.numCols[a.Name] = nil
+				} else {
+					t.textCols[a.Name] = nil
+				}
+			}
+			s.tables[key] = t
+		}
+	}
+	return nil
+}
+
+// Dataflow returns a registered specification.
+func (s *Store) Dataflow(tag string) (*Dataflow, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	df, ok := s.dataflows[tag]
+	return df, ok
+}
+
+// Dataflows lists registered dataflow tags, sorted.
+func (s *Store) Dataflows() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tags := make([]string, 0, len(s.dataflows))
+	for t := range s.dataflows {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// IngestTask stores a task message, appending its set elements to the
+// corresponding tables. begin/end messages for the same task id merge.
+func (s *Store) IngestTask(m *TaskMsg) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dataflows[m.Dataflow]; !ok {
+		return fmt.Errorf("dfanalyzer: unknown dataflow %q", m.Dataflow)
+	}
+	tkey := m.Dataflow + "\x00" + m.ID
+	if existing, ok := s.tasks[tkey]; ok {
+		existing.Status = m.Status
+		if m.EndTime != nil {
+			existing.EndTime = m.EndTime
+		}
+		if m.StartTime != nil && existing.StartTime == nil {
+			existing.StartTime = m.StartTime
+		}
+		existing.Dependencies = append(existing.Dependencies, m.Dependencies...)
+	} else {
+		cp := *m
+		cp.Sets = nil
+		s.tasks[tkey] = &cp
+		s.taskOrder = append(s.taskOrder, tkey)
+	}
+	for _, set := range m.Sets {
+		table, ok := s.tables[tableKey(m.Dataflow, set.Tag)]
+		if !ok {
+			return fmt.Errorf("dfanalyzer: unknown set %q in dataflow %q", set.Tag, m.Dataflow)
+		}
+		for _, el := range set.Elements {
+			if len(el) != len(table.Schema.Attributes) {
+				return fmt.Errorf("dfanalyzer: element arity %d != schema %d for set %q",
+					len(el), len(table.Schema.Attributes), set.Tag)
+			}
+			for i, a := range table.Schema.Attributes {
+				if a.Type == Numeric {
+					f, ok := toFloat(el[i])
+					if !ok {
+						return fmt.Errorf("dfanalyzer: attribute %q expects numeric, got %T", a.Name, el[i])
+					}
+					table.numCols[a.Name] = append(table.numCols[a.Name], f)
+				} else {
+					table.textCols[a.Name] = append(table.textCols[a.Name], fmt.Sprint(el[i]))
+				}
+			}
+			table.taskIDs = append(table.taskIDs, m.ID)
+			table.rows++
+		}
+	}
+	return nil
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case float32:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// Task returns the catalog entry for a task id.
+func (s *Store) Task(dataflow, id string) (*TaskMsg, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tasks[dataflow+"\x00"+id]
+	return t, ok
+}
+
+// Tasks returns all task entries of a dataflow in ingestion order.
+func (s *Store) Tasks(dataflow string) []*TaskMsg {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*TaskMsg
+	for _, key := range s.taskOrder {
+		if strings.HasPrefix(key, dataflow+"\x00") {
+			out = append(out, s.tasks[key])
+		}
+	}
+	return out
+}
+
+// TaskCount returns the number of distinct tasks ingested for a dataflow.
+func (s *Store) TaskCount(dataflow string) int {
+	return len(s.Tasks(dataflow))
+}
+
+// Op is a comparison operator in a query predicate.
+type Op string
+
+// Predicate operators.
+const (
+	Eq Op = "="
+	Ne Op = "!="
+	Lt Op = "<"
+	Le Op = "<="
+	Gt Op = ">"
+	Ge Op = ">="
+)
+
+// Pred filters rows on one attribute.
+type Pred struct {
+	Attr  string `json:"attr"`
+	Op    Op     `json:"op"`
+	Value any    `json:"value"`
+}
+
+// Query selects rows from one set of a dataflow: WHERE predicates are
+// conjunctive; OrderBy/Desc/Limit give top-k behaviour.
+type Query struct {
+	Dataflow string   `json:"dataflow"`
+	Set      string   `json:"set"`
+	Where    []Pred   `json:"where,omitempty"`
+	Project  []string `json:"project,omitempty"`
+	OrderBy  string   `json:"order_by,omitempty"`
+	Desc     bool     `json:"desc,omitempty"`
+	Limit    int      `json:"limit,omitempty"`
+}
+
+// Row is one query result with attribute values plus the producing task id
+// under "task_id".
+type Row map[string]any
+
+// Select runs a query against the store.
+func (s *Store) Select(q Query) ([]Row, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	table, ok := s.tables[tableKey(q.Dataflow, q.Set)]
+	if !ok {
+		return nil, fmt.Errorf("dfanalyzer: unknown set %q in dataflow %q", q.Set, q.Dataflow)
+	}
+	colType := map[string]AttrType{}
+	for _, a := range table.Schema.Attributes {
+		colType[a.Name] = a.Type
+	}
+	for _, p := range q.Where {
+		if _, ok := colType[p.Attr]; !ok {
+			return nil, fmt.Errorf("dfanalyzer: unknown attribute %q", p.Attr)
+		}
+	}
+	if q.OrderBy != "" {
+		if _, ok := colType[q.OrderBy]; !ok {
+			return nil, fmt.Errorf("dfanalyzer: unknown order attribute %q", q.OrderBy)
+		}
+	}
+	project := q.Project
+	if len(project) == 0 {
+		for _, a := range table.Schema.Attributes {
+			project = append(project, a.Name)
+		}
+	} else {
+		for _, name := range project {
+			if _, ok := colType[name]; !ok && name != "task_id" {
+				return nil, fmt.Errorf("dfanalyzer: unknown projected attribute %q", name)
+			}
+		}
+	}
+
+	matches := make([]int, 0, table.rows)
+scan:
+	for i := 0; i < table.rows; i++ {
+		for _, p := range q.Where {
+			if !table.match(i, p, colType[p.Attr]) {
+				continue scan
+			}
+		}
+		matches = append(matches, i)
+	}
+	if q.OrderBy != "" {
+		t := colType[q.OrderBy]
+		sort.SliceStable(matches, func(a, b int) bool {
+			var less bool
+			if t == Numeric {
+				col := table.numCols[q.OrderBy]
+				less = col[matches[a]] < col[matches[b]]
+			} else {
+				col := table.textCols[q.OrderBy]
+				less = col[matches[a]] < col[matches[b]]
+			}
+			if q.Desc {
+				return !less
+			}
+			return less
+		})
+	}
+	if q.Limit > 0 && len(matches) > q.Limit {
+		matches = matches[:q.Limit]
+	}
+	rows := make([]Row, 0, len(matches))
+	for _, i := range matches {
+		row := Row{"task_id": table.taskIDs[i]}
+		for _, name := range project {
+			if name == "task_id" {
+				continue
+			}
+			if colType[name] == Numeric {
+				row[name] = table.numCols[name][i]
+			} else {
+				row[name] = table.textCols[name][i]
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (t *Table) match(i int, p Pred, typ AttrType) bool {
+	if typ == Numeric {
+		want, ok := toFloat(p.Value)
+		if !ok {
+			return false
+		}
+		v := t.numCols[p.Attr][i]
+		switch p.Op {
+		case Eq:
+			return v == want
+		case Ne:
+			return v != want
+		case Lt:
+			return v < want
+		case Le:
+			return v <= want
+		case Gt:
+			return v > want
+		case Ge:
+			return v >= want
+		}
+		return false
+	}
+	v := t.textCols[p.Attr][i]
+	want := fmt.Sprint(p.Value)
+	switch p.Op {
+	case Eq:
+		return v == want
+	case Ne:
+		return v != want
+	case Lt:
+		return v < want
+	case Le:
+		return v <= want
+	case Gt:
+		return v > want
+	case Ge:
+		return v >= want
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+// Package e2clab re-implements the E2Clab experiment methodology the paper
+// extends (§V): declarative layers-and-services, network, and workflow
+// configurations drive an automatic deployment whose Provenance Manager
+// wires ProvLight capture across the Edge-to-Cloud continuum.
+//
+// Deployments here are in-process: "cloud" services run as local servers
+// (broker, translators, DfAnalyzer), "edge" services run as ProvLight
+// clients whose sockets are shaped by netem according to the network
+// configuration — the same substitution DESIGN.md documents for the
+// Grid'5000 / FIT IoT-LAB testbeds.
+package e2clab
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/provlight/provlight/internal/miniyaml"
+)
+
+// Service is one service entry of a layer (Listing 2).
+type Service struct {
+	Name        string
+	Environment string
+	Arch        string
+	Quantity    int
+	// GroupSize configures ProvLight grouping for client services.
+	GroupSize int
+}
+
+// Layer is one layer of the experiment environment (cloud, fog, edge).
+type Layer struct {
+	Name     string
+	Services []Service
+}
+
+// NetworkRule constrains the path between two layers.
+type NetworkRule struct {
+	From         string
+	To           string
+	BandwidthBps int64
+	Delay        time.Duration
+	LossRate     float64
+}
+
+// WorkflowSpec describes the synthetic workload to run on edge clients.
+type WorkflowSpec struct {
+	Transformations int
+	Tasks           int
+	Attributes      int
+	TaskDuration    time.Duration
+	// TimeScale scales task sleeps for fast test runs (1.0 = real time).
+	TimeScale float64
+}
+
+// Config is a full experiment definition.
+type Config struct {
+	// Environment maps testbed aliases to cluster names.
+	Environment map[string]string
+	// Provenance is set when the environment requests the
+	// ProvenanceManager service.
+	Provenance bool
+	Layers     []Layer
+	Network    []NetworkRule
+	Workflow   WorkflowSpec
+}
+
+// ParseLayersServices parses the layers_services.yaml document.
+func ParseLayersServices(src string) (*Config, error) {
+	v, err := miniyaml.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("e2clab: layers_services: %w", err)
+	}
+	root := miniyaml.Map(v)
+	if root == nil {
+		return nil, fmt.Errorf("e2clab: layers_services must be a mapping")
+	}
+	cfg := &Config{Environment: map[string]string{}}
+	for k, ev := range miniyaml.Map(root["environment"]) {
+		if k == "provenance" {
+			cfg.Provenance = true
+			continue
+		}
+		if s, ok := ev.(string); ok {
+			cfg.Environment[k] = s
+		}
+	}
+	for _, lv := range miniyaml.Seq(root["layers"]) {
+		layer := Layer{Name: miniyaml.Str(lv, "name")}
+		if layer.Name == "" {
+			return nil, fmt.Errorf("e2clab: layer without name")
+		}
+		for _, sv := range miniyaml.Seq(miniyaml.Map(lv)["services"]) {
+			svc := Service{
+				Name:        miniyaml.Str(sv, "name"),
+				Environment: miniyaml.Str(sv, "environment"),
+				Arch:        miniyaml.Str(sv, "arch"),
+				Quantity:    int(miniyaml.Int(sv, "quantity")),
+				GroupSize:   int(miniyaml.Int(sv, "group_size")),
+			}
+			if svc.Name == "" {
+				return nil, fmt.Errorf("e2clab: service without name in layer %q", layer.Name)
+			}
+			if svc.Quantity <= 0 {
+				svc.Quantity = 1
+			}
+			layer.Services = append(layer.Services, svc)
+		}
+		cfg.Layers = append(cfg.Layers, layer)
+	}
+	if len(cfg.Layers) == 0 {
+		return nil, fmt.Errorf("e2clab: no layers defined")
+	}
+	return cfg, nil
+}
+
+// ParseNetwork parses the network.yaml document into cfg.
+func (cfg *Config) ParseNetwork(src string) error {
+	v, err := miniyaml.Parse(src)
+	if err != nil {
+		return fmt.Errorf("e2clab: network: %w", err)
+	}
+	for _, rv := range miniyaml.Seq(miniyaml.Map(v)["networks"]) {
+		rule := NetworkRule{
+			From:         miniyaml.Str(rv, "src"),
+			To:           miniyaml.Str(rv, "dst"),
+			BandwidthBps: miniyaml.Int(rv, "bandwidth_bps"),
+			Delay:        time.Duration(miniyaml.Float(rv, "delay_ms") * float64(time.Millisecond)),
+			LossRate:     miniyaml.Float(rv, "loss"),
+		}
+		if rule.From == "" || rule.To == "" {
+			return fmt.Errorf("e2clab: network rule requires src and dst")
+		}
+		cfg.Network = append(cfg.Network, rule)
+	}
+	return nil
+}
+
+// ParseWorkflow parses the workflow.yaml document into cfg.
+func (cfg *Config) ParseWorkflow(src string) error {
+	v, err := miniyaml.Parse(src)
+	if err != nil {
+		return fmt.Errorf("e2clab: workflow: %w", err)
+	}
+	w := miniyaml.Map(v)["workflow"]
+	if w == nil {
+		return fmt.Errorf("e2clab: missing workflow section")
+	}
+	cfg.Workflow = WorkflowSpec{
+		Transformations: int(miniyaml.Int(w, "transformations")),
+		Tasks:           int(miniyaml.Int(w, "tasks")),
+		Attributes:      int(miniyaml.Int(w, "attributes_per_task")),
+		TaskDuration:    time.Duration(miniyaml.Float(w, "task_duration_ms") * float64(time.Millisecond)),
+		TimeScale:       miniyaml.Float(w, "time_scale"),
+	}
+	if cfg.Workflow.Tasks <= 0 {
+		return fmt.Errorf("e2clab: workflow.tasks must be positive")
+	}
+	if cfg.Workflow.Transformations <= 0 {
+		cfg.Workflow.Transformations = 1
+	}
+	return nil
+}
+
+// RuleFor returns the network rule from one layer to another, if any.
+func (cfg *Config) RuleFor(from, to string) (NetworkRule, bool) {
+	for _, r := range cfg.Network {
+		if r.From == from && r.To == to {
+			return r, true
+		}
+	}
+	return NetworkRule{}, false
+}
+
+// EdgeClients counts the client service instances across non-cloud layers.
+func (cfg *Config) EdgeClients() int {
+	n := 0
+	for _, l := range cfg.Layers {
+		if l.Name == "cloud" {
+			continue
+		}
+		for _, s := range l.Services {
+			n += s.Quantity
+		}
+	}
+	return n
+}

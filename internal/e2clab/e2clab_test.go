@@ -1,0 +1,136 @@
+package e2clab
+
+import (
+	"testing"
+	"time"
+)
+
+const layersSrc = `
+environment:
+  g5k: gros
+  iotlab: grenoble
+  provenance: ProvenanceManager
+layers:
+  - name: cloud
+    services:
+      - name: Server
+        environment: g5k
+        quantity: 1
+  - name: edge
+    services:
+      - name: Client
+        environment: iotlab
+        arch: a8
+        quantity: 4
+        group_size: 5
+`
+
+const networkSrc = `
+networks:
+  - src: edge
+    dst: cloud
+    bandwidth_bps: 0
+    delay_ms: 0
+`
+
+const workflowSrc = `
+workflow:
+  transformations: 3
+  tasks: 6
+  attributes_per_task: 10
+  task_duration_ms: 5
+  time_scale: 1.0
+`
+
+func TestParseConfigs(t *testing.T) {
+	cfg, err := ParseLayersServices(layersSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Provenance {
+		t.Error("provenance manager not detected")
+	}
+	if cfg.Environment["g5k"] != "gros" || cfg.Environment["iotlab"] != "grenoble" {
+		t.Errorf("environment = %v", cfg.Environment)
+	}
+	if len(cfg.Layers) != 2 || cfg.Layers[1].Services[0].Quantity != 4 {
+		t.Errorf("layers = %+v", cfg.Layers)
+	}
+	if cfg.Layers[1].Services[0].GroupSize != 5 {
+		t.Errorf("group size = %d", cfg.Layers[1].Services[0].GroupSize)
+	}
+	if err := cfg.ParseNetwork(networkSrc); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Network) != 1 || cfg.Network[0].From != "edge" {
+		t.Errorf("network = %+v", cfg.Network)
+	}
+	if err := cfg.ParseWorkflow(workflowSrc); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workflow.Tasks != 6 || cfg.Workflow.TaskDuration != 5*time.Millisecond {
+		t.Errorf("workflow = %+v", cfg.Workflow)
+	}
+	if cfg.EdgeClients() != 4 {
+		t.Errorf("edge clients = %d, want 4", cfg.EdgeClients())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseLayersServices("layers:\n  - services:\n      - name: X\n"); err == nil {
+		t.Error("layer without name should fail")
+	}
+	if _, err := ParseLayersServices("environment:\n  g5k: a\n"); err == nil {
+		t.Error("config without layers should fail")
+	}
+	cfg := &Config{}
+	if err := cfg.ParseWorkflow("workflow:\n  tasks: 0\n"); err == nil {
+		t.Error("zero tasks should fail")
+	}
+	if err := cfg.ParseNetwork("networks:\n  - src: a\n"); err == nil {
+		t.Error("network rule without dst should fail")
+	}
+}
+
+func TestDeployAndRunWorkflow(t *testing.T) {
+	cfg, err := ParseLayersServices(layersSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.ParseNetwork(networkSrc); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.ParseWorkflow(workflowSrc); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Deploy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if len(dep.Clients) != 4 {
+		t.Fatalf("deployed %d clients, want 4", len(dep.Clients))
+	}
+	rep, err := dep.RunWorkflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := 4 * (2 + 2*6)
+	if rep.RecordsCaptured != wantRecords {
+		t.Errorf("captured %d records, want %d", rep.RecordsCaptured, wantRecords)
+	}
+	// DfAnalyzer stored the tasks of all devices.
+	if rep.RecordsStored != 4*6 {
+		t.Errorf("stored %d tasks, want %d", rep.RecordsStored, 4*6)
+	}
+}
+
+func TestDeployRequiresProvenance(t *testing.T) {
+	cfg, err := ParseLayersServices("layers:\n  - name: edge\n    services:\n      - name: C\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Deploy(cfg); err == nil {
+		t.Error("deploy without provenance manager should fail")
+	}
+}

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight/internal/device"
+	"github.com/provlight/provlight/internal/netem"
+	"github.com/provlight/provlight/internal/workload"
+)
+
+// TestCalibrationPrint dumps the key cells for manual calibration review.
+func TestCalibrationPrint(t *testing.T) {
+	wl := workload.Config{ChainedTransformations: 5, Tasks: 100, AttributesPerTask: 100, TaskDuration: 500 * time.Millisecond}
+	p := MeasurePayloads(wl)
+	t.Logf("payloads: wireBegin=%d wireEnd=%d wireRaw=%d jsonBegin=%d jsonEnd=%d group10=%d wiregroup50=%d",
+		p.WireBegin, p.WireEnd, p.WireRaw, p.JSONBegin, p.JSONEnd, p.JSONGroup(10), p.WireGroup(50))
+	for _, sys := range AllSystems {
+		for _, dur := range []time.Duration{500 * time.Millisecond, time.Second, 3500 * time.Millisecond, 5 * time.Second} {
+			w := wl
+			w.TaskDuration = dur
+			res := Run(RunConfig{System: sys, Workload: w, Device: device.A8M3, Link: netem.GigabitEdge, Repetitions: 3, Seed: 1})
+			t.Logf("%-10s dur=%.1fs overhead=%s cpu=%.1f%% mem=%.1f%% net=%.2fKB/s power=%.3fW (+%.2f%%)",
+				sys, dur.Seconds(), res.Overhead.PercentString(), res.CPUPercent, res.MemPercent, res.NetKBps, res.PowerW, res.PowerOverheadPct)
+		}
+	}
+	// Grouping x bandwidth (Tables III/VIII), 0.5s 100 attrs.
+	for _, sys := range []System{ProvLake, ProvLight} {
+		for _, link := range []netem.Link{netem.GigabitEdge, netem.Constrained25Kbit} {
+			for _, g := range []int{0, 10, 20, 50} {
+				res := Run(RunConfig{System: sys, Workload: wl, Device: device.A8M3, Link: link, GroupSize: g, Repetitions: 3, Seed: 1})
+				t.Logf("%-10s bw=%9d group=%2d overhead=%s", sys, link.BandwidthBps, g, res.Overhead.PercentString())
+			}
+		}
+	}
+	// Cloud (Table X).
+	for _, sys := range AllSystems {
+		res := Run(RunConfig{System: sys, Workload: wl, Device: device.CloudServer, Link: netem.CloudLAN, Repetitions: 3, Seed: 1})
+		t.Logf("CLOUD %-10s overhead=%s", sys, res.Overhead.PercentString())
+	}
+	fmt.Println()
+}

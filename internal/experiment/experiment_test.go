@@ -1,0 +1,340 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight/internal/device"
+	"github.com/provlight/provlight/internal/netem"
+)
+
+// These tests assert the reproduction bands from DESIGN.md §4: the *shape*
+// of every paper table/figure (who wins, by roughly what factor, where the
+// crossovers fall), not the exact decimals.
+
+func TestTableIIBaselinesHaveHighOverheadOnEdge(t *testing.T) {
+	res := TableII()
+	if len(res.Cells) != 16 {
+		t.Fatalf("cells = %d, want 16", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Overhead.Mean <= 0.03 {
+			t.Errorf("%s %v: overhead %.2f%% should exceed the 3%% threshold (paper: high overhead everywhere)",
+				c.Config.System, c.Config.Workload, c.Overhead.Mean*100)
+		}
+	}
+	// 0.5s cells: ProvLake ~57%, DfAnalyzer ~40%.
+	for _, c := range res.Cells {
+		if c.Config.Workload.TaskDuration != 500*time.Millisecond {
+			continue
+		}
+		switch c.Config.System {
+		case ProvLake:
+			if c.Overhead.Mean < 0.45 || c.Overhead.Mean > 0.70 {
+				t.Errorf("ProvLake 0.5s overhead %.1f%%, want ~57%%", c.Overhead.Mean*100)
+			}
+		case DfAnalyzer:
+			if c.Overhead.Mean < 0.30 || c.Overhead.Mean > 0.52 {
+				t.Errorf("DfAnalyzer 0.5s overhead %.1f%%, want ~40%%", c.Overhead.Mean*100)
+			}
+		}
+	}
+}
+
+func TestTableVIIProvLightLowOverheadEverywhere(t *testing.T) {
+	res := TableVII()
+	if len(res.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Overhead.Mean >= 0.03 {
+			t.Errorf("ProvLight %v overhead %.2f%% should be < 3%%", c.Config.Workload, c.Overhead.Mean*100)
+		}
+		if c.Config.Workload.TaskDuration >= 3500*time.Millisecond && c.Overhead.Mean >= 0.005 {
+			t.Errorf("ProvLight %v overhead %.2f%% should be < 0.5%% for long tasks",
+				c.Config.Workload, c.Overhead.Mean*100)
+		}
+	}
+}
+
+func TestHeadlineSpeedups(t *testing.T) {
+	// Paper abstract: ProvLight is 26-37x faster to capture and transmit.
+	w := wl(100, 500*time.Millisecond)
+	pl := Run(edgeRun(ProvLight, w)).Overhead.Mean
+	plake := Run(edgeRun(ProvLake, w)).Overhead.Mean
+	dfa := Run(edgeRun(DfAnalyzer, w)).Overhead.Mean
+	if r := plake / pl; r < 26 || r > 50 {
+		t.Errorf("ProvLake/ProvLight speedup = %.1fx, want ~37x (band 26-50)", r)
+	}
+	if r := dfa / pl; r < 18 || r > 37 {
+		t.Errorf("DfAnalyzer/ProvLight speedup = %.1fx, want ~26x (band 18-37)", r)
+	}
+}
+
+func TestTableIIIGroupingHelpsOnFastLinkOnly(t *testing.T) {
+	res := TableIII()
+	// Row layout: 4 group sizes x 4 columns (1Gbit 0.5s/1s, 25Kbit 0.5s/1s).
+	byKey := map[[2]any]float64{}
+	for _, c := range res.Cells {
+		byKey[[2]any{c.Config.GroupSize, c.Config.Link.BandwidthBps}] = c.Overhead.Mean
+	}
+	// On 1 Gbit, grouping 50 brings ProvLake below 3%.
+	if v := byKey[[2]any{50, int64(1e9)}]; v >= 0.03 {
+		t.Errorf("ProvLake grouped-50 on 1Gbit = %.2f%%, want < 3%%", v*100)
+	}
+	// On 25 Kbit, every configuration stays above 43% (the paper's
+	// takeaway motivating ProvLight).
+	for _, g := range groupSizes {
+		if v := byKey[[2]any{g, int64(25e3)}]; v <= 0.43 {
+			t.Errorf("ProvLake group=%d on 25Kbit = %.1f%%, want > 43%%", g, v*100)
+		}
+	}
+	// Grouping is monotone beneficial on the fast link.
+	prev := 10.0
+	for _, g := range groupSizes {
+		v := byKey[[2]any{g, int64(1e9)}]
+		if v > prev {
+			t.Errorf("grouping %d increased overhead on 1Gbit: %.2f%% > %.2f%%", g, v*100, prev*100)
+		}
+		prev = v
+	}
+}
+
+func TestTableVIIIProvLightImmuneToBandwidth(t *testing.T) {
+	res := TableVIII()
+	for _, c := range res.Cells {
+		if c.Overhead.Mean >= 0.02 {
+			t.Errorf("ProvLight group=%d bw=%d: %.2f%%, want < 2%%",
+				c.Config.GroupSize, c.Config.Link.BandwidthBps, c.Overhead.Mean*100)
+		}
+	}
+	// 25 Kbit within 0.3 points of 1 Gbit for matching cells.
+	byKey := map[[3]any]float64{}
+	for _, c := range res.Cells {
+		byKey[[3]any{c.Config.GroupSize, c.Config.Link.BandwidthBps, c.Config.Workload.TaskDuration}] = c.Overhead.Mean
+	}
+	for _, g := range groupSizes {
+		for _, d := range []time.Duration{500 * time.Millisecond, time.Second} {
+			fast := byKey[[3]any{g, int64(1e9), d}]
+			slow := byKey[[3]any{g, int64(25e3), d}]
+			if diff := slow - fast; diff > 0.003 || diff < -0.003 {
+				t.Errorf("group=%d dur=%v: 25Kbit %.2f%% vs 1Gbit %.2f%% differ too much",
+					g, d, slow*100, fast*100)
+			}
+		}
+	}
+}
+
+func TestTableIXScalabilityFlat(t *testing.T) {
+	res := TableIX()
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(res.Cells))
+	}
+	lo, hi := 1.0, 0.0
+	for _, c := range res.Cells {
+		v := c.Overhead.Mean
+		if v >= 0.03 {
+			t.Errorf("%d devices: overhead %.2f%% should stay < 3%%", c.Config.Devices, v*100)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo > 0.005 {
+		t.Errorf("scalability spread %.2f points, want flat (< 0.5)", (hi-lo)*100)
+	}
+}
+
+func TestTableXCloudAllLowProvLightFastest(t *testing.T) {
+	res := TableX()
+	means := map[System][]float64{}
+	for _, c := range res.Cells {
+		if c.Overhead.Mean >= 0.035 {
+			t.Errorf("cloud %s %v: %.2f%%, want < 3.5%%", c.Config.System, c.Config.Workload, c.Overhead.Mean*100)
+		}
+		means[c.Config.System] = append(means[c.Config.System], c.Overhead.Mean)
+	}
+	for i := range means[ProvLight] {
+		if means[ProvLight][i] >= means[DfAnalyzer][i] || means[ProvLight][i] >= means[ProvLake][i] {
+			t.Errorf("cloud col %d: ProvLight %.2f%% not fastest (dfa %.2f%%, plake %.2f%%)",
+				i, means[ProvLight][i]*100, means[DfAnalyzer][i]*100, means[ProvLake][i]*100)
+		}
+	}
+	// Paper: ProvLight 7x / 5x faster than ProvLake / DfAnalyzer on cloud.
+	if r := means[ProvLake][0] / means[ProvLight][0]; r < 4 || r > 10 {
+		t.Errorf("cloud ProvLake/ProvLight = %.1fx, want ~7x", r)
+	}
+	if r := means[DfAnalyzer][0] / means[ProvLight][0]; r < 3.5 || r > 8 {
+		t.Errorf("cloud DfAnalyzer/ProvLight = %.1fx, want ~5x", r)
+	}
+}
+
+func TestFigure6ResourceBands(t *testing.T) {
+	res := Figure6()
+	by := map[System]Result{}
+	for _, c := range res.Cells {
+		by[c.Config.System] = c
+	}
+	pl, plake, dfa := by[ProvLight], by[ProvLake], by[DfAnalyzer]
+
+	// Fig 6a: 5x / 7x less CPU.
+	if r := plake.CPUPercent / pl.CPUPercent; r < 5 || r > 10 {
+		t.Errorf("CPU ratio ProvLake/ProvLight = %.1fx, want ~7x", r)
+	}
+	if r := dfa.CPUPercent / pl.CPUPercent; r < 3.5 || r > 8 {
+		t.Errorf("CPU ratio DfAnalyzer/ProvLight = %.1fx, want ~5x", r)
+	}
+	// Fig 6b: ~2x less memory, ProvLight < 4%.
+	if pl.MemPercent >= 4 {
+		t.Errorf("ProvLight memory %.1f%%, want < 4%%", pl.MemPercent)
+	}
+	if r := plake.MemPercent / pl.MemPercent; r < 1.6 || r > 2.6 {
+		t.Errorf("memory ratio = %.2fx, want ~2x", r)
+	}
+	// Fig 6c: at least ~2x less network traffic.
+	if r := plake.NetKBps / pl.NetKBps; r < 1.8 {
+		t.Errorf("network ratio ProvLake/ProvLight = %.1fx, want >= 1.8x", r)
+	}
+	if r := dfa.NetKBps / pl.NetKBps; r < 1.8 {
+		t.Errorf("network ratio DfAnalyzer/ProvLight = %.1fx, want >= 1.8x", r)
+	}
+	// Fig 6d: ProvLight < 3% power overhead; DfAnalyzer > ProvLake > ProvLight;
+	// factors ~2.1x / 2.6x.
+	if pl.PowerOverheadPct >= 3 {
+		t.Errorf("ProvLight power overhead %.2f%%, want < 3%%", pl.PowerOverheadPct)
+	}
+	if !(dfa.PowerOverheadPct > plake.PowerOverheadPct && plake.PowerOverheadPct > pl.PowerOverheadPct) {
+		t.Errorf("power order wrong: dfa %.2f, plake %.2f, pl %.2f",
+			dfa.PowerOverheadPct, plake.PowerOverheadPct, pl.PowerOverheadPct)
+	}
+	if r := plake.PowerOverheadPct / pl.PowerOverheadPct; r < 1.6 || r > 3.0 {
+		t.Errorf("power ratio ProvLake/ProvLight = %.1fx, want ~2.1x", r)
+	}
+	if r := dfa.PowerOverheadPct / pl.PowerOverheadPct; r < 1.8 || r > 3.5 {
+		t.Errorf("power ratio DfAnalyzer/ProvLight = %.1fx, want ~2.6x", r)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	res := Ablations()
+	by := map[string]Result{}
+	for i, c := range res.Cells {
+		_ = i
+		by[res.Table.Rows[len(by)][0]] = c
+	}
+	base := by["ProvLight (paper defaults)"]
+	blocking := by["blocking HTTP/TCP transport"]
+	noComp := by["no payload compression"]
+	grouped := by["grouping 50 ended tasks"]
+	fullDM := by["full PROV-DM payloads"]
+	qos0 := by["QoS 0 (at most once)"]
+
+	// §VII-A: the async protocol has the major impact.
+	if blocking.Overhead.Mean < 4*base.Overhead.Mean {
+		t.Errorf("blocking transport %.2f%% should be >> async %.2f%%",
+			blocking.Overhead.Mean*100, base.Overhead.Mean*100)
+	}
+	// Compression reduces transmitted bytes.
+	if noComp.NetKBps <= base.NetKBps {
+		t.Errorf("disabling compression should increase traffic: %.2f <= %.2f",
+			noComp.NetKBps, base.NetKBps)
+	}
+	// Grouping reduces overhead and power.
+	if grouped.Overhead.Mean >= base.Overhead.Mean {
+		t.Errorf("grouping should lower overhead: %.2f%% >= %.2f%%",
+			grouped.Overhead.Mean*100, base.Overhead.Mean*100)
+	}
+	// The simplified model beats full PROV-DM payloads on bytes and time.
+	if fullDM.NetKBps <= base.NetKBps || fullDM.Overhead.Mean <= base.Overhead.Mean {
+		t.Errorf("full PROV-DM should cost more: net %.2f vs %.2f, ovh %.2f%% vs %.2f%%",
+			fullDM.NetKBps, base.NetKBps, fullDM.Overhead.Mean*100, base.Overhead.Mean*100)
+	}
+	// QoS 0 transmits less than QoS 2 (no handshake).
+	if qos0.NetKBps >= base.NetKBps {
+		t.Errorf("QoS 0 should transmit less than QoS 2: %.2f >= %.2f", qos0.NetKBps, base.NetKBps)
+	}
+}
+
+func TestOverheadMonotoneInTaskDuration(t *testing.T) {
+	for _, sys := range AllSystems {
+		prev := 10.0
+		for _, d := range durations {
+			v := Run(edgeRun(sys, wl(100, d))).Overhead.Mean
+			if v > prev {
+				t.Errorf("%s: overhead increased with task duration at %v", sys, d)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestRunDeterministicForSameSeed(t *testing.T) {
+	cfg := edgeRun(ProvLight, wl(100, 500*time.Millisecond))
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Overhead.Mean != b.Overhead.Mean || a.PowerW != b.PowerW {
+		t.Error("same seed produced different results")
+	}
+	cfg.Seed = 99
+	c := Run(cfg)
+	if a.Overhead.Mean == c.Overhead.Mean {
+		t.Error("different seed produced identical overhead (noise not applied)")
+	}
+}
+
+func TestMeasurePayloadsSanity(t *testing.T) {
+	p := MeasurePayloads(wl(100, 500*time.Millisecond))
+	if p.WireEnd <= 0 || p.JSONEnd <= 0 || p.WireRaw <= 0 || p.PROVJSONEnd <= 0 {
+		t.Fatalf("payloads not measured: %+v", p)
+	}
+	if p.WireEnd >= p.JSONEnd {
+		t.Errorf("wire frame %dB should be smaller than JSON %dB", p.WireEnd, p.JSONEnd)
+	}
+	if p.PROVJSONEnd <= p.JSONEnd {
+		t.Errorf("PROV-JSON %dB should be the most verbose (JSON %dB)", p.PROVJSONEnd, p.JSONEnd)
+	}
+	// Group frames are sublinear thanks to shared compression.
+	if g := p.WireGroup(50); g >= 50*p.WireEnd {
+		t.Errorf("group of 50 = %dB, want < %dB", g, 50*p.WireEnd)
+	}
+	// More attributes, bigger payloads.
+	small := MeasurePayloads(wl(10, 500*time.Millisecond))
+	if small.JSONEnd >= p.JSONEnd || small.WireRaw >= p.WireRaw {
+		t.Error("payload sizes should grow with attribute count")
+	}
+}
+
+func TestScaleAnchors(t *testing.T) {
+	r := &runner{cfg: RunConfig{Device: device.A8M3}, model: Models[ProvLake]}
+	if got := r.scale(time.Second); got != time.Second {
+		t.Errorf("edge scale = %v, want 1s", got)
+	}
+	r.cfg.Device = device.CloudServer
+	got := r.scale(51 * time.Second)
+	if got < 990*time.Millisecond || got > 1010*time.Millisecond {
+		t.Errorf("cloud scale of 51s = %v, want ~1s (ratio 51)", got)
+	}
+}
+
+func TestRadioQueueSaturationBackpressure(t *testing.T) {
+	// A pathological configuration: huge uncompressed frames on a 25 Kbit
+	// link with very short tasks must saturate the radio queue and push
+	// overhead up, not lose data silently.
+	w := wl(100, 500*time.Millisecond)
+	w.Tasks = 50
+	cfg := RunConfig{
+		System: ProvLight, Workload: w,
+		Device:      device.A8M3,
+		Link:        netem.Link{BandwidthBps: 2000, Delay: 11500 * time.Microsecond, OverheadBytes: 40, MTU: 1460},
+		Repetitions: 2, Seed: 7,
+		DisableCompression: true,
+		FullProvDM:         true,
+	}
+	r := Run(cfg)
+	if r.Overhead.Mean < 0.10 {
+		t.Errorf("saturated radio should inflate overhead, got %.2f%%", r.Overhead.Mean*100)
+	}
+}

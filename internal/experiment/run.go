@@ -1,0 +1,399 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/provlight/provlight/internal/device"
+	"github.com/provlight/provlight/internal/netem"
+	"github.com/provlight/provlight/internal/simulation"
+	"github.com/provlight/provlight/internal/stats"
+	"github.com/provlight/provlight/internal/workload"
+)
+
+// RunConfig describes one experiment cell.
+type RunConfig struct {
+	System   System
+	Workload workload.Config
+	Device   device.Profile
+	Link     netem.Link
+	// GroupSize groups captured messages per transmission (0 = off).
+	GroupSize int
+	// Devices runs this many devices in parallel against one broker
+	// (Table IX); 0 or 1 means a single device.
+	Devices int
+	// Repetitions defaults to 10 (the paper's setup).
+	Repetitions int
+	// Seed makes the run deterministic.
+	Seed int64
+
+	// Ablation knobs (§VII-A design-choice analysis); all default off.
+
+	// DisableCompression transmits uncompressed wire frames.
+	DisableCompression bool
+	// FullProvDM transmits verbose PROV-JSON payloads instead of the
+	// simplified Workflow/Task/Data exchange model.
+	FullProvDM bool
+	// ForceBlocking runs ProvLight's capture path over a blocking
+	// HTTP/TCP-style request/response exchange (isolates the impact of
+	// the asynchronous MQTT-SN/UDP transport).
+	ForceBlocking bool
+	// QoS selects the MQTT-SN quality of service: 0 means the paper's
+	// default (QoS 2); use 1 for QoS 1 and -1 for QoS 0.
+	QoS int
+}
+
+// Result aggregates one cell over all repetitions.
+type Result struct {
+	Config           RunConfig
+	Overhead         stats.Summary // capture-time overhead (relative difference)
+	BaselineTime     time.Duration
+	CaptureTime      time.Duration // mean
+	CPUPercent       float64       // capture CPU utilization, % of one core
+	MemPercent       float64       // capture library memory, % of device RAM
+	NetKBps          float64       // transmitted KB/s during capture
+	PowerW           float64       // mean device power with capture
+	BaselinePowerW   float64
+	PowerOverheadPct float64
+}
+
+// protocol overhead constants (bytes on the wire).
+const (
+	udpIPOverhead   = 28 // IPv4 + UDP headers
+	mqttsnPubHeader = 9  // MQTT-SN PUBLISH fixed part
+	mqttsnAck       = 43 // MQTT-SN PUBREL + UDP/IP headers
+	tcpAck          = 40 // empty TCP ACK segment
+	tcpSyn          = 44 // SYN with MSS option
+	tcpFin          = 40 // FIN segment
+)
+
+// Run executes one experiment cell: Repetitions simulated runs of the
+// workload with capture, against the analytic no-capture baseline.
+func Run(cfg RunConfig) Result {
+	if cfg.Repetitions <= 0 {
+		cfg.Repetitions = 10
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = 1
+	}
+	model := Models[cfg.System]
+	if cfg.ForceBlocking && !model.Blocking {
+		// Protocol ablation: same client costs, but each transmission
+		// becomes a blocking request/response over TCP.
+		model.Blocking = true
+		model.HeaderBytes = 550
+		model.RespBytes = 170
+		model.ServerProc = 1500 * time.Microsecond
+	}
+	if cfg.QoS == 0 {
+		cfg.QoS = 2
+	}
+	payloads := MeasurePayloads(cfg.Workload)
+	baseline := cfg.Workload.TotalDuration()
+
+	var overheads []float64
+	var captureSum time.Duration
+	var cpuSum, memSum, netSum, powerSum float64
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		r := &runner{
+			cfg:      cfg,
+			model:    model,
+			payloads: payloads,
+			rng:      rand.New(rand.NewSource(cfg.Seed*1000 + int64(rep))),
+		}
+		capTime, meters := r.simulate()
+		overheads = append(overheads, stats.RelDiff(capTime.Seconds(), baseline.Seconds()))
+		captureSum += capTime
+		// Aggregate metrics over devices (they are symmetric).
+		var cpu, net, power float64
+		for _, m := range meters {
+			m.Elapsed = capTime
+			cpu += m.CPUUtilization()
+			net += m.NetworkRate()
+			power += m.AvgPowerWatts()
+		}
+		n := float64(len(meters))
+		cpuSum += cpu / n
+		netSum += net / n
+		powerSum += power / n
+		memSum += r.memoryBytes()
+	}
+	reps := float64(cfg.Repetitions)
+	res := Result{
+		Config:         cfg,
+		Overhead:       stats.Summarize(overheads),
+		BaselineTime:   baseline,
+		CaptureTime:    captureSum / time.Duration(cfg.Repetitions),
+		CPUPercent:     cpuSum / reps * 100,
+		MemPercent:     memSum / reps / float64(cfg.Device.MemoryBytes) * 100,
+		NetKBps:        netSum / reps / 1024,
+		PowerW:         powerSum / reps,
+		BaselinePowerW: cfg.Device.IdleWatts,
+	}
+	if res.BaselinePowerW > 0 {
+		res.PowerOverheadPct = (res.PowerW - res.BaselinePowerW) / res.BaselinePowerW * 100
+	}
+	return res
+}
+
+// runner simulates one repetition.
+type runner struct {
+	cfg      RunConfig
+	model    CostModel
+	payloads Payloads
+	rng      *rand.Rand
+}
+
+// scale converts A8-M3-calibrated CPU work to the configured device. The
+// per-system edge:cloud ratio (CostModel.EdgeCloudCPURatio) anchors the
+// two measured platforms; other platforms interpolate in log space of the
+// generic device speed factor.
+func (r *runner) scale(d time.Duration) time.Duration {
+	edge, dev := device.A8M3.CPUSpeedFactor, r.cfg.Device.CPUSpeedFactor
+	if dev == edge {
+		return d
+	}
+	ratio := r.model.EdgeCloudCPURatio
+	if ratio <= 0 {
+		ratio = edge / dev
+	}
+	// t = 1 on the edge board, 0 on the cloud reference.
+	t := math.Log(dev) / math.Log(edge)
+	return time.Duration(float64(d) * math.Pow(ratio, t) / ratio)
+}
+
+// noise applies +-1.5% run-to-run jitter (the source of the paper's small
+// confidence intervals).
+func (r *runner) noise(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (1 + (r.rng.Float64()-0.5)*0.03))
+}
+
+func (r *runner) memoryBytes() float64 {
+	return float64(r.model.FootprintBytes) +
+		float64(r.cfg.GroupSize)*float64(r.model.PerBufferedRecordBytes)
+}
+
+// frameBegin/frameEnd/frameGroup select the transmitted payload sizes,
+// honouring the compression and data-model ablations.
+func (r *runner) frameBegin() int {
+	switch {
+	case r.cfg.FullProvDM:
+		return r.payloads.PROVJSONBegin
+	case r.cfg.DisableCompression:
+		return r.payloads.WireRawBegin
+	default:
+		return r.payloads.WireBegin
+	}
+}
+
+func (r *runner) frameEnd() int {
+	switch {
+	case r.cfg.FullProvDM:
+		return r.payloads.PROVJSONEnd
+	case r.cfg.DisableCompression:
+		return r.payloads.WireRaw
+	default:
+		return r.payloads.WireEnd
+	}
+}
+
+func (r *runner) frameGroup(n int) int {
+	switch {
+	case r.cfg.FullProvDM:
+		return n * r.payloads.PROVJSONEnd
+	case r.cfg.DisableCompression:
+		return n * r.payloads.WireRaw
+	default:
+		return r.payloads.WireGroup(n)
+	}
+}
+
+// encodeBasis is the byte count that drives client-side serialization CPU.
+func (r *runner) encodeBasis() int {
+	if r.cfg.FullProvDM {
+		return r.payloads.PROVJSONEnd
+	}
+	return r.payloads.WireRaw
+}
+
+// drainRate is the effective radio drain bandwidth: the device interface
+// in series with the backhaul link.
+func (r *runner) drainTx(bytes int) time.Duration {
+	linkT := r.cfg.Link.TxTime(bytes)
+	radioT := r.cfg.Device.TimeOnAir(int64(bytes))
+	if radioT > linkT {
+		return radioT
+	}
+	return linkT
+}
+
+// simulate runs all devices of one repetition in a single engine and
+// returns the mean capture time and per-device meters.
+func (r *runner) simulate() (time.Duration, []*device.EnergyMeter) {
+	eng := simulation.NewEngine()
+	n := r.cfg.Devices
+	meters := make([]*device.EnergyMeter, n)
+	times := make([]time.Duration, n)
+	for d := 0; d < n; d++ {
+		meters[d] = device.NewEnergyMeter(r.cfg.Device)
+		d := d
+		if r.model.Blocking {
+			r.blockingDevice(eng, meters[d], &times[d])
+		} else {
+			r.provlightDevice(eng, meters[d], &times[d])
+		}
+	}
+	eng.Run()
+	var sum time.Duration
+	for _, t := range times {
+		sum += t
+	}
+	return sum / time.Duration(n), meters
+}
+
+// blockingDevice models the HTTP request/response capture path of
+// ProvLake and DfAnalyzer (and of the ForceBlocking protocol ablation):
+// every transmission blocks the task.
+func (r *runner) blockingDevice(eng *simulation.Engine, meter *device.EnergyMeter, out *time.Duration) {
+	m, cfg := r.model, r.cfg
+	beginBytes, endBytes := r.payloads.JSONBegin, r.payloads.JSONEnd
+	groupBytes := r.payloads.JSONGroup
+	if cfg.System == ProvLight {
+		beginBytes, endBytes = r.frameBegin(), r.frameEnd()
+		groupBytes = r.frameGroup
+	}
+	buffered := 0
+	transmit := func(proc *simulation.Proc, events int, jsonBytes int) {
+		// CPU: encode the whole payload + request library work.
+		encCPU := r.scale(time.Duration(jsonBytes) * m.EncodeCPUPerByte)
+		txCPU := r.scale(m.TransmitCPU)
+		reqBytes := jsonBytes + m.HeaderBytes
+		rr := cfg.Link.RequestResponseTime(reqBytes, m.RespBytes)
+		if !m.KeepAlive {
+			rr += cfg.Link.RTT() // fresh TCP connection per request
+		}
+		blocking := encCPU + txCPU + m.KernelFixed + rr + m.ServerProc
+		proc.Sleep(r.noise(blocking))
+		meter.AddCPU(encCPU + time.Duration(float64(txCPU)*m.TransmitCPUShare) + m.KernelFixed)
+		// Wire accounting: request segments + ACK (+ handshake bursts).
+		wireBytes := cfg.Link.WireBytes(reqBytes)
+		segments := (reqBytes + cfg.Link.MTU - 1) / max(1, cfg.Link.MTU)
+		for s := 0; s < max(1, segments); s++ {
+			meter.AddTx(wireBytes / max(1, segments))
+		}
+		meter.AddTx(tcpAck) // ACK of the response
+		if !m.KeepAlive {
+			meter.AddTx(tcpSyn)
+			meter.AddTx(tcpAck)
+			meter.AddTx(tcpFin)
+		}
+		meter.AddRx(cfg.Link.WireBytes(m.RespBytes))
+	}
+	event := func(proc *simulation.Proc, jsonBytes int) {
+		perEvent := r.scale(m.PerEventCPU)
+		proc.Sleep(r.noise(perEvent))
+		meter.AddCPU(perEvent)
+		if cfg.GroupSize > 0 {
+			buffered++
+			if buffered >= cfg.GroupSize {
+				transmit(proc, buffered, groupBytes(buffered))
+				buffered = 0
+			}
+			return
+		}
+		transmit(proc, 1, jsonBytes)
+	}
+	eng.Go("device", func(proc *simulation.Proc) {
+		event(proc, beginBytes/4) // workflow begin (small message)
+		for t := 0; t < cfg.Workload.Tasks; t++ {
+			event(proc, beginBytes) // task begin
+			proc.Sleep(cfg.Workload.TaskDuration)
+			event(proc, endBytes) // task end
+		}
+		event(proc, endBytes/4) // workflow end
+		if buffered > 0 {
+			transmit(proc, buffered, groupBytes(buffered))
+			buffered = 0
+		}
+		*out = proc.Now()
+	})
+}
+
+// provlightDevice models the asynchronous MQTT-SN capture path: the task
+// pays only CPU + enqueue; a radio process drains the transmit queue in
+// the background and only exerts backpressure when saturated.
+func (r *runner) provlightDevice(eng *simulation.Engine, meter *device.EnergyMeter, out *time.Duration) {
+	m, cfg := r.model, r.cfg
+	qos := 2
+	switch cfg.QoS {
+	case 1:
+		qos = 1
+	case -1:
+		qos = 0
+	}
+	radioQ := simulation.NewQueue[int](64)
+	eng.Go("radio", func(proc *simulation.Proc) {
+		for {
+			frame, ok := radioQ.Get(proc)
+			if !ok {
+				return
+			}
+			pubBytes := frame + mqttsnPubHeader + udpIPOverhead
+			proc.Sleep(r.drainTx(pubBytes))
+			meter.AddTx(pubBytes)
+			switch qos {
+			case 2:
+				// Exactly once: PUBREC in, PUBREL out, PUBCOMP in.
+				proc.Sleep(r.drainTx(mqttsnAck))
+				meter.AddTx(mqttsnAck)
+				meter.AddRx(2 * mqttsnAck)
+			case 1:
+				meter.AddRx(mqttsnAck) // PUBACK in
+			}
+		}
+	})
+	bufferedEnds := 0
+	enqueue := func(proc *simulation.Proc, frameBytes int) {
+		txCPU := r.scale(m.TransmitCPU)
+		proc.Sleep(r.noise(txCPU + m.KernelFixed))
+		meter.AddCPU(txCPU + m.KernelFixed + r.scale(m.BackgroundCPUPerTx))
+		radioQ.Put(proc, frameBytes) // blocks only when the radio queue is full
+	}
+	event := func(proc *simulation.Proc, frameBytes int, groupable bool) {
+		perEvent := r.scale(m.PerEventCPU + time.Duration(r.encodeBasis())*m.EncodeCPUPerByte)
+		proc.Sleep(r.noise(perEvent))
+		meter.AddCPU(perEvent)
+		if cfg.GroupSize > 0 && groupable {
+			bufferedEnds++
+			if bufferedEnds >= cfg.GroupSize {
+				enqueue(proc, r.frameGroup(bufferedEnds))
+				bufferedEnds = 0
+			}
+			return
+		}
+		enqueue(proc, frameBytes)
+	}
+	eng.Go("device", func(proc *simulation.Proc) {
+		event(proc, r.frameBegin()/4, false) // workflow begin
+		for t := 0; t < cfg.Workload.Tasks; t++ {
+			event(proc, r.frameBegin(), false) // task begin: never grouped (§IV-C2)
+			proc.Sleep(cfg.Workload.TaskDuration)
+			event(proc, r.frameEnd(), true) // task end: groupable
+		}
+		event(proc, r.frameEnd()/4, true) // workflow end joins the last group
+		if bufferedEnds > 0 {
+			enqueue(proc, r.frameGroup(bufferedEnds))
+			bufferedEnds = 0
+		}
+		*out = proc.Now()
+		radioQ.Close()
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

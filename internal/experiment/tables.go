@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/provlight/provlight/internal/device"
+	"github.com/provlight/provlight/internal/netem"
+	"github.com/provlight/provlight/internal/stats"
+	"github.com/provlight/provlight/internal/workload"
+)
+
+// durations is the Table I task-duration axis.
+var durations = []time.Duration{
+	500 * time.Millisecond, time.Second, 3500 * time.Millisecond, 5 * time.Second,
+}
+
+// groupSizes is the Tables III/VIII grouping axis.
+var groupSizes = []int{0, 10, 20, 50}
+
+func wl(attrs int, dur time.Duration) workload.Config {
+	return workload.Config{
+		ChainedTransformations: 5,
+		Tasks:                  100,
+		AttributesPerTask:      attrs,
+		TaskDuration:           dur,
+	}
+}
+
+// TableResult is one regenerated table or figure: the formatted text plus
+// the structured cells for programmatic checks.
+type TableResult struct {
+	ID    string
+	Table *stats.Table
+	Cells []Result
+}
+
+// edgeRun builds the default edge-device run config.
+func edgeRun(sys System, w workload.Config) RunConfig {
+	return RunConfig{
+		System: sys, Workload: w,
+		Device: device.A8M3, Link: netem.GigabitEdge,
+		Repetitions: 10, Seed: 42,
+	}
+}
+
+// TableII reproduces "Capture overhead of ProvLake and DfAnalyzer" on the
+// edge: {10,100} attributes x {0.5,1,3.5,5} s task durations.
+func TableII() TableResult {
+	res := TableResult{ID: "Table II"}
+	res.Table = stats.NewTable(
+		"Table II: Capture overhead of ProvLake and DfAnalyzer (IoT/Edge, 1 Gbit)",
+		"attrs/task", "system", "0.5s", "1s", "3.5s", "5s")
+	for _, attrs := range []int{10, 100} {
+		for _, sys := range []System{ProvLake, DfAnalyzer} {
+			row := []string{fmt.Sprint(attrs), string(sys)}
+			for _, d := range durations {
+				r := Run(edgeRun(sys, wl(attrs, d)))
+				res.Cells = append(res.Cells, r)
+				row = append(row, r.Overhead.PercentString())
+			}
+			res.Table.AddRow(row...)
+		}
+	}
+	return res
+}
+
+// TableIII reproduces "ProvLake: impact of bandwidth and grouping strategy
+// on the capture overhead".
+func TableIII() TableResult {
+	return groupingTable("Table III", ProvLake)
+}
+
+// TableVIII reproduces "ProvLight: impact of bandwidth and grouping
+// strategy on the capture overhead".
+func TableVIII() TableResult {
+	return groupingTable("Table VIII", ProvLight)
+}
+
+func groupingTable(id string, sys System) TableResult {
+	res := TableResult{ID: id}
+	res.Table = stats.NewTable(
+		fmt.Sprintf("%s: %s, impact of bandwidth and grouping (100 attrs)", id, sys),
+		"# grouped", "1Gbit 0.5s", "1Gbit 1s", "25Kbit 0.5s", "25Kbit 1s")
+	for _, g := range groupSizes {
+		row := []string{fmt.Sprint(g)}
+		for _, link := range []netem.Link{netem.GigabitEdge, netem.Constrained25Kbit} {
+			for _, d := range []time.Duration{500 * time.Millisecond, time.Second} {
+				cfg := edgeRun(sys, wl(100, d))
+				cfg.Link = link
+				cfg.GroupSize = g
+				r := Run(cfg)
+				res.Cells = append(res.Cells, r)
+				row = append(row, r.Overhead.PercentString())
+			}
+		}
+		// Reorder: the paper groups by bandwidth first.
+		res.Table.AddRow(row[0], row[1], row[2], row[3], row[4])
+	}
+	return res
+}
+
+// TableVII reproduces "ProvLight: capture overhead in IoT/Edge devices".
+func TableVII() TableResult {
+	res := TableResult{ID: "Table VII"}
+	res.Table = stats.NewTable(
+		"Table VII: ProvLight capture overhead (IoT/Edge, 1 Gbit)",
+		"attrs/task", "0.5s", "1s", "3.5s", "5s")
+	for _, attrs := range []int{10, 100} {
+		row := []string{fmt.Sprint(attrs)}
+		for _, d := range durations {
+			r := Run(edgeRun(ProvLight, wl(attrs, d)))
+			res.Cells = append(res.Cells, r)
+			row = append(row, r.Overhead.PercentString())
+		}
+		res.Table.AddRow(row...)
+	}
+	return res
+}
+
+// TableIX reproduces the ProvLight scalability analysis: 8..64 devices
+// capturing in parallel (0.5 s tasks, 100 attributes).
+func TableIX() TableResult {
+	res := TableResult{ID: "Table IX"}
+	res.Table = stats.NewTable(
+		"Table IX: ProvLight scalability analysis (0.5s tasks, 100 attrs)",
+		"# devices", "capture overhead")
+	for _, n := range []int{8, 16, 32, 64} {
+		cfg := edgeRun(ProvLight, wl(100, 500*time.Millisecond))
+		cfg.Devices = n
+		cfg.Repetitions = 5 // 10x64 devices is slow; 5 reps keep CI tight
+		r := Run(cfg)
+		res.Cells = append(res.Cells, r)
+		res.Table.AddRow(fmt.Sprint(n), r.Overhead.PercentString())
+	}
+	return res
+}
+
+// TableX reproduces "Capture overhead in Cloud servers" (100 attributes).
+func TableX() TableResult {
+	res := TableResult{ID: "Table X"}
+	res.Table = stats.NewTable(
+		"Table X: Capture overhead in Cloud servers (100 attrs)",
+		"system", "0.5s", "1s", "3.5s", "5s")
+	for _, sys := range AllSystems {
+		row := []string{string(sys)}
+		for _, d := range durations {
+			cfg := edgeRun(sys, wl(100, d))
+			cfg.Device = device.CloudServer
+			cfg.Link = netem.CloudLAN
+			r := Run(cfg)
+			res.Cells = append(res.Cells, r)
+			row = append(row, r.Overhead.PercentString())
+		}
+		res.Table.AddRow(row...)
+	}
+	return res
+}
+
+// Figure6 reproduces the four resource-overhead bar charts (CPU, memory,
+// network, power) for the reference workload (0.5 s tasks, 100 attrs).
+func Figure6() TableResult {
+	res := TableResult{ID: "Figure 6"}
+	res.Table = stats.NewTable(
+		"Figure 6: resource overheads (0.5s tasks, 100 attrs, IoT/Edge)",
+		"system", "CPU %", "memory %", "network KB/s", "power W", "power overhead %")
+	for _, sys := range AllSystems {
+		r := Run(edgeRun(sys, wl(100, 500*time.Millisecond)))
+		res.Cells = append(res.Cells, r)
+		res.Table.AddRow(string(sys),
+			fmt.Sprintf("%.1f", r.CPUPercent),
+			fmt.Sprintf("%.1f", r.MemPercent),
+			fmt.Sprintf("%.2f", r.NetKBps),
+			fmt.Sprintf("%.3f", r.PowerW),
+			fmt.Sprintf("%.2f", r.PowerOverheadPct),
+		)
+	}
+	return res
+}
+
+// Ablations quantifies the §VII-A design choices: asynchronous MQTT-SN/UDP
+// transport, payload compression, grouping, the simplified data model, and
+// the QoS level.
+func Ablations() TableResult {
+	res := TableResult{ID: "Ablations"}
+	res.Table = stats.NewTable(
+		"Ablations: ProvLight design choices (0.5s tasks, 100 attrs, IoT/Edge)",
+		"variant", "overhead", "CPU %", "network KB/s", "power overhead %")
+	base := edgeRun(ProvLight, wl(100, 500*time.Millisecond))
+	variants := []struct {
+		name string
+		mod  func(*RunConfig)
+	}{
+		{"ProvLight (paper defaults)", func(*RunConfig) {}},
+		{"blocking HTTP/TCP transport", func(c *RunConfig) { c.ForceBlocking = true }},
+		{"no payload compression", func(c *RunConfig) { c.DisableCompression = true }},
+		{"grouping 10 ended tasks", func(c *RunConfig) { c.GroupSize = 10 }},
+		{"grouping 50 ended tasks", func(c *RunConfig) { c.GroupSize = 50 }},
+		{"full PROV-DM payloads", func(c *RunConfig) { c.FullProvDM = true }},
+		{"QoS 0 (at most once)", func(c *RunConfig) { c.QoS = -1 }},
+		{"QoS 1 (at least once)", func(c *RunConfig) { c.QoS = 1 }},
+	}
+	for _, v := range variants {
+		cfg := base
+		v.mod(&cfg)
+		r := Run(cfg)
+		res.Cells = append(res.Cells, r)
+		res.Table.AddRow(v.name,
+			r.Overhead.PercentString(),
+			fmt.Sprintf("%.2f", r.CPUPercent),
+			fmt.Sprintf("%.2f", r.NetKBps),
+			fmt.Sprintf("%.2f", r.PowerOverheadPct),
+		)
+	}
+	return res
+}
+
+// AllTables regenerates every table and figure in presentation order.
+func AllTables() []TableResult {
+	return []TableResult{
+		TableII(), TableIII(), TableVII(), TableVIII(),
+		TableIX(), TableX(), Figure6(), Ablations(),
+	}
+}

@@ -1,0 +1,296 @@
+// Package miniyaml implements the YAML subset used by E2Clab-style
+// configuration files (paper Listing 2): indentation-nested mappings,
+// "- " sequences, and scalar values (string, bool, int, float). It exists
+// because this repository is stdlib-only; it is not a general YAML parser
+// (no anchors, multi-line scalars, flow collections, or tags).
+package miniyaml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a parsed YAML node: map[string]Value, []Value, or a scalar
+// (string, bool, int64, float64, nil).
+type Value any
+
+// Parse parses a document into a Value.
+func Parse(src string) (Value, error) {
+	p := &parser{}
+	for _, raw := range strings.Split(src, "\n") {
+		// Strip comments (naive: '#' outside quotes) and trailing space.
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("miniyaml: tabs are not allowed for indentation")
+		}
+		p.lines = append(p.lines, parsedLine{indent: indent, text: strings.TrimSpace(line)})
+	}
+	if len(p.lines) == 0 {
+		return map[string]Value{}, nil
+	}
+	v, next, err := p.parseBlock(0, p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(p.lines) {
+		return nil, fmt.Errorf("miniyaml: unexpected content at line %d: %q", next+1, p.lines[next].text)
+	}
+	return v, nil
+}
+
+func stripComment(line string) string {
+	inSingle, inDouble := false, false
+	for i, r := range line {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || line[i-1] == ' ') {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+type parsedLine struct {
+	indent int
+	text   string
+}
+
+type parser struct {
+	lines []parsedLine
+}
+
+// parseBlock parses lines starting at index i with the given indentation,
+// returning the value and the index of the first unconsumed line.
+func (p *parser) parseBlock(i, indent int) (Value, int, error) {
+	if i >= len(p.lines) {
+		return nil, i, fmt.Errorf("miniyaml: unexpected end of input")
+	}
+	if strings.HasPrefix(p.lines[i].text, "- ") || p.lines[i].text == "-" {
+		return p.parseSequence(i, indent)
+	}
+	return p.parseMapping(i, indent)
+}
+
+func (p *parser) parseSequence(i, indent int) (Value, int, error) {
+	var seq []Value
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent != indent || (!strings.HasPrefix(ln.text, "- ") && ln.text != "-") {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest == "" {
+			// Nested block follows.
+			v, next, err := p.parseBlock(i+1, p.childIndent(i, indent))
+			if err != nil {
+				return nil, i, err
+			}
+			seq = append(seq, v)
+			i = next
+			continue
+		}
+		if k, v, isKV := splitKeyValue(rest); isKV {
+			// "- key: value" starts an inline mapping; subsequent deeper
+			// lines extend it.
+			m := map[string]Value{}
+			if v != "" {
+				m[k] = scalar(v)
+			} else if i+1 < len(p.lines) && p.lines[i+1].indent > indent+2 {
+				sub, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				m[k] = sub
+				i = next - 1
+			} else {
+				m[k] = nil
+			}
+			// Continuation keys aligned under the first key.
+			contIndent := indent + 2
+			j := i + 1
+			for j < len(p.lines) && p.lines[j].indent == contIndent &&
+				!strings.HasPrefix(p.lines[j].text, "- ") {
+				ck, cv, ok := splitKeyValue(p.lines[j].text)
+				if !ok {
+					break
+				}
+				if cv != "" {
+					m[ck] = scalar(cv)
+					j++
+					continue
+				}
+				if j+1 < len(p.lines) && p.lines[j+1].indent > contIndent {
+					sub, next, err := p.parseBlock(j+1, p.lines[j+1].indent)
+					if err != nil {
+						return nil, j, err
+					}
+					m[ck] = sub
+					j = next
+					continue
+				}
+				m[ck] = nil
+				j++
+			}
+			seq = append(seq, m)
+			i = j
+			continue
+		}
+		seq = append(seq, scalar(rest))
+		i++
+	}
+	return seq, i, nil
+}
+
+func (p *parser) childIndent(i, parent int) int {
+	if i+1 < len(p.lines) && p.lines[i+1].indent > parent {
+		return p.lines[i+1].indent
+	}
+	return parent + 2
+}
+
+func (p *parser) parseMapping(i, indent int) (Value, int, error) {
+	m := map[string]Value{}
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, i, fmt.Errorf("miniyaml: unexpected indent at %q", ln.text)
+			}
+			break
+		}
+		if strings.HasPrefix(ln.text, "- ") {
+			break
+		}
+		k, v, ok := splitKeyValue(ln.text)
+		if !ok {
+			return nil, i, fmt.Errorf("miniyaml: expected 'key: value', got %q", ln.text)
+		}
+		if _, dup := m[k]; dup {
+			return nil, i, fmt.Errorf("miniyaml: duplicate key %q", k)
+		}
+		if v != "" {
+			m[k] = scalar(v)
+			i++
+			continue
+		}
+		// Value is a nested block (or null).
+		if i+1 < len(p.lines) && p.lines[i+1].indent > indent {
+			sub, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			m[k] = sub
+			i = next
+			continue
+		}
+		m[k] = nil
+		i++
+	}
+	return m, i, nil
+}
+
+// splitKeyValue splits "key: value" / "key:" lines, honouring quoted keys.
+func splitKeyValue(s string) (key, value string, ok bool) {
+	idx := strings.Index(s, ":")
+	if idx < 0 {
+		return "", "", false
+	}
+	// "key:value" (no space) is only a key-value split if the colon is
+	// followed by space or end of line.
+	if idx+1 < len(s) && s[idx+1] != ' ' {
+		// Allow URLs etc. only in values, not keys.
+		return "", "", false
+	}
+	key = strings.TrimSpace(s[:idx])
+	value = strings.TrimSpace(s[idx+1:])
+	return key, value, key != ""
+}
+
+// scalar converts a scalar token to bool/int64/float64/string.
+func scalar(s string) Value {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1]
+		}
+	}
+	switch s {
+	case "true", "True", "yes":
+		return true
+	case "false", "False", "no":
+		return false
+	case "null", "~":
+		return nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// Map returns v as a mapping, or nil.
+func Map(v Value) map[string]Value {
+	m, _ := v.(map[string]Value)
+	return m
+}
+
+// Seq returns v as a sequence, or nil.
+func Seq(v Value) []Value {
+	s, _ := v.([]Value)
+	return s
+}
+
+// Str returns the string at key in mapping v ("" if absent).
+func Str(v Value, key string) string {
+	if m := Map(v); m != nil {
+		if s, ok := m[key].(string); ok {
+			return s
+		}
+	}
+	return ""
+}
+
+// Int returns the integer at key in mapping v (0 if absent).
+func Int(v Value, key string) int64 {
+	if m := Map(v); m != nil {
+		switch x := m[key].(type) {
+		case int64:
+			return x
+		case float64:
+			return int64(x)
+		}
+	}
+	return 0
+}
+
+// Float returns the float at key in mapping v (0 if absent).
+func Float(v Value, key string) float64 {
+	if m := Map(v); m != nil {
+		switch x := m[key].(type) {
+		case float64:
+			return x
+		case int64:
+			return float64(x)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,172 @@
+package miniyaml
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const listing2 = `
+environment:
+  g5k: cluster-gros
+  iotlab: cluster-grenoble
+  provenance: ProvenanceManager
+layers:
+  - name: cloud
+    services:
+      - name: Server
+        environment: g5k
+        quantity: 1
+  - name: edge
+    services:
+      - name: Client
+        environment: iotlab
+        arch: a8
+        quantity: 64
+`
+
+func TestParseListing2(t *testing.T) {
+	v, err := Parse(listing2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Map(Map(v)["environment"])
+	if env["provenance"] != "ProvenanceManager" {
+		t.Errorf("provenance = %v", env["provenance"])
+	}
+	layers := Seq(Map(v)["layers"])
+	if len(layers) != 2 {
+		t.Fatalf("layers = %d, want 2", len(layers))
+	}
+	if Str(layers[0], "name") != "cloud" || Str(layers[1], "name") != "edge" {
+		t.Errorf("layer names wrong: %v", layers)
+	}
+	services := Seq(Map(layers[1])["services"])
+	if len(services) != 1 {
+		t.Fatalf("edge services = %d, want 1", len(services))
+	}
+	if Str(services[0], "name") != "Client" || Int(services[0], "quantity") != 64 ||
+		Str(services[0], "arch") != "a8" {
+		t.Errorf("client service = %v", services[0])
+	}
+}
+
+func TestScalars(t *testing.T) {
+	v, err := Parse(`
+a: 42
+b: 3.14
+c: true
+d: hello world
+e: "quoted: string"
+f: null
+g: no
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Map(v)
+	if m["a"] != int64(42) || m["b"] != 3.14 || m["c"] != true {
+		t.Errorf("scalars = %v", m)
+	}
+	if m["d"] != "hello world" || m["e"] != "quoted: string" {
+		t.Errorf("strings = %v", m)
+	}
+	if m["f"] != nil || m["g"] != false {
+		t.Errorf("null/bool = %v", m)
+	}
+}
+
+func TestComments(t *testing.T) {
+	v, err := Parse(`
+# full-line comment
+key: value # trailing comment
+url: "http://example.com#frag"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Map(v)
+	if m["key"] != "value" {
+		t.Errorf("key = %v", m["key"])
+	}
+	if m["url"] != "http://example.com#frag" {
+		t.Errorf("url = %v", m["url"])
+	}
+}
+
+func TestScalarSequence(t *testing.T) {
+	v, err := Parse(`
+items:
+  - one
+  - 2
+  - true
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := Seq(Map(v)["items"])
+	if len(items) != 3 || items[0] != "one" || items[1] != int64(2) || items[2] != true {
+		t.Errorf("items = %v", items)
+	}
+}
+
+func TestNestedMaps(t *testing.T) {
+	v, err := Parse(`
+network:
+  edge_to_cloud:
+    bandwidth: 25000
+    delay_ms: 23
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := Map(Map(v)["network"])
+	e2c := Map(net["edge_to_cloud"])
+	if e2c["bandwidth"] != int64(25000) || e2c["delay_ms"] != int64(23) {
+		t.Errorf("e2c = %v", e2c)
+	}
+	if Int(net["edge_to_cloud"], "bandwidth") != 25000 {
+		t.Error("Int helper failed")
+	}
+	if Float(net["edge_to_cloud"], "delay_ms") != 23 {
+		t.Error("Float helper failed")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"\tkey: value",       // tab indentation
+		"key: value\nkey: v", // duplicate key
+		"just a bare scalar line",
+	}
+	for i, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d should fail: %q", i, src)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	v, err := Parse("\n# only a comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := Map(v); m == nil || len(m) != 0 {
+		t.Errorf("empty doc = %v", v)
+	}
+}
+
+// Property: Parse never panics on arbitrary input.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

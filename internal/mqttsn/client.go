@@ -1,0 +1,599 @@
+package mqttsn
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by the client.
+var (
+	ErrTimeout      = errors.New("mqttsn: timed out waiting for acknowledgement")
+	ErrClosed       = errors.New("mqttsn: client closed")
+	ErrNotConnected = errors.New("mqttsn: not connected")
+)
+
+// Will configures a last-will message published by the gateway if the
+// session dies without a clean disconnect.
+type Will struct {
+	Topic   string
+	Payload []byte
+	QoS     QoS
+	Retain  bool
+}
+
+// ClientConfig configures a gateway client.
+type ClientConfig struct {
+	// ClientID identifies the session (1-23 characters per spec).
+	ClientID string
+	// Gateway is the UDP address of the MQTT-SN gateway/broker.
+	Gateway string
+	// Conn optionally supplies the packet connection to use (e.g. a
+	// netem-shaped one). If nil, a UDP socket is opened.
+	Conn net.PacketConn
+	// KeepAlive is the session keepalive; the client pings at half this
+	// interval when idle. Defaults to 60s.
+	KeepAlive time.Duration
+	// RetryInterval is the acknowledgement timeout before retransmission.
+	// Defaults to 1s.
+	RetryInterval time.Duration
+	// MaxRetries bounds retransmissions per in-flight message. Defaults to 5.
+	MaxRetries int
+	// CleanSession requests a fresh session.
+	CleanSession bool
+	// Will is the optional last-will message.
+	Will *Will
+}
+
+// MessageHandler receives inbound publications.
+type MessageHandler func(topic string, payload []byte)
+
+// pendingSub tracks an in-flight SUBSCRIBE exchange.
+type pendingSub struct {
+	topic   string
+	handler MessageHandler
+}
+
+type ackKey struct {
+	typ   MsgType
+	msgID uint16
+}
+
+// Client is an MQTT-SN client (the device side of ProvLight's transport).
+// All methods are safe for concurrent use.
+type Client struct {
+	cfg     ClientConfig
+	conn    net.PacketConn
+	gwAddr  net.Addr
+	ownConn bool
+
+	msgID atomic.Uint32
+
+	mu        sync.Mutex
+	connected bool
+	closed    bool
+	waiters   map[ackKey]chan Packet
+	topicIDs  map[string]uint16 // topic name -> registered id
+	topicName map[uint16]string // reverse map (incl. broker REGISTERs)
+	subs      map[string]MessageHandler
+	inbound2  map[uint16][]byte // inbound QoS2 msgID -> payload pending PUBREL
+	lastSend  time.Time
+
+	// pending exchanges consulted by the read loop so that topic/handler
+	// state is installed *before* the ack wakes the caller; otherwise a
+	// publication racing right behind the SUBACK/REGACK could be dropped.
+	pendingSubs map[uint16]pendingSub // SUBSCRIBE msgID -> topic+handler
+	pendingRegs map[uint16]string     // REGISTER msgID -> topic name
+
+	// Stats counts protocol activity (used by tests and the evaluation).
+	stats ClientStats
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ClientStats counts client protocol activity.
+type ClientStats struct {
+	PacketsSent     uint64
+	PacketsReceived uint64
+	BytesSent       uint64
+	BytesReceived   uint64
+	Retransmissions uint64
+	PublishesSent   uint64
+	MessagesHandled uint64
+}
+
+// NewClient creates a client; call Connect before publishing at QoS >= 0.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.ClientID == "" || len(cfg.ClientID) > 23 {
+		return nil, fmt.Errorf("mqttsn: client id must be 1-23 characters, got %q", cfg.ClientID)
+	}
+	if cfg.KeepAlive <= 0 {
+		cfg.KeepAlive = 60 * time.Second
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 5
+	}
+	conn := cfg.Conn
+	ownConn := false
+	if conn == nil {
+		var err error
+		conn, err = net.ListenPacket("udp", ":0")
+		if err != nil {
+			return nil, fmt.Errorf("mqttsn: open socket: %w", err)
+		}
+		ownConn = true
+	}
+	gwAddr, err := net.ResolveUDPAddr("udp", cfg.Gateway)
+	if err != nil {
+		if ownConn {
+			conn.Close()
+		}
+		return nil, fmt.Errorf("mqttsn: resolve gateway %q: %w", cfg.Gateway, err)
+	}
+	c := &Client{
+		cfg:         cfg,
+		conn:        conn,
+		gwAddr:      gwAddr,
+		ownConn:     ownConn,
+		waiters:     map[ackKey]chan Packet{},
+		topicIDs:    map[string]uint16{},
+		topicName:   map[uint16]string{},
+		subs:        map[string]MessageHandler{},
+		inbound2:    map[uint16][]byte{},
+		pendingSubs: map[uint16]pendingSub{},
+		pendingRegs: map[uint16]string{},
+		done:        make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Stats returns a snapshot of protocol counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Client) nextMsgID() uint16 {
+	for {
+		id := uint16(c.msgID.Add(1))
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+func (c *Client) send(p Packet) error {
+	data := Marshal(p)
+	_, err := c.conn.WriteTo(data, c.gwAddr)
+	c.mu.Lock()
+	c.stats.PacketsSent++
+	c.stats.BytesSent += uint64(len(data))
+	c.lastSend = time.Now()
+	c.mu.Unlock()
+	return err
+}
+
+// await registers interest in an acknowledgement before sending, so the
+// response cannot be lost to a race.
+func (c *Client) await(key ackKey) chan Packet {
+	ch := make(chan Packet, 1)
+	c.mu.Lock()
+	c.waiters[key] = ch
+	c.mu.Unlock()
+	return ch
+}
+
+func (c *Client) cancelAwait(key ackKey) {
+	c.mu.Lock()
+	delete(c.waiters, key)
+	c.mu.Unlock()
+}
+
+// request sends p and waits for the matching acknowledgement, retrying with
+// the configured backoff. markDup marks retransmissions when non-nil.
+func (c *Client) request(p Packet, key ackKey, markDup func()) (Packet, error) {
+	ch := c.await(key)
+	defer c.cancelAwait(key)
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if markDup != nil {
+				markDup()
+			}
+			c.mu.Lock()
+			c.stats.Retransmissions++
+			c.mu.Unlock()
+		}
+		if err := c.send(p); err != nil {
+			return nil, err
+		}
+		select {
+		case ack := <-ch:
+			return ack, nil
+		case <-time.After(c.cfg.RetryInterval):
+		case <-c.done:
+			return nil, ErrClosed
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrTimeout, p.Type())
+}
+
+// Connect establishes the session, negotiating the will if configured.
+func (c *Client) Connect() error {
+	flags := Flags{CleanSession: c.cfg.CleanSession, Will: c.cfg.Will != nil}
+	keepalive := uint16(c.cfg.KeepAlive / time.Second)
+	if keepalive == 0 {
+		keepalive = 1
+	}
+	conn := &Connect{Flags: flags, Duration: keepalive, ClientID: c.cfg.ClientID}
+
+	// With a will, the gateway interleaves WILLTOPICREQ/WILLMSGREQ before
+	// CONNACK; the read loop answers those (see handleWillReq), so here we
+	// still just wait for the CONNACK.
+	ack, err := c.request(conn, ackKey{CONNACK, 0}, nil)
+	if err != nil {
+		return err
+	}
+	ca := ack.(*Connack)
+	if ca.ReturnCode != Accepted {
+		return fmt.Errorf("mqttsn: connect rejected: %s", ca.ReturnCode)
+	}
+	c.mu.Lock()
+	c.connected = true
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.keepaliveLoop()
+	return nil
+}
+
+// RegisterTopic obtains (and caches) the gateway's topic id for a name.
+func (c *Client) RegisterTopic(topic string) (uint16, error) {
+	c.mu.Lock()
+	if id, ok := c.topicIDs[topic]; ok {
+		c.mu.Unlock()
+		return id, nil
+	}
+	connected := c.connected
+	c.mu.Unlock()
+	if !connected {
+		return 0, ErrNotConnected
+	}
+	msgID := c.nextMsgID()
+	c.mu.Lock()
+	c.pendingRegs[msgID] = topic
+	c.mu.Unlock()
+	reg := &Register{MsgID: msgID, TopicName: topic}
+	ack, err := c.request(reg, ackKey{REGACK, msgID}, nil)
+	c.mu.Lock()
+	delete(c.pendingRegs, msgID)
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	ra := ack.(*Regack)
+	if ra.ReturnCode != Accepted {
+		return 0, fmt.Errorf("mqttsn: register %q rejected: %s", topic, ra.ReturnCode)
+	}
+	return ra.TopicID, nil
+}
+
+// Publish sends payload to topic at the given QoS level. The call blocks
+// until the QoS flow completes (QoS 2: PUBLISH/PUBREC/PUBREL/PUBCOMP,
+// guaranteeing exactly-once receipt at the gateway).
+func (c *Client) Publish(topic string, payload []byte, qos QoS) error {
+	topicID, err := c.RegisterTopic(topic)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.PublishesSent++
+	c.mu.Unlock()
+	switch qos {
+	case QoS0, QoSMinusOne:
+		pub := &Publish{Flags: Flags{QoS: qos}, TopicID: topicID, Data: payload}
+		return c.send(pub)
+	case QoS1:
+		msgID := c.nextMsgID()
+		pub := &Publish{Flags: Flags{QoS: QoS1}, TopicID: topicID, MsgID: msgID, Data: payload}
+		ack, err := c.request(pub, ackKey{PUBACK, msgID}, func() { pub.Flags.DUP = true })
+		if err != nil {
+			return err
+		}
+		if pa := ack.(*Puback); pa.ReturnCode != Accepted {
+			return fmt.Errorf("mqttsn: publish rejected: %s", pa.ReturnCode)
+		}
+		return nil
+	case QoS2:
+		msgID := c.nextMsgID()
+		pub := &Publish{Flags: Flags{QoS: QoS2}, TopicID: topicID, MsgID: msgID, Data: payload}
+		if _, err := c.request(pub, ackKey{PUBREC, msgID}, func() { pub.Flags.DUP = true }); err != nil {
+			return err
+		}
+		rel := &Pubrel{msgIDOnly{MsgID: msgID}}
+		if _, err := c.request(rel, ackKey{PUBCOMP, msgID}, nil); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("mqttsn: unsupported QoS %d", qos)
+	}
+}
+
+// Subscribe registers handler for a topic name or wildcard filter. The
+// handler runs on the client's read goroutine; long work should be handed
+// off to another goroutine.
+func (c *Client) Subscribe(topic string, qos QoS, handler MessageHandler) error {
+	msgID := c.nextMsgID()
+	c.mu.Lock()
+	c.pendingSubs[msgID] = pendingSub{topic: topic, handler: handler}
+	c.mu.Unlock()
+	sub := &Subscribe{Flags: Flags{QoS: qos}, MsgID: msgID, TopicName: topic}
+	ack, err := c.request(sub, ackKey{SUBACK, msgID}, func() { sub.Flags.DUP = true })
+	c.mu.Lock()
+	delete(c.pendingSubs, msgID)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	sa := ack.(*Suback)
+	if sa.ReturnCode != Accepted {
+		return fmt.Errorf("mqttsn: subscribe %q rejected: %s", topic, sa.ReturnCode)
+	}
+	return nil
+}
+
+// Unsubscribe removes a subscription.
+func (c *Client) Unsubscribe(topic string) error {
+	msgID := c.nextMsgID()
+	unsub := &Unsubscribe{MsgID: msgID, TopicName: topic}
+	if _, err := c.request(unsub, ackKey{UNSUBACK, msgID}, nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.subs, topic)
+	c.mu.Unlock()
+	return nil
+}
+
+// Ping sends a PINGREQ and waits for the PINGRESP.
+func (c *Client) Ping() error {
+	_, err := c.request(&Pingreq{}, ackKey{PINGRESP, 0}, nil)
+	return err
+}
+
+// Disconnect cleanly ends the session and releases the client.
+func (c *Client) Disconnect() error {
+	c.mu.Lock()
+	wasConnected := c.connected
+	c.connected = false
+	c.mu.Unlock()
+	var err error
+	if wasConnected {
+		err = c.send(&Disconnect{})
+	}
+	c.Close()
+	return err
+}
+
+// Close releases resources without the protocol goodbye.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.connected = false
+	c.mu.Unlock()
+	close(c.done)
+	if c.ownConn {
+		c.conn.Close()
+	} else {
+		// Unblock the read loop promptly.
+		c.conn.SetReadDeadline(time.Now())
+	}
+	c.wg.Wait()
+}
+
+func (c *Client) keepaliveLoop() {
+	defer c.wg.Done()
+	interval := c.cfg.KeepAlive / 2
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+			c.mu.Lock()
+			idle := time.Since(c.lastSend)
+			connected := c.connected
+			c.mu.Unlock()
+			if connected && idle >= interval {
+				// Fire-and-forget ping; response handled by readLoop.
+				_ = c.send(&Pingreq{})
+			}
+		}
+	}
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		c.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, addr, err := c.conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		if addr.String() != c.gwAddr.String() {
+			continue // not our gateway
+		}
+		pkt, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // drop malformed datagrams
+		}
+		c.mu.Lock()
+		c.stats.PacketsReceived++
+		c.stats.BytesReceived += uint64(n)
+		c.mu.Unlock()
+		c.dispatch(pkt)
+	}
+}
+
+// deliverAck hands pkt to the waiter registered under key, if any.
+func (c *Client) deliverAck(key ackKey, pkt Packet) {
+	c.mu.Lock()
+	ch, ok := c.waiters[key]
+	if ok {
+		delete(c.waiters, key)
+	}
+	c.mu.Unlock()
+	if ok {
+		select {
+		case ch <- pkt:
+		default:
+		}
+	}
+}
+
+func (c *Client) dispatch(pkt Packet) {
+	switch p := pkt.(type) {
+	case *Connack:
+		c.deliverAck(ackKey{CONNACK, 0}, p)
+	case *Regack:
+		// Install the topic mapping before waking the caller so an inbound
+		// PUBLISH racing behind the REGACK resolves its topic name.
+		c.mu.Lock()
+		if topic, ok := c.pendingRegs[p.MsgID]; ok && p.ReturnCode == Accepted {
+			c.topicIDs[topic] = p.TopicID
+			c.topicName[p.TopicID] = topic
+		}
+		c.mu.Unlock()
+		c.deliverAck(ackKey{REGACK, p.MsgID}, p)
+	case *Suback:
+		// Install the handler before waking the caller so a retained
+		// message delivered right behind the SUBACK is not dropped.
+		c.mu.Lock()
+		if ps, ok := c.pendingSubs[p.MsgID]; ok && p.ReturnCode == Accepted {
+			c.subs[ps.topic] = ps.handler
+			if p.TopicID != 0 {
+				c.topicIDs[ps.topic] = p.TopicID
+				c.topicName[p.TopicID] = ps.topic
+			}
+		}
+		c.mu.Unlock()
+		c.deliverAck(ackKey{SUBACK, p.MsgID}, p)
+	case *Unsuback:
+		c.deliverAck(ackKey{UNSUBACK, p.MsgID}, p)
+	case *Puback:
+		c.deliverAck(ackKey{PUBACK, p.MsgID}, p)
+	case *Pubrec:
+		c.deliverAck(ackKey{PUBREC, p.MsgID}, p)
+	case *Pubcomp:
+		c.deliverAck(ackKey{PUBCOMP, p.MsgID}, p)
+	case *Pingresp:
+		c.deliverAck(ackKey{PINGRESP, 0}, p)
+	case *WillTopicReq:
+		if w := c.cfg.Will; w != nil {
+			_ = c.send(&WillTopic{Flags: Flags{QoS: w.QoS, Retain: w.Retain}, Topic: w.Topic})
+		}
+	case *WillMsgReq:
+		if w := c.cfg.Will; w != nil {
+			_ = c.send(&WillMsg{Msg: w.Payload})
+		}
+	case *Register:
+		// Broker informs us of a topic id (wildcard subscription match).
+		c.mu.Lock()
+		c.topicName[p.TopicID] = p.TopicName
+		c.topicIDs[p.TopicName] = p.TopicID
+		c.mu.Unlock()
+		_ = c.send(&Regack{TopicID: p.TopicID, MsgID: p.MsgID, ReturnCode: Accepted})
+	case *Publish:
+		c.handleInboundPublish(p)
+	case *Pubrel:
+		c.mu.Lock()
+		payload, ok := c.inbound2[p.MsgID]
+		delete(c.inbound2, p.MsgID)
+		var topic string
+		if ok {
+			topic = c.topicName[u16FromPayload(payload)]
+		}
+		c.mu.Unlock()
+		_ = c.send(&Pubcomp{msgIDOnly{MsgID: p.MsgID}})
+		if ok {
+			c.deliver(topic, payload[2:])
+		}
+	case *Disconnect:
+		c.mu.Lock()
+		c.connected = false
+		c.mu.Unlock()
+	}
+}
+
+// inbound QoS2 storage packs the topic id in front of the payload so the
+// topic survives until PUBREL.
+func packInbound(topicID uint16, data []byte) []byte {
+	out := make([]byte, 2+len(data))
+	out[0], out[1] = byte(topicID>>8), byte(topicID)
+	copy(out[2:], data)
+	return out
+}
+
+func u16FromPayload(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+
+func (c *Client) handleInboundPublish(p *Publish) {
+	c.mu.Lock()
+	topic := c.topicName[p.TopicID]
+	c.mu.Unlock()
+	switch p.Flags.QoS {
+	case QoS0, QoSMinusOne:
+		c.deliver(topic, p.Data)
+	case QoS1:
+		c.deliver(topic, p.Data)
+		_ = c.send(&Puback{TopicID: p.TopicID, MsgID: p.MsgID, ReturnCode: Accepted})
+	case QoS2:
+		c.mu.Lock()
+		if _, dup := c.inbound2[p.MsgID]; !dup {
+			c.inbound2[p.MsgID] = packInbound(p.TopicID, p.Data)
+		}
+		c.mu.Unlock()
+		_ = c.send(&Pubrec{msgIDOnly{MsgID: p.MsgID}})
+	}
+}
+
+// deliver routes an inbound message to the matching subscription handlers.
+func (c *Client) deliver(topic string, payload []byte) {
+	c.mu.Lock()
+	var handlers []MessageHandler
+	for filter, h := range c.subs {
+		if TopicMatches(filter, topic) {
+			handlers = append(handlers, h)
+		}
+	}
+	c.stats.MessagesHandled++
+	c.mu.Unlock()
+	for _, h := range handlers {
+		h(topic, payload)
+	}
+}

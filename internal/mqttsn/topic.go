@@ -1,0 +1,54 @@
+package mqttsn
+
+import "strings"
+
+// TopicMatches reports whether a topic name matches a subscription filter
+// using MQTT wildcard semantics: '+' matches exactly one level, '#' (which
+// must be the final level) matches any number of trailing levels including
+// zero.
+func TopicMatches(filter, topic string) bool {
+	if filter == topic {
+		return true
+	}
+	fLevels := strings.Split(filter, "/")
+	tLevels := strings.Split(topic, "/")
+	for i, f := range fLevels {
+		if f == "#" {
+			return i == len(fLevels)-1
+		}
+		if i >= len(tLevels) {
+			return false
+		}
+		if f != "+" && f != tLevels[i] {
+			return false
+		}
+	}
+	return len(fLevels) == len(tLevels)
+}
+
+// ValidFilter reports whether a subscription filter is well-formed:
+// non-empty, '#' only as the final complete level, '+' only as a complete
+// level.
+func ValidFilter(filter string) bool {
+	if filter == "" {
+		return false
+	}
+	levels := strings.Split(filter, "/")
+	for i, l := range levels {
+		if strings.Contains(l, "#") {
+			if l != "#" || i != len(levels)-1 {
+				return false
+			}
+		}
+		if strings.Contains(l, "+") && l != "+" {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidTopicName reports whether a concrete topic name is publishable:
+// non-empty and free of wildcard characters.
+func ValidTopicName(topic string) bool {
+	return topic != "" && !strings.ContainsAny(topic, "+#")
+}

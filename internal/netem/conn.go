@@ -1,0 +1,124 @@
+package netem
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Profile configures a real-traffic shaper. It is the runtime counterpart
+// of Link for integration tests and examples running on localhost.
+type Profile struct {
+	// BandwidthBps limits write throughput (bits/second); 0 = unlimited.
+	BandwidthBps int64
+	// Delay is added to every write (one-way propagation).
+	Delay time.Duration
+	// LossRate drops outgoing packets with this probability (PacketConn only).
+	LossRate float64
+	// DupRate duplicates outgoing packets with this probability
+	// (PacketConn only), for exactly-once delivery testing.
+	DupRate float64
+	// Seed makes loss/duplication deterministic; 0 uses a fixed default.
+	Seed int64
+}
+
+func (p Profile) rng() *rand.Rand {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// shaper paces writes to the configured bandwidth. It tracks the time the
+// virtual transmitter becomes free so bursts queue behind each other.
+type shaper struct {
+	mu       sync.Mutex
+	prof     Profile
+	nextFree time.Time
+	rng      *rand.Rand
+}
+
+func newShaper(p Profile) *shaper {
+	return &shaper{prof: p, rng: p.rng()}
+}
+
+// pace blocks until n bytes have been "serialized" onto the link and the
+// propagation delay has elapsed.
+func (s *shaper) pace(n int) {
+	var wait time.Duration
+	s.mu.Lock()
+	now := time.Now()
+	start := s.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	var tx time.Duration
+	if s.prof.BandwidthBps > 0 {
+		tx = time.Duration(float64(n*8) / float64(s.prof.BandwidthBps) * float64(time.Second))
+	}
+	s.nextFree = start.Add(tx)
+	wait = s.nextFree.Add(s.prof.Delay).Sub(now)
+	s.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// roll returns a deterministic pseudo-random sample in [0,1).
+func (s *shaper) roll() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64()
+}
+
+// Conn wraps a net.Conn, shaping writes.
+type Conn struct {
+	net.Conn
+	sh *shaper
+}
+
+// WrapConn returns c with writes shaped by profile p. Loss and duplication
+// are ignored for stream connections.
+func WrapConn(c net.Conn, p Profile) *Conn {
+	return &Conn{Conn: c, sh: newShaper(p)}
+}
+
+// Write blocks for the modeled serialization + propagation time, then
+// forwards the bytes.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.sh.pace(len(b))
+	return c.Conn.Write(b)
+}
+
+// PacketConn wraps a net.PacketConn, shaping, dropping, and duplicating
+// outgoing datagrams.
+type PacketConn struct {
+	net.PacketConn
+	sh *shaper
+}
+
+// WrapPacketConn returns pc with writes shaped by profile p.
+func WrapPacketConn(pc net.PacketConn, p Profile) *PacketConn {
+	return &PacketConn{PacketConn: pc, sh: newShaper(p)}
+}
+
+// WriteTo applies loss/duplication and paces the datagram before sending.
+// Dropped datagrams report success, as a lossy network would.
+func (c *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	if c.sh.prof.LossRate > 0 && c.sh.roll() < c.sh.prof.LossRate {
+		return len(b), nil // silently dropped
+	}
+	c.sh.pace(len(b))
+	n, err := c.PacketConn.WriteTo(b, addr)
+	if err != nil {
+		return n, err
+	}
+	if c.sh.prof.DupRate > 0 && c.sh.roll() < c.sh.prof.DupRate {
+		if _, derr := c.PacketConn.WriteTo(b, addr); derr != nil {
+			return n, nil // duplicate failures are invisible to the sender
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,101 @@
+// Package netem emulates Edge-to-Cloud network conditions.
+//
+// The paper's experimental setup (Fig. 5) interposes an emulated network
+// between the 64 FIT IoT-LAB devices and the Grid'5000 cloud server:
+// bandwidth 1 Gbit or 25 Kbit, delay 23 ms. E2Clab realizes this with Linux
+// tc/netem; this package provides the same first-order behaviour twice over:
+//
+//   - Link: an analytic model used by the discrete-event simulator
+//     (serialization delay, propagation delay, per-packet framing overhead,
+//     and a short-TCP-flow inefficiency factor for request/response traffic
+//     on slow links);
+//   - Conn/PacketConn wrappers: real net.Conn / net.PacketConn shapers used
+//     by integration tests and examples, with optional loss and duplication
+//     injection for exactly-once (QoS 2) testing.
+package netem
+
+import "time"
+
+// Link models a point-to-point network path.
+type Link struct {
+	// BandwidthBps is the bottleneck bandwidth in bits per second.
+	// Zero means unlimited.
+	BandwidthBps int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// OverheadBytes is per-packet framing added on the wire (IP+UDP = 28,
+	// IP+TCP = 40, plus link framing).
+	OverheadBytes int
+	// MTU is the maximum payload per packet; larger payloads are segmented
+	// and each segment pays OverheadBytes. Zero means no segmentation.
+	MTU int
+}
+
+// Common links from the paper's experimental setup (Fig. 5). The paper's
+// "delay: 23ms" is the round-trip budget E2Clab imposes between Edge and
+// Cloud, so Delay (one-way) is half that.
+var (
+	// GigabitEdge is the default Edge-to-Cloud path: 1 Gbit, 23 ms RTT.
+	GigabitEdge = Link{BandwidthBps: 1e9, Delay: 11500 * time.Microsecond, OverheadBytes: 40, MTU: 1460}
+	// Constrained25Kbit is the low-bandwidth scenario of Tables III/VIII.
+	Constrained25Kbit = Link{BandwidthBps: 25e3, Delay: 11500 * time.Microsecond, OverheadBytes: 40, MTU: 1460}
+	// CloudLAN is the Grid'5000-internal path used for Table X
+	// (two servers on the same site).
+	CloudLAN = Link{BandwidthBps: 1e9, Delay: 100 * time.Microsecond, OverheadBytes: 40, MTU: 1460}
+)
+
+// WireBytes returns the number of bytes that actually cross the wire for a
+// payload of n bytes, accounting for segmentation framing.
+func (l Link) WireBytes(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	segments := 1
+	if l.MTU > 0 {
+		segments = (n + l.MTU - 1) / l.MTU
+	}
+	return n + segments*l.OverheadBytes
+}
+
+// TxTime returns the serialization (transmission) delay for a payload of n
+// bytes: wire bytes divided by bandwidth. Propagation delay is not included.
+func (l Link) TxTime(n int) time.Duration {
+	if l.BandwidthBps <= 0 || n <= 0 {
+		return 0
+	}
+	bits := float64(l.WireBytes(n)) * 8
+	return time.Duration(bits / float64(l.BandwidthBps) * float64(time.Second))
+}
+
+// RTT returns the round-trip propagation delay.
+func (l Link) RTT() time.Duration { return 2 * l.Delay }
+
+// ShortFlowFactor is the effective inflation of transmitted bytes for a
+// short, fresh request/response TCP exchange relative to a long-lived bulk
+// transfer on the same link. On fast links it is ~1; on very slow links,
+// slow-start, delayed ACKs and header-per-segment costs make a short flow
+// markedly less efficient than bulk. Calibrated against the paper's
+// Table III (ProvLake, 0 grouping, 25 Kbit: 321% overhead).
+func (l Link) ShortFlowFactor(flowBytes int) float64 {
+	if l.BandwidthBps >= 10e6 {
+		return 1.0
+	}
+	// Below ~10 Mbit, per-segment ACK stalls and slow-start make TCP
+	// request/response flows ~45% less efficient than raw serialization;
+	// with a 23 ms RTT at 25 Kbit the window never opens far enough for
+	// size to amortize this away.
+	if flowBytes > 0 {
+		return 1.45
+	}
+	return 1.0
+}
+
+// RequestResponseTime returns the modeled blocking time of one HTTP 1.1
+// request/response exchange over the link on an established (kept-alive)
+// connection: request serialization, propagation both ways, and response
+// serialization, with the short-flow inefficiency applied.
+func (l Link) RequestResponseTime(reqBytes, respBytes int) time.Duration {
+	f := l.ShortFlowFactor(reqBytes + respBytes)
+	tx := time.Duration(float64(l.TxTime(reqBytes)+l.TxTime(respBytes)) * f)
+	return tx + l.RTT()
+}

@@ -1,0 +1,226 @@
+package provdm
+
+import (
+	"fmt"
+	"time"
+)
+
+// TaskStatus is the execution state carried by Task records (Table V:
+// "Task status: running or finished").
+type TaskStatus uint8
+
+// Task statuses.
+const (
+	StatusRunning TaskStatus = iota
+	StatusFinished
+)
+
+// String returns the lowercase status name.
+func (s TaskStatus) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusFinished:
+		return "finished"
+	default:
+		return fmt.Sprintf("TaskStatus(%d)", uint8(s))
+	}
+}
+
+// EventKind identifies the capture event a Record carries.
+type EventKind uint8
+
+// Capture events emitted by the client library. Workflow.begin()/end() and
+// Task.begin()/end() in Listing 1 map one-to-one onto these.
+const (
+	EventWorkflowBegin EventKind = iota + 1
+	EventWorkflowEnd
+	EventTaskBegin
+	EventTaskEnd
+)
+
+// String returns a short event name.
+func (e EventKind) String() string {
+	switch e {
+	case EventWorkflowBegin:
+		return "workflow.begin"
+	case EventWorkflowEnd:
+		return "workflow.end"
+	case EventTaskBegin:
+		return "task.begin"
+	case EventTaskEnd:
+		return "task.end"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(e))
+	}
+}
+
+// Attribute is one named value of a Data record. Values are restricted to
+// the wire-codec-supported kinds: int64, float64, string, bool, []byte.
+type Attribute struct {
+	Name  string
+	Value any
+}
+
+// DataRef is the ProvLight Data class (Table V): a PROV-DM Entity with
+// attribute values and derivation links.
+type DataRef struct {
+	ID          string      // Data id
+	WorkflowID  string      // wasAttributedTo link
+	Derivations []string    // wasDerivedFrom links (chained data ids)
+	Attributes  []Attribute // attribute names and values
+}
+
+// Record is one provenance capture message: the unit that crosses the
+// network from the client library to the broker. A record carries either a
+// workflow lifecycle event or a task lifecycle event together with the
+// task's input or output data derivations.
+type Record struct {
+	Event EventKind
+
+	WorkflowID string
+	// Task fields (EventTaskBegin / EventTaskEnd only).
+	TaskID         string
+	Transformation string   // transformation (activity type) this task belongs to
+	Dependencies   []string // wasInformedBy links (task ids)
+	Status         TaskStatus
+	// Data derivations: inputs on task begin (used), outputs on task end
+	// (wasGeneratedBy).
+	Data []DataRef
+
+	// Time is the capture timestamp at the device.
+	Time time.Time
+}
+
+// Validate performs structural checks on a record before encoding.
+func (r *Record) Validate() error {
+	if r.WorkflowID == "" {
+		return fmt.Errorf("provdm: record %s missing workflow id", r.Event)
+	}
+	switch r.Event {
+	case EventWorkflowBegin, EventWorkflowEnd:
+		if r.TaskID != "" || len(r.Data) > 0 {
+			return fmt.Errorf("provdm: workflow event %s must not carry task fields", r.Event)
+		}
+	case EventTaskBegin, EventTaskEnd:
+		if r.TaskID == "" {
+			return fmt.Errorf("provdm: task event %s missing task id", r.Event)
+		}
+	default:
+		return fmt.Errorf("provdm: unknown event kind %d", r.Event)
+	}
+	for _, d := range r.Data {
+		if d.ID == "" {
+			return fmt.Errorf("provdm: data ref with empty id in %s", r.Event)
+		}
+		for _, a := range d.Attributes {
+			switch a.Value.(type) {
+			case int64, float64, string, bool, []byte, nil:
+			default:
+				return fmt.Errorf("provdm: attribute %q has unsupported type %T", a.Name, a.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// workflowElementID namespaces workflow ids in PROV documents.
+func workflowElementID(id string) string { return "workflow:" + id }
+
+// taskElementID namespaces task ids in PROV documents.
+func taskElementID(id string) string { return "task:" + id }
+
+// dataElementID namespaces data ids in PROV documents.
+func dataElementID(id string) string { return "data:" + id }
+
+// BuildDocument folds a stream of capture records into a PROV-DM document
+// following the Table V mapping:
+//
+//	Workflow -> Agent, Task -> Activity (wasAssociatedWith workflow),
+//	Data -> Entity (wasAttributedTo workflow), task inputs -> used,
+//	task outputs -> wasGeneratedBy, dependencies -> wasInformedBy,
+//	derivations -> wasDerivedFrom.
+//
+// Records may arrive in any order within a workflow (begin/end pairs are
+// folded into single elements).
+func BuildDocument(records []Record) (*Document, error) {
+	doc := &Document{}
+	elemIdx := make(map[string]int) // element id -> index in doc.Elements
+	addElem := func(id string, kind ElementKind) int {
+		if i, ok := elemIdx[id]; ok {
+			return i
+		}
+		i := doc.AddElement(Element{ID: id, Kind: kind, Attributes: map[string]any{}})
+		elemIdx[id] = i
+		return i
+	}
+	type relKey struct {
+		kind      RelationKind
+		subj, obj string
+	}
+	seenRel := make(map[relKey]bool)
+	addRel := func(kind RelationKind, subj, obj string) {
+		k := relKey{kind, subj, obj}
+		if seenRel[k] {
+			return
+		}
+		seenRel[k] = true
+		doc.AddRelation(Relation{Kind: kind, Subject: subj, Object: obj})
+	}
+
+	for i := range records {
+		r := &records[i]
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		wfID := workflowElementID(r.WorkflowID)
+		wi := addElem(wfID, KindAgent)
+		switch r.Event {
+		case EventWorkflowBegin:
+			doc.Elements[wi].Attributes["prov:startTime"] = r.Time
+		case EventWorkflowEnd:
+			doc.Elements[wi].Attributes["prov:endTime"] = r.Time
+		case EventTaskBegin, EventTaskEnd:
+			tID := taskElementID(r.TaskID)
+			ti := addElem(tID, KindActivity)
+			attrs := doc.Elements[ti].Attributes
+			if r.Transformation != "" {
+				attrs["provlight:transformation"] = r.Transformation
+			}
+			attrs["provlight:status"] = r.Status.String()
+			if r.Event == EventTaskBegin {
+				attrs["prov:startTime"] = r.Time
+			} else {
+				attrs["prov:endTime"] = r.Time
+			}
+			addRel(WasAssociatedWith, tID, wfID)
+			for _, dep := range r.Dependencies {
+				addRel(WasInformedBy, tID, taskElementID(dep))
+				addElem(taskElementID(dep), KindActivity)
+			}
+			for _, d := range r.Data {
+				dID := dataElementID(d.ID)
+				di := addElem(dID, KindEntity)
+				for _, a := range d.Attributes {
+					doc.Elements[di].Attributes[a.Name] = a.Value
+				}
+				dwf := d.WorkflowID
+				if dwf == "" {
+					dwf = r.WorkflowID
+				}
+				addElem(workflowElementID(dwf), KindAgent)
+				addRel(WasAttributedTo, dID, workflowElementID(dwf))
+				if r.Event == EventTaskBegin {
+					addRel(Used, tID, dID)
+				} else {
+					addRel(WasGeneratedBy, dID, tID)
+				}
+				for _, from := range d.Derivations {
+					addElem(dataElementID(from), KindEntity)
+					addRel(WasDerivedFrom, dID, dataElementID(from))
+				}
+			}
+		}
+	}
+	return doc, nil
+}

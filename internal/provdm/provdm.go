@@ -1,0 +1,243 @@
+// Package provdm implements the W3C PROV data model (PROV-DM) core
+// structures and the simplified ProvLight data-exchange classes built on
+// top of them (paper §IV-A, Table V).
+//
+// PROV-DM's core elements are Entities (data objects), Activities
+// (processing steps), and Agents (software acting for users), related by
+// seven core relations (Fig. 1 of the paper). ProvLight's exchange model
+// maps Workflow->Agent, Task->Activity, and Data->Entity, and encodes the
+// relations through id references so that records stay small enough to
+// transmit from resource-constrained devices.
+package provdm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ElementKind distinguishes the three PROV-DM core element types.
+type ElementKind uint8
+
+// PROV-DM core element kinds.
+const (
+	KindEntity ElementKind = iota
+	KindActivity
+	KindAgent
+)
+
+// String returns the PROV-DM name of the kind.
+func (k ElementKind) String() string {
+	switch k {
+	case KindEntity:
+		return "entity"
+	case KindActivity:
+		return "activity"
+	case KindAgent:
+		return "agent"
+	default:
+		return fmt.Sprintf("ElementKind(%d)", uint8(k))
+	}
+}
+
+// RelationKind enumerates the PROV-DM core relations used by ProvLight.
+type RelationKind uint8
+
+// PROV-DM core relations (Table V mapping).
+const (
+	Used RelationKind = iota
+	WasGeneratedBy
+	WasAssociatedWith
+	WasAttributedTo
+	WasInformedBy
+	WasDerivedFrom
+	ActedOnBehalfOf
+)
+
+// String returns the PROV-DM name of the relation.
+func (r RelationKind) String() string {
+	switch r {
+	case Used:
+		return "used"
+	case WasGeneratedBy:
+		return "wasGeneratedBy"
+	case WasAssociatedWith:
+		return "wasAssociatedWith"
+	case WasAttributedTo:
+		return "wasAttributedTo"
+	case WasInformedBy:
+		return "wasInformedBy"
+	case WasDerivedFrom:
+		return "wasDerivedFrom"
+	case ActedOnBehalfOf:
+		return "actedOnBehalfOf"
+	default:
+		return fmt.Sprintf("RelationKind(%d)", uint8(r))
+	}
+}
+
+// subjectObjectKeys returns the PROV-JSON member names for the relation's
+// two ends, e.g. used -> (prov:activity, prov:entity).
+func (r RelationKind) subjectObjectKeys() (subj, obj string) {
+	switch r {
+	case Used:
+		return "prov:activity", "prov:entity"
+	case WasGeneratedBy:
+		return "prov:entity", "prov:activity"
+	case WasAssociatedWith:
+		return "prov:activity", "prov:agent"
+	case WasAttributedTo:
+		return "prov:entity", "prov:agent"
+	case WasInformedBy:
+		return "prov:informed", "prov:informant"
+	case WasDerivedFrom:
+		return "prov:generatedEntity", "prov:usedEntity"
+	case ActedOnBehalfOf:
+		return "prov:delegate", "prov:responsible"
+	default:
+		return "prov:subject", "prov:object"
+	}
+}
+
+// Element is one PROV-DM node: an entity, activity, or agent.
+type Element struct {
+	ID         string
+	Kind       ElementKind
+	Attributes map[string]any
+}
+
+// Relation links two elements. Subject and Object are element IDs; their
+// roles depend on Kind (e.g. for Used, Subject is the activity and Object
+// the entity).
+type Relation struct {
+	ID      string
+	Kind    RelationKind
+	Subject string
+	Object  string
+}
+
+// Document is a PROV-DM document: a set of elements and relations.
+type Document struct {
+	Elements  []Element
+	Relations []Relation
+}
+
+// AddElement appends an element and returns its index.
+func (d *Document) AddElement(e Element) int {
+	d.Elements = append(d.Elements, e)
+	return len(d.Elements) - 1
+}
+
+// AddRelation appends a relation, assigning a stable id if empty.
+func (d *Document) AddRelation(r Relation) {
+	if r.ID == "" {
+		r.ID = fmt.Sprintf("_:r%d", len(d.Relations))
+	}
+	d.Relations = append(d.Relations, r)
+}
+
+// Element returns the element with the given id, if present.
+func (d *Document) Element(id string) (Element, bool) {
+	for _, e := range d.Elements {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Element{}, false
+}
+
+// relationEndKinds returns the element kinds required at each end of a
+// relation, or ok=false if either end may be of any kind.
+func relationEndKinds(k RelationKind) (subj, obj ElementKind, ok bool) {
+	switch k {
+	case Used:
+		return KindActivity, KindEntity, true
+	case WasGeneratedBy:
+		return KindEntity, KindActivity, true
+	case WasAssociatedWith:
+		return KindActivity, KindAgent, true
+	case WasAttributedTo:
+		return KindEntity, KindAgent, true
+	case WasInformedBy:
+		return KindActivity, KindActivity, true
+	case WasDerivedFrom:
+		return KindEntity, KindEntity, true
+	case ActedOnBehalfOf:
+		return KindAgent, KindAgent, true
+	}
+	return 0, 0, false
+}
+
+// Validate checks referential integrity: every relation endpoint must name
+// an existing element of the kind the relation requires, and element ids
+// must be unique and non-empty.
+func (d *Document) Validate() error {
+	kinds := make(map[string]ElementKind, len(d.Elements))
+	for _, e := range d.Elements {
+		if e.ID == "" {
+			return fmt.Errorf("provdm: element with empty id")
+		}
+		if prev, dup := kinds[e.ID]; dup {
+			return fmt.Errorf("provdm: duplicate element id %q (%s and %s)", e.ID, prev, e.Kind)
+		}
+		kinds[e.ID] = e.Kind
+	}
+	for _, r := range d.Relations {
+		wantSubj, wantObj, constrained := relationEndKinds(r.Kind)
+		subjKind, okSubj := kinds[r.Subject]
+		objKind, okObj := kinds[r.Object]
+		if !okSubj {
+			return fmt.Errorf("provdm: relation %s references unknown subject %q", r.Kind, r.Subject)
+		}
+		if !okObj {
+			return fmt.Errorf("provdm: relation %s references unknown object %q", r.Kind, r.Object)
+		}
+		if constrained {
+			if subjKind != wantSubj {
+				return fmt.Errorf("provdm: relation %s subject %q is %s, want %s", r.Kind, r.Subject, subjKind, wantSubj)
+			}
+			if objKind != wantObj {
+				return fmt.Errorf("provdm: relation %s object %q is %s, want %s", r.Kind, r.Object, objKind, wantObj)
+			}
+		}
+	}
+	return nil
+}
+
+// ElementsOfKind returns the ids of all elements of kind k, sorted.
+func (d *Document) ElementsOfKind(k ElementKind) []string {
+	var ids []string
+	for _, e := range d.Elements {
+		if e.Kind == k {
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RelationsOfKind returns all relations of kind k in insertion order.
+func (d *Document) RelationsOfKind(k RelationKind) []Relation {
+	var rs []Relation
+	for _, r := range d.Relations {
+		if r.Kind == k {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// Merge appends the elements and relations of other into d, skipping
+// elements whose id is already present.
+func (d *Document) Merge(other *Document) {
+	seen := make(map[string]bool, len(d.Elements))
+	for _, e := range d.Elements {
+		seen[e.ID] = true
+	}
+	for _, e := range other.Elements {
+		if !seen[e.ID] {
+			d.Elements = append(d.Elements, e)
+			seen[e.ID] = true
+		}
+	}
+	d.Relations = append(d.Relations, other.Relations...)
+}

@@ -1,0 +1,206 @@
+package provdm
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	t0 := time.Date(2023, 7, 20, 10, 0, 0, 0, time.UTC)
+	return []Record{
+		{Event: EventWorkflowBegin, WorkflowID: "1", Time: t0},
+		{
+			Event: EventTaskBegin, WorkflowID: "1", TaskID: "t1",
+			Transformation: "training", Status: StatusRunning,
+			Data: []DataRef{{
+				ID: "in1", WorkflowID: "1",
+				Attributes: []Attribute{{Name: "lr", Value: 0.01}, {Name: "epochs", Value: int64(100)}},
+			}},
+			Time: t0.Add(time.Second),
+		},
+		{
+			Event: EventTaskEnd, WorkflowID: "1", TaskID: "t1",
+			Transformation: "training", Status: StatusFinished,
+			Data: []DataRef{{
+				ID: "out1", WorkflowID: "1", Derivations: []string{"in1"},
+				Attributes: []Attribute{{Name: "loss", Value: 0.3}, {Name: "accuracy", Value: 0.91}},
+			}},
+			Time: t0.Add(2 * time.Second),
+		},
+		{
+			Event: EventTaskBegin, WorkflowID: "1", TaskID: "t2",
+			Transformation: "evaluation", Dependencies: []string{"t1"}, Status: StatusRunning,
+			Data: []DataRef{{ID: "out1", WorkflowID: "1"}},
+			Time: t0.Add(3 * time.Second),
+		},
+		{
+			Event: EventTaskEnd, WorkflowID: "1", TaskID: "t2",
+			Transformation: "evaluation", Status: StatusFinished,
+			Time: t0.Add(4 * time.Second),
+		},
+		{Event: EventWorkflowEnd, WorkflowID: "1", Time: t0.Add(5 * time.Second)},
+	}
+}
+
+func TestBuildDocumentMapping(t *testing.T) {
+	doc, err := BuildDocument(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("document invalid: %v", err)
+	}
+	// Table V mapping: 1 workflow agent, 2 task activities, 2 data entities.
+	if got := doc.ElementsOfKind(KindAgent); len(got) != 1 || got[0] != "workflow:1" {
+		t.Errorf("agents = %v", got)
+	}
+	if got := doc.ElementsOfKind(KindActivity); len(got) != 2 {
+		t.Errorf("activities = %v", got)
+	}
+	if got := doc.ElementsOfKind(KindEntity); len(got) != 2 {
+		t.Errorf("entities = %v", got)
+	}
+	// Relations: used (t1<-in1, t2<-out1), wasGeneratedBy (out1<-t1),
+	// wasAssociatedWith (t1,t2), wasAttributedTo (in1,out1),
+	// wasInformedBy (t2->t1), wasDerivedFrom (out1->in1).
+	counts := map[RelationKind]int{}
+	for _, r := range doc.Relations {
+		counts[r.Kind]++
+	}
+	want := map[RelationKind]int{
+		Used: 2, WasGeneratedBy: 1, WasAssociatedWith: 2,
+		WasAttributedTo: 2, WasInformedBy: 1, WasDerivedFrom: 1,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%s count = %d, want %d", k, counts[k], n)
+		}
+	}
+}
+
+func TestBuildDocumentIdempotentRelations(t *testing.T) {
+	// Feeding the same records twice must not duplicate relations.
+	recs := append(sampleRecords(), sampleRecords()...)
+	doc, err := BuildDocument(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[RelationKind]int{}
+	for _, r := range doc.Relations {
+		counts[r.Kind]++
+	}
+	if counts[Used] != 2 || counts[WasDerivedFrom] != 1 {
+		t.Errorf("duplicate records duplicated relations: %v", counts)
+	}
+}
+
+func TestValidateRejectsBadDocuments(t *testing.T) {
+	dup := &Document{Elements: []Element{
+		{ID: "x", Kind: KindEntity},
+		{ID: "x", Kind: KindAgent},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate ids should fail validation")
+	}
+	dangling := &Document{
+		Elements:  []Element{{ID: "a", Kind: KindActivity}},
+		Relations: []Relation{{ID: "r", Kind: Used, Subject: "a", Object: "missing"}},
+	}
+	if err := dangling.Validate(); err == nil {
+		t.Error("dangling relation should fail validation")
+	}
+	wrongKind := &Document{
+		Elements: []Element{
+			{ID: "a", Kind: KindActivity},
+			{ID: "b", Kind: KindActivity},
+		},
+		Relations: []Relation{{ID: "r", Kind: Used, Subject: "a", Object: "b"}},
+	}
+	if err := wrongKind.Validate(); err == nil {
+		t.Error("used(activity, activity) should fail validation")
+	}
+	empty := &Document{Elements: []Element{{Kind: KindEntity}}}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty element id should fail validation")
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	bad := []Record{
+		{Event: EventTaskBegin, WorkflowID: "w"},                                   // missing task id
+		{Event: EventWorkflowBegin},                                                // missing workflow id
+		{Event: EventWorkflowBegin, WorkflowID: "w", TaskID: "t"},                  // workflow event with task
+		{Event: EventKind(99), WorkflowID: "w"},                                    // unknown event
+		{Event: EventTaskBegin, WorkflowID: "w", TaskID: "t", Data: []DataRef{{}}}, // empty data id
+		{Event: EventTaskBegin, WorkflowID: "w", TaskID: "t",
+			Data: []DataRef{{ID: "d", Attributes: []Attribute{{Name: "x", Value: struct{}{}}}}}}, // bad attr type
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	good := Record{Event: EventTaskEnd, WorkflowID: "w", TaskID: "t", Status: StatusFinished,
+		Data: []DataRef{{ID: "d", Attributes: []Attribute{{Name: "x", Value: int64(1)}}}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+}
+
+func TestPROVJSONRoundTrip(t *testing.T) {
+	doc, err := BuildDocument(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalPROVJSON(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"agent"`, `"activity"`, `"entity"`, `"used"`, `"wasDerivedFrom"`, "workflow:1"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("PROV-JSON missing %s", want)
+		}
+	}
+	back, err := UnmarshalPROVJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Elements) != len(doc.Elements) {
+		t.Errorf("round trip elements = %d, want %d", len(back.Elements), len(doc.Elements))
+	}
+	if len(back.Relations) != len(doc.Relations) {
+		t.Errorf("round trip relations = %d, want %d", len(back.Relations), len(doc.Relations))
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped document invalid: %v", err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Document{}
+	a.AddElement(Element{ID: "x", Kind: KindEntity})
+	b := &Document{}
+	b.AddElement(Element{ID: "x", Kind: KindEntity})
+	b.AddElement(Element{ID: "y", Kind: KindAgent})
+	b.AddRelation(Relation{Kind: WasAttributedTo, Subject: "x", Object: "y"})
+	a.Merge(b)
+	if len(a.Elements) != 2 {
+		t.Errorf("merged elements = %d, want 2", len(a.Elements))
+	}
+	if len(a.Relations) != 1 {
+		t.Errorf("merged relations = %d, want 1", len(a.Relations))
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusAndEventStrings(t *testing.T) {
+	if StatusRunning.String() != "running" || StatusFinished.String() != "finished" {
+		t.Error("status strings wrong")
+	}
+	if EventTaskBegin.String() != "task.begin" || EventWorkflowEnd.String() != "workflow.end" {
+		t.Error("event strings wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package provdm
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// PROV-JSON serialization following the W3C PROV-JSON serialization note:
+// the document is an object keyed by construct name ("entity", "activity",
+// "agent", "used", ...), each holding a map from identifier to attribute
+// object.
+
+// MarshalPROVJSON renders the document as PROV-JSON.
+func MarshalPROVJSON(d *Document) ([]byte, error) {
+	top := map[string]map[string]map[string]any{}
+	bucket := func(name string) map[string]map[string]any {
+		b, ok := top[name]
+		if !ok {
+			b = map[string]map[string]any{}
+			top[name] = b
+		}
+		return b
+	}
+	for _, e := range d.Elements {
+		attrs := map[string]any{}
+		for k, v := range e.Attributes {
+			if t, ok := v.(time.Time); ok {
+				attrs[k] = t.UTC().Format(time.RFC3339Nano)
+				continue
+			}
+			attrs[k] = v
+		}
+		bucket(e.Kind.String())[e.ID] = attrs
+	}
+	for _, r := range d.Relations {
+		subjKey, objKey := r.Kind.subjectObjectKeys()
+		bucket(r.Kind.String())[r.ID] = map[string]any{
+			subjKey: r.Subject,
+			objKey:  r.Object,
+		}
+	}
+	return json.MarshalIndent(top, "", "  ")
+}
+
+// UnmarshalPROVJSON parses a PROV-JSON document produced by
+// MarshalPROVJSON. Only the constructs emitted by this package are
+// recognized; unknown top-level constructs are ignored.
+func UnmarshalPROVJSON(data []byte) (*Document, error) {
+	var top map[string]map[string]map[string]any
+	if err := json.Unmarshal(data, &top); err != nil {
+		return nil, err
+	}
+	doc := &Document{}
+	elementKinds := map[string]ElementKind{
+		"entity":   KindEntity,
+		"activity": KindActivity,
+		"agent":    KindAgent,
+	}
+	relationKinds := map[string]RelationKind{
+		"used":              Used,
+		"wasGeneratedBy":    WasGeneratedBy,
+		"wasAssociatedWith": WasAssociatedWith,
+		"wasAttributedTo":   WasAttributedTo,
+		"wasInformedBy":     WasInformedBy,
+		"wasDerivedFrom":    WasDerivedFrom,
+		"actedOnBehalfOf":   ActedOnBehalfOf,
+	}
+	for name, members := range top {
+		if kind, ok := elementKinds[name]; ok {
+			for id, attrs := range members {
+				doc.AddElement(Element{ID: id, Kind: kind, Attributes: attrs})
+			}
+			continue
+		}
+		if kind, ok := relationKinds[name]; ok {
+			subjKey, objKey := kind.subjectObjectKeys()
+			for id, body := range members {
+				subj, _ := body[subjKey].(string)
+				obj, _ := body[objKey].(string)
+				doc.AddRelation(Relation{ID: id, Kind: kind, Subject: subj, Object: obj})
+			}
+		}
+	}
+	return doc, nil
+}

@@ -1,0 +1,118 @@
+package provlake
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+// Client is the ProvLake capture library. Each captured message becomes a
+// ProvRequest; with GroupSize == 0 every message is shipped immediately in
+// its own blocking HTTP request (the default behaviour measured in
+// Table II), while GroupSize > 0 buffers that many messages and ships them
+// in one request (the grouping strategy of Table III).
+type Client struct {
+	base      string
+	hc        *http.Client
+	groupSize int
+
+	mu     sync.Mutex
+	buffer []ProvRequest
+
+	flushes uint64
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithGroupSize enables grouping of n captured messages per transmission.
+func WithGroupSize(n int) Option {
+	return func(c *Client) { c.groupSize = n }
+}
+
+// NewClient returns a capture client for the manager at baseURL.
+func NewClient(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: baseURL,
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Flushes returns how many HTTP transmissions the client has performed.
+func (c *Client) Flushes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushes
+}
+
+// Capture implements capture.Client: converts and ships (or buffers) one
+// provenance record.
+func (c *Client) Capture(rec *provdm.Record) error {
+	pr, err := FromRecord(rec)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.buffer = append(c.buffer, *pr)
+	shouldFlush := c.groupSize <= 0 || len(c.buffer) >= c.groupSize
+	var batch []ProvRequest
+	if shouldFlush {
+		batch = c.buffer
+		c.buffer = nil
+	}
+	c.mu.Unlock()
+	if shouldFlush {
+		return c.send(batch)
+	}
+	return nil
+}
+
+// Flush ships any buffered messages.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	batch := c.buffer
+	c.buffer = nil
+	c.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	return c.send(batch)
+}
+
+// Close flushes and releases the client.
+func (c *Client) Close() error {
+	err := c.Flush()
+	c.hc.CloseIdleConnections()
+	return err
+}
+
+func (c *Client) send(batch []ProvRequest) error {
+	data, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+"/prov", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("provlake: manager returned %s: %s", resp.Status, msg)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	c.mu.Lock()
+	c.flushes++
+	c.mu.Unlock()
+	return nil
+}

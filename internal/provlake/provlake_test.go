@@ -1,0 +1,161 @@
+package provlake
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight/internal/capture"
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+var _ capture.Client = (*Client)(nil)
+
+func taskRecord(i int) *provdm.Record {
+	return &provdm.Record{
+		Event: provdm.EventTaskEnd, WorkflowID: "wf1",
+		TaskID: fmt.Sprintf("t%d", i), Transformation: "train",
+		Status: provdm.StatusFinished,
+		Data: []provdm.DataRef{{ID: fmt.Sprintf("out%d", i), Attributes: []provdm.Attribute{
+			{Name: "loss", Value: 0.5}, {Name: "epoch", Value: int64(i)},
+		}}},
+		Time: time.Now(),
+	}
+}
+
+func TestFromRecord(t *testing.T) {
+	pr, err := FromRecord(taskRecord(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Type != TypeTask || pr.Event != EventEnd || pr.TaskID != "t3" {
+		t.Errorf("request = %+v", pr)
+	}
+	if pr.Generated["loss"] != 0.5 {
+		t.Errorf("generated = %v", pr.Generated)
+	}
+	if pr.Values != nil {
+		t.Errorf("begin values on end event: %v", pr.Values)
+	}
+	wb, err := FromRecord(&provdm.Record{Event: provdm.EventWorkflowBegin, WorkflowID: "wf1", Time: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.Type != TypeWorkflow || wb.Event != EventBegin {
+		t.Errorf("workflow begin = %+v", wb)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []ProvRequest{
+		{},
+		{WorkflowID: "w", Type: "weird", Event: EventBegin},
+		{WorkflowID: "w", Type: TypeTask, Event: EventBegin}, // missing task id
+		{WorkflowID: "w", Type: TypeWorkflow, Event: "sideways"},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestStoreAppendAndQuery(t *testing.T) {
+	s := NewStore()
+	var reqs []ProvRequest
+	for i := 0; i < 5; i++ {
+		pr, _ := FromRecord(taskRecord(i))
+		reqs = append(reqs, *pr)
+	}
+	if err := s.Append(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 5 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if wfs := s.Workflows(); len(wfs) != 1 || wfs[0] != "wf1" {
+		t.Errorf("workflows = %v", wfs)
+	}
+	docs := s.ForWorkflow("wf1")
+	if len(docs) != 5 || docs[0].TaskID != "t0" || docs[4].TaskID != "t4" {
+		t.Errorf("docs out of order: %v", docs)
+	}
+}
+
+func TestClientServerUngrouped(t *testing.T) {
+	srv := NewServer(nil)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient("http://" + srv.Addr())
+	for i := 0; i < 10; i++ {
+		if err := c.Capture(taskRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Store().Count(); got != 10 {
+		t.Errorf("stored = %d, want 10", got)
+	}
+	// Ungrouped: one HTTP request per message.
+	if got := srv.Requests(); got != 10 {
+		t.Errorf("requests = %d, want 10 (no grouping)", got)
+	}
+}
+
+func TestClientServerGrouped(t *testing.T) {
+	srv := NewServer(nil)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient("http://"+srv.Addr(), WithGroupSize(4))
+	for i := 0; i < 10; i++ {
+		if err := c.Capture(taskRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil { // flushes the trailing partial group
+		t.Fatal(err)
+	}
+	if got := srv.Store().Count(); got != 10 {
+		t.Errorf("stored = %d, want 10", got)
+	}
+	// Grouped by 4: ceil(10/4) = 3 transmissions.
+	if got := c.Flushes(); got != 3 {
+		t.Errorf("flushes = %d, want 3", got)
+	}
+	if got := srv.Requests(); got != 3 {
+		t.Errorf("requests = %d, want 3 (grouping by 4)", got)
+	}
+	// Order preserved across groups.
+	docs := srv.Store().ForWorkflow("wf1")
+	for i, d := range docs {
+		if d.TaskID != fmt.Sprintf("t%d", i) {
+			t.Fatalf("doc %d = %s, order broken", i, d.TaskID)
+		}
+	}
+}
+
+func TestFlushEmptyIsNoop(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // unreachable; must not be contacted
+	if err := c.Flush(); err != nil {
+		t.Errorf("empty flush should not hit the network: %v", err)
+	}
+}
+
+func TestServerRejectsBadBatch(t *testing.T) {
+	srv := NewServer(nil)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	s := NewStore()
+	err := s.Append([]ProvRequest{{WorkflowID: ""}})
+	if err == nil {
+		t.Error("invalid request should be rejected")
+	}
+}

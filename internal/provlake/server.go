@@ -1,0 +1,174 @@
+package provlake
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Store is ProvLake's document backend: an append-only log of prov
+// requests indexed by workflow.
+type Store struct {
+	mu   sync.RWMutex
+	docs []ProvRequest
+	byWF map[string][]int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byWF: map[string][]int{}}
+}
+
+// Append stores a batch of requests.
+func (s *Store) Append(reqs []ProvRequest) error {
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range reqs {
+		s.byWF[r.WorkflowID] = append(s.byWF[r.WorkflowID], len(s.docs))
+		s.docs = append(s.docs, r)
+	}
+	return nil
+}
+
+// Count returns the total number of stored requests.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// Workflows lists workflow ids, sorted.
+func (s *Store) Workflows() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byWF))
+	for id := range s.byWF {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForWorkflow returns all requests of a workflow in capture order.
+func (s *Store) ForWorkflow(id string) []ProvRequest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idxs := s.byWF[id]
+	out := make([]ProvRequest, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, s.docs[i])
+	}
+	return out
+}
+
+// Server is the ProvLake manager service: a JSON-over-HTTP ingestion
+// endpoint (the paper's "ProvLake uWSGI HTTP server", Fig. 5).
+type Server struct {
+	store *Store
+	http  *http.Server
+	lis   net.Listener
+
+	// ProcessingDelay adds artificial per-request work for tests that
+	// emulate the Python backend.
+	ProcessingDelay time.Duration
+
+	requests atomic.Uint64
+}
+
+// NewServer creates a server around store (a fresh one if nil).
+func NewServer(store *Store) *Server {
+	if store == nil {
+		store = NewStore()
+	}
+	return &Server{store: store}
+}
+
+// Store returns the backing store.
+func (s *Server) Store() *Store { return s.store }
+
+// Requests returns the number of HTTP requests served.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// Start listens and serves until Close.
+func (s *Server) Start(addr string) error {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("provlake: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	mux := http.NewServeMux()
+	mux.HandleFunc("/prov", s.handleProv)
+	mux.HandleFunc("/workflows", s.handleWorkflows)
+	mux.HandleFunc("/workflow", s.handleWorkflow)
+	s.http = &http.Server{Handler: mux}
+	go s.http.Serve(lis)
+	return nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+func (s *Server) handleProv(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if d := s.ProcessingDelay; d > 0 {
+		time.Sleep(d)
+	}
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var reqs []ProvRequest
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Append(reqs); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"stored":%d}`, len(reqs))
+}
+
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.store.Workflows())
+}
+
+func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.store.ForWorkflow(id))
+}

@@ -1,0 +1,138 @@
+// Package queries implements the Federated-Learning provenance analysis
+// queries that motivate the paper (§I): per-epoch training metrics per
+// hyperparameter combination, and top-k accuracy retrieval. They run
+// against the DfAnalyzer storage/query backend, mirroring how the E2Clab
+// Provenance Manager is used (§V-A, §VII-B).
+package queries
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/provlight/provlight/internal/dfanalyzer"
+)
+
+// EpochMetrics is one training epoch's captured provenance.
+type EpochMetrics struct {
+	TaskID   string
+	Epoch    float64
+	Loss     float64
+	Accuracy float64
+	Elapsed  time.Duration
+}
+
+// TopKAccuracy answers query (ii) of §I: "Retrieve the hyperparameters
+// which obtained the k best accuracy values for model m": the top-k output
+// rows of the training set ordered by accuracy.
+func TopKAccuracy(store *dfanalyzer.Store, dataflow, outputSet string, k int) ([]dfanalyzer.Row, error) {
+	return store.Select(dfanalyzer.Query{
+		Dataflow: dataflow,
+		Set:      outputSet,
+		OrderBy:  "accuracy",
+		Desc:     true,
+		Limit:    k,
+	})
+}
+
+// LatestEpochMetrics answers query (i) of §I: "What are the elapsed time
+// and the training loss in the latest epoch?" It joins output rows with
+// the task catalog for elapsed times and returns epochs in order.
+func LatestEpochMetrics(store *dfanalyzer.Store, dataflow, outputSet string) ([]EpochMetrics, error) {
+	rows, err := store.Select(dfanalyzer.Query{
+		Dataflow: dataflow,
+		Set:      outputSet,
+		OrderBy:  "epoch",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EpochMetrics, 0, len(rows))
+	for _, row := range rows {
+		m := EpochMetrics{TaskID: str(row["task_id"])}
+		m.Epoch = num(row["epoch"])
+		m.Loss = num(row["loss"])
+		m.Accuracy = num(row["accuracy"])
+		if task, ok := store.Task(dataflow, m.TaskID); ok &&
+			task.StartTime != nil && task.EndTime != nil {
+			m.Elapsed = task.EndTime.Sub(*task.StartTime)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// HyperparamSummary aggregates accuracy per hyperparameter value, answering
+// "analyze hyperparameter values related to the training stages".
+type HyperparamSummary struct {
+	Value        string
+	Runs         int
+	BestAccuracy float64
+	MeanAccuracy float64
+}
+
+// AccuracyByHyperparam groups the output set's accuracy by the given input
+// attribute (e.g. learning rate), matching input and output rows through
+// their producing task.
+func AccuracyByHyperparam(store *dfanalyzer.Store, dataflow, inputSet, outputSet, attr string) ([]HyperparamSummary, error) {
+	inputs, err := store.Select(dfanalyzer.Query{Dataflow: dataflow, Set: inputSet})
+	if err != nil {
+		return nil, err
+	}
+	byTask := map[string]string{}
+	for _, row := range inputs {
+		v, ok := row[attr]
+		if !ok {
+			return nil, fmt.Errorf("queries: attribute %q not in set %q", attr, inputSet)
+		}
+		byTask[str(row["task_id"])] = fmt.Sprint(v)
+	}
+	outputs, err := store.Select(dfanalyzer.Query{Dataflow: dataflow, Set: outputSet})
+	if err != nil {
+		return nil, err
+	}
+	type acc struct {
+		n    int
+		sum  float64
+		best float64
+	}
+	groups := map[string]*acc{}
+	for _, row := range outputs {
+		hp, ok := byTask[str(row["task_id"])]
+		if !ok {
+			continue
+		}
+		a := groups[hp]
+		if a == nil {
+			a = &acc{}
+			groups[hp] = a
+		}
+		v := num(row["accuracy"])
+		a.n++
+		a.sum += v
+		if v > a.best {
+			a.best = v
+		}
+	}
+	out := make([]HyperparamSummary, 0, len(groups))
+	for hp, a := range groups {
+		out = append(out, HyperparamSummary{
+			Value:        hp,
+			Runs:         a.n,
+			BestAccuracy: a.best,
+			MeanAccuracy: a.sum / float64(a.n),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BestAccuracy > out[j].BestAccuracy })
+	return out, nil
+}
+
+func num(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+func str(v any) string {
+	s, _ := v.(string)
+	return s
+}

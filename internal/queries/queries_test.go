@@ -1,0 +1,130 @@
+package queries
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight/internal/dfanalyzer"
+)
+
+// buildTrainingStore ingests a small FL training history: 3 learning
+// rates x 5 epochs each.
+func buildTrainingStore(t *testing.T) *dfanalyzer.Store {
+	t.Helper()
+	store := dfanalyzer.NewStore()
+	df := &dfanalyzer.Dataflow{
+		Tag: "fl",
+		Transformations: []dfanalyzer.Transformation{{
+			Tag: "training",
+			Input: []dfanalyzer.SetSchema{{Tag: "training_input", Attributes: []dfanalyzer.Attribute{
+				{Name: "lr", Type: dfanalyzer.Numeric},
+			}}},
+			Output: []dfanalyzer.SetSchema{{Tag: "training_output", Attributes: []dfanalyzer.Attribute{
+				{Name: "epoch", Type: dfanalyzer.Numeric},
+				{Name: "loss", Type: dfanalyzer.Numeric},
+				{Name: "accuracy", Type: dfanalyzer.Numeric},
+			}}},
+		}},
+	}
+	if err := store.RegisterDataflow(df); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2023, 7, 20, 9, 0, 0, 0, time.UTC)
+	for i, lr := range []float64{0.1, 0.01, 0.001} {
+		for epoch := 0; epoch < 5; epoch++ {
+			id := fmt.Sprintf("lr%d-e%d", i, epoch)
+			start := base.Add(time.Duration(epoch) * time.Minute)
+			end := start.Add(30 * time.Second)
+			// Accuracy improves with epochs; lr=0.01 works best.
+			acc := 0.5 + 0.05*float64(epoch)
+			if lr == 0.01 {
+				acc += 0.2
+			}
+			if err := store.IngestTask(&dfanalyzer.TaskMsg{
+				Dataflow: "fl", Transformation: "training", ID: id,
+				Status: dfanalyzer.StatusRunning, StartTime: &start,
+				Sets: []dfanalyzer.SetData{{Tag: "training_input",
+					Elements: []dfanalyzer.Element{{lr}}}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.IngestTask(&dfanalyzer.TaskMsg{
+				Dataflow: "fl", Transformation: "training", ID: id,
+				Status: dfanalyzer.StatusFinished, EndTime: &end,
+				Sets: []dfanalyzer.SetData{{Tag: "training_output",
+					Elements: []dfanalyzer.Element{{float64(epoch), 1 - acc, acc}}}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return store
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	store := buildTrainingStore(t)
+	rows, err := TopKAccuracy(store, "fl", "training_output", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// Best three are the lr=0.01 runs at the highest epochs.
+	if a := rows[0]["accuracy"].(float64); a < 0.89 || a > 0.91 { // 0.5+0.05*4+0.2
+		t.Errorf("best accuracy = %v, want 0.9", rows[0]["accuracy"])
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i]["accuracy"].(float64) > rows[i-1]["accuracy"].(float64) {
+			t.Error("rows not descending")
+		}
+	}
+}
+
+func TestLatestEpochMetrics(t *testing.T) {
+	store := buildTrainingStore(t)
+	ms, err := LatestEpochMetrics(store, "fl", "training_output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 15 {
+		t.Fatalf("metrics = %d, want 15", len(ms))
+	}
+	last := ms[len(ms)-1]
+	if last.Epoch != 4 {
+		t.Errorf("latest epoch = %v, want 4", last.Epoch)
+	}
+	if last.Elapsed != 30*time.Second {
+		t.Errorf("elapsed = %v, want 30s (from task catalog)", last.Elapsed)
+	}
+	if last.Loss <= 0 || last.Accuracy <= 0 {
+		t.Errorf("metrics not populated: %+v", last)
+	}
+}
+
+func TestAccuracyByHyperparam(t *testing.T) {
+	store := buildTrainingStore(t)
+	sums, err := AccuracyByHyperparam(store, "fl", "training_input", "training_output", "lr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 3 {
+		t.Fatalf("groups = %d, want 3", len(sums))
+	}
+	if sums[0].Value != "0.01" {
+		t.Errorf("best hyperparameter = %s, want 0.01", sums[0].Value)
+	}
+	if sums[0].Runs != 5 {
+		t.Errorf("runs = %d, want 5", sums[0].Runs)
+	}
+	if sums[0].BestAccuracy < 0.89 || sums[0].BestAccuracy > 0.91 {
+		t.Errorf("best accuracy = %v, want 0.9", sums[0].BestAccuracy)
+	}
+	if sums[0].MeanAccuracy <= sums[1].MeanAccuracy {
+		t.Error("mean accuracy of best group should lead")
+	}
+	if _, err := AccuracyByHyperparam(store, "fl", "training_input", "training_output", "ghost"); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}

@@ -1,0 +1,281 @@
+package simulation
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events fired in order %v, want [1 2 3]", got)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFOBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events out of order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var at []time.Duration
+	e.Schedule(time.Second, func() {
+		at = append(at, e.Now())
+		e.Schedule(2*time.Second, func() { at = append(at, e.Now()) })
+	})
+	e.Run()
+	if len(at) != 2 || at[0] != time.Second || at[1] != 3*time.Second {
+		t.Errorf("nested event times = %v", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(1*time.Second, func() { fired = append(fired, 1) })
+	e.Schedule(5*time.Second, func() { fired = append(fired, 5) })
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Errorf("fired = %v, want [1]", fired)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", e.Now())
+	}
+	e.Run()
+	if len(fired) != 2 {
+		t.Errorf("remaining event did not fire: %v", fired)
+	}
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(2*time.Second, func() {
+		e.Schedule(-5*time.Second, func() {
+			if e.Now() != 2*time.Second {
+				t.Errorf("clamped event at %v, want 2s", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Go("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(2 * time.Second)
+		trace = append(trace, "a2")
+		if p.Now() != 2*time.Second {
+			t.Errorf("proc clock = %v, want 2s", p.Now())
+		}
+	})
+	e.Go("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(1 * time.Second)
+		trace = append(trace, "b1")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "b1", "a2"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if e.Processes() != 0 {
+		t.Errorf("live processes = %d, want 0", e.Processes())
+	}
+}
+
+func TestQueueProducerConsumer(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](0)
+	var got []int
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Put(p, i)
+			p.Sleep(time.Second)
+		}
+		q.Close()
+	})
+	e.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("consumed %v, want 5 items", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestQueueCapacityBlocksPutter(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](1)
+	var putDone time.Duration
+	e.Go("producer", func(p *Proc) {
+		q.Put(p, 1) // fills the queue
+		q.Put(p, 2) // must block until the consumer drains at t=5s
+		putDone = p.Now()
+	})
+	e.Go("consumer", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		if v, ok := q.Get(p); !ok || v != 1 {
+			t.Errorf("Get = %v,%v", v, ok)
+		}
+		if v, ok := q.Get(p); !ok || v != 2 {
+			t.Errorf("Get = %v,%v", v, ok)
+		}
+	})
+	e.Run()
+	if putDone != 5*time.Second {
+		t.Errorf("second Put completed at %v, want 5s", putDone)
+	}
+}
+
+func TestQueueTryOps(t *testing.T) {
+	q := NewQueue[string](1)
+	if !q.TryPut("x") {
+		t.Fatal("TryPut into empty bounded queue failed")
+	}
+	if q.TryPut("y") {
+		t.Fatal("TryPut into full queue succeeded")
+	}
+	if v, ok := q.TryGet(); !ok || v != "x" {
+		t.Fatalf("TryGet = %q,%v", v, ok)
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+	q.Close()
+	if q.TryPut("z") {
+		t.Fatal("TryPut on closed queue succeeded")
+	}
+}
+
+// Property: with a single producer and single consumer, items are received
+// exactly once, in order, regardless of capacity and sleep pattern.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(n uint8, capacity uint8, producerGaps []uint8) bool {
+		count := int(n%50) + 1
+		e := NewEngine()
+		q := NewQueue[int](int(capacity % 4))
+		var got []int
+		e.Go("p", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				q.Put(p, i)
+				gap := time.Duration(0)
+				if len(producerGaps) > 0 {
+					gap = time.Duration(producerGaps[i%len(producerGaps)]) * time.Millisecond
+				}
+				p.Sleep(gap)
+			}
+			q.Close()
+		})
+		e.Go("c", func(p *Proc) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		e.Run()
+		if len(got) != count {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: virtual clock is monotonic across an arbitrary set of events.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYield(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Go("a", func(p *Proc) {
+		trace = append(trace, "a-before")
+		p.Yield()
+		trace = append(trace, "a-after")
+	})
+	e.Go("b", func(p *Proc) {
+		trace = append(trace, "b")
+	})
+	e.Run()
+	// a starts first, yields; b runs; then a resumes.
+	if len(trace) != 3 || trace[0] != "a-before" || trace[1] != "b" || trace[2] != "a-after" {
+		t.Errorf("trace = %v", trace)
+	}
+}

@@ -1,0 +1,69 @@
+package simulation
+
+import "time"
+
+// Proc is a simulated process: a goroutine that advances virtual time by
+// sleeping and blocking on queues. Exactly one Proc (or event callback)
+// executes at a time, so process code needs no locking.
+type Proc struct {
+	eng  *Engine
+	wake chan struct{}
+	name string
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+// Go starts fn as a simulated process at the current virtual time.
+// fn runs on its own goroutine but is interleaved deterministically with
+// all other processes and events.
+func (e *Engine) Go(name string, fn func(*Proc)) {
+	p := &Proc{eng: e, wake: make(chan struct{}), name: name}
+	e.nproc++
+	e.Schedule(0, func() {
+		go func() {
+			defer func() {
+				e.nproc--
+				e.parked <- struct{}{} // final baton hand-back
+			}()
+			fn(p)
+		}()
+		<-e.parked // wait for the process to suspend or finish
+	})
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	p.eng.Schedule(d, func() {
+		p.wake <- struct{}{}
+		<-p.eng.parked
+	})
+	p.suspend()
+}
+
+// suspend parks the process, handing the baton back to the engine, and
+// blocks until another event resumes it.
+func (p *Proc) suspend() {
+	p.eng.parked <- struct{}{}
+	<-p.wake
+}
+
+// resumeLater schedules the process to be woken at the current virtual time
+// (after already-scheduled simultaneous events). Safe to call from event
+// callbacks and from other processes.
+func (p *Proc) resumeLater() {
+	p.eng.Schedule(0, func() {
+		p.wake <- struct{}{}
+		<-p.eng.parked
+	})
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

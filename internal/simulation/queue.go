@@ -1,0 +1,113 @@
+package simulation
+
+// Queue is a FIFO channel between simulated processes. A zero capacity
+// means unbounded. Put blocks while the queue is full; Get blocks while it
+// is empty. Close wakes all blocked getters; once a closed queue drains,
+// Get returns ok=false.
+type Queue[T any] struct {
+	items   []T
+	cap     int
+	closed  bool
+	getters []*Proc
+	putters []*Proc
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](capacity int) *Queue[T] {
+	return &Queue[T]{cap: capacity}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Put enqueues v, blocking the calling process while the queue is full.
+// Put panics if the queue is closed (a model bug, mirroring Go channels).
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for !q.closed && q.cap > 0 && len(q.items) >= q.cap {
+		q.putters = append(q.putters, p)
+		p.suspend()
+	}
+	if q.closed {
+		panic("simulation: Put on closed Queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOneGetter()
+}
+
+// TryPut enqueues v without blocking; it reports whether the item was
+// accepted (false when full or closed).
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.wakeOneGetter()
+	return true
+}
+
+// Get dequeues the oldest item, blocking the calling process while the
+// queue is empty. It returns ok=false once the queue is closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.getters = append(q.getters, p)
+		p.suspend()
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.wakeOnePutter()
+	return v, true
+}
+
+// TryGet dequeues without blocking; ok=false when nothing is available.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.wakeOnePutter()
+	return v, true
+}
+
+// Close marks the queue closed and wakes every blocked process so getters
+// can observe the drained state.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, g := range q.getters {
+		g.resumeLater()
+	}
+	q.getters = nil
+	for _, p := range q.putters {
+		p.resumeLater()
+	}
+	q.putters = nil
+}
+
+func (q *Queue[T]) wakeOneGetter() {
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		g.resumeLater()
+	}
+}
+
+func (q *Queue[T]) wakeOnePutter() {
+	if len(q.putters) > 0 {
+		p := q.putters[0]
+		q.putters = q.putters[1:]
+		p.resumeLater()
+	}
+}

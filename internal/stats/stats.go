@@ -1,0 +1,139 @@
+// Package stats provides the summary statistics used throughout the
+// ProvLight evaluation: sample mean, standard deviation, 95% confidence
+// intervals, and relative differences (the paper's "capture time overhead").
+//
+// The paper reports "the mean followed by the 95% confidence interval" over
+// 10 repetitions (§III-A), so the confidence interval uses Student's t
+// critical values for small samples rather than the normal approximation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 when fewer than two samples are supplied.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// tCritical95 holds two-sided 95% Student's t critical values indexed by
+// degrees of freedom (1..30). Beyond 30 degrees of freedom the normal
+// approximation (1.96) is used.
+var tCritical95 = [...]float64{
+	math.NaN(), // df = 0 is undefined
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student's t critical value for the
+// given degrees of freedom. It falls back to the normal z value (1.96) for
+// df > 30 and returns NaN for df < 1.
+func TCritical95(df int) float64 {
+	switch {
+	case df < 1:
+		return math.NaN()
+	case df <= 30:
+		return tCritical95[df]
+	default:
+		return 1.96
+	}
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval for
+// the mean of xs. With fewer than two samples the interval is zero.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return TCritical95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// RelDiff returns the relative difference (a-b)/b. This is the paper's
+// "capture time overhead": a is the execution time with capture enabled and
+// b without. It returns 0 when b is 0 to keep callers total.
+func RelDiff(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (a - b) / b
+}
+
+// Summary aggregates repeated measurements of one experiment cell.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CI     float64 // 95% confidence half-width
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs), CI: CI95(xs)}
+	for i, x := range xs {
+		if i == 0 || x < s.Min {
+			s.Min = x
+		}
+		if i == 0 || x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
+// PercentString renders the summary as "12.34% ±0.56" the way the paper's
+// tables present overheads (mean as a percentage with CI half-width).
+func (s Summary) PercentString() string {
+	return fmt.Sprintf("%.2f%% ±%.2f", s.Mean*100, s.CI*100)
+}
+
+// String renders the summary as "mean ±ci".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ±%.2g", s.Mean, s.CI)
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+	wantVar := 32.0 / 7.0
+	if got := Variance(xs); math.Abs(got-wantVar) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, wantVar)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(wantVar)) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(wantVar))
+	}
+	if Variance([]float64{42}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("empty median = %v, want 0", got)
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if got := TCritical95(9); got != 2.262 {
+		t.Errorf("TCritical95(9) = %v, want 2.262 (paper uses n=10 runs)", got)
+	}
+	if got := TCritical95(1000); got != 1.96 {
+		t.Errorf("TCritical95(1000) = %v, want 1.96", got)
+	}
+	if !math.IsNaN(TCritical95(0)) {
+		t.Error("TCritical95(0) should be NaN")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// Ten identical samples have zero CI.
+	same := make([]float64, 10)
+	for i := range same {
+		same[i] = 3.3
+	}
+	if got := CI95(same); got != 0 {
+		t.Errorf("CI95 of constant series = %v, want 0", got)
+	}
+	// Known small case: {1,2,3}, sd=1, n=3, df=2 -> 4.303/sqrt(3).
+	want := 4.303 / math.Sqrt(3)
+	if got := CI95([]float64{1, 2, 3}); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Error("CI95 of single sample should be 0")
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if got := RelDiff(1.5, 1.0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("RelDiff(1.5,1) = %v, want 0.5", got)
+	}
+	if got := RelDiff(1.0, 0); got != 0 {
+		t.Errorf("RelDiff with zero base = %v, want 0", got)
+	}
+	if got := RelDiff(0.9, 1.0); math.Abs(got+0.1) > 1e-12 {
+		t.Errorf("RelDiff(0.9,1) = %v, want -0.1", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.CI <= 0 {
+		t.Error("CI should be positive for non-constant samples")
+	}
+	if got := s.PercentString(); !strings.Contains(got, "250.00%") {
+		t.Errorf("PercentString = %q", got)
+	}
+}
+
+// Property: mean is bounded by min and max; variance is non-negative;
+// shifting all samples by a constant shifts the mean and preserves variance.
+func TestStatsProperties(t *testing.T) {
+	f := func(raw []float64, shift float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e9 {
+			shift = 1
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-6 || s.Mean > s.Max+1e-6 {
+			return false
+		}
+		if Variance(xs) < 0 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		scale := math.Max(1, math.Abs(s.Mean))
+		if math.Abs(Mean(shifted)-(s.Mean+shift)) > 1e-6*scale {
+			return false
+		}
+		v0, v1 := Variance(xs), Variance(shifted)
+		return math.Abs(v0-v1) <= 1e-5*math.Max(1, v0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("Demo", "a", "bee", "c")
+	tab.AddRow("1", "2", "3")
+	tab.AddRow("10", "20", "30")
+	out := tab.String()
+	if !strings.HasPrefix(out, "Demo\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("want 5 lines, got %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "bee") {
+		t.Errorf("header line = %q", lines[1])
+	}
+}

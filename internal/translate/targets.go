@@ -1,0 +1,178 @@
+package translate
+
+import (
+	"io"
+	"sync"
+
+	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/provlake"
+)
+
+// MemoryTarget accumulates records in memory (tests, queries, examples).
+type MemoryTarget struct {
+	mu      sync.Mutex
+	records []provdm.Record
+}
+
+// NewMemoryTarget returns an empty in-memory target.
+func NewMemoryTarget() *MemoryTarget { return &MemoryTarget{} }
+
+// Name implements Target.
+func (*MemoryTarget) Name() string { return "memory" }
+
+// Deliver implements Target.
+func (m *MemoryTarget) Deliver(records []provdm.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.records = append(m.records, records...)
+	return nil
+}
+
+// Records returns a copy of everything delivered so far.
+func (m *MemoryTarget) Records() []provdm.Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]provdm.Record(nil), m.records...)
+}
+
+// Len returns the number of delivered records.
+func (m *MemoryTarget) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.records)
+}
+
+// DfAnalyzerTarget translates records into DfAnalyzer task messages
+// (paper §V: "ProvLight translates the captured data to the DfAnalyzer
+// data model"). The dataflow specification is derived and registered
+// incrementally as new transformations and attributes appear.
+type DfAnalyzerTarget struct {
+	client   *dfanalyzer.Client
+	dataflow string
+
+	mu   sync.Mutex
+	seen []provdm.Record // schema-bearing records used to grow the spec
+	spec string          // fingerprint of the last registered spec
+}
+
+// NewDfAnalyzerTarget creates a target for the given DfAnalyzer server
+// client and dataflow tag.
+func NewDfAnalyzerTarget(client *dfanalyzer.Client, dataflow string) *DfAnalyzerTarget {
+	return &DfAnalyzerTarget{client: client, dataflow: dataflow}
+}
+
+// Name implements Target.
+func (*DfAnalyzerTarget) Name() string { return "dfanalyzer" }
+
+// Deliver implements Target.
+func (d *DfAnalyzerTarget) Deliver(records []provdm.Record) error {
+	// Grow and (re-)register the dataflow spec when the schema expands.
+	d.mu.Lock()
+	d.seen = append(d.seen, records...)
+	df := dfanalyzer.DataflowFromRecords(d.dataflow, d.seen)
+	fp := fingerprint(df)
+	needRegister := fp != d.spec
+	if needRegister {
+		d.spec = fp
+	}
+	d.mu.Unlock()
+	if needRegister {
+		if err := d.client.RegisterDataflow(df); err != nil {
+			return err
+		}
+	}
+	for i := range records {
+		msg, ok := dfanalyzer.RecordToTaskMsg(d.dataflow, &records[i])
+		if !ok {
+			continue
+		}
+		if err := d.client.SendTask(msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fingerprint(df *dfanalyzer.Dataflow) string {
+	s := df.Tag
+	for _, tr := range df.Transformations {
+		s += "|" + tr.Tag
+		for _, set := range append(append([]dfanalyzer.SetSchema{}, tr.Input...), tr.Output...) {
+			s += ";" + set.Tag
+			for _, a := range set.Attributes {
+				s += "," + a.Name + ":" + string(a.Type)
+			}
+		}
+	}
+	return s
+}
+
+// ProvLakeTarget forwards records to a ProvLake manager service.
+type ProvLakeTarget struct {
+	client *provlake.Client
+}
+
+// NewProvLakeTarget creates a target around a ProvLake client.
+func NewProvLakeTarget(client *provlake.Client) *ProvLakeTarget {
+	return &ProvLakeTarget{client: client}
+}
+
+// Name implements Target.
+func (*ProvLakeTarget) Name() string { return "provlake" }
+
+// Deliver implements Target.
+func (p *ProvLakeTarget) Deliver(records []provdm.Record) error {
+	for i := range records {
+		if err := p.client.Capture(&records[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PROVJSONTarget folds records into a W3C PROV-JSON document that can be
+// written out at any time (interoperability with PROV-based tools).
+type PROVJSONTarget struct {
+	mu      sync.Mutex
+	records []provdm.Record
+}
+
+// NewPROVJSONTarget returns an empty PROV-JSON accumulator.
+func NewPROVJSONTarget() *PROVJSONTarget { return &PROVJSONTarget{} }
+
+// Name implements Target.
+func (*PROVJSONTarget) Name() string { return "prov-json" }
+
+// Deliver implements Target.
+func (p *PROVJSONTarget) Deliver(records []provdm.Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.records = append(p.records, records...)
+	return nil
+}
+
+// WriteTo serializes the accumulated document as PROV-JSON.
+func (p *PROVJSONTarget) WriteTo(w io.Writer) (int64, error) {
+	p.mu.Lock()
+	records := append([]provdm.Record(nil), p.records...)
+	p.mu.Unlock()
+	doc, err := provdm.BuildDocument(records)
+	if err != nil {
+		return 0, err
+	}
+	data, err := provdm.MarshalPROVJSON(doc)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// Document builds and returns the current PROV-DM document.
+func (p *PROVJSONTarget) Document() (*provdm.Document, error) {
+	p.mu.Lock()
+	records := append([]provdm.Record(nil), p.records...)
+	p.mu.Unlock()
+	return provdm.BuildDocument(records)
+}

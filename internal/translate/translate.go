@@ -1,0 +1,172 @@
+// Package translate implements the ProvLight provenance data translator
+// (paper §IV-B1): a broker subscriber that decodes the binary wire frames
+// published by devices and forwards the records to one or more provenance
+// systems. Users extend it by implementing Target for their system's data
+// model, enabling "seamless integration with existing systems".
+package translate
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/wire"
+)
+
+// Target receives translated provenance records. Implementations exist for
+// DfAnalyzer, ProvLake, PROV-JSON, and an in-memory store.
+type Target interface {
+	// Name identifies the target in logs and stats.
+	Name() string
+	// Deliver forwards a batch of records (one decoded frame).
+	Deliver(records []provdm.Record) error
+}
+
+// Stats counts translator activity.
+type Stats struct {
+	FramesReceived    uint64
+	RecordsTranslated uint64
+	DecodeErrors      uint64
+	DeliveryErrors    uint64
+}
+
+// Config configures a Translator.
+type Config struct {
+	// Broker is the MQTT-SN gateway address.
+	Broker string
+	// ClientID of the translator's broker session. Default "translator".
+	ClientID string
+	// TopicFilter selects which device topics to consume. Default
+	// "provlight/+/records" (all devices).
+	TopicFilter string
+	// QoS of the subscription; default QoS 2 to preserve exactly-once.
+	QoS mqttsn.QoS
+	// Targets receive every decoded record batch.
+	Targets []Target
+	// Workers parallelizes delivery (paper §IV-B1: translators "may be
+	// parallelized to scale the data capture"). Default 1.
+	Workers int
+	// KeepAlive / RetryInterval / MaxRetries tune the broker session.
+	KeepAlive     time.Duration
+	RetryInterval time.Duration
+	MaxRetries    int
+	// OnError receives asynchronous delivery errors.
+	OnError func(error)
+}
+
+// Translator subscribes to device topics and pumps records into targets.
+type Translator struct {
+	cfg  Config
+	mqtt *mqttsn.Client
+
+	frames       atomic.Uint64
+	records      atomic.Uint64
+	decodeErrs   atomic.Uint64
+	deliveryErrs atomic.Uint64
+
+	work chan []provdm.Record
+	wg   sync.WaitGroup
+	inFl sync.WaitGroup
+}
+
+// New connects the translator to the broker and starts consuming.
+func New(cfg Config) (*Translator, error) {
+	if cfg.ClientID == "" {
+		cfg.ClientID = "translator"
+	}
+	if cfg.TopicFilter == "" {
+		cfg.TopicFilter = "provlight/+/records"
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QoS == 0 {
+		cfg.QoS = mqttsn.QoS2
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("translate: at least one target required")
+	}
+	mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
+		ClientID:      cfg.ClientID,
+		Gateway:       cfg.Broker,
+		KeepAlive:     cfg.KeepAlive,
+		RetryInterval: cfg.RetryInterval,
+		MaxRetries:    cfg.MaxRetries,
+		CleanSession:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := mc.Connect(); err != nil {
+		mc.Close()
+		return nil, fmt.Errorf("translate: connect broker: %w", err)
+	}
+	t := &Translator{
+		cfg:  cfg,
+		mqtt: mc,
+		work: make(chan []provdm.Record, 256),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		t.wg.Add(1)
+		go t.worker()
+	}
+	if err := mc.Subscribe(cfg.TopicFilter, cfg.QoS, t.onMessage); err != nil {
+		t.Close()
+		return nil, fmt.Errorf("translate: subscribe %q: %w", cfg.TopicFilter, err)
+	}
+	return t, nil
+}
+
+// Stats returns a snapshot of translator counters.
+func (t *Translator) Stats() Stats {
+	return Stats{
+		FramesReceived:    t.frames.Load(),
+		RecordsTranslated: t.records.Load(),
+		DecodeErrors:      t.decodeErrs.Load(),
+		DeliveryErrors:    t.deliveryErrs.Load(),
+	}
+}
+
+func (t *Translator) onMessage(topic string, payload []byte) {
+	t.frames.Add(1)
+	records, err := wire.DecodeFrame(payload)
+	if err != nil {
+		t.decodeErrs.Add(1)
+		if t.cfg.OnError != nil {
+			t.cfg.OnError(fmt.Errorf("translate: decode frame from %s: %w", topic, err))
+		}
+		return
+	}
+	t.inFl.Add(1)
+	t.work <- records
+}
+
+func (t *Translator) worker() {
+	defer t.wg.Done()
+	for records := range t.work {
+		for _, target := range t.cfg.Targets {
+			if err := target.Deliver(records); err != nil {
+				t.deliveryErrs.Add(1)
+				if t.cfg.OnError != nil {
+					t.cfg.OnError(fmt.Errorf("translate: deliver to %s: %w", target.Name(), err))
+				}
+			}
+		}
+		t.records.Add(uint64(len(records)))
+		t.inFl.Done()
+	}
+}
+
+// Drain waits until all frames received so far have been delivered.
+func (t *Translator) Drain() { t.inFl.Wait() }
+
+// Close stops consumption and releases resources.
+func (t *Translator) Close() {
+	t.mqtt.Close() // stop inbound first
+	t.inFl.Wait()
+	close(t.work)
+	t.wg.Wait()
+}

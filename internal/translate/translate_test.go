@@ -1,0 +1,227 @@
+package translate
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight/internal/broker"
+	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/provlake"
+	"github.com/provlight/provlight/internal/wire"
+)
+
+func sampleRecords(n int) []provdm.Record {
+	recs := []provdm.Record{
+		{Event: provdm.EventWorkflowBegin, WorkflowID: "wf", Time: time.Now()},
+	}
+	for i := 0; i < n; i++ {
+		recs = append(recs,
+			provdm.Record{Event: provdm.EventTaskBegin, WorkflowID: "wf",
+				TaskID: fmt.Sprintf("t%d", i), Transformation: "train",
+				Status: provdm.StatusRunning, Time: time.Now(),
+				Data: []provdm.DataRef{{ID: fmt.Sprintf("in%d", i), Attributes: []provdm.Attribute{
+					{Name: "lr", Value: 0.1}, {Name: "batch", Value: int64(32)},
+				}}}},
+			provdm.Record{Event: provdm.EventTaskEnd, WorkflowID: "wf",
+				TaskID: fmt.Sprintf("t%d", i), Transformation: "train",
+				Status: provdm.StatusFinished, Time: time.Now(),
+				Data: []provdm.DataRef{{ID: fmt.Sprintf("out%d", i), Attributes: []provdm.Attribute{
+					{Name: "loss", Value: 1.0 / float64(i+1)}, {Name: "accuracy", Value: 0.5 + 0.01*float64(i)},
+				}}}},
+		)
+	}
+	recs = append(recs, provdm.Record{Event: provdm.EventWorkflowEnd, WorkflowID: "wf", Time: time.Now()})
+	return recs
+}
+
+// publishRecords pushes records through a real broker to the translator.
+func publishRecords(t *testing.T, brokerAddr string, records []provdm.Record) {
+	t.Helper()
+	pub, err := mqttsn.NewClient(mqttsn.ClientConfig{
+		ClientID:      "pub-device",
+		Gateway:       brokerAddr,
+		RetryInterval: 150 * time.Millisecond,
+		MaxRetries:    10,
+		CleanSession:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	enc := wire.Encoder{}
+	for i := range records {
+		frame, err := enc.EncodeFrame(&records[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Publish("provlight/pub-device/records", frame, mqttsn.QoS2); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTranslatorToAllTargets(t *testing.T) {
+	b, err := broker.New(broker.Config{Addr: "127.0.0.1:0", RetryInterval: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	dfaSrv := dfanalyzer.NewServer(nil)
+	if err := dfaSrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer dfaSrv.Close()
+	plSrv := provlake.NewServer(nil)
+	if err := plSrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer plSrv.Close()
+
+	mem := NewMemoryTarget()
+	pj := NewPROVJSONTarget()
+	tr, err := New(Config{
+		Broker:        b.Addr(),
+		RetryInterval: 150 * time.Millisecond,
+		MaxRetries:    10,
+		Targets: []Target{
+			mem,
+			pj,
+			NewDfAnalyzerTarget(dfanalyzer.NewClient("http://"+dfaSrv.Addr()), "wf"),
+			NewProvLakeTarget(provlake.NewClient("http://" + plSrv.Addr())),
+		},
+		OnError: func(err error) { t.Errorf("translator error: %v", err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	const tasks = 5
+	records := sampleRecords(tasks)
+	publishRecords(t, b.Addr(), records)
+
+	deadline := time.Now().Add(5 * time.Second)
+	want := len(records)
+	for mem.Len() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("memory target has %d records, want %d", mem.Len(), want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	tr.Drain()
+
+	// DfAnalyzer got queryable rows.
+	dfa := dfanalyzer.NewClient("http://" + dfaSrv.Addr())
+	rows, err := dfa.Query(dfanalyzer.Query{
+		Dataflow: "wf", Set: "train_output",
+		OrderBy: "accuracy", Desc: true, Limit: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("dfanalyzer rows = %d, want 3", len(rows))
+	}
+	if rows[0]["accuracy"].(float64) < rows[1]["accuracy"].(float64) {
+		t.Error("top-k accuracy not sorted")
+	}
+
+	// ProvLake stored every request.
+	if got := plSrv.Store().Count(); got != want {
+		t.Errorf("provlake stored %d, want %d", got, want)
+	}
+
+	// PROV-JSON document is valid and complete.
+	doc, err := pj.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := pj.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wasGeneratedBy") {
+		t.Error("PROV-JSON output missing relations")
+	}
+
+	st := tr.Stats()
+	if st.FramesReceived != uint64(want) || st.RecordsTranslated != uint64(want) {
+		t.Errorf("translator stats = %+v", st)
+	}
+	if st.DecodeErrors != 0 || st.DeliveryErrors != 0 {
+		t.Errorf("translator errors: %+v", st)
+	}
+}
+
+func TestTranslatorSurvivesGarbageFrames(t *testing.T) {
+	b, err := broker.New(broker.Config{Addr: "127.0.0.1:0", RetryInterval: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	mem := NewMemoryTarget()
+	var gotErr error
+	tr, err := New(Config{
+		Broker:        b.Addr(),
+		RetryInterval: 150 * time.Millisecond,
+		MaxRetries:    10,
+		Targets:       []Target{mem},
+		OnError:       func(err error) { gotErr = err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	pub, err := mqttsn.NewClient(mqttsn.ClientConfig{
+		ClientID: "garbage", Gateway: b.Addr(),
+		RetryInterval: 150 * time.Millisecond, MaxRetries: 10, CleanSession: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("provlight/garbage/records", []byte{0xDE, 0xAD}, mqttsn.QoS1); err != nil {
+		t.Fatal(err)
+	}
+	// Then a valid frame: the translator must still work.
+	rec := provdm.Record{Event: provdm.EventWorkflowBegin, WorkflowID: "ok", Time: time.Now()}
+	frame, _ := (&wire.Encoder{}).EncodeFrame(&rec)
+	if err := pub.Publish("provlight/garbage/records", frame, mqttsn.QoS1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for mem.Len() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("valid frame after garbage was not delivered")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st := tr.Stats(); st.DecodeErrors != 1 {
+		t.Errorf("decode errors = %d, want 1", st.DecodeErrors)
+	}
+	if gotErr == nil {
+		t.Error("OnError not called for garbage frame")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Broker: "127.0.0.1:1"}); err == nil {
+		t.Error("translator without targets should fail")
+	}
+}

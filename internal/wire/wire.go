@@ -1,0 +1,470 @@
+// Package wire implements the ProvLight on-the-wire payload format: a
+// compact binary encoding of provenance capture records with optional zlib
+// compression and multi-record grouping (paper §IV-C2: "provenance data
+// representation", "payload compression", "data capture grouping").
+//
+// A frame is the payload of one MQTT-SN PUBLISH:
+//
+//	byte 0   : version (high nibble) | flags (low nibble)
+//	body     : one record, or a group (varint count + length-prefixed
+//	           records); zlib-compressed when flagCompressed is set
+//
+// All integers are varints; int64 values use zigzag encoding; strings and
+// byte slices are length-prefixed.
+package wire
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+// Version is the frame format version carried in the high nibble.
+const Version = 1
+
+// Frame flags (low nibble of byte 0).
+const (
+	flagCompressed = 0x01
+	flagGroup      = 0x02
+)
+
+// DefaultCompressThreshold is the body size above which EncodeFrame
+// compresses; tiny payloads gain nothing from zlib's 11-byte envelope.
+const DefaultCompressThreshold = 96
+
+// MaxFrameBody caps the decoded body size (defense against corrupt or
+// hostile length fields): 16 MiB.
+const MaxFrameBody = 16 << 20
+
+// value type tags.
+const (
+	tagNil = iota
+	tagInt
+	tagFloat
+	tagString
+	tagTrue
+	tagFalse
+	tagBytes
+)
+
+// Encoder encodes capture records into frames. The zero value encodes with
+// compression enabled at the default threshold.
+type Encoder struct {
+	// DisableCompression turns zlib off (used by the compression ablation).
+	DisableCompression bool
+	// CompressThreshold overrides DefaultCompressThreshold when > 0.
+	CompressThreshold int
+}
+
+// appendString appends a varint length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendValue appends a tagged attribute value.
+func appendValue(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, tagNil), nil
+	case int64:
+		b = append(b, tagInt)
+		return binary.AppendVarint(b, x), nil
+	case float64:
+		b = append(b, tagFloat)
+		return binary.BigEndian.AppendUint64(b, math.Float64bits(x)), nil
+	case string:
+		b = append(b, tagString)
+		return appendString(b, x), nil
+	case bool:
+		if x {
+			return append(b, tagTrue), nil
+		}
+		return append(b, tagFalse), nil
+	case []byte:
+		b = append(b, tagBytes)
+		b = binary.AppendUvarint(b, uint64(len(x)))
+		return append(b, x...), nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported attribute type %T", v)
+	}
+}
+
+// AppendRecord appends the binary encoding of r to b.
+func AppendRecord(b []byte, r *provdm.Record) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	b = append(b, byte(r.Event))
+	b = appendString(b, r.WorkflowID)
+	b = binary.AppendVarint(b, r.Time.UnixNano())
+	if r.Event == provdm.EventTaskBegin || r.Event == provdm.EventTaskEnd {
+		b = appendString(b, r.TaskID)
+		b = appendString(b, r.Transformation)
+		b = binary.AppendUvarint(b, uint64(len(r.Dependencies)))
+		for _, d := range r.Dependencies {
+			b = appendString(b, d)
+		}
+		b = append(b, byte(r.Status))
+		b = binary.AppendUvarint(b, uint64(len(r.Data)))
+		for i := range r.Data {
+			var err error
+			b, err = appendDataRef(b, &r.Data[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func appendDataRef(b []byte, d *provdm.DataRef) ([]byte, error) {
+	b = appendString(b, d.ID)
+	b = appendString(b, d.WorkflowID)
+	b = binary.AppendUvarint(b, uint64(len(d.Derivations)))
+	for _, dv := range d.Derivations {
+		b = appendString(b, dv)
+	}
+	b = binary.AppendUvarint(b, uint64(len(d.Attributes)))
+	for _, a := range d.Attributes {
+		b = appendString(b, a.Name)
+		var err error
+		b, err = appendValue(b, a.Value)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// EncodeFrame encodes one or more records into a transmit-ready frame.
+// Multiple records produce a group frame (the client's grouping feature).
+func (e *Encoder) EncodeFrame(records ...*provdm.Record) ([]byte, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	var flags byte
+	var body []byte
+	if len(records) == 1 {
+		var err error
+		body, err = AppendRecord(nil, records[0])
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		flags |= flagGroup
+		body = binary.AppendUvarint(nil, uint64(len(records)))
+		var rec []byte
+		for _, r := range records {
+			var err error
+			rec, err = AppendRecord(rec[:0], r)
+			if err != nil {
+				return nil, err
+			}
+			body = binary.AppendUvarint(body, uint64(len(rec)))
+			body = append(body, rec...)
+		}
+	}
+	threshold := e.CompressThreshold
+	if threshold <= 0 {
+		threshold = DefaultCompressThreshold
+	}
+	if !e.DisableCompression && len(body) > threshold {
+		var buf bytes.Buffer
+		zw := zlib.NewWriter(&buf)
+		if _, err := zw.Write(body); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		if buf.Len() < len(body) {
+			body = buf.Bytes()
+			flags |= flagCompressed
+		}
+	}
+	frame := make([]byte, 0, len(body)+1)
+	frame = append(frame, Version<<4|flags)
+	return append(frame, body...), nil
+}
+
+// reader consumes a record body.
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) remain() int { return len(r.b) - r.pos }
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad uvarint")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad varint")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remain()) {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remain()) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := append([]byte(nil), r.b[r.pos:r.pos+int(n)]...)
+	r.pos += int(n)
+	return out, nil
+}
+
+func (r *reader) value() (any, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNil:
+		return nil, nil
+	case tagInt:
+		return r.varint()
+	case tagFloat:
+		if r.remain() < 8 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		bits := binary.BigEndian.Uint64(r.b[r.pos:])
+		r.pos += 8
+		return math.Float64frombits(bits), nil
+	case tagString:
+		return r.string()
+	case tagTrue:
+		return true, nil
+	case tagFalse:
+		return false, nil
+	case tagBytes:
+		return r.bytes()
+	default:
+		return nil, fmt.Errorf("wire: unknown value tag %d", tag)
+	}
+}
+
+// listCap bounds a decoded list length both by a sanity constant and by the
+// bytes actually remaining (each element needs >= 1 byte).
+func (r *reader) listLen() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(r.remain()) {
+		return 0, fmt.Errorf("wire: list length %d exceeds remaining %d bytes", n, r.remain())
+	}
+	return int(n), nil
+}
+
+func (r *reader) record() (provdm.Record, error) {
+	var rec provdm.Record
+	ev, err := r.byte()
+	if err != nil {
+		return rec, err
+	}
+	rec.Event = provdm.EventKind(ev)
+	if rec.WorkflowID, err = r.string(); err != nil {
+		return rec, err
+	}
+	ns, err := r.varint()
+	if err != nil {
+		return rec, err
+	}
+	rec.Time = time.Unix(0, ns).UTC()
+	if rec.Event == provdm.EventTaskBegin || rec.Event == provdm.EventTaskEnd {
+		if rec.TaskID, err = r.string(); err != nil {
+			return rec, err
+		}
+		if rec.Transformation, err = r.string(); err != nil {
+			return rec, err
+		}
+		ndeps, err := r.listLen()
+		if err != nil {
+			return rec, err
+		}
+		for i := 0; i < ndeps; i++ {
+			d, err := r.string()
+			if err != nil {
+				return rec, err
+			}
+			rec.Dependencies = append(rec.Dependencies, d)
+		}
+		st, err := r.byte()
+		if err != nil {
+			return rec, err
+		}
+		rec.Status = provdm.TaskStatus(st)
+		ndata, err := r.listLen()
+		if err != nil {
+			return rec, err
+		}
+		for i := 0; i < ndata; i++ {
+			d, err := r.dataRef()
+			if err != nil {
+				return rec, err
+			}
+			rec.Data = append(rec.Data, d)
+		}
+	}
+	if err := rec.Validate(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+func (r *reader) dataRef() (provdm.DataRef, error) {
+	var d provdm.DataRef
+	var err error
+	if d.ID, err = r.string(); err != nil {
+		return d, err
+	}
+	if d.WorkflowID, err = r.string(); err != nil {
+		return d, err
+	}
+	nderiv, err := r.listLen()
+	if err != nil {
+		return d, err
+	}
+	for i := 0; i < nderiv; i++ {
+		s, err := r.string()
+		if err != nil {
+			return d, err
+		}
+		d.Derivations = append(d.Derivations, s)
+	}
+	nattrs, err := r.listLen()
+	if err != nil {
+		return d, err
+	}
+	for i := 0; i < nattrs; i++ {
+		name, err := r.string()
+		if err != nil {
+			return d, err
+		}
+		v, err := r.value()
+		if err != nil {
+			return d, err
+		}
+		d.Attributes = append(d.Attributes, provdm.Attribute{Name: name, Value: v})
+	}
+	return d, nil
+}
+
+// DecodeFrame decodes a frame produced by EncodeFrame, returning the
+// records in order.
+func DecodeFrame(frame []byte) ([]provdm.Record, error) {
+	if len(frame) < 2 {
+		return nil, fmt.Errorf("wire: frame too short (%d bytes)", len(frame))
+	}
+	head := frame[0]
+	if head>>4 != Version {
+		return nil, fmt.Errorf("wire: unsupported version %d", head>>4)
+	}
+	body := frame[1:]
+	if head&flagCompressed != 0 {
+		zr, err := zlib.NewReader(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("wire: bad compressed body: %w", err)
+		}
+		decoded, err := io.ReadAll(io.LimitReader(zr, MaxFrameBody+1))
+		zr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("wire: decompress: %w", err)
+		}
+		if len(decoded) > MaxFrameBody {
+			return nil, fmt.Errorf("wire: decompressed body exceeds %d bytes", MaxFrameBody)
+		}
+		body = decoded
+	}
+	rd := &reader{b: body}
+	if head&flagGroup == 0 {
+		rec, err := rd.record()
+		if err != nil {
+			return nil, err
+		}
+		if rd.remain() != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes", rd.remain())
+		}
+		return []provdm.Record{rec}, nil
+	}
+	count, err := rd.listLen()
+	if err != nil {
+		return nil, err
+	}
+	records := make([]provdm.Record, 0, count)
+	for i := 0; i < count; i++ {
+		n, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(rd.remain()) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		sub := &reader{b: rd.b[rd.pos : rd.pos+int(n)]}
+		rd.pos += int(n)
+		rec, err := sub.record()
+		if err != nil {
+			return nil, err
+		}
+		if sub.remain() != 0 {
+			return nil, fmt.Errorf("wire: record %d has %d trailing bytes", i, sub.remain())
+		}
+		records = append(records, rec)
+	}
+	if rd.remain() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after group", rd.remain())
+	}
+	return records, nil
+}
+
+// IsCompressed reports whether the frame's body is zlib-compressed.
+func IsCompressed(frame []byte) bool {
+	return len(frame) > 0 && frame[0]&flagCompressed != 0
+}
+
+// IsGroup reports whether the frame carries multiple records.
+func IsGroup(frame []byte) bool {
+	return len(frame) > 0 && frame[0]&flagGroup != 0
+}

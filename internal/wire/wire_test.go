@@ -1,0 +1,331 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+func taskRecord(attrs int) *provdm.Record {
+	d := provdm.DataRef{ID: "in1", WorkflowID: "wf", Derivations: []string{"d0"}}
+	for i := 0; i < attrs; i++ {
+		d.Attributes = append(d.Attributes, provdm.Attribute{
+			Name: fmt.Sprintf("attr_%d", i), Value: int64(i),
+		})
+	}
+	return &provdm.Record{
+		Event: provdm.EventTaskBegin, WorkflowID: "wf", TaskID: "t1",
+		Transformation: "train", Dependencies: []string{"t0"},
+		Status: provdm.StatusRunning, Data: []provdm.DataRef{d},
+		Time: time.Unix(0, 1234567890).UTC(),
+	}
+}
+
+func TestSingleRecordRoundTrip(t *testing.T) {
+	enc := &Encoder{}
+	rec := taskRecord(10)
+	frame, err := enc.EncodeFrame(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d records, want 1", len(got))
+	}
+	if !reflect.DeepEqual(got[0], *rec) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got[0], *rec)
+	}
+}
+
+func TestWorkflowEventRoundTrip(t *testing.T) {
+	enc := &Encoder{}
+	rec := &provdm.Record{Event: provdm.EventWorkflowEnd, WorkflowID: "9", Time: time.Unix(5, 0).UTC()}
+	frame, err := enc.EncodeFrame(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], *rec) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got[0], *rec)
+	}
+}
+
+func TestGroupFrameRoundTrip(t *testing.T) {
+	enc := &Encoder{}
+	var recs []*provdm.Record
+	for i := 0; i < 20; i++ {
+		r := taskRecord(5)
+		r.TaskID = fmt.Sprintf("t%d", i)
+		recs = append(recs, r)
+	}
+	frame, err := enc.EncodeFrame(recs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsGroup(frame) {
+		t.Error("frame should be marked as group")
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("decoded %d records, want 20", len(got))
+	}
+	for i := range got {
+		if got[i].TaskID != fmt.Sprintf("t%d", i) {
+			t.Errorf("record %d out of order: %s", i, got[i].TaskID)
+		}
+	}
+}
+
+func TestCompressionEngagesForLargePayloads(t *testing.T) {
+	enc := &Encoder{}
+	big, err := enc.EncodeFrame(taskRecord(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsCompressed(big) {
+		t.Error("100-attribute record should compress")
+	}
+	small, err := enc.EncodeFrame(&provdm.Record{
+		Event: provdm.EventWorkflowBegin, WorkflowID: "1", Time: time.Unix(0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsCompressed(small) {
+		t.Error("tiny record should not compress")
+	}
+	// Compression must actually shrink the frame.
+	raw, err := (&Encoder{DisableCompression: true}).EncodeFrame(taskRecord(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) >= len(raw) {
+		t.Errorf("compressed %d >= raw %d", len(big), len(raw))
+	}
+}
+
+func TestSimplifiedModelIsSmallerThanJSON(t *testing.T) {
+	// The paper's rationale: the binary exchange model transmits ~2x less
+	// than JSON-over-HTTP baselines (Fig. 6c). Compare the same logical
+	// record encoded both ways.
+	rec := taskRecord(100)
+	frame, err := (&Encoder{}).EncodeFrame(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) >= len(jsonBytes)/2 {
+		t.Errorf("wire frame %dB vs JSON %dB: want at least 2x smaller", len(frame), len(jsonBytes))
+	}
+}
+
+func TestAllValueTypes(t *testing.T) {
+	rec := &provdm.Record{
+		Event: provdm.EventTaskEnd, WorkflowID: "w", TaskID: "t",
+		Status: provdm.StatusFinished, Time: time.Unix(1, 2).UTC(),
+		Data: []provdm.DataRef{{
+			ID: "d",
+			Attributes: []provdm.Attribute{
+				{Name: "i", Value: int64(-42)},
+				{Name: "f", Value: 3.14159},
+				{Name: "s", Value: "hello"},
+				{Name: "bt", Value: true},
+				{Name: "bf", Value: false},
+				{Name: "raw", Value: []byte{0, 1, 2, 255}},
+				{Name: "nil", Value: nil},
+			},
+		}},
+	}
+	frame, err := (&Encoder{}).EncodeFrame(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], *rec) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got[0].Data[0], rec.Data[0])
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x10},             // version only, no body
+		{0x99, 1, 2, 3},    // wrong version
+		{0x11, 0xff, 0xff}, // compressed flag but not zlib
+		{0x10, 200, 0, 0},  // unknown event kind
+	}
+	for i, c := range cases {
+		if _, err := DecodeFrame(c); err == nil {
+			t.Errorf("case %d: expected decode error for % x", i, c)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	frame, err := (&Encoder{DisableCompression: true}).EncodeFrame(taskRecord(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame = append(frame, 0xAB)
+	if _, err := DecodeFrame(frame); err == nil {
+		t.Error("expected error for trailing bytes")
+	}
+}
+
+func TestEncodeRejectsInvalidRecords(t *testing.T) {
+	if _, err := (&Encoder{}).EncodeFrame(); err == nil {
+		t.Error("empty frame should fail")
+	}
+	bad := &provdm.Record{Event: provdm.EventTaskBegin, WorkflowID: "w"} // no task id
+	if _, err := (&Encoder{}).EncodeFrame(bad); err == nil {
+		t.Error("invalid record should fail to encode")
+	}
+}
+
+// randomRecord builds a valid random record from fuzz inputs.
+func randomRecord(rng *rand.Rand) *provdm.Record {
+	r := &provdm.Record{
+		WorkflowID: fmt.Sprintf("wf%d", rng.Intn(100)),
+		Time:       time.Unix(rng.Int63n(1e9), rng.Int63n(1e9)).UTC(),
+	}
+	switch rng.Intn(4) {
+	case 0:
+		r.Event = provdm.EventWorkflowBegin
+	case 1:
+		r.Event = provdm.EventWorkflowEnd
+	case 2:
+		r.Event = provdm.EventTaskBegin
+		r.Status = provdm.StatusRunning
+	default:
+		r.Event = provdm.EventTaskEnd
+		r.Status = provdm.StatusFinished
+	}
+	if r.Event == provdm.EventTaskBegin || r.Event == provdm.EventTaskEnd {
+		r.TaskID = fmt.Sprintf("t%d", rng.Intn(1000))
+		r.Transformation = fmt.Sprintf("tr%d", rng.Intn(10))
+		for i := 0; i < rng.Intn(3); i++ {
+			r.Dependencies = append(r.Dependencies, fmt.Sprintf("t%d", rng.Intn(1000)))
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			d := provdm.DataRef{ID: fmt.Sprintf("d%d", rng.Intn(1000))}
+			for j := 0; j < rng.Intn(8); j++ {
+				var v any
+				switch rng.Intn(5) {
+				case 0:
+					v = rng.Int63() - rng.Int63()
+				case 1:
+					v = rng.NormFloat64()
+				case 2:
+					v = fmt.Sprintf("val%d", rng.Intn(50))
+				case 3:
+					v = rng.Intn(2) == 0
+				default:
+					v = []byte{byte(rng.Intn(256)), byte(rng.Intn(256))}
+				}
+				d.Attributes = append(d.Attributes, provdm.Attribute{Name: fmt.Sprintf("a%d", j), Value: v})
+			}
+			r.Data = append(r.Data, d)
+		}
+	}
+	return r
+}
+
+// Property: every valid record round-trips bit-exactly through the codec,
+// grouped or not, compressed or not.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, group uint8, noCompress bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(group%5) + 1
+		recs := make([]*provdm.Record, n)
+		for i := range recs {
+			recs[i] = randomRecord(rng)
+		}
+		enc := &Encoder{DisableCompression: noCompress}
+		frame, err := enc.EncodeFrame(recs...)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		got, err := DecodeFrame(frame)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], *recs[i]) {
+				t.Logf("mismatch at %d:\n got %+v\nwant %+v", i, got[i], *recs[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DecodeFrame never panics on arbitrary input.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("DecodeFrame panicked on % x: %v", data, r)
+			}
+		}()
+		_, _ = DecodeFrame(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupingAmortizesBytes(t *testing.T) {
+	// The grouping feature must transmit fewer bytes than N single frames
+	// (shared compression dictionary across records).
+	enc := &Encoder{}
+	var recs []*provdm.Record
+	singles := 0
+	for i := 0; i < 50; i++ {
+		r := taskRecord(20)
+		r.TaskID = fmt.Sprintf("t%d", i)
+		recs = append(recs, r)
+		frame, err := enc.EncodeFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles += len(frame)
+	}
+	grouped, err := enc.EncodeFrame(recs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grouped) >= singles {
+		t.Errorf("grouped frame %dB not smaller than %dB of singles", len(grouped), singles)
+	}
+}

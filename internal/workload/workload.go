@@ -1,0 +1,184 @@
+// Package workload generates the synthetic workloads of the paper's
+// evaluation (§III-A(d), Table I): chained transformations of timed tasks,
+// each carrying a configurable number of input/output attributes, mimicking
+// the Federated Learning / image pre-processing / sensor aggregation
+// workloads that IoT/Edge devices typically execute.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/provlight/provlight/internal/capture"
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+// Config is one synthetic workload configuration (a cell of Table I).
+type Config struct {
+	// ChainedTransformations is the number of transformations (paper: 5).
+	ChainedTransformations int
+	// Tasks is the total number of tasks across all transformations
+	// (paper: 100, e.g. 100 training epochs).
+	Tasks int
+	// AttributesPerTask is the number of input values and output values
+	// each task carries (paper: 10 or 100; Listing 1 represents them as a
+	// list of integers).
+	AttributesPerTask int
+	// TaskDuration is the per-task processing time (paper: 0.5/1/3.5/5 s).
+	TaskDuration time.Duration
+}
+
+// Default is the reference configuration used by the scalability and
+// Figure 6 experiments: 100 tasks of 0.5 s with 100 attributes.
+var Default = Config{
+	ChainedTransformations: 5,
+	Tasks:                  100,
+	AttributesPerTask:      100,
+	TaskDuration:           500 * time.Millisecond,
+}
+
+// TableI returns the 8 configurations of Table I (2 attribute counts x 4
+// task durations).
+func TableI() []Config {
+	var out []Config
+	for _, attrs := range []int{10, 100} {
+		for _, dur := range []time.Duration{
+			500 * time.Millisecond, time.Second,
+			3500 * time.Millisecond, 5 * time.Second,
+		} {
+			out = append(out, Config{
+				ChainedTransformations: 5,
+				Tasks:                  100,
+				AttributesPerTask:      attrs,
+				TaskDuration:           dur,
+			})
+		}
+	}
+	return out
+}
+
+// String renders the cell label, e.g. "100 attrs, 0.5s tasks".
+func (c Config) String() string {
+	return fmt.Sprintf("%d attrs, %gs tasks", c.AttributesPerTask, c.TaskDuration.Seconds())
+}
+
+// TotalDuration is the no-capture execution time of the workload.
+func (c Config) TotalDuration() time.Duration {
+	return time.Duration(c.Tasks) * c.TaskDuration
+}
+
+// Events is the number of capture events the instrumented workload emits:
+// workflow begin/end plus task begin/end per task.
+func (c Config) Events() int { return 2 + 2*c.Tasks }
+
+// attrs mirrors Listing 1's payload shape: the "attributes per task" are a
+// list of small values under a single key (in_data = {'in': [1, 1, ...]}),
+// packed as a byte vector for the wire codec.
+func (c Config) attrs(prefix string) []provdm.Attribute {
+	vals := make([]byte, c.AttributesPerTask)
+	fill := byte(1)
+	if prefix == "out" {
+		fill = 2
+	}
+	for i := range vals {
+		vals[i] = fill
+	}
+	return []provdm.Attribute{{Name: prefix, Value: vals}}
+}
+
+// Records produces the exact capture-record sequence the instrumented
+// workload of Listing 1 emits, for payload measurement and replay.
+func (c Config) Records(workflowID string, now time.Time) []provdm.Record {
+	recs := make([]provdm.Record, 0, c.Events())
+	recs = append(recs, provdm.Record{
+		Event: provdm.EventWorkflowBegin, WorkflowID: workflowID, Time: now,
+	})
+	nT := max(1, c.ChainedTransformations)
+	perTransf := (c.Tasks + nT - 1) / nT
+	var prev []string
+	for taskIdx := 0; taskIdx < c.Tasks; taskIdx++ {
+		tr := taskIdx / perTransf
+		if tr >= nT {
+			tr = nT - 1
+		}
+		transf := fmt.Sprintf("transf_%d", tr)
+		taskID := fmt.Sprintf("%d_%d", tr, taskIdx%perTransf)
+		dataID := taskIdx + 1
+		now = now.Add(c.TaskDuration)
+		inRef := provdm.DataRef{
+			ID: fmt.Sprintf("in_%d", dataID), WorkflowID: workflowID,
+			Attributes: c.attrs("in"),
+		}
+		recs = append(recs, provdm.Record{
+			Event: provdm.EventTaskBegin, WorkflowID: workflowID,
+			TaskID: taskID, Transformation: transf,
+			Dependencies: prev, Status: provdm.StatusRunning,
+			Data: []provdm.DataRef{inRef}, Time: now,
+		})
+		outRef := provdm.DataRef{
+			ID: fmt.Sprintf("out_%d", dataID), WorkflowID: workflowID,
+			Derivations: []string{inRef.ID},
+			Attributes:  c.attrs("out"),
+		}
+		recs = append(recs, provdm.Record{
+			Event: provdm.EventTaskEnd, WorkflowID: workflowID,
+			TaskID: taskID, Transformation: transf,
+			Status: provdm.StatusFinished,
+			Data:   []provdm.DataRef{outRef}, Time: now.Add(c.TaskDuration),
+		})
+		prev = []string{taskID}
+	}
+	recs = append(recs, provdm.Record{
+		Event: provdm.EventWorkflowEnd, WorkflowID: workflowID, Time: now,
+	})
+	return recs
+}
+
+// SampleTaskRecords returns one representative (begin, end) record pair,
+// used by the cost model to measure real payload sizes.
+func (c Config) SampleTaskRecords(workflowID string) (begin, end provdm.Record) {
+	recs := c.Records(workflowID, time.Unix(0, 0))
+	for _, r := range recs {
+		switch r.Event {
+		case provdm.EventTaskBegin:
+			if begin.Event == 0 {
+				begin = r
+			}
+		case provdm.EventTaskEnd:
+			if end.Event == 0 {
+				end = r
+			}
+		}
+	}
+	return begin, end
+}
+
+// Run executes the workload for real against a capture client, sleeping
+// each task's duration scaled by timeScale (1.0 = real time; 0 = no sleep).
+// It returns the wall-clock execution time.
+func (c Config) Run(client capture.Client, workflowID string, timeScale float64) (time.Duration, error) {
+	start := time.Now()
+	records := c.Records(workflowID, start)
+	for i := range records {
+		rec := &records[i]
+		// Task work happens between begin and end: sleep on end events.
+		if rec.Event == provdm.EventTaskEnd && timeScale > 0 {
+			time.Sleep(time.Duration(float64(c.TaskDuration) * timeScale))
+		}
+		rec.Time = time.Now()
+		if err := client.Capture(rec); err != nil {
+			return time.Since(start), err
+		}
+	}
+	if err := client.Flush(); err != nil {
+		return time.Since(start), err
+	}
+	return time.Since(start), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

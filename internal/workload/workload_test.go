@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/provlight/provlight/internal/capture"
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+func TestTableIConfigs(t *testing.T) {
+	cfgs := TableI()
+	if len(cfgs) != 8 {
+		t.Fatalf("Table I has %d configs, want 8", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.ChainedTransformations != 5 || c.Tasks != 100 {
+			t.Errorf("config %v: want 5 transformations, 100 tasks", c)
+		}
+	}
+	if cfgs[0].AttributesPerTask != 10 || cfgs[4].AttributesPerTask != 100 {
+		t.Error("attribute axis wrong")
+	}
+	if cfgs[0].TaskDuration != 500*time.Millisecond || cfgs[3].TaskDuration != 5*time.Second {
+		t.Error("duration axis wrong")
+	}
+}
+
+func TestRecordsShape(t *testing.T) {
+	c := Config{ChainedTransformations: 5, Tasks: 100, AttributesPerTask: 10, TaskDuration: time.Second}
+	recs := c.Records("wf", time.Unix(0, 0))
+	if len(recs) != c.Events() {
+		t.Fatalf("records = %d, want %d", len(recs), c.Events())
+	}
+	if recs[0].Event != provdm.EventWorkflowBegin || recs[len(recs)-1].Event != provdm.EventWorkflowEnd {
+		t.Error("workflow bracket events missing")
+	}
+	begins, ends := 0, 0
+	transforms := map[string]bool{}
+	for i := range recs {
+		r := &recs[i]
+		if err := r.Validate(); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+		switch r.Event {
+		case provdm.EventTaskBegin:
+			begins++
+			transforms[r.Transformation] = true
+			if len(r.Data) != 1 {
+				t.Fatalf("task begin without input data")
+			}
+			if b, ok := r.Data[0].Attributes[0].Value.([]byte); !ok || len(b) != 10 {
+				t.Fatalf("attributes payload = %v", r.Data[0].Attributes)
+			}
+		case provdm.EventTaskEnd:
+			ends++
+			if len(r.Data[0].Derivations) != 1 {
+				t.Error("output data missing derivation link")
+			}
+		}
+	}
+	if begins != 100 || ends != 100 {
+		t.Errorf("begins=%d ends=%d, want 100 each", begins, ends)
+	}
+	if len(transforms) != 5 {
+		t.Errorf("transformations = %d, want 5", len(transforms))
+	}
+}
+
+func TestTaskChaining(t *testing.T) {
+	c := Config{ChainedTransformations: 2, Tasks: 4, AttributesPerTask: 1, TaskDuration: time.Millisecond}
+	recs := c.Records("wf", time.Unix(0, 0))
+	var prev string
+	for i := range recs {
+		r := &recs[i]
+		if r.Event != provdm.EventTaskBegin {
+			continue
+		}
+		if prev != "" {
+			if len(r.Dependencies) != 1 || r.Dependencies[0] != prev {
+				t.Errorf("task %s deps = %v, want [%s]", r.TaskID, r.Dependencies, prev)
+			}
+		}
+		prev = r.TaskID
+	}
+}
+
+func TestRunAgainstCaptureClient(t *testing.T) {
+	c := Config{ChainedTransformations: 2, Tasks: 6, AttributesPerTask: 5, TaskDuration: time.Millisecond}
+	var got []provdm.EventKind
+	client := capture.Func(func(rec *provdm.Record) error {
+		got = append(got, rec.Event)
+		return nil
+	})
+	elapsed, err := c.Run(client, "wf", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != c.Events() {
+		t.Errorf("captured %d events, want %d", len(got), c.Events())
+	}
+	if elapsed < 6*time.Millisecond {
+		t.Errorf("elapsed %v should include task sleeps", elapsed)
+	}
+}
+
+func TestEventsAndDuration(t *testing.T) {
+	c := Default
+	if c.Events() != 202 {
+		t.Errorf("Events = %d, want 202", c.Events())
+	}
+	if c.TotalDuration() != 50*time.Second {
+		t.Errorf("TotalDuration = %v, want 50s", c.TotalDuration())
+	}
+	if c.String() != "100 attrs, 0.5s tasks" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+// Property: the record stream is well-formed for any small configuration.
+func TestRecordsProperty(t *testing.T) {
+	f := func(tr, tasks, attrs uint8) bool {
+		c := Config{
+			ChainedTransformations: int(tr%6) + 1,
+			Tasks:                  int(tasks%40) + 1,
+			AttributesPerTask:      int(attrs % 30),
+			TaskDuration:           time.Millisecond,
+		}
+		recs := c.Records("w", time.Unix(0, 0))
+		begins := 0
+		for i := range recs {
+			if recs[i].Validate() != nil {
+				return false
+			}
+			if recs[i].Event == provdm.EventTaskBegin {
+				begins++
+			}
+		}
+		return begins == c.Tasks && len(recs) == c.Events()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package provlight is the public API of the ProvLight reproduction: an
+// efficient workflow-provenance capture library for the Edge-to-Cloud
+// Continuum (Rosendo et al., IEEE CLUSTER 2023).
+//
+// ProvLight captures W3C PROV-DM-compliant provenance on resource-limited
+// IoT/Edge devices with low overhead by combining a simplified data
+// exchange model (Workflow/Task/Data), binary payload compression,
+// grouping of captured data, and asynchronous MQTT-SN publish/subscribe
+// transmission over UDP at QoS 2 (exactly once).
+//
+// Device side (capture):
+//
+//	client, err := provlight.NewClient(provlight.Config{
+//	    Broker:   "cloud-host:1883",
+//	    ClientID: "edge-device-1",
+//	})
+//	wf := client.NewWorkflow("1")
+//	wf.Begin()
+//	task := wf.NewTask("epoch-0", "training")
+//	task.Begin(provlight.NewData("in0", provlight.Attrs(map[string]any{"lr": 0.01})))
+//	// ... task work ...
+//	task.End(provlight.NewData("out0", provlight.Attrs(map[string]any{"loss": 0.3})).DerivedFrom("in0"))
+//	wf.End()
+//	client.Close()
+//
+// Server side (broker + provenance data translator):
+//
+//	server, err := provlight.StartServer(provlight.ServerConfig{
+//	    Addr:    ":1883",
+//	    Targets: []provlight.Target{provlight.NewMemoryTarget()},
+//	})
+//
+// Targets exist for the DfAnalyzer and ProvLake provenance systems
+// (re-implemented in this repository), for W3C PROV-JSON export, and for
+// in-memory analysis; custom systems integrate by implementing Target.
+package provlight
+
+import (
+	"github.com/provlight/provlight/internal/core"
+	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/provlake"
+	"github.com/provlight/provlight/internal/translate"
+)
+
+// Client is the device-side capture library.
+type Client = core.Client
+
+// Config configures a capture client.
+type Config = core.Config
+
+// Stats counts client capture activity.
+type Stats = core.Stats
+
+// Workflow is the application workflow handle (PROV-DM Agent).
+type Workflow = core.Workflow
+
+// Task is one processing step (PROV-DM Activity).
+type Task = core.Task
+
+// Data carries attribute values and derivations (PROV-DM Entity).
+type Data = core.Data
+
+// Attribute is one named value of a Data record.
+type Attribute = provdm.Attribute
+
+// Record is the provenance exchange record crossing the network.
+type Record = provdm.Record
+
+// Server bundles the MQTT-SN broker and the provenance data translators.
+type Server = core.Server
+
+// ServerConfig configures StartServer.
+type ServerConfig = core.ServerConfig
+
+// Target receives translated provenance records on the server side.
+type Target = translate.Target
+
+// Translator consumes device topics and feeds targets.
+type Translator = translate.Translator
+
+// TranslatorConfig configures a standalone Translator.
+type TranslatorConfig = translate.Config
+
+// MemoryTarget accumulates records in memory.
+type MemoryTarget = translate.MemoryTarget
+
+// PROVJSONTarget folds records into a W3C PROV-JSON document.
+type PROVJSONTarget = translate.PROVJSONTarget
+
+// NewClient connects a capture client to a broker.
+func NewClient(cfg Config) (*Client, error) { return core.NewClient(cfg) }
+
+// NewData creates a data handle with ordered attributes.
+func NewData(id string, attributes []Attribute) *Data { return core.NewData(id, attributes) }
+
+// Attrs builds a deterministic attribute list from a map.
+func Attrs(m map[string]any) []Attribute { return core.Attrs(m) }
+
+// StartServer launches the broker plus translators.
+func StartServer(cfg ServerConfig) (*Server, error) { return core.StartServer(cfg) }
+
+// NewTranslator connects a standalone translator to a broker.
+func NewTranslator(cfg TranslatorConfig) (*Translator, error) { return translate.New(cfg) }
+
+// NewMemoryTarget returns an in-memory record sink.
+func NewMemoryTarget() *MemoryTarget { return translate.NewMemoryTarget() }
+
+// NewPROVJSONTarget returns a W3C PROV-JSON accumulator.
+func NewPROVJSONTarget() *PROVJSONTarget { return translate.NewPROVJSONTarget() }
+
+// NewDfAnalyzerTarget forwards records to a DfAnalyzer server (the setup
+// used by the paper's E2Clab Provenance Manager).
+func NewDfAnalyzerTarget(baseURL, dataflowTag string) Target {
+	return translate.NewDfAnalyzerTarget(dfanalyzer.NewClient(baseURL), dataflowTag)
+}
+
+// NewProvLakeTarget forwards records to a ProvLake manager service.
+func NewProvLakeTarget(baseURL string) Target {
+	return translate.NewProvLakeTarget(provlake.NewClient(baseURL))
+}
