@@ -8,13 +8,17 @@ package provlight_test
 
 import (
 	"fmt"
+	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/provlight/provlight"
+	"github.com/provlight/provlight/internal/broker"
 	"github.com/provlight/provlight/internal/device"
 	"github.com/provlight/provlight/internal/dfanalyzer"
 	"github.com/provlight/provlight/internal/experiment"
+	"github.com/provlight/provlight/internal/mqttsn"
 	"github.com/provlight/provlight/internal/netem"
 	"github.com/provlight/provlight/internal/provlake"
 	"github.com/provlight/provlight/internal/wire"
@@ -215,9 +219,11 @@ func BenchmarkWireGroupEncode50(b *testing.B) {
 	}
 }
 
-// BenchmarkProvLightCaptureRealPipeline measures end-to-end capture cost
-// through the real client -> UDP broker -> translator path on localhost.
-func BenchmarkProvLightCaptureRealPipeline(b *testing.B) {
+// benchCapturePipeline measures end-to-end capture cost through the real
+// client -> UDP broker -> translator path with a given publish window and
+// optional netem shaping of the device uplink.
+func benchCapturePipeline(b *testing.B, window int, delay time.Duration) {
+	b.Helper()
 	mem := provlight.NewMemoryTarget()
 	server, err := provlight.StartServer(provlight.ServerConfig{
 		Addr:    "127.0.0.1:0",
@@ -227,10 +233,21 @@ func BenchmarkProvLightCaptureRealPipeline(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer server.Close()
-	client, err := provlight.NewClient(provlight.Config{
-		Broker:   server.Addr(),
-		ClientID: "bench-device",
-	})
+	cfg := provlight.Config{
+		Broker:     server.Addr(),
+		ClientID:   "bench-device",
+		WindowSize: window,
+	}
+	if delay > 0 {
+		raw, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		shaped := netem.WrapPacketConn(raw, netem.Profile{Delay: delay})
+		defer shaped.Close()
+		cfg.Conn = shaped
+	}
+	client, err := provlight.NewClient(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -242,6 +259,7 @@ func BenchmarkProvLightCaptureRealPipeline(b *testing.B) {
 	}
 	attrs := provlight.Attrs(map[string]any{"in": make([]byte, 100)})
 	b.ResetTimer()
+	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		task := wf.NewTask(fmt.Sprintf("t%d", i), "bench")
 		if err := task.Begin(provlight.NewData(fmt.Sprintf("in%d", i), attrs)); err != nil {
@@ -254,9 +272,136 @@ func BenchmarkProvLightCaptureRealPipeline(b *testing.B) {
 	if err := client.Flush(); err != nil {
 		b.Fatal(err)
 	}
+	elapsed := time.Since(start)
 	b.StopTimer()
 	st := client.Stats()
 	b.ReportMetric(float64(st.BytesPublished)/float64(b.N), "wire_bytes/task")
+	b.ReportMetric(float64(st.FramesPublished)/elapsed.Seconds(), "frames/s")
+}
+
+// BenchmarkProvLightCaptureRealPipeline sweeps the publish window on
+// localhost and through a 50 ms one-way netem uplink. window=1 is the
+// pre-windowing stop-and-wait behaviour; window=16 is the default.
+func BenchmarkProvLightCaptureRealPipeline(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		window int
+		delay  time.Duration
+	}{
+		{"local/window1", 1, 0},
+		{"local/window16", 16, 0},
+		{"netem50ms/window1", 1, 50 * time.Millisecond},
+		{"netem50ms/window16", 16, 50 * time.Millisecond},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			benchCapturePipeline(b, bc.window, bc.delay)
+		})
+	}
+}
+
+// BenchmarkMQTTSNPublishWindowed sweeps the in-flight window of the raw
+// MQTT-SN QoS 2 publish engine over a 50 ms one-way netem uplink,
+// reporting achieved frames/s. At window 1 throughput is capped by the
+// two-round-trip handshake; wider windows overlap handshakes.
+func BenchmarkMQTTSNPublishWindowed(b *testing.B) {
+	for _, window := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("window%d", window), func(b *testing.B) {
+			gw, err := broker.New(broker.Config{Addr: "127.0.0.1:0"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer gw.Close()
+			raw, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			shaped := netem.WrapPacketConn(raw, netem.Profile{Delay: 50 * time.Millisecond})
+			defer shaped.Close()
+			c, err := mqttsn.NewClient(mqttsn.ClientConfig{
+				ClientID:       "bench-windowed",
+				Gateway:        gw.Addr(),
+				Conn:           shaped,
+				RetryInterval:  2 * time.Second,
+				InflightWindow: window,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Connect(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.RegisterTopic("bench/windowed"); err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 128)
+			b.ResetTimer()
+			start := time.Now()
+			acks := make([]<-chan error, 0, b.N)
+			for i := 0; i < b.N; i++ {
+				acks = append(acks, c.PublishAsync("bench/windowed", payload, mqttsn.QoS2))
+			}
+			for i, ch := range acks {
+				if err := <-ch; err != nil {
+					b.Fatalf("publish %d: %v", i, err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "frames/s")
+		})
+	}
+}
+
+// BenchmarkBrokerRouteQoS1 measures the broker's publish -> match ->
+// deliver path (one publisher, one wildcard subscriber) on localhost,
+// with allocation accounting across the whole route path.
+func BenchmarkBrokerRouteQoS1(b *testing.B) {
+	gw, err := broker.New(broker.Config{Addr: "127.0.0.1:0", RetryInterval: 200 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	newClient := func(id string) *mqttsn.Client {
+		c, err := mqttsn.NewClient(mqttsn.ClientConfig{
+			ClientID:      id,
+			Gateway:       gw.Addr(),
+			RetryInterval: 200 * time.Millisecond,
+			MaxRetries:    10,
+			CleanSession:  true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Connect(); err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	sub := newClient("bench-route-sub")
+	defer sub.Close()
+	var received atomic.Int64
+	if err := sub.Subscribe("bench/+/route", mqttsn.QoS1, func(string, []byte) {
+		received.Add(1)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	pub := newClient("bench-route-pub")
+	defer pub.Close()
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Publish("bench/dev/route", payload, mqttsn.QoS1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for received.Load() < int64(b.N) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b.StopTimer()
+	if got := received.Load(); got < int64(b.N) {
+		b.Fatalf("subscriber received %d/%d messages", got, b.N)
+	}
 }
 
 // BenchmarkDfAnalyzerCaptureRealHTTP measures the baseline's blocking

@@ -1,0 +1,3 @@
+module github.com/provlight/provlight
+
+go 1.22

@@ -8,13 +8,24 @@
 // QoS 2, retained messages, and last-will publication when a session is
 // lost. A janitor goroutine retransmits unacknowledged outbound messages
 // and expires dead sessions.
+//
+// Fast path: session state is striped across N mutex-guarded shards keyed
+// by client address, and each shard has its own handler goroutine fed from
+// pooled datagram buffers, so one hot session or slow subscriber contends
+// only with the clients that hash to its shard instead of serializing the
+// whole gateway. Topic registry, retained store, and counters live behind
+// their own narrow locks (the registry under an RWMutex, counters as
+// atomics). Lock order: clientMu before any shard mutex; topic and
+// retained locks are leaves; no two shard mutexes are ever held at once.
 package broker
 
 import (
 	"fmt"
+	"hash/maphash"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/provlight/provlight/internal/mqttsn"
@@ -31,6 +42,11 @@ type Config struct {
 	RetryInterval time.Duration
 	// MaxRetries bounds outbound retransmissions. Default 5.
 	MaxRetries int
+	// Shards is the number of session-table stripes, each with its own
+	// mutex and handler goroutine. Default 16.
+	Shards int
+	// HandlerQueue bounds each shard's pending-packet queue. Default 256.
+	HandlerQueue int
 	// Logf, when set, receives debug logs.
 	Logf func(format string, args ...any)
 }
@@ -52,6 +68,7 @@ type message struct {
 	payload []byte
 	qos     mqttsn.QoS
 	retain  bool
+	seq     uint64 // per-publisher arrival sequence (QoS 2 ordered release)
 }
 
 const (
@@ -87,6 +104,74 @@ type session struct {
 	nextMsgID   uint16
 	knownTopics map[uint16]bool
 	pendingReg  map[uint16][]*message // awaiting REGACK before delivery
+
+	// QoS 2 ordered release: with a windowed publisher, PUBRELs can arrive
+	// out of publish order; messages are stamped with an arrival sequence
+	// and routed strictly in that order (MQTT's per-client ordered
+	// delivery), holding early releases until their turn.
+	pubSeq    uint64              // next sequence stamped on a fresh inbound QoS 2 publish
+	routeSeq  uint64              // next sequence eligible for routing
+	held      map[uint64]*message // released but waiting for their turn
+	heldSince time.Time           // when the current head-of-line gap appeared
+
+	// recentRel remembers the last released msgIDs so a duplicated or
+	// reordered PUBLISH arriving *after* its PUBREL completed is dropped
+	// as the duplicate it is, instead of being re-admitted under a fresh
+	// sequence that no PUBREL would ever release.
+	recentRel  [64]uint16
+	recentRelN int // valid entries
+	recentRelI int // next write slot
+}
+
+// markReleased records a completed QoS 2 msgID. Callers must hold the
+// session's shard mutex.
+func (s *session) markReleased(msgID uint16) {
+	s.recentRel[s.recentRelI] = msgID
+	s.recentRelI = (s.recentRelI + 1) % len(s.recentRel)
+	if s.recentRelN < len(s.recentRel) {
+		s.recentRelN++
+	}
+}
+
+// recentlyReleased reports whether msgID completed its QoS 2 flow
+// recently. Callers must hold the session's shard mutex.
+func (s *session) recentlyReleased(msgID uint16) bool {
+	for i := 0; i < s.recentRelN; i++ {
+		if s.recentRel[i] == msgID {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseInOrder registers a PUBREL-released message and returns every
+// held message that is now consecutive from routeSeq. Callers must hold
+// the session's shard mutex.
+func (s *session) releaseInOrder(msg *message) []*message {
+	if msg.seq < s.routeSeq {
+		// The sweep's head-of-line recovery already skipped past this
+		// sequence; deliver the straggler immediately rather than
+		// re-holding it (which would drag routeSeq backwards at the next
+		// recovery and stall the session).
+		return []*message{msg}
+	}
+	s.held[msg.seq] = msg
+	var ready []*message
+	for {
+		m, ok := s.held[s.routeSeq]
+		if !ok {
+			break
+		}
+		delete(s.held, s.routeSeq)
+		s.routeSeq++
+		ready = append(ready, m)
+	}
+	if len(s.held) == 0 {
+		s.heldSince = time.Time{}
+	} else if s.heldSince.IsZero() {
+		s.heldSince = time.Now()
+	}
+	return ready
 }
 
 func (s *session) allocMsgID() uint16 {
@@ -101,19 +186,60 @@ func (s *session) allocMsgID() uint16 {
 	}
 }
 
+// shard is one stripe of the session table plus its inbound packet queue.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	inbox    chan inPacket
+}
+
+// inPacket is one raw datagram handed from the read loop to a shard
+// worker; buf comes from (and returns to) the broker's buffer pool.
+type inPacket struct {
+	addr net.Addr
+	buf  *[]byte
+	n    int
+}
+
+// counters are the lock-free internals behind Stats.
+type counters struct {
+	publishesReceived atomic.Uint64
+	messagesRouted    atomic.Uint64
+	duplicatesDropped atomic.Uint64
+	retransmissions   atomic.Uint64
+	willsPublished    atomic.Uint64
+	sessionsExpired   atomic.Uint64
+}
+
 // Broker is an MQTT-SN broker. Create with New, stop with Close.
 type Broker struct {
 	cfg  Config
 	conn net.PacketConn
 
-	mu          sync.Mutex
-	sessions    map[string]*session // by addr string
-	byClientID  map[string]*session
+	shards []*shard
+	seed   maphash.Seed
+
+	// clientMu guards the clientID -> session index used to replace
+	// sessions on reconnect. Acquired before shard mutexes, never after.
+	clientMu   sync.Mutex
+	byClientID map[string]*session
+
+	// topicMu guards the gateway-scoped topic registry.
+	topicMu     sync.RWMutex
 	topicIDs    map[string]uint16
 	topicNames  map[uint16]string
 	nextTopicID uint16
-	retained    map[string]*message
-	stats       Stats
+
+	// retMu guards the retained-message store.
+	retMu    sync.Mutex
+	retained map[string]*message
+
+	ctr counters
+
+	// bufPool recycles inbound datagram buffers; outPool recycles
+	// outbound marshal buffers on the route path.
+	bufPool sync.Pool
+	outPool sync.Pool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -126,6 +252,12 @@ func New(cfg Config) (*Broker, error) {
 	}
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 5
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.HandlerQueue <= 0 {
+		cfg.HandlerQueue = 256
 	}
 	conn := cfg.Conn
 	if conn == nil {
@@ -142,12 +274,27 @@ func New(cfg Config) (*Broker, error) {
 	b := &Broker{
 		cfg:        cfg,
 		conn:       conn,
-		sessions:   map[string]*session{},
+		seed:       maphash.MakeSeed(),
 		byClientID: map[string]*session{},
 		topicIDs:   map[string]uint16{},
 		topicNames: map[uint16]string{},
 		retained:   map[string]*message{},
-		done:       make(chan struct{}),
+		bufPool: sync.Pool{
+			New: func() any { buf := make([]byte, 65536); return &buf },
+		},
+		outPool: sync.Pool{
+			New: func() any { buf := make([]byte, 0, 2048); return &buf },
+		},
+		done: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			sessions: map[string]*session{},
+			inbox:    make(chan inPacket, cfg.HandlerQueue),
+		}
+		b.shards = append(b.shards, sh)
+		b.wg.Add(1)
+		go b.shardWorker(sh)
 	}
 	b.wg.Add(2)
 	go b.readLoop()
@@ -155,15 +302,31 @@ func New(cfg Config) (*Broker, error) {
 	return b, nil
 }
 
+// shardFor maps a client address key to its session stripe. All packets
+// from one client land on one shard (and thus one worker), preserving
+// per-session handling order.
+func (b *Broker) shardFor(addrKey string) *shard {
+	return b.shards[int(maphash.String(b.seed, addrKey)%uint64(len(b.shards)))]
+}
+
 // Addr returns the UDP address the broker serves on.
 func (b *Broker) Addr() string { return b.conn.LocalAddr().String() }
 
 // Stats returns a snapshot of broker counters.
 func (b *Broker) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	st := b.stats
-	st.Sessions = len(b.sessions)
+	st := Stats{
+		PublishesReceived: b.ctr.publishesReceived.Load(),
+		MessagesRouted:    b.ctr.messagesRouted.Load(),
+		DuplicatesDropped: b.ctr.duplicatesDropped.Load(),
+		Retransmissions:   b.ctr.retransmissions.Load(),
+		WillsPublished:    b.ctr.willsPublished.Load(),
+		SessionsExpired:   b.ctr.sessionsExpired.Load(),
+	}
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		st.Sessions += len(sh.sessions)
+		sh.mu.Unlock()
+	}
 	return st
 }
 
@@ -185,24 +348,36 @@ func (b *Broker) logf(format string, args ...any) {
 	}
 }
 
+// sendTo marshals p into a pooled buffer and writes it out. WriteTo is
+// synchronous, so the buffer is safe to recycle as soon as it returns.
 func (b *Broker) sendTo(addr net.Addr, p mqttsn.Packet) {
-	if _, err := b.conn.WriteTo(mqttsn.Marshal(p), addr); err != nil {
+	bufp := b.outPool.Get().(*[]byte)
+	data := mqttsn.AppendPacket((*bufp)[:0], p)
+	if _, err := b.conn.WriteTo(data, addr); err != nil {
 		b.logf("broker: send %s to %s: %v", p.Type(), addr, err)
 	}
+	*bufp = data[:0]
+	b.outPool.Put(bufp)
 }
 
+// readLoop pulls datagrams off the socket and fans them out to the shard
+// workers; it does no protocol work itself, so a slow handler only stalls
+// its own shard's queue.
 func (b *Broker) readLoop() {
 	defer b.wg.Done()
-	buf := make([]byte, 65536)
 	for {
 		select {
 		case <-b.done:
 			return
 		default:
 		}
-		b.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
-		n, addr, err := b.conn.ReadFrom(buf)
+		// No per-read deadline: Close() closes the socket, which unblocks
+		// ReadFrom; a deadline syscall per packet costs ~30% of the
+		// loopback read budget.
+		bufp := b.bufPool.Get().(*[]byte)
+		n, addr, err := b.conn.ReadFrom(*bufp)
 		if err != nil {
+			b.bufPool.Put(bufp)
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
 			}
@@ -216,12 +391,33 @@ func (b *Broker) readLoop() {
 				return
 			}
 		}
-		pkt, err := mqttsn.Unmarshal(buf[:n])
-		if err != nil {
-			b.logf("broker: drop malformed datagram from %s: %v", addr, err)
-			continue
+		sh := b.shardFor(addr.String())
+		select {
+		case sh.inbox <- inPacket{addr: addr, buf: bufp, n: n}:
+		case <-b.done:
+			b.bufPool.Put(bufp)
+			return
 		}
-		b.handle(addr, pkt)
+	}
+}
+
+// shardWorker decodes and handles the packets of the sessions striped to
+// one shard.
+func (b *Broker) shardWorker(sh *shard) {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.done:
+			return
+		case in := <-sh.inbox:
+			pkt, err := mqttsn.Unmarshal((*in.buf)[:in.n])
+			if err != nil {
+				b.logf("broker: drop malformed datagram from %s: %v", in.addr, err)
+			} else {
+				b.handle(in.addr, pkt)
+			}
+			b.bufPool.Put(in.buf)
+		}
 	}
 }
 
@@ -241,7 +437,6 @@ func (b *Broker) janitor() {
 }
 
 func (b *Broker) sweep() {
-	b.mu.Lock()
 	now := time.Now()
 	type resend struct {
 		addr net.Addr
@@ -249,61 +444,100 @@ func (b *Broker) sweep() {
 	}
 	var resends []resend
 	var wills []*message
-	for key, s := range b.sessions {
-		// Keepalive expiry with 1.5x grace (spec §6.13 suggests tolerance).
-		if s.keepalive > 0 && now.Sub(s.lastSeen) > s.keepalive+s.keepalive/2 {
-			b.stats.SessionsExpired++
-			if s.will != nil {
-				wills = append(wills, &message{
-					topic: s.will.Topic, payload: s.will.Payload,
-					qos: s.will.QoS, retain: s.will.Retain,
-				})
-				b.stats.WillsPublished++
+	var expired []*session
+	var unblocked []*message
+	holDeadline := time.Duration(b.cfg.MaxRetries+1) * b.cfg.RetryInterval
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for key, s := range sh.sessions {
+			// Head-of-line recovery: if a publisher abandoned a QoS 2 flow
+			// (its PUBREL never arrived), skip the gap after the publisher
+			// itself would have given up, releasing the held messages.
+			if len(s.held) > 0 && !s.heldSince.IsZero() && now.Sub(s.heldSince) > holDeadline {
+				min := uint64(0)
+				first := true
+				for seq := range s.held {
+					if first || seq < min {
+						min, first = seq, false
+					}
+				}
+				s.routeSeq = min
+				for {
+					m, ok := s.held[s.routeSeq]
+					if !ok {
+						break
+					}
+					delete(s.held, s.routeSeq)
+					s.routeSeq++
+					unblocked = append(unblocked, m)
+				}
+				if len(s.held) == 0 {
+					s.heldSince = time.Time{}
+				} else {
+					s.heldSince = now
+				}
 			}
-			delete(b.sessions, key)
-			delete(b.byClientID, s.clientID)
-			continue
-		}
-		for msgID, ob := range s.outbound {
-			if now.Sub(ob.lastSent) < b.cfg.RetryInterval {
+			// Keepalive expiry with 1.5x grace (spec §6.13 suggests tolerance).
+			if s.keepalive > 0 && now.Sub(s.lastSeen) > s.keepalive+s.keepalive/2 {
+				b.ctr.sessionsExpired.Add(1)
+				if s.will != nil {
+					wills = append(wills, &message{
+						topic: s.will.Topic, payload: s.will.Payload,
+						qos: s.will.QoS, retain: s.will.Retain,
+					})
+					b.ctr.willsPublished.Add(1)
+				}
+				delete(sh.sessions, key)
+				expired = append(expired, s)
 				continue
 			}
-			if ob.retries >= b.cfg.MaxRetries {
-				delete(s.outbound, msgID)
-				continue
-			}
-			ob.retries++
-			ob.lastSent = now
-			ob.dup = true
-			b.stats.Retransmissions++
-			switch ob.state {
-			case obAwaitPubcomp:
-				resends = append(resends, resend{s.addr, &mqttsn.Pubrel{}})
-				setMsgID(resends[len(resends)-1].pkt, msgID)
-			default:
-				pub := b.publishPacketLocked(s, ob)
-				resends = append(resends, resend{s.addr, pub})
+			for msgID, ob := range s.outbound {
+				if now.Sub(ob.lastSent) < b.cfg.RetryInterval {
+					continue
+				}
+				if ob.retries >= b.cfg.MaxRetries {
+					delete(s.outbound, msgID)
+					continue
+				}
+				ob.retries++
+				ob.lastSent = now
+				ob.dup = true
+				b.ctr.retransmissions.Add(1)
+				switch ob.state {
+				case obAwaitPubcomp:
+					rel := &mqttsn.Pubrel{}
+					rel.MsgID = msgID
+					resends = append(resends, resend{s.addr, rel})
+				default:
+					resends = append(resends, resend{s.addr, publishPacket(ob)})
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
-	b.mu.Unlock()
+	if len(expired) > 0 {
+		b.clientMu.Lock()
+		for _, s := range expired {
+			if b.byClientID[s.clientID] == s {
+				delete(b.byClientID, s.clientID)
+			}
+		}
+		b.clientMu.Unlock()
+	}
 	for _, r := range resends {
 		b.sendTo(r.addr, r.pkt)
+	}
+	for _, m := range unblocked {
+		b.route(m)
 	}
 	for _, w := range wills {
 		b.route(w)
 	}
 }
 
-// setMsgID sets the MsgID on PUBREL (helper for sweep).
-func setMsgID(p mqttsn.Packet, id uint16) {
-	if rel, ok := p.(*mqttsn.Pubrel); ok {
-		rel.MsgID = id
-	}
-}
-
-// publishPacketLocked builds the PUBLISH for an outbound entry.
-func (b *Broker) publishPacketLocked(s *session, ob *outbound) *mqttsn.Publish {
+// publishPacket builds the PUBLISH for an outbound entry. Callers must
+// hold the session's shard mutex.
+func publishPacket(ob *outbound) *mqttsn.Publish {
 	return &mqttsn.Publish{
 		Flags:   mqttsn.Flags{QoS: ob.msg.qos, DUP: ob.dup, Retain: ob.msg.retain},
 		TopicID: ob.msg.topicID,
@@ -313,7 +547,15 @@ func (b *Broker) publishPacketLocked(s *session, ob *outbound) *mqttsn.Publish {
 }
 
 // topicID returns (allocating if needed) the gateway-scoped id for a topic.
-func (b *Broker) topicIDLocked(topic string) uint16 {
+func (b *Broker) topicID(topic string) uint16 {
+	b.topicMu.RLock()
+	id, ok := b.topicIDs[topic]
+	b.topicMu.RUnlock()
+	if ok {
+		return id
+	}
+	b.topicMu.Lock()
+	defer b.topicMu.Unlock()
 	if id, ok := b.topicIDs[topic]; ok {
 		return id
 	}
@@ -321,14 +563,18 @@ func (b *Broker) topicIDLocked(topic string) uint16 {
 	if b.nextTopicID == 0 {
 		b.nextTopicID = 1
 	}
-	id := b.nextTopicID
+	id = b.nextTopicID
 	b.topicIDs[topic] = id
 	b.topicNames[id] = topic
 	return id
 }
 
-func (b *Broker) sessionFor(addr net.Addr) *session {
-	return b.sessions[addr.String()]
+// topicName resolves a gateway-scoped topic id.
+func (b *Broker) topicName(id uint16) (string, bool) {
+	b.topicMu.RLock()
+	name, ok := b.topicNames[id]
+	b.topicMu.RUnlock()
+	return name, ok
 }
 
 func (b *Broker) handle(addr net.Addr, pkt mqttsn.Packet) {
@@ -370,39 +616,49 @@ func (b *Broker) handle(addr net.Addr, pkt mqttsn.Packet) {
 }
 
 func (b *Broker) touch(addr net.Addr) {
-	b.mu.Lock()
-	if s := b.sessionFor(addr); s != nil {
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	if s := sh.sessions[key]; s != nil {
 		s.lastSeen = time.Now()
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 func (b *Broker) handleConnect(addr net.Addr, p *mqttsn.Connect) {
-	b.mu.Lock()
-	// Replace any session with the same client id (possibly at an old addr).
-	if old, ok := b.byClientID[p.ClientID]; ok {
-		delete(b.sessions, old.addrKey)
-		delete(b.byClientID, old.clientID)
-	}
 	s := &session{
-		clientID:    p.ClientID,
-		addr:        addr,
-		addrKey:     addr.String(),
-		keepalive:   time.Duration(p.Duration) * time.Second,
-		lastSeen:    time.Now(),
-		subs:        map[string]mqttsn.QoS{},
-		inbound2:    map[uint16]*message{},
-		outbound:    map[uint16]*outbound{},
-		knownTopics: map[uint16]bool{},
-		pendingReg:  map[uint16][]*message{},
+		clientID:     p.ClientID,
+		addr:         addr,
+		addrKey:      addr.String(),
+		keepalive:    time.Duration(p.Duration) * time.Second,
+		lastSeen:     time.Now(),
+		subs:         map[string]mqttsn.QoS{},
+		inbound2:     map[uint16]*message{},
+		outbound:     map[uint16]*outbound{},
+		knownTopics:  map[uint16]bool{},
+		pendingReg:   map[uint16][]*message{},
+		held:         map[uint64]*message{},
+		awaitingWill: p.Flags.Will,
 	}
-	b.sessions[s.addrKey] = s
+	// Replace any session with the same client id (possibly at an old addr).
+	b.clientMu.Lock()
+	old := b.byClientID[p.ClientID]
 	b.byClientID[p.ClientID] = s
-	awaitWill := p.Flags.Will
-	s.awaitingWill = awaitWill
-	b.mu.Unlock()
+	b.clientMu.Unlock()
+	if old != nil && old.addrKey != s.addrKey {
+		sh := b.shardFor(old.addrKey)
+		sh.mu.Lock()
+		if sh.sessions[old.addrKey] == old {
+			delete(sh.sessions, old.addrKey)
+		}
+		sh.mu.Unlock()
+	}
+	sh := b.shardFor(s.addrKey)
+	sh.mu.Lock()
+	sh.sessions[s.addrKey] = s
+	sh.mu.Unlock()
 
-	if awaitWill {
+	if s.awaitingWill {
 		b.sendTo(addr, &mqttsn.WillTopicReq{})
 		return
 	}
@@ -410,8 +666,10 @@ func (b *Broker) handleConnect(addr net.Addr, p *mqttsn.Connect) {
 }
 
 func (b *Broker) handleWillTopic(addr net.Addr, p *mqttsn.WillTopic) {
-	b.mu.Lock()
-	s := b.sessionFor(addr)
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	s := sh.sessions[key]
 	if s != nil {
 		if s.will == nil {
 			s.will = &mqttsn.Will{}
@@ -421,15 +679,17 @@ func (b *Broker) handleWillTopic(addr net.Addr, p *mqttsn.WillTopic) {
 		s.will.Retain = p.Flags.Retain
 		s.lastSeen = time.Now()
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	if s != nil {
 		b.sendTo(addr, &mqttsn.WillMsgReq{})
 	}
 }
 
 func (b *Broker) handleWillMsg(addr net.Addr, p *mqttsn.WillMsg) {
-	b.mu.Lock()
-	s := b.sessionFor(addr)
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	s := sh.sessions[key]
 	if s != nil {
 		if s.will == nil {
 			s.will = &mqttsn.Will{}
@@ -438,61 +698,65 @@ func (b *Broker) handleWillMsg(addr net.Addr, p *mqttsn.WillMsg) {
 		s.awaitingWill = false
 		s.lastSeen = time.Now()
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	if s != nil {
 		b.sendTo(addr, &mqttsn.Connack{ReturnCode: mqttsn.Accepted})
 	}
 }
 
 func (b *Broker) handleRegister(addr net.Addr, p *mqttsn.Register) {
-	b.mu.Lock()
-	s := b.sessionFor(addr)
-	if s == nil {
-		b.mu.Unlock()
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	s := sh.sessions[key]
+	if s != nil {
+		s.lastSeen = time.Now()
+	}
+	sh.mu.Unlock()
+	if s == nil || !mqttsn.ValidTopicName(p.TopicName) {
 		b.sendTo(addr, &mqttsn.Regack{MsgID: p.MsgID, ReturnCode: mqttsn.RejectedNotSupported})
 		return
 	}
-	s.lastSeen = time.Now()
-	if !mqttsn.ValidTopicName(p.TopicName) {
-		b.mu.Unlock()
-		b.sendTo(addr, &mqttsn.Regack{MsgID: p.MsgID, ReturnCode: mqttsn.RejectedNotSupported})
-		return
+	id := b.topicID(p.TopicName)
+	sh.mu.Lock()
+	if sh.sessions[key] == s {
+		s.knownTopics[id] = true
 	}
-	id := b.topicIDLocked(p.TopicName)
-	s.knownTopics[id] = true
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.sendTo(addr, &mqttsn.Regack{TopicID: id, MsgID: p.MsgID, ReturnCode: mqttsn.Accepted})
 }
 
 func (b *Broker) handleRegack(addr net.Addr, p *mqttsn.Regack) {
-	b.mu.Lock()
-	s := b.sessionFor(addr)
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	s := sh.sessions[key]
 	var flush []*message
 	if s != nil {
 		s.lastSeen = time.Now()
 		if p.ReturnCode == mqttsn.Accepted {
 			s.knownTopics[p.TopicID] = true
 			flush = s.pendingReg[p.TopicID]
-			delete(s.pendingReg, p.TopicID)
-		} else {
-			delete(s.pendingReg, p.TopicID)
 		}
+		delete(s.pendingReg, p.TopicID)
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	for _, m := range flush {
 		b.deliver(s, m)
 	}
 }
 
 func (b *Broker) handlePublish(addr net.Addr, p *mqttsn.Publish) {
-	b.mu.Lock()
-	s := b.sessionFor(addr)
-	topic, knownTopic := b.topicNames[p.TopicID]
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	s := sh.sessions[key]
 	if s != nil {
 		s.lastSeen = time.Now()
 	}
-	b.stats.PublishesReceived++
-	b.mu.Unlock()
+	sh.mu.Unlock()
+	topic, knownTopic := b.topicName(p.TopicID)
+	b.ctr.publishesReceived.Add(1)
 
 	// QoS -1 publishes are allowed without a session (spec: predefined
 	// topics); we accept them for already-registered topic ids.
@@ -516,13 +780,15 @@ func (b *Broker) handlePublish(addr net.Addr, p *mqttsn.Publish) {
 		b.route(msg)
 		b.sendTo(addr, &mqttsn.Puback{TopicID: p.TopicID, MsgID: p.MsgID, ReturnCode: mqttsn.Accepted})
 	case mqttsn.QoS2:
-		b.mu.Lock()
-		if _, dup := s.inbound2[p.MsgID]; dup {
-			b.stats.DuplicatesDropped++
+		sh.mu.Lock()
+		if _, dup := s.inbound2[p.MsgID]; dup || s.recentlyReleased(p.MsgID) {
+			b.ctr.duplicatesDropped.Add(1)
 		} else {
+			msg.seq = s.pubSeq
+			s.pubSeq++
 			s.inbound2[p.MsgID] = msg
 		}
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		rec := &mqttsn.Pubrec{}
 		rec.MsgID = p.MsgID
 		b.sendTo(addr, rec)
@@ -530,37 +796,49 @@ func (b *Broker) handlePublish(addr net.Addr, p *mqttsn.Publish) {
 }
 
 func (b *Broker) handlePubrel(addr net.Addr, p *mqttsn.Pubrel) {
-	b.mu.Lock()
-	s := b.sessionFor(addr)
-	var msg *message
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	s := sh.sessions[key]
+	var ready []*message
 	if s != nil {
 		s.lastSeen = time.Now()
-		msg = s.inbound2[p.MsgID]
-		delete(s.inbound2, p.MsgID)
+		if msg := s.inbound2[p.MsgID]; msg != nil {
+			delete(s.inbound2, p.MsgID)
+			s.markReleased(p.MsgID)
+			// Exactly once (only the first PUBREL finds the message), and
+			// in publish-arrival order even when a windowed publisher's
+			// PUBRELs arrive scrambled.
+			ready = s.releaseInOrder(msg)
+		}
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	comp := &mqttsn.Pubcomp{}
 	comp.MsgID = p.MsgID
 	b.sendTo(addr, comp)
-	if msg != nil {
-		b.route(msg) // exactly once: only routed on first PUBREL
+	for _, m := range ready {
+		b.route(m)
 	}
 }
 
 func (b *Broker) handlePuback(addr net.Addr, p *mqttsn.Puback) {
-	b.mu.Lock()
-	if s := b.sessionFor(addr); s != nil {
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	if s := sh.sessions[key]; s != nil {
 		s.lastSeen = time.Now()
 		if ob, ok := s.outbound[p.MsgID]; ok && ob.state == obAwaitPuback {
 			delete(s.outbound, p.MsgID)
 		}
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 func (b *Broker) handlePubrec(addr net.Addr, p *mqttsn.Pubrec) {
-	b.mu.Lock()
-	s := b.sessionFor(addr)
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	s := sh.sessions[key]
 	send := false
 	if s != nil {
 		s.lastSeen = time.Now()
@@ -573,7 +851,7 @@ func (b *Broker) handlePubrec(addr net.Addr, p *mqttsn.Pubrec) {
 			send = true // duplicate PUBREC: re-send PUBREL
 		}
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	if send {
 		rel := &mqttsn.Pubrel{}
 		rel.MsgID = p.MsgID
@@ -582,49 +860,60 @@ func (b *Broker) handlePubrec(addr net.Addr, p *mqttsn.Pubrec) {
 }
 
 func (b *Broker) handlePubcomp(addr net.Addr, p *mqttsn.Pubcomp) {
-	b.mu.Lock()
-	if s := b.sessionFor(addr); s != nil {
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	if s := sh.sessions[key]; s != nil {
 		s.lastSeen = time.Now()
 		if ob, ok := s.outbound[p.MsgID]; ok && ob.state == obAwaitPubcomp {
 			delete(s.outbound, p.MsgID)
 		}
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 func (b *Broker) handleSubscribe(addr net.Addr, p *mqttsn.Subscribe) {
-	b.mu.Lock()
-	s := b.sessionFor(addr)
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	s := sh.sessions[key]
 	if s == nil {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		b.sendTo(addr, &mqttsn.Suback{MsgID: p.MsgID, ReturnCode: mqttsn.RejectedNotSupported})
 		return
 	}
 	s.lastSeen = time.Now()
 	filter := p.TopicName
 	if p.Flags.TopicIDType == mqttsn.TopicPredefined {
-		filter = b.topicNames[p.TopicID]
+		filter, _ = b.topicName(p.TopicID)
 	}
 	if !mqttsn.ValidFilter(filter) {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		b.sendTo(addr, &mqttsn.Suback{MsgID: p.MsgID, ReturnCode: mqttsn.RejectedNotSupported})
 		return
 	}
 	s.subs[filter] = p.Flags.QoS
+	grantedQoS := p.Flags.QoS
+	sh.mu.Unlock()
+
 	var topicID uint16
 	if mqttsn.ValidTopicName(filter) { // exact topic: hand out its id now
-		topicID = b.topicIDLocked(filter)
-		s.knownTopics[topicID] = true
+		topicID = b.topicID(filter)
+		sh.mu.Lock()
+		if sh.sessions[key] == s {
+			s.knownTopics[topicID] = true
+		}
+		sh.mu.Unlock()
 	}
 	// Collect matching retained messages for delivery after SUBACK.
 	var retained []*message
+	b.retMu.Lock()
 	for topic, m := range b.retained {
 		if mqttsn.TopicMatches(filter, topic) {
 			retained = append(retained, m)
 		}
 	}
-	grantedQoS := p.Flags.QoS
-	b.mu.Unlock()
+	b.retMu.Unlock()
 
 	b.sendTo(addr, &mqttsn.Suback{
 		Flags:   mqttsn.Flags{QoS: grantedQoS},
@@ -640,71 +929,84 @@ func (b *Broker) handleSubscribe(addr net.Addr, p *mqttsn.Subscribe) {
 }
 
 func (b *Broker) handleUnsubscribe(addr net.Addr, p *mqttsn.Unsubscribe) {
-	b.mu.Lock()
-	s := b.sessionFor(addr)
-	if s != nil {
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	if s := sh.sessions[key]; s != nil {
 		s.lastSeen = time.Now()
 		filter := p.TopicName
 		if p.Flags.TopicIDType == mqttsn.TopicPredefined {
-			filter = b.topicNames[p.TopicID]
+			filter, _ = b.topicName(p.TopicID)
 		}
 		delete(s.subs, filter)
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	ack := &mqttsn.Unsuback{}
 	ack.MsgID = p.MsgID
 	b.sendTo(addr, ack)
 }
 
 func (b *Broker) handleDisconnect(addr net.Addr) {
-	b.mu.Lock()
-	s := b.sessionFor(addr)
+	key := addr.String()
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	s := sh.sessions[key]
 	if s != nil {
 		// Clean disconnect: will is discarded (spec §6.14).
-		delete(b.sessions, s.addrKey)
-		delete(b.byClientID, s.clientID)
+		delete(sh.sessions, key)
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
+	if s != nil {
+		b.clientMu.Lock()
+		if b.byClientID[s.clientID] == s {
+			delete(b.byClientID, s.clientID)
+		}
+		b.clientMu.Unlock()
+	}
 	b.sendTo(addr, &mqttsn.Disconnect{})
 }
 
 // route fans a message out to all matching subscribers (and stores it if
-// retained).
+// retained). It walks the shards one at a time, so a hot shard never
+// blocks matching on the others.
 func (b *Broker) route(msg *message) {
-	b.mu.Lock()
 	if msg.retain {
+		b.retMu.Lock()
 		if len(msg.payload) == 0 {
 			delete(b.retained, msg.topic)
 		} else {
 			b.retained[msg.topic] = msg
 		}
+		b.retMu.Unlock()
 	}
 	if msg.topicID == 0 {
-		msg.topicID = b.topicIDLocked(msg.topic)
+		msg.topicID = b.topicID(msg.topic)
 	}
 	type target struct {
 		s   *session
 		qos mqttsn.QoS
 	}
 	var targets []target
-	for _, s := range b.sessions {
-		best := mqttsn.QoS(-2)
-		for filter, subQoS := range s.subs {
-			if mqttsn.TopicMatches(filter, msg.topic) && subQoS > best {
-				best = subQoS
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			best := mqttsn.QoS(-2)
+			for filter, subQoS := range s.subs {
+				if mqttsn.TopicMatches(filter, msg.topic) && subQoS > best {
+					best = subQoS
+				}
+			}
+			if best >= -1 {
+				q := msg.qos
+				if best < q {
+					q = best
+				}
+				targets = append(targets, target{s, q})
 			}
 		}
-		if best >= -1 {
-			q := msg.qos
-			if best < q {
-				q = best
-			}
-			targets = append(targets, target{s, q})
-		}
+		sh.mu.Unlock()
 	}
-	b.stats.MessagesRouted += uint64(len(targets))
-	b.mu.Unlock()
-
+	b.ctr.messagesRouted.Add(uint64(len(targets)))
 	for _, t := range targets {
 		out := *msg
 		out.qos = t.qos
@@ -715,7 +1017,8 @@ func (b *Broker) route(msg *message) {
 // deliver sends one message to one subscriber, respecting its QoS and
 // registering the topic first if the client does not know its id.
 func (b *Broker) deliver(s *session, msg *message) {
-	b.mu.Lock()
+	sh := b.shardFor(s.addrKey)
+	sh.mu.Lock()
 	if !s.knownTopics[msg.topicID] {
 		// Queue behind a REGISTER exchange.
 		pending, already := s.pendingReg[msg.topicID]
@@ -727,7 +1030,7 @@ func (b *Broker) deliver(s *session, msg *message) {
 		if !already {
 			regMsgID = s.allocMsgID()
 		}
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		if !already {
 			b.sendTo(addr, &mqttsn.Register{TopicID: id, MsgID: regMsgID, TopicName: topic})
 		}
@@ -744,7 +1047,7 @@ func (b *Broker) deliver(s *session, msg *message) {
 			ob.state = obAwaitPubrec
 		}
 		s.outbound[msgID] = ob
-		pub = b.publishPacketLocked(s, ob)
+		pub = publishPacket(ob)
 	default:
 		pub = &mqttsn.Publish{
 			Flags:   mqttsn.Flags{QoS: msg.qos, Retain: msg.retain},
@@ -753,6 +1056,6 @@ func (b *Broker) deliver(s *session, msg *message) {
 		}
 	}
 	addr := s.addr
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	b.sendTo(addr, pub)
 }

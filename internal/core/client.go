@@ -11,6 +11,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/provlight/provlight/internal/mqttsn"
@@ -33,7 +34,9 @@ type Config struct {
 	// Topic overrides the publish topic; empty uses DefaultTopic(ClientID).
 	Topic string
 	// QoS is the publish quality of service. The paper's default is QoS 2
-	// ("exactly once", Table VI); that is also the zero-value default here.
+	// ("exactly once", Table VI); the zero value is mapped to QoS 2 (as in
+	// translate.Config). Fire-and-forget capture is available via
+	// mqttsn.QoSMinusOne; QoS 0 cannot be requested through this field.
 	QoS mqttsn.QoS
 	// GroupSize, when > 0, buffers the records of that many *ended tasks*
 	// and transmits them in one frame. Task-begin records are always sent
@@ -49,6 +52,15 @@ type Config struct {
 	Synchronous bool
 	// QueueCapacity bounds the async transmit queue. Default 1024.
 	QueueCapacity int
+	// WindowSize bounds how many publish handshakes the async sender keeps
+	// in flight at once. At QoS 2 each frame costs two round trips; the
+	// window overlaps those handshakes so throughput is no longer capped at
+	// 1/(2*RTT) frames/s on high-latency edge links. 1 restores the
+	// stop-and-wait behaviour (one frame fully acknowledged before the
+	// next is sent); frames are always *submitted* in capture order, but
+	// with WindowSize > 1 they may complete (and be routed by the broker)
+	// out of order. Default 16.
+	WindowSize int
 	// KeepAlive, RetryInterval, MaxRetries tune the MQTT-SN session.
 	KeepAlive     time.Duration
 	RetryInterval time.Duration
@@ -77,14 +89,47 @@ type Client struct {
 	topic string
 	enc   wire.Encoder
 
-	mu     sync.Mutex
-	group  []*provdm.Record
-	stats  Stats
-	closed bool
+	mu    sync.Mutex // guards group
+	group []*provdm.Record
 
-	sendQ chan []byte
+	// txMu serializes encode+enqueue so frames enter sendQ in capture
+	// order. Callers that decide what to transmit under c.mu acquire txMu
+	// *before* releasing c.mu (a lock handoff); this keeps a cut group
+	// batch ordered against any capture that follows it. txMu is never
+	// held while acquiring c.mu, so the ordering is deadlock-free.
+	txMu sync.Mutex
+
+	// errMu serializes OnError callbacks: with WindowSize > 1 several
+	// handshakes can fail near-simultaneously on different collector
+	// goroutines, but the callback keeps the pre-windowing one-at-a-time
+	// contract.
+	errMu sync.Mutex
+
+	ctr    counters
+	closed atomic.Bool
+
+	sendQ chan *[]byte
 	wg    sync.WaitGroup // sender goroutine
 	inFly sync.WaitGroup // outstanding frames
+}
+
+// framePool recycles encoded frame buffers. A frame is leased in
+// transmitOrdered and returned once its publish handshake has fully
+// completed (the transport does not retain the payload after the flow's
+// error is delivered), so the steady-state capture path allocates nothing
+// per frame.
+var framePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+// counters are the lock-free internals behind Stats.
+type counters struct {
+	recordsCaptured  atomic.Uint64
+	framesPublished  atomic.Uint64
+	bytesPublished   atomic.Uint64
+	framesCompressed atomic.Uint64
+	recordsGrouped   atomic.Uint64
+	asyncErrors      atomic.Uint64
 }
 
 // NewClient connects to the broker and returns a ready capture client.
@@ -98,14 +143,24 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.QueueCapacity <= 0 {
 		cfg.QueueCapacity = 1024
 	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 16
+	}
+	if cfg.QoS == 0 {
+		// The seed shipped with the zero value silently meaning QoS 0 while
+		// documenting QoS 2 as the default; the capture pipeline (Table VI)
+		// is exactly-once, so make the zero value mean that.
+		cfg.QoS = mqttsn.QoS2
+	}
 	mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
-		ClientID:      cfg.ClientID,
-		Gateway:       cfg.Broker,
-		Conn:          cfg.Conn,
-		KeepAlive:     cfg.KeepAlive,
-		RetryInterval: cfg.RetryInterval,
-		MaxRetries:    cfg.MaxRetries,
-		CleanSession:  true,
+		ClientID:       cfg.ClientID,
+		Gateway:        cfg.Broker,
+		Conn:           cfg.Conn,
+		KeepAlive:      cfg.KeepAlive,
+		RetryInterval:  cfg.RetryInterval,
+		MaxRetries:     cfg.MaxRetries,
+		InflightWindow: cfg.WindowSize,
+		CleanSession:   true,
 	})
 	if err != nil {
 		return nil, err
@@ -126,7 +181,7 @@ func NewClient(cfg Config) (*Client, error) {
 		mqtt:  mc,
 		topic: cfg.Topic,
 		enc:   wire.Encoder{DisableCompression: cfg.DisableCompression},
-		sendQ: make(chan []byte, cfg.QueueCapacity),
+		sendQ: make(chan *[]byte, cfg.QueueCapacity),
 	}
 	if !cfg.Synchronous {
 		c.wg.Add(1)
@@ -137,27 +192,40 @@ func NewClient(cfg Config) (*Client, error) {
 
 // Stats returns a snapshot of capture counters.
 func (c *Client) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		RecordsCaptured:  c.ctr.recordsCaptured.Load(),
+		FramesPublished:  c.ctr.framesPublished.Load(),
+		BytesPublished:   c.ctr.bytesPublished.Load(),
+		FramesCompressed: c.ctr.framesCompressed.Load(),
+		RecordsGrouped:   c.ctr.recordsGrouped.Load(),
+		AsyncErrors:      c.ctr.asyncErrors.Load(),
+	}
 }
 
 // MQTTStats exposes the underlying transport counters.
 func (c *Client) MQTTStats() mqttsn.ClientStats { return c.mqtt.Stats() }
 
+// sender keeps the publish window full: it submits each queued frame as an
+// asynchronous handshake and only blocks when WindowSize handshakes are
+// already in flight, instead of waiting out the full QoS 2 double round
+// trip per frame. Completion (and error accounting) happens on a small
+// per-frame collector; Flush/Close observe it through the inFly group.
 func (c *Client) sender() {
 	defer c.wg.Done()
-	for frame := range c.sendQ {
-		if err := c.mqtt.Publish(c.topic, frame, c.cfg.QoS); err != nil {
-			c.mu.Lock()
-			c.stats.AsyncErrors++
-			cb := c.cfg.OnError
-			c.mu.Unlock()
-			if cb != nil {
-				cb(err)
+	for bufp := range c.sendQ {
+		errc := c.mqtt.PublishAsync(c.topic, *bufp, c.cfg.QoS)
+		go func() {
+			if err := <-errc; err != nil {
+				c.ctr.asyncErrors.Add(1)
+				if cb := c.cfg.OnError; cb != nil {
+					c.errMu.Lock()
+					cb(err)
+					c.errMu.Unlock()
+				}
 			}
-		}
-		c.inFly.Done()
+			framePool.Put(bufp)
+			c.inFly.Done()
+		}()
 	}
 }
 
@@ -167,33 +235,36 @@ func (c *Client) Capture(rec *provdm.Record) error {
 	if err := rec.Validate(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return fmt.Errorf("provlight: client closed")
 	}
-	c.stats.RecordsCaptured++
+	c.ctr.recordsCaptured.Add(1)
 	groupable := c.cfg.GroupSize > 0 &&
 		(c.cfg.GroupAll || rec.Event == provdm.EventTaskEnd || rec.Event == provdm.EventWorkflowEnd)
 	if groupable {
+		c.mu.Lock()
 		cp := *rec
 		c.group = append(c.group, &cp)
-		c.stats.RecordsGrouped++
+		c.ctr.recordsGrouped.Add(1)
 		full := len(c.group) >= c.cfg.GroupSize
 		flush := rec.Event == provdm.EventWorkflowEnd // end of workflow drains the group
-		var batch []*provdm.Record
-		if full || flush {
-			batch = c.group
-			c.group = nil
+		if !full && !flush {
+			c.mu.Unlock()
+			return nil
 		}
+		batch := c.group
+		c.group = nil
+		// Lock handoff: take txMu before releasing c.mu so no capture that
+		// observes the emptied group can enqueue its frame ahead of this
+		// batch.
+		c.txMu.Lock()
 		c.mu.Unlock()
-		if batch != nil {
-			return c.transmit(batch...)
-		}
-		return nil
+		defer c.txMu.Unlock()
+		return c.transmitOrdered(batch...)
 	}
-	c.mu.Unlock()
-	return c.transmit(rec)
+	c.txMu.Lock()
+	defer c.txMu.Unlock()
+	return c.transmitOrdered(rec)
 }
 
 // Flush transmits any buffered group and waits for in-flight frames.
@@ -201,10 +272,14 @@ func (c *Client) Flush() error {
 	c.mu.Lock()
 	batch := c.group
 	c.group = nil
-	c.mu.Unlock()
 	var err error
 	if len(batch) > 0 {
-		err = c.transmit(batch...)
+		c.txMu.Lock() // handoff, as in Capture
+		c.mu.Unlock()
+		err = c.transmitOrdered(batch...)
+		c.txMu.Unlock()
+	} else {
+		c.mu.Unlock()
 	}
 	c.inFly.Wait()
 	return err
@@ -213,16 +288,18 @@ func (c *Client) Flush() error {
 // Close flushes, disconnects, and releases the client.
 func (c *Client) Close() error {
 	err := c.Flush()
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if !c.closed.CompareAndSwap(false, true) {
 		return err
 	}
-	c.closed = true
-	c.mu.Unlock()
 	if !c.cfg.Synchronous {
+		// Wait out any transmit that was already past the closed check,
+		// then close the queue, drain the sender, and wait for the last
+		// handshakes before the protocol goodbye.
+		c.txMu.Lock()
+		c.txMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 		close(c.sendQ)
 		c.wg.Wait()
+		c.inFly.Wait()
 	}
 	if derr := c.mqtt.Disconnect(); derr != nil && err == nil {
 		err = derr
@@ -230,35 +307,37 @@ func (c *Client) Close() error {
 	return err
 }
 
-func (c *Client) transmit(records ...*provdm.Record) error {
-	frame, err := c.enc.EncodeFrame(records...)
+// transmitOrdered encodes records into one frame and enqueues (or, in
+// synchronous mode, publishes) it. Callers must hold c.txMu, which makes
+// the encode+enqueue atomic with respect to other transmits and so
+// preserves capture order in sendQ.
+func (c *Client) transmitOrdered(records ...*provdm.Record) error {
+	bufp := framePool.Get().(*[]byte)
+	frame, err := c.enc.AppendFrame((*bufp)[:0], records...)
 	if err != nil {
+		framePool.Put(bufp)
 		return err
 	}
-	c.mu.Lock()
-	c.stats.FramesPublished++
-	c.stats.BytesPublished += uint64(len(frame))
+	*bufp = frame
+	c.ctr.framesPublished.Add(1)
+	c.ctr.bytesPublished.Add(uint64(len(frame)))
 	if wire.IsCompressed(frame) {
-		c.stats.FramesCompressed++
+		c.ctr.framesCompressed.Add(1)
 	}
-	closed := c.closed
-	c.mu.Unlock()
 	if c.cfg.Synchronous {
-		return c.mqtt.Publish(c.topic, frame, c.cfg.QoS)
+		err := c.mqtt.Publish(c.topic, frame, c.cfg.QoS)
+		framePool.Put(bufp)
+		return err
 	}
-	if closed {
+	if c.closed.Load() {
+		framePool.Put(bufp)
 		return fmt.Errorf("provlight: client closed")
 	}
 	c.inFly.Add(1)
-	select {
-	case c.sendQ <- frame:
-		return nil
-	default:
-		// Queue saturated (e.g. radio slower than capture rate): block,
-		// exposing backpressure to the caller like a real radio queue.
-		c.sendQ <- frame
-		return nil
-	}
+	// A full queue (e.g. radio slower than capture rate) blocks here,
+	// exposing backpressure to the caller like a real radio queue.
+	c.sendQ <- bufp
+	return nil
 }
 
 // Attrs builds an ordered attribute list from a map (sorted by name for

@@ -183,6 +183,77 @@ func TestCompressionStats(t *testing.T) {
 	}
 }
 
+func TestWindowSizeOneStopAndWait(t *testing.T) {
+	// WindowSize 1 restores the pre-windowing stop-and-wait sender: one
+	// frame fully acknowledged before the next leaves. Everything must
+	// still arrive exactly once, in capture order on a loss-free link.
+	client, mem, _ := startPipeline(t, func(c *Config) {
+		c.WindowSize = 1
+	})
+	wf := client.NewWorkflow("w1")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 10
+	for i := 0; i < tasks; i++ {
+		task := wf.NewTask(fmt.Sprintf("t%d", i), "tr")
+		if err := task.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := task.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wf.End(); err != nil {
+		t.Fatal(err)
+	}
+	records := waitRecords(t, mem, 2+2*tasks)
+	if records[0].Event != provdm.EventWorkflowBegin {
+		t.Errorf("first record = %s, want workflow.begin", records[0].Event)
+	}
+	if last := records[len(records)-1]; last.Event != provdm.EventWorkflowEnd {
+		t.Errorf("last record = %s, want workflow.end", last.Event)
+	}
+	if st := client.Stats(); st.FramesPublished != uint64(2+2*tasks) {
+		t.Errorf("frames = %d, want %d", st.FramesPublished, 2+2*tasks)
+	}
+}
+
+func TestWindowedCaptureDeliversEverything(t *testing.T) {
+	// A wide window overlaps many QoS 2 handshakes; every record must
+	// still arrive exactly once.
+	client, mem, _ := startPipeline(t, func(c *Config) {
+		c.WindowSize = 32
+	})
+	wf := client.NewWorkflow("wide")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 50
+	for i := 0; i < tasks; i++ {
+		task := wf.NewTask(fmt.Sprintf("t%d", i), "tr")
+		if err := task.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := task.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wf.End(); err != nil {
+		t.Fatal(err)
+	}
+	records := waitRecords(t, mem, 2+2*tasks)
+	seen := map[string]int{}
+	for _, r := range records {
+		seen[fmt.Sprintf("%s/%s", r.Event, r.TaskID)]++
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("record %s delivered %d times", k, n)
+		}
+	}
+}
+
 func TestLifecycleErrors(t *testing.T) {
 	client, _, _ := startPipeline(t, nil)
 	wf := client.NewWorkflow("e")

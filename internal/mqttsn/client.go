@@ -42,6 +42,12 @@ type ClientConfig struct {
 	RetryInterval time.Duration
 	// MaxRetries bounds retransmissions per in-flight message. Defaults to 5.
 	MaxRetries int
+	// InflightWindow bounds how many publish handshakes may be in flight at
+	// once via PublishAsync (and Publish, which wraps it). Each in-flight
+	// message runs its own QoS 1/2 handshake with a per-message retry
+	// timer; the waiters map matches acknowledgements by msgID. 1 restores
+	// strictly serial stop-and-wait publishing. Defaults to 16.
+	InflightWindow int
 	// CleanSession requests a fresh session.
 	CleanSession bool
 	// Will is the optional last-will message.
@@ -91,8 +97,17 @@ type Client struct {
 	// Stats counts protocol activity (used by tests and the evaluation).
 	stats ClientStats
 
+	// window is the in-flight publish semaphore: one slot per outstanding
+	// PublishAsync handshake.
+	window chan struct{}
+
 	done chan struct{}
 	wg   sync.WaitGroup
+}
+
+// sendBufPool holds scratch buffers for marshaling outgoing packets.
+var sendBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 2048); return &b },
 }
 
 // ClientStats counts client protocol activity.
@@ -119,6 +134,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 5
+	}
+	if cfg.InflightWindow <= 0 {
+		cfg.InflightWindow = 16
 	}
 	conn := cfg.Conn
 	ownConn := false
@@ -149,6 +167,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		inbound2:    map[uint16][]byte{},
 		pendingSubs: map[uint16]pendingSub{},
 		pendingRegs: map[uint16]string{},
+		window:      make(chan struct{}, cfg.InflightWindow),
 		done:        make(chan struct{}),
 	}
 	c.wg.Add(1)
@@ -173,11 +192,15 @@ func (c *Client) nextMsgID() uint16 {
 }
 
 func (c *Client) send(p Packet) error {
-	data := Marshal(p)
+	bufp := sendBufPool.Get().(*[]byte)
+	data := AppendPacket((*bufp)[:0], p)
 	_, err := c.conn.WriteTo(data, c.gwAddr)
+	n := len(data)
+	*bufp = data[:0]
+	sendBufPool.Put(bufp)
 	c.mu.Lock()
 	c.stats.PacketsSent++
-	c.stats.BytesSent += uint64(len(data))
+	c.stats.BytesSent += uint64(n)
 	c.lastSend = time.Now()
 	c.mu.Unlock()
 	return err
@@ -199,11 +222,26 @@ func (c *Client) cancelAwait(key ackKey) {
 	c.mu.Unlock()
 }
 
-// request sends p and waits for the matching acknowledgement, retrying with
-// the configured backoff. markDup marks retransmissions when non-nil.
+// request sends p and waits for the matching acknowledgement, driving
+// retransmissions from a per-message retry timer. Many requests with
+// distinct msgIDs may run concurrently; the waiters map matches each
+// acknowledgement to its exchange. markDup marks retransmissions when
+// non-nil.
 func (c *Client) request(p Packet, key ackKey, markDup func()) (Packet, error) {
 	ch := c.await(key)
+	if err := c.send(p); err != nil {
+		c.cancelAwait(key)
+		return nil, err
+	}
+	return c.awaitAck(p, key, ch, markDup)
+}
+
+// awaitAck waits on an already-sent, already-registered exchange,
+// retransmitting p on its retry timer. It consumes the waiter entry.
+func (c *Client) awaitAck(p Packet, key ackKey, ch chan Packet, markDup func()) (Packet, error) {
 	defer c.cancelAwait(key)
+	timer := time.NewTimer(c.cfg.RetryInterval)
+	defer timer.Stop()
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			if markDup != nil {
@@ -212,14 +250,21 @@ func (c *Client) request(p Packet, key ackKey, markDup func()) (Packet, error) {
 			c.mu.Lock()
 			c.stats.Retransmissions++
 			c.mu.Unlock()
-		}
-		if err := c.send(p); err != nil {
-			return nil, err
+			if err := c.send(p); err != nil {
+				return nil, err
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(c.cfg.RetryInterval)
 		}
 		select {
 		case ack := <-ch:
 			return ack, nil
-		case <-time.After(c.cfg.RetryInterval):
+		case <-timer.C:
 		case <-c.done:
 			return nil, ErrClosed
 		}
@@ -288,44 +333,96 @@ func (c *Client) RegisterTopic(topic string) (uint16, error) {
 
 // Publish sends payload to topic at the given QoS level. The call blocks
 // until the QoS flow completes (QoS 2: PUBLISH/PUBREC/PUBREL/PUBCOMP,
-// guaranteeing exactly-once receipt at the gateway).
+// guaranteeing exactly-once receipt at the gateway). It is a blocking
+// wrapper around PublishAsync and therefore shares the in-flight window.
 func (c *Client) Publish(topic string, payload []byte, qos QoS) error {
+	return <-c.PublishAsync(topic, payload, qos)
+}
+
+// PublishAsync starts a publish handshake and returns a 1-buffered channel
+// that receives the flow's final error (nil on success). The call blocks
+// only while the in-flight window is full, so a sender can keep
+// InflightWindow handshakes running concurrently instead of paying the
+// QoS 2 double round trip per message.
+//
+// The initial PUBLISH is transmitted before PublishAsync returns, so a
+// single caller's messages reach the gateway in submission order; the rest
+// of the handshake (acks, retries on the per-message timer, the QoS 2
+// PUBREL leg) runs on a per-message goroutine, matched to inbound
+// acknowledgements by msgID. Flows may therefore *complete* out of
+// submission order.
+func (c *Client) PublishAsync(topic string, payload []byte, qos QoS) <-chan error {
+	done := make(chan error, 1)
 	topicID, err := c.RegisterTopic(topic)
 	if err != nil {
-		return err
+		done <- err
+		return done
+	}
+	switch qos {
+	case QoS0, QoSMinusOne, QoS1, QoS2:
+	default:
+		done <- fmt.Errorf("mqttsn: unsupported QoS %d", qos)
+		return done
+	}
+	// Acquire a window slot; this is where PublishAsync blocks when the
+	// window is full.
+	select {
+	case c.window <- struct{}{}:
+	case <-c.done:
+		done <- ErrClosed
+		return done
 	}
 	c.mu.Lock()
 	c.stats.PublishesSent++
 	c.mu.Unlock()
-	switch qos {
-	case QoS0, QoSMinusOne:
+
+	if qos == QoS0 || qos == QoSMinusOne {
 		pub := &Publish{Flags: Flags{QoS: qos}, TopicID: topicID, Data: payload}
-		return c.send(pub)
-	case QoS1:
-		msgID := c.nextMsgID()
-		pub := &Publish{Flags: Flags{QoS: QoS1}, TopicID: topicID, MsgID: msgID, Data: payload}
-		ack, err := c.request(pub, ackKey{PUBACK, msgID}, func() { pub.Flags.DUP = true })
-		if err != nil {
-			return err
-		}
+		err := c.send(pub)
+		<-c.window
+		done <- err
+		return done
+	}
+
+	msgID := c.nextMsgID()
+	pub := &Publish{Flags: Flags{QoS: qos}, TopicID: topicID, MsgID: msgID, Data: payload}
+	firstAck := PUBACK
+	if qos == QoS2 {
+		firstAck = PUBREC
+	}
+	key := ackKey{firstAck, msgID}
+	ch := c.await(key)
+	if err := c.send(pub); err != nil {
+		c.cancelAwait(key)
+		<-c.window
+		done <- err
+		return done
+	}
+	go func() {
+		done <- c.finishPublish(pub, key, ch, msgID)
+		<-c.window
+	}()
+	return done
+}
+
+// finishPublish completes an in-flight handshake whose initial PUBLISH is
+// already on the wire.
+func (c *Client) finishPublish(pub *Publish, key ackKey, ch chan Packet, msgID uint16) error {
+	ack, err := c.awaitAck(pub, key, ch, func() { pub.Flags.DUP = true })
+	if err != nil {
+		return err
+	}
+	if pub.Flags.QoS == QoS1 {
 		if pa := ack.(*Puback); pa.ReturnCode != Accepted {
 			return fmt.Errorf("mqttsn: publish rejected: %s", pa.ReturnCode)
 		}
 		return nil
-	case QoS2:
-		msgID := c.nextMsgID()
-		pub := &Publish{Flags: Flags{QoS: QoS2}, TopicID: topicID, MsgID: msgID, Data: payload}
-		if _, err := c.request(pub, ackKey{PUBREC, msgID}, func() { pub.Flags.DUP = true }); err != nil {
-			return err
-		}
-		rel := &Pubrel{msgIDOnly{MsgID: msgID}}
-		if _, err := c.request(rel, ackKey{PUBCOMP, msgID}, nil); err != nil {
-			return err
-		}
-		return nil
-	default:
-		return fmt.Errorf("mqttsn: unsupported QoS %d", qos)
 	}
+	rel := &Pubrel{msgIDOnly{MsgID: msgID}}
+	if _, err := c.request(rel, ackKey{PUBCOMP, msgID}, nil); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Subscribe registers handler for a topic name or wildcard filter. The
@@ -438,11 +535,17 @@ func (c *Client) readLoop() {
 			return
 		default:
 		}
-		c.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		// No per-read deadline: Close() either closes the socket or sets
+		// an immediate deadline, both of which unblock ReadFrom.
 		n, addr, err := c.conn.ReadFrom(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				continue
+				select {
+				case <-c.done:
+					return
+				default:
+					continue
+				}
 			}
 			return
 		}

@@ -191,16 +191,33 @@ type Packet interface {
 
 // Marshal encodes a packet with the proper 1- or 3-byte length header.
 func Marshal(p Packet) []byte {
-	body := p.body(make([]byte, 0, 64))
-	n := len(body) + 2 // length byte + msgtype
-	if n+2 <= 255 {    // fits in a 1-byte length even after no extension
-		out := make([]byte, 0, n)
-		out = append(out, byte(n), byte(p.Type()))
-		return append(out, body...)
+	return AppendPacket(make([]byte, 0, 64), p)
+}
+
+// AppendPacket appends the wire encoding of p to dst and returns the
+// extended slice. It lets hot paths (client send, broker route) reuse a
+// pooled buffer instead of allocating per packet.
+func AppendPacket(dst []byte, p Packet) []byte {
+	// Reserve the worst-case 4-byte header (extended length + msgtype),
+	// build the body in place, then fix the header up. Small packets pay a
+	// <=253-byte shift; large ones (the payload-carrying PUBLISHes) use the
+	// extended header and need no copy at all.
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = p.body(dst)
+	bodyLen := len(dst) - start - 4
+	n := bodyLen + 2 // 1-byte length + msgtype
+	if n+2 <= 255 {  // fits in a 1-byte length even after no extension
+		dst[start] = byte(n)
+		dst[start+1] = byte(p.Type())
+		copy(dst[start+2:], dst[start+4:])
+		return dst[:start+2+bodyLen]
 	}
-	out := make([]byte, 0, n+2)
-	out = append(out, 0x01, byte((n+2)>>8), byte(n+2), byte(p.Type()))
-	return append(out, body...)
+	dst[start] = 0x01
+	dst[start+1] = byte((n + 2) >> 8)
+	dst[start+2] = byte(n + 2)
+	dst[start+3] = byte(p.Type())
+	return dst
 }
 
 // Unmarshal decodes one MQTT-SN packet from a datagram.

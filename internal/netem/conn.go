@@ -44,10 +44,11 @@ func newShaper(p Profile) *shaper {
 	return &shaper{prof: p, rng: p.rng()}
 }
 
-// pace blocks until n bytes have been "serialized" onto the link and the
-// propagation delay has elapsed.
-func (s *shaper) pace(n int) {
-	var wait time.Duration
+// reserve blocks the caller for the serialization (bandwidth) time of n
+// bytes and returns the instant the last bit leaves the transmitter.
+// Propagation delay is NOT included: like a real link, it delays arrival
+// without occupying the sender.
+func (s *shaper) reserve(n int) time.Time {
 	s.mu.Lock()
 	now := time.Now()
 	start := s.nextFree
@@ -59,9 +60,20 @@ func (s *shaper) pace(n int) {
 		tx = time.Duration(float64(n*8) / float64(s.prof.BandwidthBps) * float64(time.Second))
 	}
 	s.nextFree = start.Add(tx)
-	wait = s.nextFree.Add(s.prof.Delay).Sub(now)
+	end := s.nextFree
 	s.mu.Unlock()
-	if wait > 0 {
+	if wait := end.Sub(now); wait > 0 {
+		time.Sleep(wait)
+	}
+	return end
+}
+
+// pace blocks until n bytes have been "serialized" onto the link and the
+// propagation delay has elapsed (stream-conn semantics, where the write
+// models the full blocking exchange leg).
+func (s *shaper) pace(n int) {
+	end := s.reserve(n).Add(s.prof.Delay)
+	if wait := time.Until(end); wait > 0 {
 		time.Sleep(wait)
 	}
 }
@@ -93,32 +105,95 @@ func (c *Conn) Write(b []byte) (int, error) {
 }
 
 // PacketConn wraps a net.PacketConn, shaping, dropping, and duplicating
-// outgoing datagrams.
+// outgoing datagrams. Bandwidth pacing blocks the writer (serialization
+// occupies the transmitter), but propagation delay is applied off the
+// caller's goroutine, like real tc/netem: concurrent senders pipeline
+// through the latency instead of serializing on it.
 type PacketConn struct {
 	net.PacketConn
 	sh *shaper
+
+	// delayQ feeds the delivery goroutine when Delay > 0; datagrams are
+	// released in enqueue order once their arrival time passes.
+	delayQ    chan delayedDatagram
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+type delayedDatagram struct {
+	data []byte
+	addr net.Addr
+	due  time.Time
 }
 
 // WrapPacketConn returns pc with writes shaped by profile p.
 func WrapPacketConn(pc net.PacketConn, p Profile) *PacketConn {
-	return &PacketConn{PacketConn: pc, sh: newShaper(p)}
+	c := &PacketConn{PacketConn: pc, sh: newShaper(p), closed: make(chan struct{})}
+	if p.Delay > 0 {
+		c.delayQ = make(chan delayedDatagram, 1024)
+		go c.deliverLoop()
+	}
+	return c
 }
 
-// WriteTo applies loss/duplication and paces the datagram before sending.
-// Dropped datagrams report success, as a lossy network would.
+// deliverLoop releases queued datagrams when their propagation delay has
+// elapsed. Due times are non-decreasing for a single writer, so FIFO
+// release preserves send order.
+func (c *PacketConn) deliverLoop() {
+	for {
+		select {
+		case <-c.closed:
+			return
+		case d := <-c.delayQ:
+			if wait := time.Until(d.due); wait > 0 {
+				time.Sleep(wait)
+			}
+			c.PacketConn.WriteTo(d.data, d.addr)
+		}
+	}
+}
+
+// Close stops the delivery goroutine (dropping any datagrams still "in
+// flight", as a dying link would) and closes the underlying socket.
+func (c *PacketConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.PacketConn.Close()
+}
+
+// WriteTo applies loss/duplication, blocks for the serialization time, and
+// schedules delivery after the propagation delay. Dropped datagrams report
+// success, as a lossy network would.
 func (c *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 	if c.sh.prof.LossRate > 0 && c.sh.roll() < c.sh.prof.LossRate {
 		return len(b), nil // silently dropped
 	}
-	c.sh.pace(len(b))
-	n, err := c.PacketConn.WriteTo(b, addr)
-	if err != nil {
-		return n, err
+	dup := c.sh.prof.DupRate > 0 && c.sh.roll() < c.sh.prof.DupRate
+	txEnd := c.sh.reserve(len(b))
+	if c.delayQ == nil {
+		n, err := c.PacketConn.WriteTo(b, addr)
+		if err != nil {
+			return n, err
+		}
+		if dup {
+			if _, derr := c.PacketConn.WriteTo(b, addr); derr != nil {
+				return n, nil // duplicate failures are invisible to the sender
+			}
+		}
+		return n, nil
 	}
-	if c.sh.prof.DupRate > 0 && c.sh.roll() < c.sh.prof.DupRate {
-		if _, derr := c.PacketConn.WriteTo(b, addr); derr != nil {
-			return n, nil // duplicate failures are invisible to the sender
+	// The caller may reuse b as soon as we return; the in-flight copy owns
+	// its own storage.
+	d := delayedDatagram{data: append([]byte(nil), b...), addr: addr, due: txEnd.Add(c.sh.prof.Delay)}
+	copies := 1
+	if dup {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		select {
+		case c.delayQ <- d:
+		case <-c.closed:
+			return 0, net.ErrClosed
 		}
 	}
-	return n, nil
+	return len(b), nil
 }

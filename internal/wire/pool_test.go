@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+func sampleRecord(i int) *provdm.Record {
+	attrs := make([]provdm.Attribute, 0, 8)
+	for a := 0; a < 8; a++ {
+		attrs = append(attrs, provdm.Attribute{Name: fmt.Sprintf("attr_%d", a), Value: int64(a * i)})
+	}
+	return &provdm.Record{
+		Event:          provdm.EventTaskEnd,
+		WorkflowID:     "wf",
+		TaskID:         fmt.Sprintf("t%d", i),
+		Transformation: "tr",
+		Status:         provdm.StatusFinished,
+		Data:           []provdm.DataRef{{ID: fmt.Sprintf("d%d", i), WorkflowID: "wf", Attributes: attrs}},
+		Time:           time.Unix(0, int64(i)).UTC(),
+	}
+}
+
+// TestAppendFrameMatchesEncodeFrame pins AppendFrame to the EncodeFrame
+// wire format and checks dst-append semantics.
+func TestAppendFrameMatchesEncodeFrame(t *testing.T) {
+	enc := Encoder{}
+	recs := []*provdm.Record{sampleRecord(1), sampleRecord(2), sampleRecord(3)}
+	for _, n := range []int{1, 3} {
+		want, err := enc.EncodeFrame(recs[:n]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := []byte("prefix")
+		got, err := enc.AppendFrame(append([]byte(nil), prefix...), recs[:n]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(got, prefix) {
+			t.Fatalf("AppendFrame dropped dst prefix")
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Fatalf("AppendFrame(%d records) differs from EncodeFrame", n)
+		}
+	}
+}
+
+// TestAppendFrameReuseRoundTrip re-encodes into the same dst buffer many
+// times (the capture client's pattern) and decodes each frame back.
+func TestAppendFrameReuseRoundTrip(t *testing.T) {
+	enc := Encoder{}
+	var dst []byte
+	for i := 0; i < 100; i++ {
+		rec := sampleRecord(i)
+		var err error
+		dst, err = enc.AppendFrame(dst[:0], rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeFrame(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].TaskID != rec.TaskID {
+			t.Fatalf("round %d: decoded %+v", i, got)
+		}
+	}
+}
+
+// TestEncoderConcurrentPooledUse hammers the shared scratch pool from many
+// goroutines with compressed group frames to catch buffer aliasing.
+func TestEncoderConcurrentPooledUse(t *testing.T) {
+	enc := Encoder{CompressThreshold: 32}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				recs := []*provdm.Record{sampleRecord(g*1000 + i), sampleRecord(g*1000 + i + 1)}
+				frame, err := enc.EncodeFrame(recs...)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := DecodeFrame(frame)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d round %d: %w", g, i, err)
+					return
+				}
+				if len(got) != 2 || got[0].TaskID != recs[0].TaskID || got[1].TaskID != recs[1].TaskID {
+					errs <- fmt.Errorf("goroutine %d round %d: wrong records %+v", g, i, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeFrameCompressedPooledReader decodes many compressed frames to
+// exercise zlib reader Reset reuse.
+func TestDecodeFrameCompressedPooledReader(t *testing.T) {
+	enc := Encoder{CompressThreshold: 16}
+	for i := 0; i < 50; i++ {
+		frame, err := enc.EncodeFrame(sampleRecord(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsCompressed(frame) {
+			t.Fatalf("frame %d unexpectedly uncompressed", i)
+		}
+		got, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].TaskID != fmt.Sprintf("t%d", i) {
+			t.Fatalf("frame %d decoded wrong record %+v", i, got[0])
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/provlight/provlight/internal/provdm"
@@ -54,12 +55,46 @@ const (
 )
 
 // Encoder encodes capture records into frames. The zero value encodes with
-// compression enabled at the default threshold.
+// compression enabled at the default threshold. Encoders are stateless and
+// safe for concurrent use; scratch buffers and zlib writers come from a
+// shared pool.
 type Encoder struct {
 	// DisableCompression turns zlib off (used by the compression ablation).
 	DisableCompression bool
 	// CompressThreshold overrides DefaultCompressThreshold when > 0.
 	CompressThreshold int
+}
+
+// maxPooledScratch bounds the capacity of buffers returned to the encoder
+// pool so one giant frame does not pin memory forever.
+const maxPooledScratch = 1 << 20
+
+// sliceWriter is an allocation-free io.Writer target for the pooled
+// zlib.Writer.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// encScratch is the per-encode working set: the record/body build buffers
+// and a reusable zlib writer (zlib.NewWriter alone costs ~800 KB of
+// allocations per call; Reset makes it free after the first use).
+type encScratch struct {
+	body []byte
+	rec  []byte
+	comp sliceWriter
+	zw   *zlib.Writer
+}
+
+var encPool = sync.Pool{New: func() any { return &encScratch{} }}
+
+func putEncScratch(s *encScratch) {
+	if cap(s.body) > maxPooledScratch || cap(s.rec) > maxPooledScratch || cap(s.comp.b) > maxPooledScratch {
+		return
+	}
+	encPool.Put(s)
 }
 
 // appendString appends a varint length-prefixed string.
@@ -145,53 +180,83 @@ func appendDataRef(b []byte, d *provdm.DataRef) ([]byte, error) {
 
 // EncodeFrame encodes one or more records into a transmit-ready frame.
 // Multiple records produce a group frame (the client's grouping feature).
+// The returned slice is freshly allocated and owned by the caller.
 func (e *Encoder) EncodeFrame(records ...*provdm.Record) ([]byte, error) {
+	return e.AppendFrame(nil, records...)
+}
+
+// AppendFrame appends the frame encoding of records to dst and returns the
+// extended slice. All intermediate work (record encoding, compression)
+// happens in pooled scratch buffers, so the only allocation on the steady
+// state path is growing dst itself; callers that reuse dst encode with
+// zero allocations.
+func (e *Encoder) AppendFrame(dst []byte, records ...*provdm.Record) ([]byte, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("wire: empty frame")
 	}
+	s := encPool.Get().(*encScratch)
 	var flags byte
-	var body []byte
+	body := s.body[:0]
 	if len(records) == 1 {
 		var err error
-		body, err = AppendRecord(nil, records[0])
+		body, err = AppendRecord(body, records[0])
 		if err != nil {
+			s.body = body
+			putEncScratch(s)
 			return nil, err
 		}
 	} else {
 		flags |= flagGroup
-		body = binary.AppendUvarint(nil, uint64(len(records)))
-		var rec []byte
+		body = binary.AppendUvarint(body, uint64(len(records)))
+		rec := s.rec[:0]
 		for _, r := range records {
 			var err error
 			rec, err = AppendRecord(rec[:0], r)
 			if err != nil {
+				s.body, s.rec = body, rec
+				putEncScratch(s)
 				return nil, err
 			}
 			body = binary.AppendUvarint(body, uint64(len(rec)))
 			body = append(body, rec...)
 		}
+		s.rec = rec
 	}
+	s.body = body
 	threshold := e.CompressThreshold
 	if threshold <= 0 {
 		threshold = DefaultCompressThreshold
 	}
 	if !e.DisableCompression && len(body) > threshold {
-		var buf bytes.Buffer
-		zw := zlib.NewWriter(&buf)
-		if _, err := zw.Write(body); err != nil {
+		s.comp.b = s.comp.b[:0]
+		if s.zw == nil {
+			s.zw = zlib.NewWriter(&s.comp)
+		} else {
+			s.zw.Reset(&s.comp)
+		}
+		if _, err := s.zw.Write(body); err != nil {
+			putEncScratch(s)
 			return nil, err
 		}
-		if err := zw.Close(); err != nil {
+		if err := s.zw.Close(); err != nil {
+			putEncScratch(s)
 			return nil, err
 		}
-		if buf.Len() < len(body) {
-			body = buf.Bytes()
+		if len(s.comp.b) < len(body) {
+			body = s.comp.b
 			flags |= flagCompressed
 		}
 	}
-	frame := make([]byte, 0, len(body)+1)
-	frame = append(frame, Version<<4|flags)
-	return append(frame, body...), nil
+	need := 1 + len(body)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, Version<<4|flags)
+	dst = append(dst, body...)
+	putEncScratch(s)
+	return dst, nil
 }
 
 // reader consumes a record body.
@@ -392,6 +457,62 @@ func (r *reader) dataRef() (provdm.DataRef, error) {
 	return d, nil
 }
 
+// decScratch is the pooled decode working set: a reusable zlib reader
+// (reset per frame instead of reallocating its ~40 KB window) and the
+// decompression output buffer. Decoded records copy every string and byte
+// slice out of the buffer, so it is safe to recycle once DecodeFrame
+// returns.
+type decScratch struct {
+	br  bytes.Reader
+	zr  io.ReadCloser
+	buf []byte
+}
+
+var decPool = sync.Pool{New: func() any { return &decScratch{} }}
+
+func putDecScratch(s *decScratch) {
+	if cap(s.buf) > maxPooledScratch {
+		return
+	}
+	s.br.Reset(nil)
+	decPool.Put(s)
+}
+
+// decompress inflates body into the scratch buffer and returns the view.
+func (s *decScratch) decompress(body []byte) ([]byte, error) {
+	s.br.Reset(body)
+	if s.zr == nil {
+		zr, err := zlib.NewReader(&s.br)
+		if err != nil {
+			return nil, fmt.Errorf("wire: bad compressed body: %w", err)
+		}
+		s.zr = zr
+	} else if err := s.zr.(zlib.Resetter).Reset(&s.br, nil); err != nil {
+		return nil, fmt.Errorf("wire: bad compressed body: %w", err)
+	}
+	out := s.buf[:0]
+	for {
+		if len(out) == cap(out) {
+			out = append(out, 0)[:len(out)]
+		}
+		n, err := s.zr.Read(out[len(out):cap(out)])
+		out = out[:len(out)+n]
+		if len(out) > MaxFrameBody {
+			s.buf = out
+			return nil, fmt.Errorf("wire: decompressed body exceeds %d bytes", MaxFrameBody)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.buf = out
+			return nil, fmt.Errorf("wire: decompress: %w", err)
+		}
+	}
+	s.buf = out
+	return out, nil
+}
+
 // DecodeFrame decodes a frame produced by EncodeFrame, returning the
 // records in order.
 func DecodeFrame(frame []byte) ([]provdm.Record, error) {
@@ -403,21 +524,25 @@ func DecodeFrame(frame []byte) ([]provdm.Record, error) {
 		return nil, fmt.Errorf("wire: unsupported version %d", head>>4)
 	}
 	body := frame[1:]
+	var scratch *decScratch
 	if head&flagCompressed != 0 {
-		zr, err := zlib.NewReader(bytes.NewReader(body))
+		scratch = decPool.Get().(*decScratch)
+		decoded, err := scratch.decompress(body)
 		if err != nil {
-			return nil, fmt.Errorf("wire: bad compressed body: %w", err)
-		}
-		decoded, err := io.ReadAll(io.LimitReader(zr, MaxFrameBody+1))
-		zr.Close()
-		if err != nil {
-			return nil, fmt.Errorf("wire: decompress: %w", err)
-		}
-		if len(decoded) > MaxFrameBody {
-			return nil, fmt.Errorf("wire: decompressed body exceeds %d bytes", MaxFrameBody)
+			putDecScratch(scratch)
+			return nil, err
 		}
 		body = decoded
 	}
+	records, err := decodeBody(head, body)
+	if scratch != nil {
+		putDecScratch(scratch)
+	}
+	return records, err
+}
+
+// decodeBody parses the (decompressed) frame body.
+func decodeBody(head byte, body []byte) ([]provdm.Record, error) {
 	rd := &reader{b: body}
 	if head&flagGroup == 0 {
 		rec, err := rd.record()
