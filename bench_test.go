@@ -9,6 +9,7 @@ package provlight_test
 import (
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -483,4 +484,233 @@ func BenchmarkSimulatedEdgeRun(b *testing.B) {
 			Seed:        1,
 		})
 	}
+}
+
+// benchStoreDataflow registers a small spec on a fresh store.
+func benchStoreDataflow(b *testing.B) *dfanalyzer.Store {
+	b.Helper()
+	store := dfanalyzer.NewStore()
+	df := &dfanalyzer.Dataflow{
+		Tag: "bench",
+		Transformations: []dfanalyzer.Transformation{{
+			Tag: "t",
+			Output: []dfanalyzer.SetSchema{{Tag: "t_output", Attributes: []dfanalyzer.Attribute{
+				{Name: "epoch", Type: dfanalyzer.Numeric},
+				{Name: "loss", Type: dfanalyzer.Numeric},
+				{Name: "host", Type: dfanalyzer.Text},
+			}}},
+		}},
+	}
+	if err := store.RegisterDataflow(df); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+func benchTaskMsg(i int) *dfanalyzer.TaskMsg {
+	return &dfanalyzer.TaskMsg{
+		Dataflow: "bench", Transformation: "t", ID: fmt.Sprintf("task%d", i),
+		Status: dfanalyzer.StatusFinished,
+		Sets: []dfanalyzer.SetData{{Tag: "t_output", Elements: []dfanalyzer.Element{
+			{float64(i), 1.0 / float64(i+1), "edge-1"},
+		}}},
+	}
+}
+
+// BenchmarkStoreIngestBatch measures the store append path: one task per
+// IngestTasks call versus 64 per call (one shard lock per batch, columns
+// resolved positionally).
+func BenchmarkStoreIngestBatch(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			store := benchStoreDataflow(b)
+			msgs := make([]*dfanalyzer.TaskMsg, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += batch {
+				for j := range msgs {
+					msgs[j] = benchTaskMsg(n + j)
+				}
+				if err := store.IngestTasks(msgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreSelectTopK measures the OrderBy+Limit hit path over 100k
+// rows: a bounded top-k heap instead of sorting every match.
+func BenchmarkStoreSelectTopK(b *testing.B) {
+	store := benchStoreDataflow(b)
+	const rows = 100_000
+	const batch = 256
+	msgs := make([]*dfanalyzer.TaskMsg, 0, batch)
+	for i := 0; i < rows; i += batch {
+		msgs = msgs[:0]
+		for j := 0; j < batch; j++ {
+			msgs = append(msgs, benchTaskMsg(i+j))
+		}
+		if err := store.IngestTasks(msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := dfanalyzer.Query{
+		Dataflow: "bench", Set: "t_output",
+		Where:   []dfanalyzer.Pred{{Attr: "loss", Op: dfanalyzer.Lt, Value: 0.5}},
+		OrderBy: "epoch", Desc: true, Limit: 10,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := store.Select(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != 10 {
+			b.Fatalf("rows = %d, want 10", len(out))
+		}
+	}
+}
+
+// BenchmarkTranslatorPipeline measures end-to-end server-side ingestion:
+// device client -> UDP broker -> translator -> DfAnalyzer HTTP server ->
+// column store, sweeping the translator micro-batch size. The legacy case
+// replays the pre-PR per-frame target (full-history spec re-derivation
+// plus one POST /task per record) as the measured baseline.
+func BenchmarkTranslatorPipeline(b *testing.B) {
+	cases := []struct {
+		name   string
+		batch  int
+		target func(url string) provlight.Target
+	}{
+		{"legacy", 1, func(url string) provlight.Target {
+			return &legacyDfAnalyzerTarget{client: dfanalyzer.NewClient(url), dataflow: "bench"}
+		}},
+		{"batch1", 1, func(url string) provlight.Target { return provlight.NewDfAnalyzerTarget(url, "bench") }},
+		{"batch16", 16, func(url string) provlight.Target { return provlight.NewDfAnalyzerTarget(url, "bench") }},
+		{"batch64", 64, func(url string) provlight.Target { return provlight.NewDfAnalyzerTarget(url, "bench") }},
+	}
+	for _, bc := range cases {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			dfaSrv := dfanalyzer.NewServer(nil)
+			if err := dfaSrv.Start("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer dfaSrv.Close()
+			server, err := provlight.StartServer(provlight.ServerConfig{
+				Addr:        "127.0.0.1:0",
+				Targets:     []provlight.Target{bc.target("http://" + dfaSrv.Addr())},
+				BatchSize:   bc.batch,
+				BatchLinger: time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer server.Close()
+			client, err := provlight.NewClient(provlight.Config{
+				Broker:     server.Addr(),
+				ClientID:   "bench-ingest",
+				WindowSize: 64,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			wf := client.NewWorkflow("bench")
+			if err := wf.Begin(); err != nil {
+				b.Fatal(err)
+			}
+			attrs := provlight.Attrs(map[string]any{"epoch": int64(0), "loss": 0.5})
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				task := wf.NewTask(fmt.Sprintf("t%d", i), "t")
+				if err := task.Begin(provlight.NewData(fmt.Sprintf("in%d", i), attrs)); err != nil {
+					b.Fatal(err)
+				}
+				if err := task.End(provlight.NewData(fmt.Sprintf("out%d", i), attrs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := client.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			// Flush only guarantees the broker holds the frames; wait until
+			// every task reached the store through the translator. The
+			// failsafe scales with b.N so the quadratic legacy baseline
+			// isn't mistaken for a stall.
+			deadline := time.Now().Add(30*time.Second + time.Duration(b.N)*10*time.Millisecond)
+			for dfaSrv.Store().TaskCount("bench") < b.N {
+				if time.Now().After(deadline) {
+					b.Fatalf("store has %d tasks, want %d", dfaSrv.Store().TaskCount("bench"), b.N)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			server.Drain()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			frames := client.Stats().FramesPublished
+			b.ReportMetric(float64(frames)/elapsed.Seconds(), "frames/s")
+		})
+	}
+}
+
+// legacyDfAnalyzerTarget replicates the pre-batching DfAnalyzer target:
+// every frame appends to the full record history, re-derives the dataflow
+// spec from scratch (O(n^2) over the run), and ships each record with its
+// own blocking POST /task. Kept here as the measured baseline for
+// BenchmarkTranslatorPipeline.
+type legacyDfAnalyzerTarget struct {
+	client   *dfanalyzer.Client
+	dataflow string
+
+	mu   sync.Mutex
+	seen []provlight.Record
+	spec string
+}
+
+func (*legacyDfAnalyzerTarget) Name() string { return "dfanalyzer-legacy" }
+
+func (d *legacyDfAnalyzerTarget) Deliver(records []provlight.Record) error {
+	d.mu.Lock()
+	d.seen = append(d.seen, records...)
+	df := dfanalyzer.DataflowFromRecords(d.dataflow, d.seen)
+	fp := legacyFingerprint(df)
+	needRegister := fp != d.spec
+	if needRegister {
+		d.spec = fp
+	}
+	d.mu.Unlock()
+	if needRegister {
+		if err := d.client.RegisterDataflow(df); err != nil {
+			return err
+		}
+	}
+	for i := range records {
+		msg, ok := dfanalyzer.RecordToTaskMsg(d.dataflow, &records[i])
+		if !ok {
+			continue
+		}
+		if err := d.client.SendTask(msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func legacyFingerprint(df *dfanalyzer.Dataflow) string {
+	s := df.Tag
+	for _, tr := range df.Transformations {
+		s += "|" + tr.Tag
+		for _, set := range append(append([]dfanalyzer.SetSchema{}, tr.Input...), tr.Output...) {
+			s += ";" + set.Tag
+			for _, a := range set.Attributes {
+				s += "," + a.Name + ":" + string(a.Type)
+			}
+		}
+	}
+	return s
 }

@@ -22,7 +22,7 @@ func main() {
 	}
 	defer srv.Close()
 	log.Printf("dfanalyzer-server: serving on http://%s", srv.Addr())
-	log.Printf("dfanalyzer-server: endpoints: POST /dataflow, POST /task, POST /query, GET /dataflow/{tag}")
+	log.Printf("dfanalyzer-server: endpoints: POST /dataflow, POST /task, POST /tasks (batch), POST /query, GET /dataflow/{tag}")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

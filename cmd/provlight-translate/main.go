@@ -6,6 +6,7 @@
 //
 //	provlight-translate -broker 127.0.0.1:1883 \
 //	    [-topic 'provlight/+/records'] [-workers 4] \
+//	    [-batch 64] [-linger 0s] \
 //	    [-dfanalyzer http://host:port -dataflow tag] \
 //	    [-provlake http://host:port] [-provjson out.json]
 package main
@@ -27,6 +28,8 @@ func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:1883", "MQTT-SN broker address")
 	topic := flag.String("topic", "provlight/+/records", "topic filter to consume")
 	workers := flag.Int("workers", 1, "parallel delivery workers")
+	batch := flag.Int("batch", 64, "delivery micro-batch size (1 disables batching)")
+	linger := flag.Duration("linger", 0, "max wait for an underfull batch to fill")
 	dfaURL := flag.String("dfanalyzer", "", "DfAnalyzer base URL (enables DfAnalyzer target)")
 	dataflow := flag.String("dataflow", "provlight", "DfAnalyzer dataflow tag")
 	plURL := flag.String("provlake", "", "ProvLake base URL (enables ProvLake target)")
@@ -52,6 +55,8 @@ func main() {
 		Broker:      *brokerAddr,
 		TopicFilter: *topic,
 		Workers:     *workers,
+		BatchSize:   *batch,
+		BatchLinger: *linger,
 		Targets:     targets,
 		OnError:     func(err error) { log.Printf("provlight-translate: %v", err) },
 	})
@@ -69,8 +74,8 @@ func main() {
 		select {
 		case <-ticker.C:
 			st := tr.Stats()
-			log.Printf("provlight-translate: frames=%d records=%d decode_errs=%d delivery_errs=%d",
-				st.FramesReceived, st.RecordsTranslated, st.DecodeErrors, st.DeliveryErrors)
+			log.Printf("provlight-translate: frames=%d records=%d batches=%d decode_errs=%d delivery_errs=%d",
+				st.FramesReceived, st.RecordsTranslated, st.BatchesDelivered, st.DecodeErrors, st.DeliveryErrors)
 		case <-sig:
 			tr.Close()
 			if pj != nil {

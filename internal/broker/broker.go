@@ -42,6 +42,14 @@ type Config struct {
 	RetryInterval time.Duration
 	// MaxRetries bounds outbound retransmissions. Default 5.
 	MaxRetries int
+	// SendWindow bounds how many QoS 1/2 messages may be in flight to one
+	// subscriber at a time; the rest queue in arrival order and are sent
+	// as earlier ones complete. Without it a fan-in burst (many devices,
+	// one translator) floods the subscriber's UDP socket buffer, and
+	// datagrams dropped there must all be recovered by timed
+	// retransmissions — or are lost for good once MaxRetries is spent.
+	// Default 32.
+	SendWindow int
 	// Shards is the number of session-table stripes, each with its own
 	// mutex and handler goroutine. Default 16.
 	Shards int
@@ -101,6 +109,7 @@ type session struct {
 
 	inbound2    map[uint16]*message
 	outbound    map[uint16]*outbound
+	sendQ       []*message // QoS 1/2 backlog awaiting a window slot
 	nextMsgID   uint16
 	knownTopics map[uint16]bool
 	pendingReg  map[uint16][]*message // awaiting REGACK before delivery
@@ -252,6 +261,9 @@ func New(cfg Config) (*Broker, error) {
 	}
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 5
+	}
+	if cfg.SendWindow <= 0 {
+		cfg.SendWindow = 32
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 16
@@ -491,12 +503,14 @@ func (b *Broker) sweep() {
 				expired = append(expired, s)
 				continue
 			}
+			gaveUp := false
 			for msgID, ob := range s.outbound {
 				if now.Sub(ob.lastSent) < b.cfg.RetryInterval {
 					continue
 				}
 				if ob.retries >= b.cfg.MaxRetries {
 					delete(s.outbound, msgID)
+					gaveUp = true
 					continue
 				}
 				ob.retries++
@@ -510,6 +524,13 @@ func (b *Broker) sweep() {
 					resends = append(resends, resend{s.addr, rel})
 				default:
 					resends = append(resends, resend{s.addr, publishPacket(ob)})
+				}
+			}
+			if gaveUp {
+				// Abandoned messages freed window slots: keep the backlog
+				// moving.
+				for _, pub := range s.pumpLocked(b.cfg.SendWindow) {
+					resends = append(resends, resend{s.addr, pub})
 				}
 			}
 		}
@@ -825,13 +846,19 @@ func (b *Broker) handlePuback(addr net.Addr, p *mqttsn.Puback) {
 	key := addr.String()
 	sh := b.shardFor(key)
 	sh.mu.Lock()
-	if s := sh.sessions[key]; s != nil {
+	var pubs []*mqttsn.Publish
+	s := sh.sessions[key]
+	if s != nil {
 		s.lastSeen = time.Now()
 		if ob, ok := s.outbound[p.MsgID]; ok && ob.state == obAwaitPuback {
 			delete(s.outbound, p.MsgID)
+			pubs = s.pumpLocked(b.cfg.SendWindow)
 		}
 	}
 	sh.mu.Unlock()
+	for _, pub := range pubs {
+		b.sendTo(s.addr, pub)
+	}
 }
 
 func (b *Broker) handlePubrec(addr net.Addr, p *mqttsn.Pubrec) {
@@ -863,13 +890,19 @@ func (b *Broker) handlePubcomp(addr net.Addr, p *mqttsn.Pubcomp) {
 	key := addr.String()
 	sh := b.shardFor(key)
 	sh.mu.Lock()
-	if s := sh.sessions[key]; s != nil {
+	var pubs []*mqttsn.Publish
+	s := sh.sessions[key]
+	if s != nil {
 		s.lastSeen = time.Now()
 		if ob, ok := s.outbound[p.MsgID]; ok && ob.state == obAwaitPubcomp {
 			delete(s.outbound, p.MsgID)
+			pubs = s.pumpLocked(b.cfg.SendWindow)
 		}
 	}
 	sh.mu.Unlock()
+	for _, pub := range pubs {
+		b.sendTo(s.addr, pub)
+	}
 }
 
 func (b *Broker) handleSubscribe(addr net.Addr, p *mqttsn.Subscribe) {
@@ -1036,9 +1069,36 @@ func (b *Broker) deliver(s *session, msg *message) {
 		}
 		return
 	}
-	var pub *mqttsn.Publish
+	var pubs []*mqttsn.Publish
 	switch msg.qos {
 	case mqttsn.QoS1, mqttsn.QoS2:
+		// Flow-controlled path: enqueue in arrival order, then fill the
+		// in-flight window.
+		s.sendQ = append(s.sendQ, msg)
+		pubs = s.pumpLocked(b.cfg.SendWindow)
+	default:
+		pubs = append(pubs, &mqttsn.Publish{
+			Flags:   mqttsn.Flags{QoS: msg.qos, Retain: msg.retain},
+			TopicID: msg.topicID,
+			Data:    msg.payload,
+		})
+	}
+	addr := s.addr
+	sh.mu.Unlock()
+	for _, pub := range pubs {
+		b.sendTo(addr, pub)
+	}
+}
+
+// pumpLocked moves queued QoS 1/2 messages into the in-flight window.
+// The caller holds the session's shard mutex; the returned packets must be
+// sent after unlocking.
+func (s *session) pumpLocked(window int) []*mqttsn.Publish {
+	var pubs []*mqttsn.Publish
+	for len(s.sendQ) > 0 && len(s.outbound) < window {
+		msg := s.sendQ[0]
+		s.sendQ[0] = nil
+		s.sendQ = s.sendQ[1:]
 		msgID := s.allocMsgID()
 		ob := &outbound{msg: msg, msgID: msgID, lastSent: time.Now()}
 		if msg.qos == mqttsn.QoS1 {
@@ -1047,15 +1107,10 @@ func (b *Broker) deliver(s *session, msg *message) {
 			ob.state = obAwaitPubrec
 		}
 		s.outbound[msgID] = ob
-		pub = publishPacket(ob)
-	default:
-		pub = &mqttsn.Publish{
-			Flags:   mqttsn.Flags{QoS: msg.qos, Retain: msg.retain},
-			TopicID: msg.topicID,
-			Data:    msg.payload,
-		}
+		pubs = append(pubs, publishPacket(ob))
 	}
-	addr := s.addr
-	sh.mu.Unlock()
-	b.sendTo(addr, pub)
+	if len(s.sendQ) == 0 {
+		s.sendQ = nil // release the drained backlog's backing array
+	}
+	return pubs
 }

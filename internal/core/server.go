@@ -28,6 +28,12 @@ type ServerConfig struct {
 	TopicFilters []string
 	// Workers per translator. Default 1.
 	Workers int
+	// BatchSize caps the translator delivery micro-batch (frames drained
+	// from the queue per delivery round). Default 64; 1 disables batching.
+	BatchSize int
+	// BatchLinger is how long a translator worker waits for more frames
+	// before delivering an underfull batch. Default 0 (no wait).
+	BatchLinger time.Duration
 	// RetryInterval tunes broker and translator retransmissions.
 	RetryInterval time.Duration
 	// OnError receives asynchronous translator errors.
@@ -66,8 +72,11 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 			ClientID:      fmt.Sprintf("translator-%d", i+1),
 			TopicFilter:   filter,
 			QoS:           mqttsn.QoS2,
+			QoSSet:        true,
 			Targets:       cfg.Targets,
 			Workers:       cfg.Workers,
+			BatchSize:     cfg.BatchSize,
+			BatchLinger:   cfg.BatchLinger,
 			RetryInterval: cfg.RetryInterval,
 			OnError:       cfg.OnError,
 		})

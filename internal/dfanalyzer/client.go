@@ -60,6 +60,20 @@ func (c *Client) SendTask(msg *TaskMsg) error {
 	return c.post("/task", msg)
 }
 
+// SendTasks ships a batch of task events in one request/response round
+// trip (POST /tasks): one JSON marshal and one HTTP exchange per batch
+// instead of one per task, the server-side counterpart of the capture
+// library's message grouping.
+func (c *Client) SendTasks(msgs []*TaskMsg) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	if len(msgs) == 1 {
+		return c.SendTask(msgs[0])
+	}
+	return c.post("/tasks", msgs)
+}
+
 // Query runs a query on the server.
 func (c *Client) Query(q Query) ([]Row, error) {
 	data, err := json.Marshal(q)

@@ -2,7 +2,10 @@ package dfanalyzer
 
 import (
 	"fmt"
+	"net/http"
+	"strings"
 	"testing"
+	"sync"
 	"testing/quick"
 	"time"
 
@@ -306,5 +309,332 @@ func TestIngestCountProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestIngestTasksBatch(t *testing.T) {
+	store := NewStore()
+	if err := store.RegisterDataflow(trainingDataflow()); err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]*TaskMsg, 0, 32)
+	for i := 0; i < 16; i++ {
+		msgs = append(msgs, &TaskMsg{
+			Dataflow: "fltraining", Transformation: "training",
+			ID: fmt.Sprintf("b%d", i), Status: StatusFinished,
+			Sets: []SetData{{Tag: "training_output", Elements: []Element{
+				{float64(i), 1.0 / float64(i+1), 0.5 + 0.01*float64(i)},
+			}}},
+		})
+	}
+	if err := store.IngestTasks(msgs); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.TaskCount("fltraining"); got != 16 {
+		t.Errorf("task count = %d, want 16", got)
+	}
+	rows, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Errorf("rows = %d, want 16", len(rows))
+	}
+	if err := store.IngestTasks(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	if err := store.IngestTasks([]*TaskMsg{{Dataflow: "ghost", Transformation: "t", ID: "1", Status: StatusRunning}}); err == nil {
+		t.Error("unknown dataflow in batch should fail")
+	}
+}
+
+func TestIngestTaskMergeDedupsDependencies(t *testing.T) {
+	store := NewStore()
+	if err := store.RegisterDataflow(trainingDataflow()); err != nil {
+		t.Fatal(err)
+	}
+	begin := &TaskMsg{Dataflow: "fltraining", Transformation: "training", ID: "t0",
+		Status: StatusRunning, Dependencies: []string{"a", "b"}}
+	end := &TaskMsg{Dataflow: "fltraining", Transformation: "training", ID: "t0",
+		Status: StatusFinished, Dependencies: []string{"b", "c"}}
+	if err := store.IngestTasks([]*TaskMsg{begin, end}); err != nil {
+		t.Fatal(err)
+	}
+	task, ok := store.Task("fltraining", "t0")
+	if !ok {
+		t.Fatal("task t0 not found")
+	}
+	want := []string{"a", "b", "c"}
+	if len(task.Dependencies) != len(want) {
+		t.Fatalf("dependencies = %v, want %v", task.Dependencies, want)
+	}
+	for i, dep := range want {
+		if task.Dependencies[i] != dep {
+			t.Fatalf("dependencies = %v, want %v", task.Dependencies, want)
+		}
+	}
+}
+
+// TestStoreConcurrentIngestSelect exercises parallel batched writers and
+// readers (run under -race): different dataflows never contend, the same
+// dataflow serializes correctly.
+func TestStoreConcurrentIngestSelect(t *testing.T) {
+	store := NewStore()
+	dataflows := []string{"fltraining", "fltraining2"}
+	for _, tag := range dataflows {
+		df := trainingDataflow()
+		df.Tag = tag
+		if err := store.RegisterDataflow(df); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const writers, batches, batchSize = 4, 25, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tag := dataflows[w%len(dataflows)]
+			for b := 0; b < batches; b++ {
+				msgs := make([]*TaskMsg, 0, batchSize)
+				for i := 0; i < batchSize; i++ {
+					msgs = append(msgs, &TaskMsg{
+						Dataflow: tag, Transformation: "training",
+						ID: fmt.Sprintf("w%d-b%d-i%d", w, b, i), Status: StatusFinished,
+						Sets: []SetData{{Tag: "training_output", Elements: []Element{
+							{float64(i), 0.5, 0.5 + 0.01*float64(i)},
+						}}},
+					})
+				}
+				if err := store.IngestTasks(msgs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tag := dataflows[r%len(dataflows)]
+			for i := 0; i < 50; i++ {
+				rows, err := store.Select(Query{
+					Dataflow: tag, Set: "training_output",
+					Where:   []Pred{{Attr: "accuracy", Op: Ge, Value: 0.5}},
+					OrderBy: "accuracy", Desc: true, Limit: 5,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(rows) > 5 {
+					t.Errorf("limit exceeded: %d rows", len(rows))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	perDataflow := writers / len(dataflows) * batches * batchSize
+	for _, tag := range dataflows {
+		if got := store.TaskCount(tag); got != perDataflow {
+			t.Errorf("%s task count = %d, want %d", tag, got, perDataflow)
+		}
+		rows, err := store.Select(Query{Dataflow: tag, Set: "training_output"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != perDataflow {
+			t.Errorf("%s rows = %d, want %d", tag, len(rows), perDataflow)
+		}
+	}
+}
+
+func TestSendTasksBatchEndpoint(t *testing.T) {
+	srv := NewServer(nil)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient("http://" + srv.Addr())
+	if err := client.RegisterDataflow(trainingDataflow()); err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]*TaskMsg, 0, 10)
+	for i := 0; i < 10; i++ {
+		msgs = append(msgs, &TaskMsg{
+			Dataflow: "fltraining", Transformation: "training",
+			ID: fmt.Sprintf("e%d", i), Status: StatusFinished,
+			Sets: []SetData{{Tag: "training_output", Elements: []Element{
+				{float64(i), 0.3, 0.9},
+			}}},
+		})
+	}
+	before := srv.Requests()
+	if err := client.SendTasks(msgs); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Requests() - before; got != 1 {
+		t.Errorf("batch send used %d requests, want 1", got)
+	}
+	if got := srv.Store().TaskCount("fltraining"); got != 10 {
+		t.Errorf("task count = %d, want 10", got)
+	}
+	// A bad message inside a batch surfaces as an HTTP error.
+	bad := []*TaskMsg{
+		{Dataflow: "fltraining", Transformation: "training", ID: "ok", Status: StatusFinished},
+		{Dataflow: "fltraining", Transformation: "training", ID: "bad", Status: "NOPE"},
+	}
+	if err := client.SendTasks(bad); err == nil {
+		t.Error("invalid message in batch should fail")
+	}
+}
+
+func TestSchemaTrackerIncremental(t *testing.T) {
+	records := []provdm.Record{
+		{Event: provdm.EventTaskBegin, WorkflowID: "w", TaskID: "a", Transformation: "prep",
+			Data: []provdm.DataRef{{ID: "d1", Attributes: []provdm.Attribute{
+				{Name: "path", Value: "x.csv"}, {Name: "rows", Value: int64(10)}}}},
+			Time: time.Now()},
+		{Event: provdm.EventTaskEnd, WorkflowID: "w", TaskID: "a", Transformation: "prep",
+			Status: provdm.StatusFinished,
+			Data: []provdm.DataRef{{ID: "d2", Attributes: []provdm.Attribute{
+				{Name: "clean_rows", Value: int64(9)}}}},
+			Time: time.Now()},
+	}
+	st := NewSchemaTracker("w")
+	if !st.Observe(records) {
+		t.Error("first observation should grow the schema")
+	}
+	if st.Observe(records) {
+		t.Error("re-observing the same records should not grow the schema")
+	}
+	// The incremental spec matches the one-shot derivation.
+	got, want := st.Dataflow(), DataflowFromRecords("w", records)
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Errorf("incremental spec %+v != one-shot %+v", got, want)
+	}
+	// A new attribute on a known set grows the schema again.
+	more := []provdm.Record{{Event: provdm.EventTaskEnd, WorkflowID: "w", TaskID: "b",
+		Transformation: "prep", Status: provdm.StatusFinished,
+		Data: []provdm.DataRef{{ID: "d3", Attributes: []provdm.Attribute{
+			{Name: "outliers", Value: int64(1)}}}},
+		Time: time.Now()}}
+	if !st.Observe(more) {
+		t.Error("new attribute should grow the schema")
+	}
+	df := st.Dataflow()
+	if err := df.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := df.Transformations[0].Output[0]
+	if len(out.Attributes) != 2 || out.Attributes[1].Name != "outliers" {
+		t.Errorf("grown output set = %+v", out)
+	}
+}
+
+// TestRegisterGrownSpecWidensTables: re-registering a wider spec (what the
+// translator does when new attributes appear) backfills existing rows.
+func TestRegisterGrownSpecWidensTables(t *testing.T) {
+	store := NewStore()
+	df := trainingDataflow()
+	if err := store.RegisterDataflow(df); err != nil {
+		t.Fatal(err)
+	}
+	ingestEpochs(t, store, 3)
+	wider := trainingDataflow()
+	wider.Transformations[0].Output[0].Attributes = append(
+		wider.Transformations[0].Output[0].Attributes, Attribute{Name: "f1", Type: Numeric})
+	if err := store.RegisterDataflow(wider); err != nil {
+		t.Fatal(err)
+	}
+	msg := &TaskMsg{Dataflow: "fltraining", Transformation: "training", ID: "wide",
+		Status: StatusFinished,
+		Sets: []SetData{{Tag: "training_output", Elements: []Element{{3.0, 0.2, 0.91, 0.88}}}}}
+	if err := store.IngestTask(msg); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[0]["f1"].(float64) != 0 {
+		t.Errorf("backfilled f1 = %v, want 0", rows[0]["f1"])
+	}
+}
+
+// Property: the top-k heap path returns exactly the first k rows of the
+// fully sorted result, including stable tie order.
+func TestSelectTopKMatchesFullSort(t *testing.T) {
+	f := func(seed uint8, desc bool) bool {
+		n := 50 + int(seed)%50
+		store := NewStore()
+		if err := store.RegisterDataflow(trainingDataflow()); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			// Coarse quantization forces plenty of key ties.
+			acc := float64((int(seed)+i*7)%10) / 10
+			msg := &TaskMsg{Dataflow: "fltraining", Transformation: "training",
+				ID: fmt.Sprintf("t%d", i), Status: StatusFinished,
+				Sets: []SetData{{Tag: "training_output", Elements: []Element{
+					{float64(i), 0.5, acc}}}}}
+			if err := store.IngestTask(msg); err != nil {
+				return false
+			}
+		}
+		const k = 7
+		topk, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output",
+			OrderBy: "accuracy", Desc: desc, Limit: k})
+		if err != nil {
+			return false
+		}
+		all, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output",
+			OrderBy: "accuracy", Desc: desc})
+		if err != nil || len(topk) != k {
+			return false
+		}
+		for i := range topk {
+			if topk[i]["epoch"] != all[i]["epoch"] || topk[i]["accuracy"] != all[i]["accuracy"] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A nil element in a batch (e.g. "[null]" posted to /tasks) must be a
+// clean error, not a panic.
+func TestIngestTasksNilMessage(t *testing.T) {
+	store := NewStore()
+	if err := store.RegisterDataflow(trainingDataflow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.IngestTasks([]*TaskMsg{nil}); err == nil {
+		t.Error("nil message should fail")
+	}
+	ok := &TaskMsg{Dataflow: "fltraining", Transformation: "training", ID: "n0", Status: StatusFinished}
+	if err := store.IngestTasks([]*TaskMsg{ok, nil}); err == nil {
+		t.Error("nil message after a valid one should fail")
+	}
+	srv := NewServer(store)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Post("http://"+srv.Addr()+"/tasks", "application/json", strings.NewReader("[null]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %s, want 400", resp.Status)
 	}
 }

@@ -144,27 +144,43 @@ func (m *TaskMsg) Validate() error {
 	return nil
 }
 
-// DataflowFromRecords derives a dataflow specification from ProvLight
-// capture records (used by the translator): each transformation gets one
-// input set "<tag>_input" and one output set "<tag>_output" whose columns
-// are the union of attribute names observed.
-func DataflowFromRecords(tag string, records []provdm.Record) *Dataflow {
-	type setAcc struct {
-		order []string
-		types map[string]AttrType
-	}
-	newAcc := func() *setAcc { return &setAcc{types: map[string]AttrType{}} }
-	sets := map[string]*setAcc{} // set tag -> columns
-	var transforms []string
-	seenT := map[string]bool{}
+// SchemaTracker incrementally derives a dataflow specification from
+// ProvLight capture records: each transformation gets one input set
+// "<tag>_input" and one output set "<tag>_output" whose columns are the
+// union of attribute names observed so far. Unlike re-deriving from the
+// full record history, the tracker's memory is bounded by the schema size
+// (transformations x attributes), not by the number of records observed.
+type SchemaTracker struct {
+	tag        string
+	transforms []string
+	seenT      map[string]bool
+	sets       map[string]*trackedSet // set tag -> columns
+}
+
+type trackedSet struct {
+	order []string
+	types map[string]AttrType
+}
+
+// NewSchemaTracker returns an empty tracker for the given dataflow tag.
+func NewSchemaTracker(tag string) *SchemaTracker {
+	return &SchemaTracker{tag: tag, seenT: map[string]bool{}, sets: map[string]*trackedSet{}}
+}
+
+// Observe folds records into the tracked schema and reports whether it
+// grew (a new transformation, set, or attribute appeared), i.e. whether
+// the spec needs re-registration.
+func (st *SchemaTracker) Observe(records []provdm.Record) bool {
+	grew := false
 	for i := range records {
 		r := &records[i]
 		if r.Transformation == "" {
 			continue
 		}
-		if !seenT[r.Transformation] {
-			seenT[r.Transformation] = true
-			transforms = append(transforms, r.Transformation)
+		if !st.seenT[r.Transformation] {
+			st.seenT[r.Transformation] = true
+			st.transforms = append(st.transforms, r.Transformation)
+			grew = true
 		}
 		var setTag string
 		if r.Event == provdm.EventTaskBegin {
@@ -172,10 +188,11 @@ func DataflowFromRecords(tag string, records []provdm.Record) *Dataflow {
 		} else {
 			setTag = r.Transformation + "_output"
 		}
-		acc, ok := sets[setTag]
+		acc, ok := st.sets[setTag]
 		if !ok {
-			acc = newAcc()
-			sets[setTag] = acc
+			acc = &trackedSet{types: map[string]AttrType{}}
+			st.sets[setTag] = acc
+			grew = true
 		}
 		for _, d := range r.Data {
 			for _, a := range d.Attributes {
@@ -189,14 +206,20 @@ func DataflowFromRecords(tag string, records []provdm.Record) *Dataflow {
 				}
 				acc.types[a.Name] = t
 				acc.order = append(acc.order, a.Name)
+				grew = true
 			}
 		}
 	}
-	df := &Dataflow{Tag: tag}
-	for _, tr := range transforms {
+	return grew
+}
+
+// Dataflow builds the specification for everything observed so far.
+func (st *SchemaTracker) Dataflow() *Dataflow {
+	df := &Dataflow{Tag: st.tag}
+	for _, tr := range st.transforms {
 		t := Transformation{Tag: tr}
 		for _, side := range []string{"_input", "_output"} {
-			if acc, ok := sets[tr+side]; ok {
+			if acc, ok := st.sets[tr+side]; ok {
 				s := SetSchema{Tag: tr + side}
 				for _, name := range acc.order {
 					s.Attributes = append(s.Attributes, Attribute{Name: name, Type: acc.types[name]})
@@ -211,4 +234,13 @@ func DataflowFromRecords(tag string, records []provdm.Record) *Dataflow {
 		df.Transformations = append(df.Transformations, t)
 	}
 	return df
+}
+
+// DataflowFromRecords derives a dataflow specification from ProvLight
+// capture records in one shot (used by tests and the simulator; the
+// translator uses a SchemaTracker to do the same incrementally).
+func DataflowFromRecords(tag string, records []provdm.Record) *Dataflow {
+	st := NewSchemaTracker(tag)
+	st.Observe(records)
+	return st.Dataflow()
 }

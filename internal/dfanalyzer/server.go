@@ -52,6 +52,7 @@ func (s *Server) Start(addr string) error {
 	mux.HandleFunc("/dataflow", s.handleDataflow)
 	mux.HandleFunc("/dataflow/", s.handleDataflowGet)
 	mux.HandleFunc("/task", s.handleTask)
+	mux.HandleFunc("/tasks", s.handleTasks)
 	mux.HandleFunc("/query", s.handleQuery)
 	s.http = &http.Server{Handler: s.count(mux)}
 	go s.http.Serve(lis)
@@ -139,6 +140,23 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var msgs []*TaskMsg
+	if err := json.NewDecoder(r.Body).Decode(&msgs); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.IngestTasks(msgs); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ingested": len(msgs)})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

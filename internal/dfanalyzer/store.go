@@ -3,35 +3,71 @@ package dfanalyzer
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 )
 
 // Store is the MonetDB-like backend: an in-memory column store holding one
-// table per (dataflow, set) pair plus the task catalog.
+// table per (dataflow, set) pair plus the task catalog. Storage is sharded
+// by dataflow: every dataflow owns its own lock, tables, and task catalog,
+// so ingestion and queries for different dataflows never contend, and
+// readers of one dataflow only block on writers of the same dataflow
+// (paper §IV-B1: the server components "may be parallelized to scale the
+// data capture").
 type Store struct {
+	mu     sync.RWMutex // guards the shard map only, not shard contents
+	shards map[string]*dataflowShard
+}
+
+// dataflowShard holds everything belonging to one dataflow.
+type dataflowShard struct {
 	mu        sync.RWMutex
-	dataflows map[string]*Dataflow
-	tables    map[string]*Table // key: dataflow + "\x00" + set tag
-	tasks     map[string]*TaskMsg
-	taskOrder []string
+	spec      *Dataflow
+	tables    map[string]*Table   // set tag -> table
+	tasks     map[string]*TaskMsg // task id -> merged catalog entry
+	taskOrder []string            // ids in first-ingestion order
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
-		dataflows: map[string]*Dataflow{},
-		tables:    map[string]*Table{},
-		tasks:     map[string]*TaskMsg{},
+	return &Store{shards: map[string]*dataflowShard{}}
+}
+
+// shard returns the shard for a dataflow, or nil.
+func (s *Store) shard(dataflow string) *dataflowShard {
+	s.mu.RLock()
+	sh := s.shards[dataflow]
+	s.mu.RUnlock()
+	return sh
+}
+
+// ensureShard returns the shard for a dataflow, creating it if needed.
+func (s *Store) ensureShard(dataflow string) *dataflowShard {
+	if sh := s.shard(dataflow); sh != nil {
+		return sh
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, ok := s.shards[dataflow]
+	if !ok {
+		sh = &dataflowShard{tables: map[string]*Table{}, tasks: map[string]*TaskMsg{}}
+		s.shards[dataflow] = sh
+	}
+	return sh
+}
+
+// column is one typed attribute column of a table, indexed positionally by
+// the set schema so the append path needs no per-element name lookups.
+type column struct {
+	name string
+	typ  AttrType
+	nums []float64 // populated when typ == Numeric
+	strs []string  // populated otherwise (TEXT/FILE)
 }
 
 // Table is one columnar table: each attribute is a dense column slice.
 type Table struct {
 	Schema SetSchema
-	// numeric columns hold float64, text/file columns hold string.
-	numCols  map[string][]float64
-	textCols map[string][]string
+	cols   []column
 	// taskIDs indexes each row back to the producing task.
 	taskIDs []string
 	rows    int
@@ -40,32 +76,63 @@ type Table struct {
 // Rows returns the number of rows.
 func (t *Table) Rows() int { return t.rows }
 
-func tableKey(dataflow, set string) string { return dataflow + "\x00" + set }
+// col returns the column named name, or nil.
+func (t *Table) col(name string) *column {
+	for i := range t.cols {
+		if t.cols[i].name == name {
+			return &t.cols[i]
+		}
+	}
+	return nil
+}
+
+func newTable(schema SetSchema) *Table {
+	t := &Table{Schema: schema, cols: make([]column, len(schema.Attributes))}
+	for i, a := range schema.Attributes {
+		t.cols[i] = column{name: a.Name, typ: a.Type}
+	}
+	return t
+}
+
+// upgrade grows an existing table to a wider schema (new attributes
+// appended by an incremental spec registration): new columns are
+// backfilled with zero values for rows ingested before the attribute was
+// first observed.
+func (t *Table) upgrade(schema SetSchema) {
+	if len(schema.Attributes) <= len(t.cols) {
+		return
+	}
+	for _, a := range schema.Attributes[len(t.cols):] {
+		c := column{name: a.Name, typ: a.Type}
+		if a.Type == Numeric {
+			c.nums = make([]float64, t.rows)
+		} else {
+			c.strs = make([]string, t.rows)
+		}
+		t.cols = append(t.cols, c)
+	}
+	t.Schema = schema
+}
 
 // RegisterDataflow validates and installs a dataflow spec, creating empty
-// tables for every set.
+// tables for every set. Re-registering a grown spec (the translator's
+// incremental schema tracker does this when new attributes appear) widens
+// existing tables in place.
 func (s *Store) RegisterDataflow(df *Dataflow) error {
 	if err := df.Validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.dataflows[df.Tag] = df
+	sh := s.ensureShard(df.Tag)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.spec = df
 	for _, tr := range df.Transformations {
 		for _, set := range append(append([]SetSchema{}, tr.Input...), tr.Output...) {
-			key := tableKey(df.Tag, set.Tag)
-			if _, ok := s.tables[key]; ok {
+			if t, ok := sh.tables[set.Tag]; ok {
+				t.upgrade(set)
 				continue
 			}
-			t := &Table{Schema: set, numCols: map[string][]float64{}, textCols: map[string][]string{}}
-			for _, a := range set.Attributes {
-				if a.Type == Numeric {
-					t.numCols[a.Name] = nil
-				} else {
-					t.textCols[a.Name] = nil
-				}
-			}
-			s.tables[key] = t
+			sh.tables[set.Tag] = newTable(set)
 		}
 	}
 	return nil
@@ -73,20 +140,28 @@ func (s *Store) RegisterDataflow(df *Dataflow) error {
 
 // Dataflow returns a registered specification.
 func (s *Store) Dataflow(tag string) (*Dataflow, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	df, ok := s.dataflows[tag]
-	return df, ok
+	sh := s.shard(tag)
+	if sh == nil {
+		return nil, false
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.spec, sh.spec != nil
 }
 
 // Dataflows lists registered dataflow tags, sorted.
 func (s *Store) Dataflows() []string {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	tags := make([]string, 0, len(s.dataflows))
-	for t := range s.dataflows {
-		tags = append(tags, t)
+	tags := make([]string, 0, len(s.shards))
+	for tag, sh := range s.shards {
+		sh.mu.RLock()
+		registered := sh.spec != nil
+		sh.mu.RUnlock()
+		if registered {
+			tags = append(tags, tag)
+		}
 	}
+	s.mu.RUnlock()
 	sort.Strings(tags)
 	return tags
 }
@@ -94,16 +169,57 @@ func (s *Store) Dataflows() []string {
 // IngestTask stores a task message, appending its set elements to the
 // corresponding tables. begin/end messages for the same task id merge.
 func (s *Store) IngestTask(m *TaskMsg) error {
-	if err := m.Validate(); err != nil {
-		return err
+	return s.IngestTasks([]*TaskMsg{m})
+}
+
+// IngestTasks stores a batch of task messages under one lock acquisition
+// per run of same-dataflow messages (the batch endpoint's fast path).
+// On error, messages before the failing one remain ingested.
+func (s *Store) IngestTasks(msgs []*TaskMsg) error {
+	for i := 0; i < len(msgs); {
+		m := msgs[i]
+		if m == nil {
+			return fmt.Errorf("dfanalyzer: nil task message in batch")
+		}
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		sh := s.shard(m.Dataflow)
+		if sh == nil || !sh.registered() {
+			return fmt.Errorf("dfanalyzer: unknown dataflow %q", m.Dataflow)
+		}
+		// Extend over the run of consecutive messages for the same
+		// dataflow so a homogeneous batch locks its shard exactly once.
+		// A nil message ends the run and is rejected by the next outer
+		// iteration.
+		j := i + 1
+		for j < len(msgs) && msgs[j] != nil && msgs[j].Dataflow == m.Dataflow {
+			if err := msgs[j].Validate(); err != nil {
+				return err
+			}
+			j++
+		}
+		sh.mu.Lock()
+		for _, mm := range msgs[i:j] {
+			if err := sh.ingestLocked(mm); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.mu.Unlock()
+		i = j
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.dataflows[m.Dataflow]; !ok {
-		return fmt.Errorf("dfanalyzer: unknown dataflow %q", m.Dataflow)
-	}
-	tkey := m.Dataflow + "\x00" + m.ID
-	if existing, ok := s.tasks[tkey]; ok {
+	return nil
+}
+
+func (sh *dataflowShard) registered() bool {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.spec != nil
+}
+
+func (sh *dataflowShard) ingestLocked(m *TaskMsg) error {
+	if existing, ok := sh.tasks[m.ID]; ok {
 		existing.Status = m.Status
 		if m.EndTime != nil {
 			existing.EndTime = m.EndTime
@@ -111,37 +227,53 @@ func (s *Store) IngestTask(m *TaskMsg) error {
 		if m.StartTime != nil && existing.StartTime == nil {
 			existing.StartTime = m.StartTime
 		}
-		existing.Dependencies = append(existing.Dependencies, m.Dependencies...)
+		// Merge dependencies without duplicating edges already recorded
+		// (begin and end messages usually repeat the same list).
+		for _, dep := range m.Dependencies {
+			if !containsStr(existing.Dependencies, dep) {
+				existing.Dependencies = append(existing.Dependencies, dep)
+			}
+		}
 	} else {
 		cp := *m
 		cp.Sets = nil
-		s.tasks[tkey] = &cp
-		s.taskOrder = append(s.taskOrder, tkey)
+		sh.tasks[m.ID] = &cp
+		sh.taskOrder = append(sh.taskOrder, m.ID)
 	}
 	for _, set := range m.Sets {
-		table, ok := s.tables[tableKey(m.Dataflow, set.Tag)]
+		table, ok := sh.tables[set.Tag]
 		if !ok {
 			return fmt.Errorf("dfanalyzer: unknown set %q in dataflow %q", set.Tag, m.Dataflow)
 		}
-		for _, el := range set.Elements {
-			if len(el) != len(table.Schema.Attributes) {
-				return fmt.Errorf("dfanalyzer: element arity %d != schema %d for set %q",
-					len(el), len(table.Schema.Attributes), set.Tag)
-			}
-			for i, a := range table.Schema.Attributes {
-				if a.Type == Numeric {
-					f, ok := toFloat(el[i])
-					if !ok {
-						return fmt.Errorf("dfanalyzer: attribute %q expects numeric, got %T", a.Name, el[i])
-					}
-					table.numCols[a.Name] = append(table.numCols[a.Name], f)
-				} else {
-					table.textCols[a.Name] = append(table.textCols[a.Name], fmt.Sprint(el[i]))
-				}
-			}
-			table.taskIDs = append(table.taskIDs, m.ID)
-			table.rows++
+		if err := table.appendElements(m.ID, set.Elements); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// appendElements bulk-appends rows: columns are resolved positionally, so
+// the inner loop touches slices only.
+func (t *Table) appendElements(taskID string, elements []Element) error {
+	for _, el := range elements {
+		if len(el) != len(t.cols) {
+			return fmt.Errorf("dfanalyzer: element arity %d != schema %d for set %q",
+				len(el), len(t.cols), t.Schema.Tag)
+		}
+		for i := range t.cols {
+			c := &t.cols[i]
+			if c.typ == Numeric {
+				f, ok := toFloat(el[i])
+				if !ok {
+					return fmt.Errorf("dfanalyzer: attribute %q expects numeric, got %T", c.name, el[i])
+				}
+				c.nums = append(c.nums, f)
+			} else {
+				c.strs = append(c.strs, toText(el[i]))
+			}
+		}
+		t.taskIDs = append(t.taskIDs, taskID)
+		t.rows++
 	}
 	return nil
 }
@@ -161,30 +293,60 @@ func toFloat(v any) (float64, bool) {
 	}
 }
 
+// toText renders a text/file attribute value without the fmt machinery for
+// the overwhelmingly common string case.
+func toText(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return fmt.Sprint(v)
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
 // Task returns the catalog entry for a task id.
 func (s *Store) Task(dataflow, id string) (*TaskMsg, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tasks[dataflow+"\x00"+id]
+	sh := s.shard(dataflow)
+	if sh == nil {
+		return nil, false
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.tasks[id]
 	return t, ok
 }
 
 // Tasks returns all task entries of a dataflow in ingestion order.
 func (s *Store) Tasks(dataflow string) []*TaskMsg {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []*TaskMsg
-	for _, key := range s.taskOrder {
-		if strings.HasPrefix(key, dataflow+"\x00") {
-			out = append(out, s.tasks[key])
-		}
+	sh := s.shard(dataflow)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]*TaskMsg, 0, len(sh.taskOrder))
+	for _, id := range sh.taskOrder {
+		out = append(out, sh.tasks[id])
 	}
 	return out
 }
 
 // TaskCount returns the number of distinct tasks ingested for a dataflow.
 func (s *Store) TaskCount(dataflow string) int {
-	return len(s.Tasks(dataflow))
+	sh := s.shard(dataflow)
+	if sh == nil {
+		return 0
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.taskOrder)
 }
 
 // Op is a comparison operator in a query predicate.
@@ -223,82 +385,73 @@ type Query struct {
 // under "task_id".
 type Row map[string]any
 
-// Select runs a query against the store.
+// Select runs a query against the store. Predicates are evaluated column
+// at a time over the typed column slices (the predicate value is converted
+// once per query, not once per row), and OrderBy+Limit queries keep a
+// bounded top-k heap instead of sorting every match.
 func (s *Store) Select(q Query) ([]Row, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	table, ok := s.tables[tableKey(q.Dataflow, q.Set)]
+	sh := s.shard(q.Dataflow)
+	if sh == nil {
+		return nil, fmt.Errorf("dfanalyzer: unknown set %q in dataflow %q", q.Set, q.Dataflow)
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	table, ok := sh.tables[q.Set]
 	if !ok {
 		return nil, fmt.Errorf("dfanalyzer: unknown set %q in dataflow %q", q.Set, q.Dataflow)
 	}
-	colType := map[string]AttrType{}
-	for _, a := range table.Schema.Attributes {
-		colType[a.Name] = a.Type
-	}
 	for _, p := range q.Where {
-		if _, ok := colType[p.Attr]; !ok {
+		if table.col(p.Attr) == nil {
 			return nil, fmt.Errorf("dfanalyzer: unknown attribute %q", p.Attr)
 		}
 	}
+	var orderCol *column
 	if q.OrderBy != "" {
-		if _, ok := colType[q.OrderBy]; !ok {
+		if orderCol = table.col(q.OrderBy); orderCol == nil {
 			return nil, fmt.Errorf("dfanalyzer: unknown order attribute %q", q.OrderBy)
 		}
 	}
-	project := q.Project
-	if len(project) == 0 {
-		for _, a := range table.Schema.Attributes {
-			project = append(project, a.Name)
+	// Resolve projected columns once; nil means the task_id pseudo-column.
+	var project []*column
+	var projectNames []string
+	if len(q.Project) == 0 {
+		for i := range table.cols {
+			project = append(project, &table.cols[i])
+			projectNames = append(projectNames, table.cols[i].name)
 		}
 	} else {
-		for _, name := range project {
-			if _, ok := colType[name]; !ok && name != "task_id" {
+		for _, name := range q.Project {
+			c := table.col(name)
+			if c == nil && name != "task_id" {
 				return nil, fmt.Errorf("dfanalyzer: unknown projected attribute %q", name)
+			}
+			if c != nil {
+				project = append(project, c)
+				projectNames = append(projectNames, name)
 			}
 		}
 	}
 
-	matches := make([]int, 0, table.rows)
-scan:
-	for i := 0; i < table.rows; i++ {
-		for _, p := range q.Where {
-			if !table.match(i, p, colType[p.Attr]) {
-				continue scan
-			}
+	matches := table.filter(q.Where)
+	if orderCol != nil {
+		if q.Limit > 0 && q.Limit < len(matches) {
+			matches = topK(matches, orderCol, q.Desc, q.Limit)
+		} else {
+			sortMatches(matches, orderCol, q.Desc)
 		}
-		matches = append(matches, i)
-	}
-	if q.OrderBy != "" {
-		t := colType[q.OrderBy]
-		sort.SliceStable(matches, func(a, b int) bool {
-			var less bool
-			if t == Numeric {
-				col := table.numCols[q.OrderBy]
-				less = col[matches[a]] < col[matches[b]]
-			} else {
-				col := table.textCols[q.OrderBy]
-				less = col[matches[a]] < col[matches[b]]
-			}
-			if q.Desc {
-				return !less
-			}
-			return less
-		})
 	}
 	if q.Limit > 0 && len(matches) > q.Limit {
 		matches = matches[:q.Limit]
 	}
 	rows := make([]Row, 0, len(matches))
 	for _, i := range matches {
-		row := Row{"task_id": table.taskIDs[i]}
-		for _, name := range project {
-			if name == "task_id" {
-				continue
-			}
-			if colType[name] == Numeric {
-				row[name] = table.numCols[name][i]
+		row := make(Row, len(project)+1)
+		row["task_id"] = table.taskIDs[i]
+		for p, c := range project {
+			if c.typ == Numeric {
+				row[projectNames[p]] = c.nums[i]
 			} else {
-				row[name] = table.textCols[name][i]
+				row[projectNames[p]] = c.strs[i]
 			}
 		}
 		rows = append(rows, row)
@@ -306,32 +459,76 @@ scan:
 	return rows, nil
 }
 
-func (t *Table) match(i int, p Pred, typ AttrType) bool {
-	if typ == Numeric {
+// filter returns the indices of rows satisfying every predicate. The first
+// predicate scans its column; the rest narrow the selection vector in
+// place, so each predicate touches exactly one column.
+func (t *Table) filter(preds []Pred) []int {
+	if len(preds) == 0 {
+		all := make([]int, t.rows)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	matches := t.col(preds[0].Attr).scan(preds[0], nil)
+	for _, p := range preds[1:] {
+		if len(matches) == 0 {
+			break
+		}
+		matches = t.col(p.Attr).scan(p, matches)
+	}
+	return matches
+}
+
+// scan evaluates one predicate over the column. With sel == nil it scans
+// every row and returns the matching indices; otherwise it filters sel in
+// place.
+func (c *column) scan(p Pred, sel []int) []int {
+	if c.typ == Numeric {
 		want, ok := toFloat(p.Value)
 		if !ok {
-			return false
+			return sel[:0] // non-numeric comparison value matches nothing
 		}
-		v := t.numCols[p.Attr][i]
-		switch p.Op {
-		case Eq:
-			return v == want
-		case Ne:
-			return v != want
-		case Lt:
-			return v < want
-		case Le:
-			return v <= want
-		case Gt:
-			return v > want
-		case Ge:
-			return v >= want
+		cmp := func(v float64) bool { return cmpOrdered(v, want, p.Op) }
+		if sel == nil {
+			out := make([]int, 0, len(c.nums))
+			for i, v := range c.nums {
+				if cmp(v) {
+					out = append(out, i)
+				}
+			}
+			return out
 		}
-		return false
+		out := sel[:0]
+		for _, i := range sel {
+			if cmp(c.nums[i]) {
+				out = append(out, i)
+			}
+		}
+		return out
 	}
-	v := t.textCols[p.Attr][i]
-	want := fmt.Sprint(p.Value)
-	switch p.Op {
+	want := toText(p.Value)
+	cmp := func(v string) bool { return cmpOrdered(v, want, p.Op) }
+	if sel == nil {
+		out := make([]int, 0, len(c.strs))
+		for i, v := range c.strs {
+			if cmp(v) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		if cmp(c.strs[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func cmpOrdered[T float64 | string](v, want T, op Op) bool {
+	switch op {
 	case Eq:
 		return v == want
 	case Ne:
@@ -346,4 +543,67 @@ func (t *Table) match(i int, p Pred, typ AttrType) bool {
 		return v >= want
 	}
 	return false
+}
+
+// better reports whether row a sorts strictly before row b for the given
+// order column and direction, breaking key ties by row index so results
+// are identical to a stable sort of the match list.
+func (c *column) better(a, b int, desc bool) bool {
+	if c.typ == Numeric {
+		if c.nums[a] != c.nums[b] {
+			return (c.nums[a] < c.nums[b]) != desc
+		}
+	} else {
+		if c.strs[a] != c.strs[b] {
+			return (c.strs[a] < c.strs[b]) != desc
+		}
+	}
+	return a < b
+}
+
+func sortMatches(matches []int, c *column, desc bool) {
+	sort.Slice(matches, func(i, j int) bool { return c.better(matches[i], matches[j], desc) })
+}
+
+// topK keeps the k best rows of matches using a bounded heap whose root is
+// the worst kept row, then sorts the survivors: O(n log k) instead of the
+// O(n log n) full sort, and k allocations instead of n.
+func topK(matches []int, c *column, desc bool, k int) []int {
+	heap := make([]int, k)
+	copy(heap, matches[:k])
+	// The heap is a max-heap under better: the root is the row that every
+	// other kept row sorts before, i.e. the worst of the kept k.
+	lt := func(a, b int) bool { return c.better(a, b, desc) }
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(heap, i, lt)
+	}
+	for _, m := range matches[k:] {
+		if !c.better(m, heap[0], desc) {
+			continue // not better than the worst kept row
+		}
+		heap[0] = m
+		siftDown(heap, 0, lt)
+	}
+	sortMatches(heap, c, desc)
+	return heap
+}
+
+// siftDown restores the heap property at root i, where less orders the
+// heap (root = maximum under less).
+func siftDown(h []int, i int, less func(a, b int) bool) {
+	for {
+		left, right := 2*i+1, 2*i+2
+		largest := i
+		if left < len(h) && less(h[largest], h[left]) {
+			largest = left
+		}
+		if right < len(h) && less(h[largest], h[right]) {
+			largest = right
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
 }

@@ -29,6 +29,16 @@ func (m *MemoryTarget) Deliver(records []provdm.Record) error {
 	return nil
 }
 
+// DeliverBatch implements BatchTarget: one lock acquisition per batch.
+func (m *MemoryTarget) DeliverBatch(frames [][]provdm.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, records := range frames {
+		m.records = append(m.records, records...)
+	}
+	return nil
+}
+
 // Records returns a copy of everything delivered so far.
 func (m *MemoryTarget) Records() []provdm.Record {
 	m.mu.Lock()
@@ -45,21 +55,27 @@ func (m *MemoryTarget) Len() int {
 
 // DfAnalyzerTarget translates records into DfAnalyzer task messages
 // (paper §V: "ProvLight translates the captured data to the DfAnalyzer
-// data model"). The dataflow specification is derived and registered
-// incrementally as new transformations and attributes appear.
+// data model"). The dataflow specification is tracked incrementally: new
+// records only touch the per-set attribute maps, and the spec is
+// re-registered only when it actually grew, so the target's memory is
+// bounded by the schema size rather than the record count.
 type DfAnalyzerTarget struct {
 	client   *dfanalyzer.Client
 	dataflow string
 
-	mu   sync.Mutex
-	seen []provdm.Record // schema-bearing records used to grow the spec
-	spec string          // fingerprint of the last registered spec
+	mu     sync.Mutex
+	schema *dfanalyzer.SchemaTracker
+	// dirty means the tracked schema grew past what the server has
+	// acknowledged; it is cleared only on successful registration, so a
+	// failed attempt (e.g. server briefly down) is retried on the next
+	// delivery instead of leaving the dataflow unregistered forever.
+	dirty bool
 }
 
 // NewDfAnalyzerTarget creates a target for the given DfAnalyzer server
 // client and dataflow tag.
 func NewDfAnalyzerTarget(client *dfanalyzer.Client, dataflow string) *DfAnalyzerTarget {
-	return &DfAnalyzerTarget{client: client, dataflow: dataflow}
+	return &DfAnalyzerTarget{client: client, dataflow: dataflow, schema: dfanalyzer.NewSchemaTracker(dataflow)}
 }
 
 // Name implements Target.
@@ -67,45 +83,37 @@ func (*DfAnalyzerTarget) Name() string { return "dfanalyzer" }
 
 // Deliver implements Target.
 func (d *DfAnalyzerTarget) Deliver(records []provdm.Record) error {
-	// Grow and (re-)register the dataflow spec when the schema expands.
-	d.mu.Lock()
-	d.seen = append(d.seen, records...)
-	df := dfanalyzer.DataflowFromRecords(d.dataflow, d.seen)
-	fp := fingerprint(df)
-	needRegister := fp != d.spec
-	if needRegister {
-		d.spec = fp
-	}
-	d.mu.Unlock()
-	if needRegister {
-		if err := d.client.RegisterDataflow(df); err != nil {
-			return err
-		}
-	}
-	for i := range records {
-		msg, ok := dfanalyzer.RecordToTaskMsg(d.dataflow, &records[i])
-		if !ok {
-			continue
-		}
-		if err := d.client.SendTask(msg); err != nil {
-			return err
-		}
-	}
-	return nil
+	return d.DeliverBatch([][]provdm.Record{records})
 }
 
-func fingerprint(df *dfanalyzer.Dataflow) string {
-	s := df.Tag
-	for _, tr := range df.Transformations {
-		s += "|" + tr.Tag
-		for _, set := range append(append([]dfanalyzer.SetSchema{}, tr.Input...), tr.Output...) {
-			s += ";" + set.Tag
-			for _, a := range set.Attributes {
-				s += "," + a.Name + ":" + string(a.Type)
+// DeliverBatch implements BatchTarget: the whole batch is shipped with one
+// POST /tasks round trip. Registration happens while holding the tracker
+// lock so that a parallel worker observing an already-tracked attribute
+// cannot send tasks for it before the grown spec reaches the server.
+func (d *DfAnalyzerTarget) DeliverBatch(frames [][]provdm.Record) error {
+	d.mu.Lock()
+	for _, records := range frames {
+		if d.schema.Observe(records) {
+			d.dirty = true
+		}
+	}
+	if d.dirty {
+		if err := d.client.RegisterDataflow(d.schema.Dataflow()); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		d.dirty = false
+	}
+	d.mu.Unlock()
+	msgs := make([]*dfanalyzer.TaskMsg, 0, len(frames))
+	for _, records := range frames {
+		for i := range records {
+			if msg, ok := dfanalyzer.RecordToTaskMsg(d.dataflow, &records[i]); ok {
+				msgs = append(msgs, msg)
 			}
 		}
 	}
-	return s
+	return d.client.SendTasks(msgs)
 }
 
 // ProvLakeTarget forwards records to a ProvLake manager service.
@@ -149,6 +157,16 @@ func (p *PROVJSONTarget) Deliver(records []provdm.Record) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.records = append(p.records, records...)
+	return nil
+}
+
+// DeliverBatch implements BatchTarget: one lock acquisition per batch.
+func (p *PROVJSONTarget) DeliverBatch(frames [][]provdm.Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, records := range frames {
+		p.records = append(p.records, records...)
+	}
 	return nil
 }
 

@@ -25,12 +25,26 @@ type Target interface {
 	Deliver(records []provdm.Record) error
 }
 
+// BatchTarget is an optional Target extension: when a target implements
+// it, the translator hands over a micro-batch of decoded frames in one
+// call so the target can amortize its own per-delivery cost (one HTTP
+// round trip, one lock acquisition, ...). Targets without it fall back to
+// one Deliver call per frame.
+type BatchTarget interface {
+	Target
+	// DeliverBatch forwards several decoded frames at once.
+	DeliverBatch(frames [][]provdm.Record) error
+}
+
 // Stats counts translator activity.
 type Stats struct {
 	FramesReceived    uint64
 	RecordsTranslated uint64
-	DecodeErrors      uint64
-	DeliveryErrors    uint64
+	// BatchesDelivered counts delivery rounds; FramesReceived /
+	// BatchesDelivered is the achieved mean micro-batch size.
+	BatchesDelivered uint64
+	DecodeErrors     uint64
+	DeliveryErrors   uint64
 }
 
 // Config configures a Translator.
@@ -43,12 +57,24 @@ type Config struct {
 	// "provlight/+/records" (all devices).
 	TopicFilter string
 	// QoS of the subscription; default QoS 2 to preserve exactly-once.
+	// The zero value means QoS 2 unless QoSSet is true.
 	QoS mqttsn.QoS
+	// QoSSet marks QoS as explicitly chosen. Without it a zero QoS is
+	// promoted to the QoS 2 default, which would make a genuine QoS 0
+	// subscription impossible to express.
+	QoSSet bool
 	// Targets receive every decoded record batch.
 	Targets []Target
 	// Workers parallelizes delivery (paper §IV-B1: translators "may be
 	// parallelized to scale the data capture"). Default 1.
 	Workers int
+	// BatchSize caps how many decoded frames a worker drains from the
+	// queue into one delivery round. Default 64; 1 disables batching.
+	BatchSize int
+	// BatchLinger is how long a worker holding at least one frame waits
+	// for more before delivering an underfull batch. Default 0: deliver
+	// whatever is immediately available without waiting.
+	BatchLinger time.Duration
 	// KeepAlive / RetryInterval / MaxRetries tune the broker session.
 	KeepAlive     time.Duration
 	RetryInterval time.Duration
@@ -64,6 +90,7 @@ type Translator struct {
 
 	frames       atomic.Uint64
 	records      atomic.Uint64
+	batches      atomic.Uint64
 	decodeErrs   atomic.Uint64
 	deliveryErrs atomic.Uint64
 
@@ -83,7 +110,10 @@ func New(cfg Config) (*Translator, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	if cfg.QoS == 0 {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.QoS == 0 && !cfg.QoSSet {
 		cfg.QoS = mqttsn.QoS2
 	}
 	if len(cfg.Targets) == 0 {
@@ -125,6 +155,7 @@ func (t *Translator) Stats() Stats {
 	return Stats{
 		FramesReceived:    t.frames.Load(),
 		RecordsTranslated: t.records.Load(),
+		BatchesDelivered:  t.batches.Load(),
 		DecodeErrors:      t.decodeErrs.Load(),
 		DeliveryErrors:    t.deliveryErrs.Load(),
 	}
@@ -144,19 +175,81 @@ func (t *Translator) onMessage(topic string, payload []byte) {
 	t.work <- records
 }
 
+// worker drains the frame queue into micro-batches and delivers each to
+// every target, preferring the BatchTarget fast path.
 func (t *Translator) worker() {
 	defer t.wg.Done()
+	batch := make([][]provdm.Record, 0, t.cfg.BatchSize)
 	for records := range t.work {
-		for _, target := range t.cfg.Targets {
-			if err := target.Deliver(records); err != nil {
-				t.deliveryErrs.Add(1)
-				if t.cfg.OnError != nil {
-					t.cfg.OnError(fmt.Errorf("translate: deliver to %s: %w", target.Name(), err))
+		batch = t.fillBatch(append(batch[:0], records))
+		t.deliver(batch)
+	}
+}
+
+// fillBatch tops the batch up to BatchSize with frames already queued; if
+// BatchLinger is set it also waits up to that long for stragglers so
+// slow-trickling devices still form batches.
+func (t *Translator) fillBatch(batch [][]provdm.Record) [][]provdm.Record {
+	var linger <-chan time.Time
+	for len(batch) < cap(batch) {
+		select {
+		case records, ok := <-t.work:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, records)
+		default:
+			if t.cfg.BatchLinger <= 0 {
+				return batch
+			}
+			if linger == nil {
+				timer := time.NewTimer(t.cfg.BatchLinger)
+				defer timer.Stop()
+				linger = timer.C
+			}
+			select {
+			case records, ok := <-t.work:
+				if !ok {
+					return batch
 				}
+				batch = append(batch, records)
+			case <-linger:
+				return batch
 			}
 		}
-		t.records.Add(uint64(len(records)))
-		t.inFl.Done()
+	}
+	return batch
+}
+
+func (t *Translator) deliver(batch [][]provdm.Record) {
+	var n uint64
+	for _, frame := range batch {
+		n += uint64(len(frame))
+	}
+	for _, target := range t.cfg.Targets {
+		if bt, ok := target.(BatchTarget); ok {
+			if err := bt.DeliverBatch(batch); err != nil {
+				t.reportDeliveryError(target, err)
+			}
+			continue
+		}
+		// Per-frame fallback keeps the pre-batching error contract: every
+		// failing frame counts and reaches OnError.
+		for _, frame := range batch {
+			if err := target.Deliver(frame); err != nil {
+				t.reportDeliveryError(target, err)
+			}
+		}
+	}
+	t.records.Add(n)
+	t.batches.Add(1)
+	t.inFl.Add(-len(batch))
+}
+
+func (t *Translator) reportDeliveryError(target Target, err error) {
+	t.deliveryErrs.Add(1)
+	if t.cfg.OnError != nil {
+		t.cfg.OnError(fmt.Errorf("translate: deliver to %s: %w", target.Name(), err))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -223,5 +224,163 @@ func TestTranslatorSurvivesGarbageFrames(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Broker: "127.0.0.1:1"}); err == nil {
 		t.Error("translator without targets should fail")
+	}
+}
+
+// countingBatchTarget records how records arrive: every record exactly
+// once, whether through Deliver or DeliverBatch.
+type countingBatchTarget struct {
+	mu         sync.Mutex
+	records    int
+	frames     int
+	batchCalls int
+	maxBatch   int
+}
+
+func (*countingBatchTarget) Name() string { return "counting" }
+
+func (c *countingBatchTarget) Deliver(records []provdm.Record) error {
+	return c.DeliverBatch([][]provdm.Record{records})
+}
+
+func (c *countingBatchTarget) DeliverBatch(frames [][]provdm.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batchCalls++
+	c.frames += len(frames)
+	if len(frames) > c.maxBatch {
+		c.maxBatch = len(frames)
+	}
+	for _, records := range frames {
+		c.records += len(records)
+	}
+	return nil
+}
+
+// TestTranslatorBatchDelivery drives frames through the batch path and
+// asserts exactly-once accounting: every frame delivered once, and the
+// translator's own counters agree with the target's after Drain.
+func TestTranslatorBatchDelivery(t *testing.T) {
+	b, err := broker.New(broker.Config{Addr: "127.0.0.1:0", RetryInterval: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	counting := &countingBatchTarget{}
+	tr, err := New(Config{
+		Broker:        b.Addr(),
+		RetryInterval: 150 * time.Millisecond,
+		MaxRetries:    10,
+		BatchSize:     8,
+		BatchLinger:   50 * time.Millisecond,
+		Targets:       []Target{counting},
+		OnError:       func(err error) { t.Errorf("translator error: %v", err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	records := sampleRecords(20)
+	publishRecords(t, b.Addr(), records)
+
+	want := len(records)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := tr.Stats(); st.FramesReceived >= uint64(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("frames received = %d, want %d", tr.Stats().FramesReceived, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	tr.Drain()
+
+	counting.mu.Lock()
+	defer counting.mu.Unlock()
+	st := tr.Stats()
+	if counting.frames != want || counting.records != want {
+		t.Errorf("target saw %d frames / %d records, want %d each", counting.frames, counting.records, want)
+	}
+	if st.FramesReceived != uint64(want) || st.RecordsTranslated != uint64(want) {
+		t.Errorf("translator stats = %+v, want %d frames and records", st, want)
+	}
+	if st.BatchesDelivered != uint64(counting.batchCalls) {
+		t.Errorf("BatchesDelivered = %d, target saw %d calls", st.BatchesDelivered, counting.batchCalls)
+	}
+	if st.BatchesDelivered == 0 || st.BatchesDelivered > st.FramesReceived {
+		t.Errorf("BatchesDelivered = %d out of range (frames %d)", st.BatchesDelivered, st.FramesReceived)
+	}
+	if st.DeliveryErrors != 0 || st.DecodeErrors != 0 {
+		t.Errorf("translator errors: %+v", st)
+	}
+}
+
+// TestTranslatorQoSZeroExplicit: QoSSet makes a real QoS 0 subscription
+// expressible (the zero value used to be silently promoted to QoS 2).
+func TestTranslatorQoSZeroExplicit(t *testing.T) {
+	b, err := broker.New(broker.Config{Addr: "127.0.0.1:0", RetryInterval: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	mem := NewMemoryTarget()
+	tr, err := New(Config{
+		Broker:        b.Addr(),
+		RetryInterval: 150 * time.Millisecond,
+		MaxRetries:    10,
+		QoS:           mqttsn.QoS0,
+		QoSSet:        true,
+		Targets:       []Target{mem},
+		OnError:       func(err error) { t.Errorf("translator error: %v", err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	records := sampleRecords(3)
+	publishRecords(t, b.Addr(), records)
+	deadline := time.Now().Add(5 * time.Second)
+	for mem.Len() < len(records) {
+		if time.Now().After(deadline) {
+			t.Fatalf("QoS0 subscription delivered %d records, want %d", mem.Len(), len(records))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDfAnalyzerTargetRetriesRegistration: if registration fails (server
+// down), the schema stays dirty and the next delivery re-registers instead
+// of sending tasks into an unregistered dataflow forever.
+func TestDfAnalyzerTargetRetriesRegistration(t *testing.T) {
+	// Reserve a port, then leave it closed for the first delivery.
+	probe := dfanalyzer.NewServer(nil)
+	if err := probe.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	probe.Close()
+
+	target := NewDfAnalyzerTarget(dfanalyzer.NewClient("http://"+addr), "wf")
+	records := sampleRecords(2)
+	if err := target.Deliver(records); err == nil {
+		t.Fatal("delivery with the server down should fail")
+	}
+	srv := dfanalyzer.NewServer(nil)
+	if err := srv.Start(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv.Close()
+	// Same records, no schema growth — registration must still be retried.
+	if err := target.Deliver(records); err != nil {
+		t.Fatalf("delivery after server came back: %v", err)
+	}
+	if _, ok := srv.Store().Dataflow("wf"); !ok {
+		t.Error("dataflow was not registered on retry")
+	}
+	if got := srv.Store().TaskCount("wf"); got != 2 {
+		t.Errorf("task count = %d, want 2", got)
 	}
 }

@@ -76,6 +76,9 @@ type ServerConfig = core.ServerConfig
 // Target receives translated provenance records on the server side.
 type Target = translate.Target
 
+// BatchTarget is the optional batch-delivery extension of Target.
+type BatchTarget = translate.BatchTarget
+
 // Translator consumes device topics and feeds targets.
 type Translator = translate.Translator
 
