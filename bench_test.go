@@ -7,6 +7,7 @@
 package provlight_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"github.com/provlight/provlight/internal/experiment"
 	"github.com/provlight/provlight/internal/mqttsn"
 	"github.com/provlight/provlight/internal/netem"
+	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/provlake"
 	"github.com/provlight/provlight/internal/wire"
 	"github.com/provlight/provlight/internal/workload"
@@ -226,7 +228,7 @@ func BenchmarkWireGroupEncode50(b *testing.B) {
 func benchCapturePipeline(b *testing.B, window int, delay time.Duration) {
 	b.Helper()
 	mem := provlight.NewMemoryTarget()
-	server, err := provlight.StartServer(provlight.ServerConfig{
+	server, err := provlight.StartServer(context.Background(), provlight.ServerConfig{
 		Addr:    "127.0.0.1:0",
 		Targets: []provlight.Target{mem},
 	})
@@ -248,7 +250,7 @@ func benchCapturePipeline(b *testing.B, window int, delay time.Duration) {
 		defer shaped.Close()
 		cfg.Conn = shaped
 	}
-	client, err := provlight.NewClient(cfg)
+	client, err := provlight.NewClient(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -564,7 +566,7 @@ func BenchmarkStoreSelectTopK(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := store.Select(q)
+		out, err := store.Select(context.Background(), q)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -600,7 +602,7 @@ func BenchmarkTranslatorPipeline(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer dfaSrv.Close()
-			server, err := provlight.StartServer(provlight.ServerConfig{
+			server, err := provlight.StartServer(context.Background(), provlight.ServerConfig{
 				Addr:        "127.0.0.1:0",
 				Targets:     []provlight.Target{bc.target("http://" + dfaSrv.Addr())},
 				BatchSize:   bc.batch,
@@ -610,7 +612,7 @@ func BenchmarkTranslatorPipeline(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer server.Close()
-			client, err := provlight.NewClient(provlight.Config{
+			client, err := provlight.NewClient(context.Background(), provlight.Config{
 				Broker:     server.Addr(),
 				ClientID:   "bench-ingest",
 				WindowSize: 64,
@@ -713,4 +715,73 @@ func legacyFingerprint(df *dfanalyzer.Dataflow) string {
 		}
 	}
 	return s
+}
+
+// BenchmarkSourceSelect measures the backend-agnostic read path: the same
+// predicate + top-k query through the Source interface against the
+// in-memory target's column-store view and against a local DfAnalyzer
+// store, over 20k ingested records.
+func BenchmarkSourceSelect(b *testing.B) {
+	const tasks = 10_000
+	records := make([]provdm.Record, 0, 2*tasks)
+	base := time.Unix(1_700_000_000, 0)
+	for i := 0; i < tasks; i++ {
+		id := fmt.Sprintf("t%d", i)
+		records = append(records, provdm.Record{
+			Event: provdm.EventTaskBegin, WorkflowID: "w", TaskID: id,
+			Transformation: "t", Status: provdm.StatusRunning,
+			Data: []provdm.DataRef{{ID: "in-" + id, Attributes: []provdm.Attribute{
+				{Name: "lr", Value: float64(i%10) / 10},
+			}}},
+			Time: base,
+		})
+		records = append(records, provdm.Record{
+			Event: provdm.EventTaskEnd, WorkflowID: "w", TaskID: id,
+			Transformation: "t", Status: provdm.StatusFinished,
+			Data: []provdm.DataRef{{ID: "out-" + id, Attributes: []provdm.Attribute{
+				{Name: "epoch", Value: float64(i)},
+				{Name: "loss", Value: 1 / float64(i+1)},
+				{Name: "accuracy", Value: float64(i%1000) / 1000},
+			}}},
+			Time: base.Add(time.Second),
+		})
+	}
+
+	mem := provlight.NewMemoryTargetForDataflow("bench")
+	if err := mem.Deliver(records); err != nil {
+		b.Fatal(err)
+	}
+	store := dfanalyzer.NewStore()
+	if err := store.RegisterDataflow(dfanalyzer.DataflowFromRecords("bench", records)); err != nil {
+		b.Fatal(err)
+	}
+	for i := range records {
+		if msg, ok := dfanalyzer.RecordToTaskMsg("bench", &records[i]); ok {
+			if err := store.IngestTask(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	q := provlight.Query{
+		Dataflow: "bench", Set: "t_output",
+		Where:   []provlight.Pred{{Attr: "loss", Op: provlight.Lt, Value: 0.5}},
+		OrderBy: "accuracy", Desc: true, Limit: 10,
+	}
+	ctx := context.Background()
+	for name, src := range map[string]provlight.Source{"memory": mem, "store": store} {
+		src := src
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, err := src.Select(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 10 {
+					b.Fatalf("rows = %d, want 10", len(rows))
+				}
+			}
+		})
+	}
 }

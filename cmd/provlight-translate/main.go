@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -34,6 +35,8 @@ func main() {
 	dataflow := flag.String("dataflow", "provlight", "DfAnalyzer dataflow tag")
 	plURL := flag.String("provlake", "", "ProvLake base URL (enables ProvLake target)")
 	provjson := flag.String("provjson", "", "write a PROV-JSON document to this file on exit")
+	connectTimeout := flag.Duration("connect-timeout", 30*time.Second, "broker connect/subscribe deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 	flag.Parse()
 
 	var targets []translate.Target
@@ -51,7 +54,8 @@ func main() {
 		targets = append(targets, pj)
 	}
 
-	tr, err := translate.New(translate.Config{
+	connectCtx, cancelConnect := context.WithTimeout(context.Background(), *connectTimeout)
+	tr, err := translate.New(connectCtx, translate.Config{
 		Broker:      *brokerAddr,
 		TopicFilter: *topic,
 		Workers:     *workers,
@@ -60,6 +64,7 @@ func main() {
 		Targets:     targets,
 		OnError:     func(err error) { log.Printf("provlight-translate: %v", err) },
 	})
+	cancelConnect()
 	if err != nil {
 		log.Fatalf("provlight-translate: %v", err)
 	}
@@ -77,7 +82,11 @@ func main() {
 			log.Printf("provlight-translate: frames=%d records=%d batches=%d decode_errs=%d delivery_errs=%d",
 				st.FramesReceived, st.RecordsTranslated, st.BatchesDelivered, st.DecodeErrors, st.DeliveryErrors)
 		case <-sig:
-			tr.Close()
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := tr.Shutdown(shutdownCtx); err != nil {
+				log.Printf("provlight-translate: shutdown: %v", err)
+			}
+			cancel()
 			if pj != nil {
 				f, err := os.Create(*provjson)
 				if err != nil {

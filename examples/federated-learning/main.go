@@ -4,7 +4,9 @@
 // synthetic local datasets with FedAvg. Every local training epoch is
 // captured with ProvLight (hyperparameters in, loss/accuracy out), shipped
 // over MQTT-SN to the broker, translated into DfAnalyzer, and finally the
-// §I analysis queries are answered from the provenance store:
+// §I analysis queries are answered through the backend-agnostic Source
+// interface — against the local DfAnalyzer store and against the remote
+// DfAnalyzer server over HTTP, with identical results:
 //
 //	(i)  elapsed time and training loss in the latest epoch,
 //	(ii) hyperparameters with the 3 best accuracy values.
@@ -13,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -22,7 +25,6 @@ import (
 
 	"github.com/provlight/provlight"
 	"github.com/provlight/provlight/internal/dfanalyzer"
-	"github.com/provlight/provlight/internal/queries"
 )
 
 const (
@@ -84,13 +86,15 @@ func localEpoch(w []float64, d dataset, lr float64) (loss, acc float64) {
 }
 
 func main() {
+	ctx := context.Background()
+
 	// Cloud side: DfAnalyzer storage + ProvLight server feeding it.
 	dfaSrv := dfanalyzer.NewServer(nil)
 	if err := dfaSrv.Start("127.0.0.1:0"); err != nil {
 		log.Fatal(err)
 	}
 	defer dfaSrv.Close()
-	server, err := provlight.StartServer(provlight.ServerConfig{
+	server, err := provlight.StartServer(ctx, provlight.ServerConfig{
 		Addr: "127.0.0.1:0",
 		Targets: []provlight.Target{
 			provlight.NewDfAnalyzerTarget("http://"+dfaSrv.Addr(), dataflow),
@@ -114,7 +118,7 @@ func main() {
 	var workflows []*provlight.Workflow
 	var data []dataset
 	for d := 0; d < devices; d++ {
-		client, err := provlight.NewClient(provlight.Config{
+		client, err := provlight.NewClient(ctx, provlight.Config{
 			Broker:   server.Addr(),
 			ClientID: fmt.Sprintf("fl-device-%d", d),
 		})
@@ -196,8 +200,13 @@ func main() {
 
 	fmt.Printf("trained %d rounds on %d devices; global weights %v\n\n", rounds, devices, rounded(global))
 
+	// The read side is backend-agnostic: the same queries run against the
+	// local column store and against the DfAnalyzer server over HTTP.
+	local := provlight.Source(dfaSrv.Store())
+	remote := provlight.NewDfAnalyzerSource("http://" + dfaSrv.Addr())
+
 	// Query (ii): hyperparameters with the 3 best accuracy values.
-	top, err := queries.TopKAccuracy(dfaSrv.Store(), dataflow, "training_output", 3)
+	top, err := provlight.TopKAccuracy(ctx, local, dataflow, "training_output", 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -206,9 +215,17 @@ func main() {
 		fmt.Printf("  task=%-22s epoch=%v accuracy=%.3f loss=%.3f\n",
 			row["task_id"], row["epoch"], row["accuracy"], row["loss"])
 	}
+	remoteTop, err := provlight.TopKAccuracy(ctx, remote, dataflow, "training_output", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fmt.Sprint(remoteTop) != fmt.Sprint(top) {
+		log.Fatalf("remote Source diverged from local store:\n  local:  %v\n  remote: %v", top, remoteTop)
+	}
+	fmt.Println("  (identical over the remote HTTP Source)")
 
 	// Query (i): per-epoch metrics for steering.
-	ms, err := queries.LatestEpochMetrics(dfaSrv.Store(), dataflow, "training_output")
+	ms, err := provlight.LatestEpochMetrics(ctx, local, dataflow, "training_output")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -216,7 +233,7 @@ func main() {
 	fmt.Printf("\nlatest epoch %v: loss=%.3f accuracy=%.3f (query i)\n", last.Epoch, last.Loss, last.Accuracy)
 
 	// Hyperparameter analysis across devices.
-	sums, err := queries.AccuracyByHyperparam(dfaSrv.Store(), dataflow, "training_input", "training_output", "lr")
+	sums, err := provlight.AccuracyByHyperparam(ctx, local, dataflow, "training_input", "training_output", "lr")
 	if err != nil {
 		log.Fatal(err)
 	}

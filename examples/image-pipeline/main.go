@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,9 +24,10 @@ import (
 const frames = 6
 
 func main() {
+	ctx := context.Background()
 	pj := provlight.NewPROVJSONTarget()
 	mem := provlight.NewMemoryTarget()
-	server, err := provlight.StartServer(provlight.ServerConfig{
+	server, err := provlight.StartServer(ctx, provlight.ServerConfig{
 		Addr:    "127.0.0.1:0",
 		Targets: []provlight.Target{mem, pj},
 	})
@@ -34,7 +36,7 @@ func main() {
 	}
 	defer server.Close()
 
-	client, err := provlight.NewClient(provlight.Config{
+	client, err := provlight.NewClient(ctx, provlight.Config{
 		Broker:   server.Addr(),
 		ClientID: "camera-7",
 	})

@@ -1,13 +1,15 @@
-// Quickstart: the paper's Listing 1 in Go.
+// Quickstart: the paper's Listing 1 in Go, plus the read side.
 //
 // It starts an in-process ProvLight server (MQTT-SN broker + translator),
-// instruments a small chained-transformation workflow with the capture
-// library, and prints what arrived on the server side.
+// opens a live subscription on the server, instruments a small
+// chained-transformation workflow with the capture library, and finally
+// queries what arrived through the backend-agnostic Source interface.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,9 +18,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Server side: broker + translator with an in-memory target.
 	mem := provlight.NewMemoryTarget()
-	server, err := provlight.StartServer(provlight.ServerConfig{
+	server, err := provlight.StartServer(ctx, provlight.ServerConfig{
 		Addr:    "127.0.0.1:0",
 		Targets: []provlight.Target{mem},
 	})
@@ -27,11 +31,21 @@ func main() {
 	}
 	defer server.Close()
 
+	// Live subscription: watch task completions as they stream in.
+	const numberOfTasks = 25
+	live, cancelLive := server.Subscribe(ctx, provlight.Filter{
+		Events: []provlight.EventKind{provlight.EventTaskEnd},
+		Buffer: numberOfTasks,
+	})
+	defer cancelLive()
+
 	// Device side: connect the capture client to the broker.
-	client, err := provlight.NewClient(provlight.Config{
+	connectCtx, cancelConnect := context.WithTimeout(ctx, 10*time.Second)
+	client, err := provlight.NewClient(connectCtx, provlight.Config{
 		Broker:   server.Addr(),
 		ClientID: "edge-device-1",
 	})
+	cancelConnect()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +54,6 @@ func main() {
 	const (
 		attributes             = 100
 		chainedTransformations = 5
-		numberOfTasks          = 25
 	)
 	inAttrs := provlight.Attrs(map[string]any{"in": make([]byte, attributes)})
 	outAttrs := provlight.Attrs(map[string]any{"out": make([]byte, attributes)})
@@ -77,20 +90,57 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Wait for the pipeline to drain, then inspect.
-	for mem.Len() < 2+2*numberOfTasks {
-		time.Sleep(10 * time.Millisecond)
+	// The subscription delivers every task completion live: count them as
+	// they arrive (device -> broker -> translator -> subscriber).
+	seen := 0
+	timeout := time.After(30 * time.Second)
+	for seen < numberOfTasks {
+		select {
+		case rec := <-live:
+			seen++
+			if seen <= 3 {
+				fmt.Printf("live: %-10s workflow=%s task=%s\n", rec.Event, rec.WorkflowID, rec.TaskID)
+			}
+		case <-timeout:
+			log.Fatalf("subscription delivered %d/%d task ends", seen, numberOfTasks)
+		}
 	}
-	if err := client.Close(); err != nil {
+	fmt.Printf("live subscription observed all %d task completions\n", seen)
+
+	// Drain and disconnect under a deadline.
+	closeCtx, cancelClose := context.WithTimeout(ctx, 10*time.Second)
+	if err := client.Shutdown(closeCtx); err != nil {
 		log.Fatal(err)
 	}
+	cancelClose()
+	// Client drain guarantees the broker holds every frame; the last one
+	// may still be on the broker->translator leg, so poll the target to
+	// the expected count before reporting.
+	want := 2 + 2*numberOfTasks
+	for deadline := time.Now().Add(30 * time.Second); mem.Len() < want; {
+		if time.Now().After(deadline) {
+			log.Fatalf("pipeline drained %d/%d records", mem.Len(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	server.Drain()
 
-	stats := client.Stats()
+	stats := client.StatsSnapshot()
 	fmt.Printf("captured %d records in %d frames (%d compressed), %d bytes on the wire\n",
 		stats.RecordsCaptured, stats.FramesPublished, stats.FramesCompressed, stats.BytesPublished)
 	fmt.Printf("server received %d records end to end\n", mem.Len())
-	for _, rec := range mem.Records()[:4] {
-		fmt.Printf("  %-14s workflow=%s task=%s\n", rec.Event, rec.WorkflowID, rec.TaskID)
+
+	// The read side: MemoryTarget is a Source, so generic queries work on
+	// it exactly as they would on a DfAnalyzer backend.
+	rows, err := mem.Select(ctx, provlight.Query{
+		Dataflow: "provlight",
+		Set:      "transformation-0_output",
+		Limit:    2,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("  ...")
+	for _, row := range rows {
+		fmt.Printf("  query row: task_id=%v\n", row["task_id"])
+	}
 }

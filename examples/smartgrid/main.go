@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,8 +29,9 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	mem := provlight.NewMemoryTarget()
-	server, err := provlight.StartServer(provlight.ServerConfig{
+	server, err := provlight.StartServer(ctx, provlight.ServerConfig{
 		Addr:    "127.0.0.1:0",
 		Targets: []provlight.Target{mem},
 	})
@@ -51,7 +53,7 @@ func main() {
 				Delay:        11500 * time.Microsecond,
 				Seed:         int64(m + 1),
 			})
-			client, err := provlight.NewClient(provlight.Config{
+			client, err := provlight.NewClient(ctx, provlight.Config{
 				Broker:    server.Addr(),
 				ClientID:  fmt.Sprintf("meter-%d", m),
 				Conn:      conn,
@@ -119,10 +121,16 @@ func main() {
 
 	fmt.Printf("received %d provenance records from %d meters over a 25 Kbit/s uplink\n\n", mem.Len(), meters)
 	for i, c := range clients {
-		st := c.Stats()
+		st := c.StatsSnapshot()
 		fmt.Printf("meter-%d: %d records -> %d frames (%d grouped records), %d wire bytes\n",
 			i, st.RecordsCaptured, st.FramesPublished, st.RecordsGrouped, st.BytesPublished)
-		c.Close()
+		// The slow emulated uplink can hold frames in flight: drain each
+		// meter under a deadline instead of waiting forever.
+		closeCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		if err := c.Shutdown(closeCtx); err != nil {
+			log.Printf("meter-%d: shutdown: %v", i, err)
+		}
+		cancel()
 	}
 	fmt.Println("\ngrouping ships 5 ended windows per frame: begin events stay immediate,")
 	fmt.Println("so the cloud can still track which windows have started (paper §IV-C2).")

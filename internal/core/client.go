@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sort"
@@ -14,13 +15,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/provlight/provlight/internal/ctxutil"
 	"github.com/provlight/provlight/internal/mqttsn"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/wire"
 )
 
-// DefaultTopicPattern is where a client publishes its records: one topic
-// per device, mirroring Fig. 5 (topic-1..topic-64).
+// DefaultTopic returns the topic a client with the given id publishes its
+// records on: one topic per device, mirroring Fig. 5 (topic-1..topic-64).
 func DefaultTopic(clientID string) string {
 	return "provlight/" + clientID + "/records"
 }
@@ -68,10 +70,20 @@ type Config struct {
 	// Conn optionally supplies the UDP socket (e.g. netem-shaped).
 	Conn net.PacketConn
 	// OnError receives asynchronous transmission errors. Default: drop.
+	//
+	// Serialization contract: invocations are serialized — the callback is
+	// never called concurrently with itself, even with WindowSize > 1
+	// handshakes failing near-simultaneously — so implementations need no
+	// internal locking. The callback runs on a transmission goroutine and
+	// must not block: a slow OnError stalls error collection (though never
+	// the capture path itself). Calling methods of the originating Client
+	// from inside the callback risks deadlock.
 	OnError func(error)
 }
 
-// Stats counts client activity.
+// Stats counts client activity. Values are a point-in-time snapshot taken
+// by StatsSnapshot; read fields from the returned copy, never from shared
+// storage.
 type Stats struct {
 	RecordsCaptured  uint64
 	FramesPublished  uint64
@@ -133,7 +145,10 @@ type counters struct {
 }
 
 // NewClient connects to the broker and returns a ready capture client.
-func NewClient(cfg Config) (*Client, error) {
+// ctx bounds the connect and topic-registration handshakes (a nil or
+// background context means the transport's own retry budget applies); it
+// does not govern the client's lifetime — use Shutdown/Close for that.
+func NewClient(ctx context.Context, cfg Config) (*Client, error) {
 	if cfg.ClientID == "" {
 		return nil, fmt.Errorf("provlight: ClientID required")
 	}
@@ -165,16 +180,20 @@ func NewClient(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := mc.Connect(); err != nil {
+	if err := mc.WithContext(ctx, func() error {
+		if err := mc.Connect(); err != nil {
+			return fmt.Errorf("provlight: connect broker %s: %w", cfg.Broker, err)
+		}
+		// Register the topic once up front: the long-lived connection and
+		// pre-registered topic are part of why per-event cost stays low
+		// (§VII-A: "keeps the connection to the remote server open").
+		if _, err := mc.RegisterTopic(cfg.Topic); err != nil {
+			return fmt.Errorf("provlight: register topic %q: %w", cfg.Topic, err)
+		}
+		return nil
+	}); err != nil {
 		mc.Close()
-		return nil, fmt.Errorf("provlight: connect broker %s: %w", cfg.Broker, err)
-	}
-	// Register the topic once up front: the long-lived connection and
-	// pre-registered topic are part of why per-event cost stays low
-	// (§VII-A: "keeps the connection to the remote server open").
-	if _, err := mc.RegisterTopic(cfg.Topic); err != nil {
-		mc.Close()
-		return nil, fmt.Errorf("provlight: register topic %q: %w", cfg.Topic, err)
+		return nil, err
 	}
 	c := &Client{
 		cfg:   cfg,
@@ -190,8 +209,12 @@ func NewClient(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// Stats returns a snapshot of capture counters.
-func (c *Client) Stats() Stats {
+// StatsSnapshot returns a race-safe snapshot of the capture counters: each
+// counter is loaded atomically, so the snapshot can be taken while capture
+// runs on other goroutines. Counters are loaded individually, so a
+// snapshot taken mid-burst may observe a frame whose byte count lands in
+// the next snapshot; every counter is monotonically consistent.
+func (c *Client) StatsSnapshot() Stats {
 	return Stats{
 		RecordsCaptured:  c.ctr.recordsCaptured.Load(),
 		FramesPublished:  c.ctr.framesPublished.Load(),
@@ -201,6 +224,11 @@ func (c *Client) Stats() Stats {
 		AsyncErrors:      c.ctr.asyncErrors.Load(),
 	}
 }
+
+// Stats returns a snapshot of capture counters.
+//
+// Deprecated: use StatsSnapshot, which documents the atomicity contract.
+func (c *Client) Stats() Stats { return c.StatsSnapshot() }
 
 // MQTTStats exposes the underlying transport counters.
 func (c *Client) MQTTStats() mqttsn.ClientStats { return c.mqtt.Stats() }
@@ -267,39 +295,92 @@ func (c *Client) Capture(rec *provdm.Record) error {
 	return c.transmitOrdered(rec)
 }
 
-// Flush transmits any buffered group and waits for in-flight frames.
-func (c *Client) Flush() error {
+// flushGroup transmits any buffered group without waiting for in-flight
+// frames. ctx bounds the enqueue: when the transmit queue is full (e.g.
+// the broker is unreachable) and ctx expires, the group frame is dropped
+// and counted as an async error instead of blocking indefinitely. A nil
+// or background ctx blocks like Capture does.
+func (c *Client) flushGroup(ctx context.Context) error {
 	c.mu.Lock()
 	batch := c.group
 	c.group = nil
-	var err error
-	if len(batch) > 0 {
-		c.txMu.Lock() // handoff, as in Capture
+	if len(batch) == 0 {
 		c.mu.Unlock()
-		err = c.transmitOrdered(batch...)
-		c.txMu.Unlock()
-	} else {
-		c.mu.Unlock()
+		return nil
 	}
+	c.txMu.Lock() // handoff, as in Capture
+	c.mu.Unlock()
+	err := c.transmitOrderedCtx(ctx, batch...)
+	c.txMu.Unlock()
+	return err
+}
+
+// Flush transmits any buffered group and waits for in-flight frames.
+func (c *Client) Flush() error {
+	err := c.flushGroup(context.Background())
 	c.inFly.Wait()
 	return err
 }
 
-// Close flushes, disconnects, and releases the client.
-func (c *Client) Close() error {
-	err := c.Flush()
+// Close flushes, disconnects, and releases the client, draining in-flight
+// windows without a deadline (equivalent to Shutdown with a background
+// context).
+func (c *Client) Close() error { return c.Shutdown(context.Background()) }
+
+// Shutdown flushes buffered records and drains the in-flight publish
+// windows, bounded by ctx: if the context expires before every handshake
+// completes (e.g. the broker is unreachable and retries are still running),
+// the remaining frames are abandoned — the transport is force-closed, each
+// abandoned or dropped frame is accounted as an AsyncError, and the
+// context error is returned. On a clean drain the session ends with the
+// protocol goodbye, exactly like Close. Calling Shutdown (or Close) again
+// while a previous call is still draining waits for that drain under the
+// new ctx rather than returning early.
+func (c *Client) Shutdown(ctx context.Context) error {
+	// Flush the buffered group before claiming the shutdown, so the
+	// closed-client check in the transmit path doesn't reject our own
+	// group frame. In synchronous mode the flush publishes inline through
+	// the retry budget; WithContext bounds it by force-closing the
+	// transport when ctx expires.
+	var err error
+	if c.cfg.Synchronous {
+		err = c.mqtt.WithContext(ctx, func() error { return c.flushGroup(nil) })
+	} else {
+		err = c.flushGroup(ctx)
+	}
 	if !c.closed.CompareAndSwap(false, true) {
+		// Another Shutdown/Close owns the teardown: honour this call's
+		// drain contract by waiting for that teardown under our ctx
+		// instead of returning early.
+		if !c.cfg.Synchronous {
+			if werr := ctxutil.Wait(ctx, func() { c.wg.Wait(); c.inFly.Wait() }); werr != nil && err == nil {
+				err = werr
+			}
+		}
 		return err
 	}
-	if !c.cfg.Synchronous {
-		// Wait out any transmit that was already past the closed check,
-		// then close the queue, drain the sender, and wait for the last
-		// handshakes before the protocol goodbye.
-		c.txMu.Lock()
-		c.txMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
-		close(c.sendQ)
-		c.wg.Wait()
-		c.inFly.Wait()
+	if c.cfg.Synchronous {
+		if derr := c.mqtt.Disconnect(); derr != nil && err == nil {
+			err = derr
+		}
+		return err
+	}
+	// Wait out any transmit that was already past the closed check, then
+	// close the queue, drain the sender, and wait for the last handshakes
+	// before the protocol goodbye.
+	c.txMu.Lock()
+	c.txMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	close(c.sendQ)
+	if werr := ctxutil.Wait(ctx, func() { c.wg.Wait(); c.inFly.Wait() }); werr != nil {
+		// Force-close the transport: pending handshakes fail with
+		// ErrClosed, their collectors count AsyncErrors and release the
+		// in-flight slots, so the abandoned waiter goroutine (and the
+		// sender, once its queue drains) finishes shortly after.
+		c.mqtt.Close()
+		if err == nil {
+			err = werr
+		}
+		return err
 	}
 	if derr := c.mqtt.Disconnect(); derr != nil && err == nil {
 		err = derr
@@ -312,6 +393,15 @@ func (c *Client) Close() error {
 // the encode+enqueue atomic with respect to other transmits and so
 // preserves capture order in sendQ.
 func (c *Client) transmitOrdered(records ...*provdm.Record) error {
+	return c.transmitOrderedCtx(nil, records...)
+}
+
+// transmitOrderedCtx is transmitOrdered with a context bound on the
+// enqueue (used by Shutdown's group flush): when the transmit queue stays
+// full past ctx, the frame is dropped and counted as an async error. A
+// nil or background ctx blocks on a full queue, exposing backpressure to
+// the caller like a real radio queue.
+func (c *Client) transmitOrderedCtx(ctx context.Context, records ...*provdm.Record) error {
 	bufp := framePool.Get().(*[]byte)
 	frame, err := c.enc.AppendFrame((*bufp)[:0], records...)
 	if err != nil {
@@ -319,12 +409,21 @@ func (c *Client) transmitOrdered(records ...*provdm.Record) error {
 		return err
 	}
 	*bufp = frame
-	c.ctr.framesPublished.Add(1)
-	c.ctr.bytesPublished.Add(uint64(len(frame)))
-	if wire.IsCompressed(frame) {
-		c.ctr.framesCompressed.Add(1)
+	// Counted only once the frame is actually handed to the transport (or
+	// enqueued), so StatsSnapshot never reports a frame that was dropped
+	// before leaving the client. Sized up front: after the enqueue the
+	// sender may already have recycled the buffer.
+	size := uint64(len(frame))
+	compressed := wire.IsCompressed(frame)
+	countPublished := func() {
+		c.ctr.framesPublished.Add(1)
+		c.ctr.bytesPublished.Add(size)
+		if compressed {
+			c.ctr.framesCompressed.Add(1)
+		}
 	}
 	if c.cfg.Synchronous {
+		countPublished()
 		err := c.mqtt.Publish(c.topic, frame, c.cfg.QoS)
 		framePool.Put(bufp)
 		return err
@@ -334,10 +433,21 @@ func (c *Client) transmitOrdered(records ...*provdm.Record) error {
 		return fmt.Errorf("provlight: client closed")
 	}
 	c.inFly.Add(1)
-	// A full queue (e.g. radio slower than capture rate) blocks here,
-	// exposing backpressure to the caller like a real radio queue.
-	c.sendQ <- bufp
-	return nil
+	if ctx == nil || ctx.Done() == nil {
+		c.sendQ <- bufp
+		countPublished()
+		return nil
+	}
+	select {
+	case c.sendQ <- bufp:
+		countPublished()
+		return nil
+	case <-ctx.Done():
+		c.inFly.Done()
+		framePool.Put(bufp)
+		c.ctr.asyncErrors.Add(1)
+		return ctx.Err()
+	}
 }
 
 // Attrs builds an ordered attribute list from a map (sorted by name for

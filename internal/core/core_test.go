@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -15,7 +17,7 @@ var _ capture.Client = (*Client)(nil)
 func startPipeline(t *testing.T, cfgMod func(*Config)) (*Client, *translate.MemoryTarget, *Server) {
 	t.Helper()
 	mem := translate.NewMemoryTarget()
-	srv, err := StartServer(ServerConfig{
+	srv, err := StartServer(context.Background(), ServerConfig{
 		Addr:          "127.0.0.1:0",
 		Targets:       []translate.Target{mem},
 		RetryInterval: 150 * time.Millisecond,
@@ -33,7 +35,7 @@ func startPipeline(t *testing.T, cfgMod func(*Config)) (*Client, *translate.Memo
 	if cfgMod != nil {
 		cfgMod(&cfg)
 	}
-	client, err := NewClient(cfg)
+	client, err := NewClient(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +314,7 @@ func TestParallelTranslatorsPerDeviceTopics(t *testing.T) {
 	for d := 0; d < devices; d++ {
 		filters = append(filters, fmt.Sprintf("provlight/device-%d/records", d))
 	}
-	srv, err := StartServer(ServerConfig{
+	srv, err := StartServer(context.Background(), ServerConfig{
 		Addr:          "127.0.0.1:0",
 		Targets:       []translate.Target{mem},
 		TopicFilters:  filters,
@@ -323,7 +325,7 @@ func TestParallelTranslatorsPerDeviceTopics(t *testing.T) {
 	}
 	t.Cleanup(srv.Close)
 	for d := 0; d < devices; d++ {
-		client, err := NewClient(Config{
+		client, err := NewClient(context.Background(), Config{
 			Broker:        srv.Addr(),
 			ClientID:      fmt.Sprintf("device-%d", d),
 			RetryInterval: 150 * time.Millisecond,
@@ -362,6 +364,221 @@ func TestParallelTranslatorsPerDeviceTopics(t *testing.T) {
 	for i, tr := range srv.Translators {
 		if st := tr.Stats(); st.FramesReceived != 4 {
 			t.Errorf("translator %d received %d frames, want 4", i, st.FramesReceived)
+		}
+	}
+}
+
+func TestSubscribeEndToEnd(t *testing.T) {
+	// Live subscription: device -> broker -> translator -> subscriber.
+	// Records must arrive on the subscription channel as the workflow runs,
+	// after target delivery, with nothing lost for a keeping-up consumer.
+	client, _, srv := startPipeline(t, nil)
+
+	ctx := context.Background()
+	all, cancelAll := srv.Subscribe(ctx, translate.Filter{Buffer: 128})
+	defer cancelAll()
+	endsOnly, cancelEnds := srv.Subscribe(ctx, translate.Filter{
+		Events: []provdm.EventKind{provdm.EventTaskEnd},
+		Buffer: 128,
+	})
+	defer cancelEnds()
+
+	const tasks = 10
+	wf := client.NewWorkflow("live")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tasks; i++ {
+		task := wf.NewTask(fmt.Sprintf("t%d", i), "tr")
+		if err := task.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := task.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wf.End(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := 2 + 2*tasks
+	deadline := time.After(10 * time.Second)
+	var got []provdm.Record
+	for len(got) < want {
+		select {
+		case rec := <-all:
+			got = append(got, rec)
+		case <-deadline:
+			t.Fatalf("subscription delivered %d/%d records", len(got), want)
+		}
+	}
+	seen := map[string]int{}
+	for _, r := range got {
+		seen[fmt.Sprintf("%s/%s", r.Event, r.TaskID)]++
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("record %s delivered %d times", k, n)
+		}
+	}
+	for i := 0; i < tasks; i++ {
+		select {
+		case rec := <-endsOnly:
+			if rec.Event != provdm.EventTaskEnd {
+				t.Errorf("filtered subscription got %s", rec.Event)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("filtered subscription delivered %d/%d task ends", i, tasks)
+		}
+	}
+	if st := srv.SubscriptionStats(); st.Dropped != 0 {
+		t.Errorf("dropped = %d for keeping-up consumers, want 0", st.Dropped)
+	}
+
+	// Cancelling one subscription closes its channel and leaves the other
+	// (plus the pipeline) functional.
+	cancelEnds()
+	if _, ok := <-endsOnly; ok {
+		t.Error("cancelled subscription channel should be closed")
+	}
+}
+
+func TestClientAndServerShutdownUnderDeadline(t *testing.T) {
+	// A healthy pipeline drains well within the deadline: Shutdown returns
+	// nil on both the client and the server, and subscriptions end.
+	client, mem, srv := startPipeline(t, func(c *Config) {
+		c.GroupSize = 4 // leave a partial group for Shutdown to flush
+	})
+	sub, cancelSub := srv.Subscribe(context.Background(), translate.Filter{})
+	defer cancelSub()
+
+	wf := client.NewWorkflow("drain")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		task := wf.NewTask(fmt.Sprintf("t%d", i), "tr")
+		if err := task.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := task.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No wf.End(): two ended tasks sit in the partial group buffer; the
+	// client Shutdown must flush and drain them.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := client.Shutdown(ctx); err != nil {
+		t.Fatalf("client shutdown: %v", err)
+	}
+	waitRecords(t, mem, 1+2*6)
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("server shutdown: %v", err)
+	}
+	// Server shutdown closed the subscription channel (possibly after the
+	// buffered records drain).
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("subscription channel not closed by server Shutdown")
+		}
+	}
+}
+
+func TestClientShutdownExpiredDeadlineAbandons(t *testing.T) {
+	// Kill the broker under the client, queue frames whose QoS 2 handshakes
+	// can never complete, and check that Shutdown gives up at the deadline
+	// instead of hanging, accounting the abandoned frames as async errors.
+	client, _, srv := startPipeline(t, func(c *Config) {
+		c.RetryInterval = 200 * time.Millisecond
+		c.MaxRetries = 50 // retry budget far beyond the shutdown deadline
+	})
+	wf := client.NewWorkflow("doomed")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	client.Flush()
+	srv.Broker.Close()
+	for i := 0; i < 3; i++ {
+		task := wf.NewTask(fmt.Sprintf("t%d", i), "tr")
+		if err := task.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := task.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := client.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown error = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shutdown took %v, deadline was 400ms", elapsed)
+	}
+	// The force-closed transport fails the abandoned handshakes; their
+	// collectors record async errors shortly after.
+	deadline := time.Now().Add(5 * time.Second)
+	for client.StatsSnapshot().AsyncErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned frames were not accounted as async errors")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestStatsSnapshotRace(t *testing.T) {
+	// Concurrent captures against concurrent StatsSnapshot reads: run with
+	// -race (the CI race job does) to verify the snapshot path is
+	// race-free, and check counters are monotonically consistent.
+	client, mem, _ := startPipeline(t, nil)
+	wf := client.NewWorkflow("stats")
+	if err := wf.Begin(); err != nil {
+		t.Fatal(err)
+	}
+
+	const tasks = 30
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < tasks; i++ {
+			task := wf.NewTask(fmt.Sprintf("t%d", i), "tr")
+			if err := task.Begin(); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := task.End(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var lastCaptured uint64
+	for {
+		st := client.StatsSnapshot()
+		if st.RecordsCaptured < lastCaptured {
+			t.Fatalf("RecordsCaptured went backwards: %d -> %d", lastCaptured, st.RecordsCaptured)
+		}
+		lastCaptured = st.RecordsCaptured
+		select {
+		case <-done:
+			if err := wf.End(); err != nil {
+				t.Fatal(err)
+			}
+			waitRecords(t, mem, 2+2*tasks)
+			if st := client.StatsSnapshot(); st.RecordsCaptured != 2+2*tasks {
+				t.Errorf("captured = %d, want %d", st.RecordsCaptured, 2+2*tasks)
+			}
+			return
+		default:
 		}
 	}
 }

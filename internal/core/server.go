@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/provlight/provlight/internal/broker"
 	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/translate"
 )
 
@@ -44,10 +46,14 @@ type ServerConfig struct {
 type Server struct {
 	Broker      *broker.Broker
 	Translators []*translate.Translator
+
+	hub *translate.Hub
 }
 
-// StartServer launches the broker and its translators.
-func StartServer(cfg ServerConfig) (*Server, error) {
+// StartServer launches the broker and its translators. ctx bounds the
+// translators' connect/subscribe handshakes; it does not govern the
+// server's lifetime — use Shutdown/Close for that.
+func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 	if len(cfg.Targets) == 0 {
 		return nil, fmt.Errorf("provlight: server requires at least one target")
 	}
@@ -65,9 +71,9 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 			filters = append(filters, "provlight/+/records")
 		}
 	}
-	srv := &Server{Broker: b}
+	srv := &Server{Broker: b, hub: translate.NewHub()}
 	for i, filter := range filters {
-		tr, err := translate.New(translate.Config{
+		tr, err := translate.New(ctx, translate.Config{
 			Broker:        b.Addr(),
 			ClientID:      fmt.Sprintf("translator-%d", i+1),
 			TopicFilter:   filter,
@@ -79,6 +85,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 			BatchLinger:   cfg.BatchLinger,
 			RetryInterval: cfg.RetryInterval,
 			OnError:       cfg.OnError,
+			Hub:           srv.hub,
 		})
 		if err != nil {
 			srv.Close()
@@ -92,6 +99,24 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 // Addr returns the broker's UDP address for clients.
 func (s *Server) Addr() string { return s.Broker.Addr() }
 
+// Subscribe opens a live provenance stream: every record decoded by the
+// server's translators (any of them) that matches filter is delivered on
+// the returned channel, after target delivery. The channel is closed when
+// the subscription ends — cancel is called, ctx is cancelled, or the
+// server shuts down.
+//
+// Delivery is non-blocking with a bounded per-subscriber buffer
+// (Filter.Buffer, default translate.DefaultSubscribeBuffer): a slow
+// consumer loses records rather than backpressuring ingestion, and every
+// such drop is counted in SubscriptionStats().Dropped.
+func (s *Server) Subscribe(ctx context.Context, filter translate.Filter) (<-chan provdm.Record, func()) {
+	return s.hub.Subscribe(ctx, filter)
+}
+
+// SubscriptionStats returns a snapshot of live-subscription counters
+// (active subscribers, records delivered, slow-consumer drops).
+func (s *Server) SubscriptionStats() translate.HubStats { return s.hub.Stats() }
+
 // Drain waits until every translator has delivered all received frames.
 func (s *Server) Drain() {
 	for _, t := range s.Translators {
@@ -99,12 +124,24 @@ func (s *Server) Drain() {
 	}
 }
 
-// Close stops translators and the broker.
-func (s *Server) Close() {
+// Shutdown stops the server gracefully under ctx: each translator stops
+// consuming and drains its already-received frames, live subscriptions are
+// ended (their channels closed), and the broker is stopped last. If ctx
+// expires mid-drain the first context error is returned and the remaining
+// teardown is forced.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
 	for _, t := range s.Translators {
-		t.Close()
+		if e := t.Shutdown(ctx); e != nil && err == nil {
+			err = e
+		}
 	}
+	s.hub.Close()
 	if s.Broker != nil {
 		s.Broker.Close()
 	}
+	return err
 }
+
+// Close stops translators and the broker, draining without a deadline.
+func (s *Server) Close() { _ = s.Shutdown(context.Background()) }

@@ -1,0 +1,28 @@
+// Package ctxutil holds small context helpers shared by the lifecycle
+// paths (client/server/translator shutdown).
+package ctxutil
+
+import "context"
+
+// Wait runs the blocking wait (typically a WaitGroup.Wait) and returns
+// early with the context error if ctx expires first. With a nil or
+// background context the wait runs inline with no extra goroutine; on
+// early return the spawned waiter goroutine exits when the wait
+// eventually completes.
+func Wait(ctx context.Context, wait func()) error {
+	if ctx == nil || ctx.Done() == nil {
+		wait()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() { wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -2,13 +2,16 @@ package dfanalyzer
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/source"
 )
 
 // Client is the DfAnalyzer capture library: every task event performs a
@@ -74,13 +77,23 @@ func (c *Client) SendTasks(msgs []*TaskMsg) error {
 	return c.post("/tasks", msgs)
 }
 
-// Query runs a query on the server.
-func (c *Client) Query(q Query) ([]Row, error) {
+// Client implements the backend-agnostic read interface remotely: queries
+// written against source.Source run against a DfAnalyzer server over HTTP
+// exactly as they run against a local Store.
+var _ source.Source = (*Client)(nil)
+
+// Select implements source.Source over POST /query; ctx bounds the request.
+func (c *Client) Select(ctx context.Context, q Query) ([]Row, error) {
 	data, err := json.Marshal(q)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Post(c.base+"/query", "application/json", bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +107,70 @@ func (c *Client) Query(q Query) ([]Row, error) {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// Query runs a query on the server.
+//
+// Deprecated: use Select, which takes a context for request deadlines.
+func (c *Client) Query(q Query) ([]Row, error) {
+	return c.Select(context.Background(), q)
+}
+
+// getJSON GETs path (already query-encoded) and decodes the JSON response
+// into out. A 404 is reported as errNotFound when non-nil, so callers can
+// map it onto source.ErrNotFound with their own context.
+func (c *Client) getJSON(ctx context.Context, path, what string, out any, errNotFound error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound && errNotFound != nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return errNotFound
+	}
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("dfanalyzer: %s returned %s: %s", what, resp.Status, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Task implements source.Source over GET /task?dataflow=...&id=...; a 404
+// maps to source.ErrNotFound.
+func (c *Client) Task(ctx context.Context, dataflow, id string) (*source.TaskInfo, error) {
+	var info source.TaskInfo
+	path := "/task?dataflow=" + url.QueryEscape(dataflow) + "&id=" + url.QueryEscape(id)
+	notFound := fmt.Errorf("dfanalyzer: task %q in dataflow %q: %w", id, dataflow, source.ErrNotFound)
+	if err := c.getJSON(ctx, path, "task lookup", &info, notFound); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Tasks implements source.Source over GET /tasks?dataflow=...: the whole
+// catalog in one round trip.
+func (c *Client) Tasks(ctx context.Context, dataflow string) ([]source.TaskInfo, error) {
+	var infos []source.TaskInfo
+	path := "/tasks?dataflow=" + url.QueryEscape(dataflow)
+	if err := c.getJSON(ctx, path, "tasks listing", &infos, nil); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Workflows implements source.Source over GET /dataflow (the registered
+// dataflow tags, sorted by the server).
+func (c *Client) Workflows(ctx context.Context) ([]string, error) {
+	var tags []string
+	if err := c.getJSON(ctx, "/dataflow", "workflows", &tags, nil); err != nil {
+		return nil, err
+	}
+	return tags, nil
 }
 
 // Capturer adapts the client to the capture.Client interface, translating

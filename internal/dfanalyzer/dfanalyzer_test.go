@@ -1,11 +1,12 @@
 package dfanalyzer
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
-	"testing"
 	"sync"
+	"testing"
 	"testing/quick"
 	"time"
 
@@ -92,7 +93,7 @@ func TestStoreIngestAndSelect(t *testing.T) {
 		t.Errorf("task count = %d, want 20", got)
 	}
 	// Paper §I query (ii): top-3 accuracy values.
-	rows, err := store.Select(Query{
+	rows, err := store.Select(context.Background(), Query{
 		Dataflow: "fltraining", Set: "training_output",
 		OrderBy: "accuracy", Desc: true, Limit: 3,
 		Project: []string{"epoch", "accuracy"},
@@ -110,7 +111,7 @@ func TestStoreIngestAndSelect(t *testing.T) {
 		t.Errorf("best epoch = %v, want 19", rows[0]["epoch"])
 	}
 	// Filtered query: loss below threshold.
-	rows, err = store.Select(Query{
+	rows, err = store.Select(context.Background(), Query{
 		Dataflow: "fltraining", Set: "training_output",
 		Where: []Pred{{Attr: "loss", Op: Lt, Value: 0.1}},
 	})
@@ -126,7 +127,7 @@ func TestStoreIngestAndSelect(t *testing.T) {
 		t.Errorf("filtered rows = %d, want 10", len(rows))
 	}
 	// Text predicate.
-	rows, err = store.Select(Query{
+	rows, err = store.Select(context.Background(), Query{
 		Dataflow: "fltraining", Set: "training_input",
 		Where: []Pred{{Attr: "optimizer", Op: Eq, Value: "sgd"}},
 	})
@@ -161,7 +162,7 @@ func TestStoreErrors(t *testing.T) {
 	if err := store.IngestTask(typeErr); err == nil {
 		t.Error("type mismatch should fail")
 	}
-	if _, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output", Where: []Pred{{Attr: "ghost", Op: Eq, Value: 1}}}); err == nil {
+	if _, err := store.Select(context.Background(), Query{Dataflow: "fltraining", Set: "training_output", Where: []Pred{{Attr: "ghost", Op: Eq, Value: 1}}}); err == nil {
 		t.Error("unknown attribute should fail")
 	}
 }
@@ -195,7 +196,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if err := client.SendTask(fin); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := client.Query(Query{Dataflow: "fltraining", Set: "training_output"})
+	rows, err := client.Select(context.Background(), Query{Dataflow: "fltraining", Set: "training_output"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Errorf("rows = %v", rows)
 	}
 	// Merged task catalog entry has both times and final status.
-	task, ok := srv.Store().Task("fltraining", "e0")
+	task, ok := srv.Store().TaskEntry("fltraining", "e0")
 	if !ok {
 		t.Fatal("task e0 not found")
 	}
@@ -246,7 +247,7 @@ func TestCapturerTranslatesRecords(t *testing.T) {
 			t.Fatalf("capture %d: %v", i, err)
 		}
 	}
-	rows, err := client.Query(Query{Dataflow: "wf", Set: "training_output"})
+	rows, err := client.Select(context.Background(), Query{Dataflow: "wf", Set: "training_output"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestIngestCountProperty(t *testing.T) {
 				return false
 			}
 		}
-		rows, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output"})
+		rows, err := store.Select(context.Background(), Query{Dataflow: "fltraining", Set: "training_output"})
 		return err == nil && len(rows) == count
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -333,7 +334,7 @@ func TestIngestTasksBatch(t *testing.T) {
 	if got := store.TaskCount("fltraining"); got != 16 {
 		t.Errorf("task count = %d, want 16", got)
 	}
-	rows, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output"})
+	rows, err := store.Select(context.Background(), Query{Dataflow: "fltraining", Set: "training_output"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +361,7 @@ func TestIngestTaskMergeDedupsDependencies(t *testing.T) {
 	if err := store.IngestTasks([]*TaskMsg{begin, end}); err != nil {
 		t.Fatal(err)
 	}
-	task, ok := store.Task("fltraining", "t0")
+	task, ok := store.TaskEntry("fltraining", "t0")
 	if !ok {
 		t.Fatal("task t0 not found")
 	}
@@ -419,7 +420,7 @@ func TestStoreConcurrentIngestSelect(t *testing.T) {
 			defer wg.Done()
 			tag := dataflows[r%len(dataflows)]
 			for i := 0; i < 50; i++ {
-				rows, err := store.Select(Query{
+				rows, err := store.Select(context.Background(), Query{
 					Dataflow: tag, Set: "training_output",
 					Where:   []Pred{{Attr: "accuracy", Op: Ge, Value: 0.5}},
 					OrderBy: "accuracy", Desc: true, Limit: 5,
@@ -441,7 +442,7 @@ func TestStoreConcurrentIngestSelect(t *testing.T) {
 		if got := store.TaskCount(tag); got != perDataflow {
 			t.Errorf("%s task count = %d, want %d", tag, got, perDataflow)
 		}
-		rows, err := store.Select(Query{Dataflow: tag, Set: "training_output"})
+		rows, err := store.Select(context.Background(), Query{Dataflow: tag, Set: "training_output"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -551,11 +552,11 @@ func TestRegisterGrownSpecWidensTables(t *testing.T) {
 	}
 	msg := &TaskMsg{Dataflow: "fltraining", Transformation: "training", ID: "wide",
 		Status: StatusFinished,
-		Sets: []SetData{{Tag: "training_output", Elements: []Element{{3.0, 0.2, 0.91, 0.88}}}}}
+		Sets:   []SetData{{Tag: "training_output", Elements: []Element{{3.0, 0.2, 0.91, 0.88}}}}}
 	if err := store.IngestTask(msg); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output"})
+	rows, err := store.Select(context.Background(), Query{Dataflow: "fltraining", Set: "training_output"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -588,12 +589,12 @@ func TestSelectTopKMatchesFullSort(t *testing.T) {
 			}
 		}
 		const k = 7
-		topk, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output",
+		topk, err := store.Select(context.Background(), Query{Dataflow: "fltraining", Set: "training_output",
 			OrderBy: "accuracy", Desc: desc, Limit: k})
 		if err != nil {
 			return false
 		}
-		all, err := store.Select(Query{Dataflow: "fltraining", Set: "training_output",
+		all, err := store.Select(context.Background(), Query{Dataflow: "fltraining", Set: "training_output",
 			OrderBy: "accuracy", Desc: desc})
 		if err != nil || len(topk) != k {
 			return false

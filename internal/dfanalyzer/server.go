@@ -126,6 +126,21 @@ func (s *Server) handleDataflowGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		// Catalog lookup: GET /task?dataflow=...&id=... serves the remote
+		// half of the Source interface's Task accessor. The store copies
+		// the entry out under its shard lock, so serialization here never
+		// races with a concurrent begin/end merge.
+		dataflow := r.URL.Query().Get("dataflow")
+		id := r.URL.Query().Get("id")
+		info, err := s.store.Task(r.Context(), dataflow, id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
 	if r.Method != http.MethodPost {
 		w.WriteHeader(http.StatusMethodNotAllowed)
 		return
@@ -143,6 +158,19 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		// Catalog listing: GET /tasks?dataflow=... serves the remote half
+		// of Source.Tasks — the whole catalog in one round trip.
+		// A nil catalog (unknown dataflow) serializes as JSON null, which
+		// the client decodes back to nil — symmetric with the local store.
+		infos, err := s.store.Tasks(r.Context(), r.URL.Query().Get("dataflow"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, infos)
+		return
+	}
 	if r.Method != http.MethodPost {
 		w.WriteHeader(http.StatusMethodNotAllowed)
 		return
@@ -169,7 +197,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	rows, err := s.store.Select(q)
+	rows, err := s.store.Select(r.Context(), q)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

@@ -1,9 +1,12 @@
 package dfanalyzer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+
+	"github.com/provlight/provlight/internal/source"
 )
 
 // Store is the MonetDB-like backend: an in-memory column store holding one
@@ -311,8 +314,10 @@ func containsStr(xs []string, want string) bool {
 	return false
 }
 
-// Task returns the catalog entry for a task id.
-func (s *Store) Task(dataflow, id string) (*TaskMsg, bool) {
+// TaskEntry returns the native catalog entry for a task id. The returned
+// message is shared with the store; treat it as read-only. Most callers
+// want Task, the backend-agnostic Source accessor, instead.
+func (s *Store) TaskEntry(dataflow, id string) (*TaskMsg, bool) {
 	sh := s.shard(dataflow)
 	if sh == nil {
 		return nil, false
@@ -323,19 +328,70 @@ func (s *Store) Task(dataflow, id string) (*TaskMsg, bool) {
 	return t, ok
 }
 
-// Tasks returns all task entries of a dataflow in ingestion order.
-func (s *Store) Tasks(dataflow string) []*TaskMsg {
+// Task implements source.Source: the catalog entry for one task id as a
+// backend-agnostic TaskInfo, copied out under the shard lock.
+func (s *Store) Task(ctx context.Context, dataflow, id string) (*source.TaskInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sh := s.shard(dataflow)
 	if sh == nil {
-		return nil
+		return nil, fmt.Errorf("dfanalyzer: dataflow %q: %w", dataflow, source.ErrNotFound)
 	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	out := make([]*TaskMsg, 0, len(sh.taskOrder))
-	for _, id := range sh.taskOrder {
-		out = append(out, sh.tasks[id])
+	t, ok := sh.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("dfanalyzer: task %q in dataflow %q: %w", id, dataflow, source.ErrNotFound)
 	}
-	return out
+	return taskInfo(t), nil
+}
+
+// taskInfo copies a catalog entry into the Source task shape. Callers must
+// hold the shard lock (or own the message).
+func taskInfo(t *TaskMsg) *source.TaskInfo {
+	info := &source.TaskInfo{
+		ID:             t.ID,
+		Transformation: t.Transformation,
+		Status:         string(t.Status),
+		Dependencies:   append([]string(nil), t.Dependencies...),
+	}
+	if t.StartTime != nil {
+		ts := *t.StartTime
+		info.StartTime = &ts
+	}
+	if t.EndTime != nil {
+		ts := *t.EndTime
+		info.EndTime = &ts
+	}
+	return info
+}
+
+// Workflows implements source.Source: the registered dataflow tags.
+func (s *Store) Workflows(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Dataflows(), nil
+}
+
+// Tasks implements source.Source: all task entries of a dataflow in
+// ingestion order, copied out under the shard lock.
+func (s *Store) Tasks(ctx context.Context, dataflow string) ([]source.TaskInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sh := s.shard(dataflow)
+	if sh == nil {
+		return nil, nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]source.TaskInfo, 0, len(sh.taskOrder))
+	for _, id := range sh.taskOrder {
+		out = append(out, *taskInfo(sh.tasks[id]))
+	}
+	return out, nil
 }
 
 // TaskCount returns the number of distinct tasks ingested for a dataflow.
@@ -349,47 +405,42 @@ func (s *Store) TaskCount(dataflow string) int {
 	return len(sh.taskOrder)
 }
 
-// Op is a comparison operator in a query predicate.
-type Op string
+// The query vocabulary is the shared Source vocabulary: aliases keep the
+// historical dfanalyzer.Query/Row/Pred names (and their JSON wire shapes)
+// pointing at the one canonical definition in internal/source.
+type (
+	// Op is a comparison operator in a query predicate.
+	Op = source.Op
+	// Pred filters rows on one attribute.
+	Pred = source.Pred
+	// Query selects rows from one set of a dataflow.
+	Query = source.Query
+	// Row is one query result plus the producing "task_id".
+	Row = source.Row
+)
 
 // Predicate operators.
 const (
-	Eq Op = "="
-	Ne Op = "!="
-	Lt Op = "<"
-	Le Op = "<="
-	Gt Op = ">"
-	Ge Op = ">="
+	Eq = source.Eq
+	Ne = source.Ne
+	Lt = source.Lt
+	Le = source.Le
+	Gt = source.Gt
+	Ge = source.Ge
 )
 
-// Pred filters rows on one attribute.
-type Pred struct {
-	Attr  string `json:"attr"`
-	Op    Op     `json:"op"`
-	Value any    `json:"value"`
-}
+// Store implements the backend-agnostic read interface.
+var _ source.Source = (*Store)(nil)
 
-// Query selects rows from one set of a dataflow: WHERE predicates are
-// conjunctive; OrderBy/Desc/Limit give top-k behaviour.
-type Query struct {
-	Dataflow string   `json:"dataflow"`
-	Set      string   `json:"set"`
-	Where    []Pred   `json:"where,omitempty"`
-	Project  []string `json:"project,omitempty"`
-	OrderBy  string   `json:"order_by,omitempty"`
-	Desc     bool     `json:"desc,omitempty"`
-	Limit    int      `json:"limit,omitempty"`
-}
-
-// Row is one query result with attribute values plus the producing task id
-// under "task_id".
-type Row map[string]any
-
-// Select runs a query against the store. Predicates are evaluated column
-// at a time over the typed column slices (the predicate value is converted
-// once per query, not once per row), and OrderBy+Limit queries keep a
-// bounded top-k heap instead of sorting every match.
-func (s *Store) Select(q Query) ([]Row, error) {
+// Select runs a query against the store, implementing source.Source.
+// Predicates are evaluated column at a time over the typed column slices
+// (the predicate value is converted once per query, not once per row), and
+// OrderBy+Limit queries keep a bounded top-k heap instead of sorting every
+// match.
+func (s *Store) Select(ctx context.Context, q Query) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sh := s.shard(q.Dataflow)
 	if sh == nil {
 		return nil, fmt.Errorf("dfanalyzer: unknown set %q in dataflow %q", q.Set, q.Dataflow)

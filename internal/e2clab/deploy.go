@@ -1,6 +1,7 @@
 package e2clab
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -56,7 +57,7 @@ func Deploy(cfg *Config) (*Deployment, error) {
 	}
 	dfaTarget := translate.NewDfAnalyzerTarget(
 		dfanalyzer.NewClient("http://"+pm.DfAnalyzer.Addr()), "e2clab")
-	srv, err := core.StartServer(core.ServerConfig{
+	srv, err := core.StartServer(context.Background(), core.ServerConfig{
 		Addr:          "127.0.0.1:0",
 		Targets:       []translate.Target{pm.Memory, dfaTarget},
 		RetryInterval: 200 * time.Millisecond,
@@ -97,7 +98,7 @@ func Deploy(cfg *Config) (*Deployment, error) {
 						Seed:         int64(i + 1),
 					})
 				}
-				client, err := core.NewClient(ccfg)
+				client, err := core.NewClient(context.Background(), ccfg)
 				if err != nil {
 					d.Close()
 					return nil, fmt.Errorf("e2clab: start client %s: %w", clientID, err)

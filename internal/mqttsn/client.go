@@ -1,6 +1,7 @@
 package mqttsn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -479,6 +480,30 @@ func (c *Client) Disconnect() error {
 	}
 	c.Close()
 	return err
+}
+
+// WithContext runs op — a sequence of blocking protocol exchanges on c
+// (Connect, RegisterTopic, Subscribe, ...) — and bounds it by ctx: if the
+// context expires first, the client is force-closed (which fails the
+// in-flight exchange with ErrClosed) and the context error is returned.
+// With a background context, op runs inline with no extra goroutine.
+func (c *Client) WithContext(ctx context.Context, op func() error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return op()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- op() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		c.Close()
+		<-errc // the closed client fails the exchange promptly
+		return ctx.Err()
+	}
 }
 
 // Close releases resources without the protocol goodbye.

@@ -1,16 +1,19 @@
 // Package queries implements the Federated-Learning provenance analysis
 // queries that motivate the paper (§I): per-epoch training metrics per
-// hyperparameter combination, and top-k accuracy retrieval. They run
-// against the DfAnalyzer storage/query backend, mirroring how the E2Clab
-// Provenance Manager is used (§V-A, §VII-B).
+// hyperparameter combination, and top-k accuracy retrieval. They are
+// written purely against the backend-agnostic source.Source interface, so
+// the same query runs identically against the in-memory target, the local
+// DfAnalyzer column store, or a remote DfAnalyzer server — mirroring how
+// the E2Clab Provenance Manager is used (§V-A, §VII-B).
 package queries
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
-	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/source"
 )
 
 // EpochMetrics is one training epoch's captured provenance.
@@ -25,8 +28,8 @@ type EpochMetrics struct {
 // TopKAccuracy answers query (ii) of §I: "Retrieve the hyperparameters
 // which obtained the k best accuracy values for model m": the top-k output
 // rows of the training set ordered by accuracy.
-func TopKAccuracy(store *dfanalyzer.Store, dataflow, outputSet string, k int) ([]dfanalyzer.Row, error) {
-	return store.Select(dfanalyzer.Query{
+func TopKAccuracy(ctx context.Context, src source.Source, dataflow, outputSet string, k int) ([]source.Row, error) {
+	return src.Select(ctx, source.Query{
 		Dataflow: dataflow,
 		Set:      outputSet,
 		OrderBy:  "accuracy",
@@ -37,9 +40,11 @@ func TopKAccuracy(store *dfanalyzer.Store, dataflow, outputSet string, k int) ([
 
 // LatestEpochMetrics answers query (i) of §I: "What are the elapsed time
 // and the training loss in the latest epoch?" It joins output rows with
-// the task catalog for elapsed times and returns epochs in order.
-func LatestEpochMetrics(store *dfanalyzer.Store, dataflow, outputSet string) ([]EpochMetrics, error) {
-	rows, err := store.Select(dfanalyzer.Query{
+// the task catalog for elapsed times and returns epochs in order. The
+// catalog is fetched once with Source.Tasks, so the join costs two round
+// trips total on a remote backend regardless of the row count.
+func LatestEpochMetrics(ctx context.Context, src source.Source, dataflow, outputSet string) ([]EpochMetrics, error) {
+	rows, err := src.Select(ctx, source.Query{
 		Dataflow: dataflow,
 		Set:      outputSet,
 		OrderBy:  "epoch",
@@ -47,16 +52,21 @@ func LatestEpochMetrics(store *dfanalyzer.Store, dataflow, outputSet string) ([]
 	if err != nil {
 		return nil, err
 	}
+	catalog, err := src.Tasks(ctx, dataflow)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := make(map[string]time.Duration, len(catalog))
+	for i := range catalog {
+		elapsed[catalog[i].ID] = catalog[i].Elapsed()
+	}
 	out := make([]EpochMetrics, 0, len(rows))
 	for _, row := range rows {
 		m := EpochMetrics{TaskID: str(row["task_id"])}
 		m.Epoch = num(row["epoch"])
 		m.Loss = num(row["loss"])
 		m.Accuracy = num(row["accuracy"])
-		if task, ok := store.Task(dataflow, m.TaskID); ok &&
-			task.StartTime != nil && task.EndTime != nil {
-			m.Elapsed = task.EndTime.Sub(*task.StartTime)
-		}
+		m.Elapsed = elapsed[m.TaskID]
 		out = append(out, m)
 	}
 	return out, nil
@@ -74,8 +84,8 @@ type HyperparamSummary struct {
 // AccuracyByHyperparam groups the output set's accuracy by the given input
 // attribute (e.g. learning rate), matching input and output rows through
 // their producing task.
-func AccuracyByHyperparam(store *dfanalyzer.Store, dataflow, inputSet, outputSet, attr string) ([]HyperparamSummary, error) {
-	inputs, err := store.Select(dfanalyzer.Query{Dataflow: dataflow, Set: inputSet})
+func AccuracyByHyperparam(ctx context.Context, src source.Source, dataflow, inputSet, outputSet, attr string) ([]HyperparamSummary, error) {
+	inputs, err := src.Select(ctx, source.Query{Dataflow: dataflow, Set: inputSet})
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +97,7 @@ func AccuracyByHyperparam(store *dfanalyzer.Store, dataflow, inputSet, outputSet
 		}
 		byTask[str(row["task_id"])] = fmt.Sprint(v)
 	}
-	outputs, err := store.Select(dfanalyzer.Query{Dataflow: dataflow, Set: outputSet})
+	outputs, err := src.Select(ctx, source.Query{Dataflow: dataflow, Set: outputSet})
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +133,15 @@ func AccuracyByHyperparam(store *dfanalyzer.Store, dataflow, inputSet, outputSet
 			MeanAccuracy: a.sum / float64(a.n),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].BestAccuracy > out[j].BestAccuracy })
+	// Tie-break on the hyperparameter value: the groups come out of a map,
+	// so without it equal-accuracy groups would surface in random order
+	// (and differently across Source backends).
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].BestAccuracy != out[j].BestAccuracy {
+			return out[i].BestAccuracy > out[j].BestAccuracy
+		}
+		return out[i].Value < out[j].Value
+	})
 	return out, nil
 }
 

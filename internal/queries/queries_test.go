@@ -1,6 +1,7 @@
 package queries
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -64,7 +65,7 @@ func buildTrainingStore(t *testing.T) *dfanalyzer.Store {
 
 func TestTopKAccuracy(t *testing.T) {
 	store := buildTrainingStore(t)
-	rows, err := TopKAccuracy(store, "fl", "training_output", 3)
+	rows, err := TopKAccuracy(context.Background(), store, "fl", "training_output", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestTopKAccuracy(t *testing.T) {
 
 func TestLatestEpochMetrics(t *testing.T) {
 	store := buildTrainingStore(t)
-	ms, err := LatestEpochMetrics(store, "fl", "training_output")
+	ms, err := LatestEpochMetrics(context.Background(), store, "fl", "training_output")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestLatestEpochMetrics(t *testing.T) {
 
 func TestAccuracyByHyperparam(t *testing.T) {
 	store := buildTrainingStore(t)
-	sums, err := AccuracyByHyperparam(store, "fl", "training_input", "training_output", "lr")
+	sums, err := AccuracyByHyperparam(context.Background(), store, "fl", "training_input", "training_output", "lr")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestAccuracyByHyperparam(t *testing.T) {
 	if sums[0].MeanAccuracy <= sums[1].MeanAccuracy {
 		t.Error("mean accuracy of best group should lead")
 	}
-	if _, err := AccuracyByHyperparam(store, "fl", "training_input", "training_output", "ghost"); err == nil {
+	if _, err := AccuracyByHyperparam(context.Background(), store, "fl", "training_input", "training_output", "ghost"); err == nil {
 		t.Error("unknown attribute should fail")
 	}
 }

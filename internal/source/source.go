@@ -1,0 +1,103 @@
+// Package source defines the backend-agnostic provenance read interface
+// of ProvLight: one query surface (Select/Task/Workflows) that every
+// provenance store in the repository implements, so analysis code written
+// against Source runs identically whether the records live in an in-memory
+// target, the local DfAnalyzer column store, or a remote DfAnalyzer server
+// reached over HTTP.
+//
+// The paper's motivation for capturing provenance is answering queries
+// (§I: latest-epoch metrics, top-k accuracy); HyProv (arXiv:2511.07574)
+// argues for a single query surface over heterogeneous provenance stores.
+// This package is that surface: internal/queries is written purely against
+// Source, and the top-level provlight package re-exports every type here.
+package source
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Op is a comparison operator in a query predicate.
+type Op string
+
+// Predicate operators.
+const (
+	Eq Op = "="
+	Ne Op = "!="
+	Lt Op = "<"
+	Le Op = "<="
+	Gt Op = ">"
+	Ge Op = ">="
+)
+
+// Pred filters rows on one attribute.
+type Pred struct {
+	Attr  string `json:"attr"`
+	Op    Op     `json:"op"`
+	Value any    `json:"value"`
+}
+
+// Query selects rows from one set of a dataflow: WHERE predicates are
+// conjunctive; OrderBy/Desc/Limit give top-k behaviour. The JSON encoding
+// is the wire format of the DfAnalyzer server's POST /query endpoint.
+type Query struct {
+	Dataflow string   `json:"dataflow"`
+	Set      string   `json:"set"`
+	Where    []Pred   `json:"where,omitempty"`
+	Project  []string `json:"project,omitempty"`
+	OrderBy  string   `json:"order_by,omitempty"`
+	Desc     bool     `json:"desc,omitempty"`
+	Limit    int      `json:"limit,omitempty"`
+}
+
+// Row is one query result with attribute values plus the producing task id
+// under "task_id".
+type Row map[string]any
+
+// TaskInfo is the backend-agnostic task-catalog entry: the merged
+// begin/end lifecycle of one task, independent of any backend's native
+// task message type.
+type TaskInfo struct {
+	ID             string     `json:"id"`
+	Transformation string     `json:"transformation"`
+	Status         string     `json:"status"`
+	Dependencies   []string   `json:"dependencies,omitempty"`
+	StartTime      *time.Time `json:"start_time,omitempty"`
+	EndTime        *time.Time `json:"end_time,omitempty"`
+}
+
+// Elapsed returns EndTime - StartTime, or 0 if either end is unknown.
+func (t *TaskInfo) Elapsed() time.Duration {
+	if t == nil || t.StartTime == nil || t.EndTime == nil {
+		return 0
+	}
+	return t.EndTime.Sub(*t.StartTime)
+}
+
+// ErrNotFound reports that a looked-up entity does not exist in the
+// source. Match with errors.Is.
+var ErrNotFound = errors.New("source: not found")
+
+// Source is the read side of a provenance store. Implementations exist for
+// the in-memory target (translate.MemoryTarget), the local DfAnalyzer
+// column store (dfanalyzer.Store), and the remote DfAnalyzer HTTP client
+// (dfanalyzer.Client); a query written against Source produces identical
+// results on all of them given the same ingested records.
+//
+// Every method honours ctx cancellation; remote implementations also use
+// it as the request deadline.
+type Source interface {
+	// Select runs a predicate/order/limit query against one set.
+	Select(ctx context.Context, q Query) ([]Row, error)
+	// Task returns the catalog entry for one task id, or an error
+	// wrapping ErrNotFound.
+	Task(ctx context.Context, dataflow, id string) (*TaskInfo, error)
+	// Tasks lists every catalog entry of a dataflow in ingestion order:
+	// one call fetches the whole catalog, so joins against query results
+	// cost one round trip on remote backends instead of one per row.
+	Tasks(ctx context.Context, dataflow string) ([]TaskInfo, error)
+	// Workflows lists the dataflow tags provenance is recorded under,
+	// sorted.
+	Workflows(ctx context.Context) ([]string, error)
+}

@@ -1,22 +1,66 @@
 package translate
 
 import (
+	"context"
 	"io"
 	"sync"
 
 	"github.com/provlight/provlight/internal/dfanalyzer"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/provlake"
+	"github.com/provlight/provlight/internal/source"
 )
 
+// DefaultMemoryDataflow is the dataflow tag MemoryTarget exposes its
+// records under through the Source interface when none is chosen.
+const DefaultMemoryDataflow = "provlight"
+
 // MemoryTarget accumulates records in memory (tests, queries, examples).
+//
+// It doubles as a source.Source: delivered records are folded on demand
+// into an internal DfAnalyzer column-store view (the same translation the
+// DfAnalyzer target performs: incremental schema tracking, task-id
+// namespacing by workflow), so Select/Task/Workflows against a
+// MemoryTarget return exactly what the same query would return against a
+// DfAnalyzer backend fed the same record stream.
 type MemoryTarget struct {
 	mu      sync.Mutex
 	records []provdm.Record
+
+	// Lazy Source view: records[:viewLen] have been folded into view.
+	dataflow string
+	view     *dfanalyzer.Store
+	tracker  *dfanalyzer.SchemaTracker
+	viewLen  int
+	// viewDirty means the tracked schema grew past what the view has
+	// registered; cleared only on successful registration so a failure is
+	// retried on the next read (the same contract as DfAnalyzerTarget).
+	viewDirty bool
+	// viewSkipped counts records the view could not ingest (e.g. an
+	// attribute whose type flipped mid-stream). They are skipped so one
+	// bad record cannot wedge the read side forever — the per-frame
+	// delivery path of a real DfAnalyzer backend drops exactly the same
+	// records.
+	viewSkipped int
 }
 
-// NewMemoryTarget returns an empty in-memory target.
-func NewMemoryTarget() *MemoryTarget { return &MemoryTarget{} }
+// MemoryTarget implements the backend-agnostic read interface.
+var _ source.Source = (*MemoryTarget)(nil)
+
+// NewMemoryTarget returns an empty in-memory target exposing its records
+// under the dataflow tag DefaultMemoryDataflow.
+func NewMemoryTarget() *MemoryTarget { return NewMemoryTargetForDataflow(DefaultMemoryDataflow) }
+
+// NewMemoryTargetForDataflow returns an empty in-memory target exposing
+// its records under the given dataflow tag (use the tag of the DfAnalyzer
+// target it runs alongside to make queries portable between the two).
+func NewMemoryTargetForDataflow(tag string) *MemoryTarget {
+	return &MemoryTarget{
+		dataflow: tag,
+		view:     dfanalyzer.NewStore(),
+		tracker:  dfanalyzer.NewSchemaTracker(tag),
+	}
+}
 
 // Name implements Target.
 func (*MemoryTarget) Name() string { return "memory" }
@@ -51,6 +95,89 @@ func (m *MemoryTarget) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.records)
+}
+
+// syncView folds records delivered since the last read into the column
+// store view, mirroring DfAnalyzerTarget.DeliverBatch: observe the schema,
+// (re-)register on growth, then ingest the translated task messages.
+// Callers must hold m.mu.
+func (m *MemoryTarget) syncView() error {
+	if m.viewLen == len(m.records) {
+		return nil
+	}
+	if m.tracker.Observe(m.records[m.viewLen:]) {
+		m.viewDirty = true
+	}
+	if m.viewDirty {
+		if err := m.view.RegisterDataflow(m.tracker.Dataflow()); err != nil {
+			return err // viewDirty stays set: retried on the next read
+		}
+		m.viewDirty = false
+	}
+	for ; m.viewLen < len(m.records); m.viewLen++ {
+		if msg, ok := dfanalyzer.RecordToTaskMsg(m.dataflow, &m.records[m.viewLen]); ok {
+			if err := m.view.IngestTask(msg); err != nil {
+				m.viewSkipped++
+			}
+		}
+	}
+	return nil
+}
+
+// SourceSkipped reports how many delivered records the Source view could
+// not ingest (and therefore skipped).
+func (m *MemoryTarget) SourceSkipped() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.viewSkipped
+}
+
+// sourceView returns the up-to-date column store view.
+func (m *MemoryTarget) sourceView() (*dfanalyzer.Store, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.syncView(); err != nil {
+		return nil, err
+	}
+	return m.view, nil
+}
+
+// Select implements source.Source over the delivered records.
+func (m *MemoryTarget) Select(ctx context.Context, q source.Query) ([]source.Row, error) {
+	view, err := m.sourceView()
+	if err != nil {
+		return nil, err
+	}
+	return view.Select(ctx, q)
+}
+
+// Task implements source.Source. Task ids are namespaced by workflow
+// ("workflowID/taskID"), exactly as the DfAnalyzer target namespaces them.
+func (m *MemoryTarget) Task(ctx context.Context, dataflow, id string) (*source.TaskInfo, error) {
+	view, err := m.sourceView()
+	if err != nil {
+		return nil, err
+	}
+	return view.Task(ctx, dataflow, id)
+}
+
+// Tasks implements source.Source: the whole task catalog of the view.
+func (m *MemoryTarget) Tasks(ctx context.Context, dataflow string) ([]source.TaskInfo, error) {
+	view, err := m.sourceView()
+	if err != nil {
+		return nil, err
+	}
+	return view.Tasks(ctx, dataflow)
+}
+
+// Workflows implements source.Source: the dataflow tags records are
+// exposed under ([the target's tag] once any task record arrived).
+func (m *MemoryTarget) Workflows(ctx context.Context) ([]string, error) {
+	view, err := m.sourceView()
+	if err != nil {
+		return nil, err
+	}
+	return view.Workflows(ctx)
 }
 
 // DfAnalyzerTarget translates records into DfAnalyzer task messages

@@ -6,11 +6,13 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/provlight/provlight/internal/ctxutil"
 	"github.com/provlight/provlight/internal/mqttsn"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/wire"
@@ -81,6 +83,10 @@ type Config struct {
 	MaxRetries    int
 	// OnError receives asynchronous delivery errors.
 	OnError func(error)
+	// Hub, when set, receives every delivered batch for fan-out to live
+	// subscribers (Server.Subscribe). Several translators may share one
+	// hub.
+	Hub *Hub
 }
 
 // Translator subscribes to device topics and pumps records into targets.
@@ -94,13 +100,17 @@ type Translator struct {
 	decodeErrs   atomic.Uint64
 	deliveryErrs atomic.Uint64
 
-	work chan []provdm.Record
-	wg   sync.WaitGroup
-	inFl sync.WaitGroup
+	work   chan []provdm.Record
+	wg     sync.WaitGroup
+	inFl   sync.WaitGroup
+	closed atomic.Bool
 }
 
-// New connects the translator to the broker and starts consuming.
-func New(cfg Config) (*Translator, error) {
+// New connects the translator to the broker and starts consuming. ctx
+// bounds the connect/subscribe handshakes (a nil or background context
+// means no deadline); it does not govern the translator's lifetime — use
+// Shutdown/Close for that.
+func New(ctx context.Context, cfg Config) (*Translator, error) {
 	if cfg.ClientID == "" {
 		cfg.ClientID = "translator"
 	}
@@ -130,7 +140,7 @@ func New(cfg Config) (*Translator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := mc.Connect(); err != nil {
+	if err := mc.WithContext(ctx, mc.Connect); err != nil {
 		mc.Close()
 		return nil, fmt.Errorf("translate: connect broker: %w", err)
 	}
@@ -143,7 +153,9 @@ func New(cfg Config) (*Translator, error) {
 		t.wg.Add(1)
 		go t.worker()
 	}
-	if err := mc.Subscribe(cfg.TopicFilter, cfg.QoS, t.onMessage); err != nil {
+	if err := mc.WithContext(ctx, func() error {
+		return mc.Subscribe(cfg.TopicFilter, cfg.QoS, t.onMessage)
+	}); err != nil {
 		t.Close()
 		return nil, fmt.Errorf("translate: subscribe %q: %w", cfg.TopicFilter, err)
 	}
@@ -241,6 +253,12 @@ func (t *Translator) deliver(batch [][]provdm.Record) {
 			}
 		}
 	}
+	if t.cfg.Hub != nil {
+		// Live fan-out after target delivery: a subscription observes the
+		// same stream the targets ingested, and Drain implies the hub saw
+		// every drained frame.
+		t.cfg.Hub.Publish(batch)
+	}
 	t.records.Add(n)
 	t.batches.Add(1)
 	t.inFl.Add(-len(batch))
@@ -256,10 +274,26 @@ func (t *Translator) reportDeliveryError(target Target, err error) {
 // Drain waits until all frames received so far have been delivered.
 func (t *Translator) Drain() { t.inFl.Wait() }
 
-// Close stops consumption and releases resources.
-func (t *Translator) Close() {
-	t.mqtt.Close() // stop inbound first
-	t.inFl.Wait()
-	close(t.work)
-	t.wg.Wait()
+// Shutdown stops consumption and drains gracefully: inbound is cut first,
+// then every already-received frame is delivered and the workers exit. If
+// ctx expires before the drain completes (e.g. a target hangs), Shutdown
+// returns the context error; the work queue is already closed by then, so
+// the workers deliver their remaining frames and exit whenever the target
+// unblocks — nothing leaks past that point.
+func (t *Translator) Shutdown(ctx context.Context) error {
+	if !t.closed.CompareAndSwap(false, true) {
+		// Another Shutdown/Close owns the teardown: wait for its workers
+		// to drain under this call's ctx instead of returning early (so a
+		// deadline-free Close after a timed-out Shutdown really drains).
+		return ctxutil.Wait(ctx, t.wg.Wait)
+	}
+	// mqtt.Close returns only after its read loop (the onMessage caller)
+	// has exited, so no enqueue can race the channel close below.
+	t.mqtt.Close()
+	close(t.work) // workers drain the queue, then exit
+	return ctxutil.Wait(ctx, t.wg.Wait)
 }
+
+// Close stops consumption and releases resources, draining without a
+// deadline.
+func (t *Translator) Close() { _ = t.Shutdown(context.Background()) }

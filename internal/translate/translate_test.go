@@ -2,6 +2,7 @@ package translate
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -89,7 +90,7 @@ func TestTranslatorToAllTargets(t *testing.T) {
 
 	mem := NewMemoryTarget()
 	pj := NewPROVJSONTarget()
-	tr, err := New(Config{
+	tr, err := New(context.Background(), Config{
 		Broker:        b.Addr(),
 		RetryInterval: 150 * time.Millisecond,
 		MaxRetries:    10,
@@ -122,7 +123,7 @@ func TestTranslatorToAllTargets(t *testing.T) {
 
 	// DfAnalyzer got queryable rows.
 	dfa := dfanalyzer.NewClient("http://" + dfaSrv.Addr())
-	rows, err := dfa.Query(dfanalyzer.Query{
+	rows, err := dfa.Select(context.Background(), dfanalyzer.Query{
 		Dataflow: "wf", Set: "train_output",
 		OrderBy: "accuracy", Desc: true, Limit: 3,
 	})
@@ -174,7 +175,7 @@ func TestTranslatorSurvivesGarbageFrames(t *testing.T) {
 	defer b.Close()
 	mem := NewMemoryTarget()
 	var gotErr error
-	tr, err := New(Config{
+	tr, err := New(context.Background(), Config{
 		Broker:        b.Addr(),
 		RetryInterval: 150 * time.Millisecond,
 		MaxRetries:    10,
@@ -222,7 +223,7 @@ func TestTranslatorSurvivesGarbageFrames(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := New(Config{Broker: "127.0.0.1:1"}); err == nil {
+	if _, err := New(context.Background(), Config{Broker: "127.0.0.1:1"}); err == nil {
 		t.Error("translator without targets should fail")
 	}
 }
@@ -267,7 +268,7 @@ func TestTranslatorBatchDelivery(t *testing.T) {
 	}
 	defer b.Close()
 	counting := &countingBatchTarget{}
-	tr, err := New(Config{
+	tr, err := New(context.Background(), Config{
 		Broker:        b.Addr(),
 		RetryInterval: 150 * time.Millisecond,
 		MaxRetries:    10,
@@ -326,7 +327,7 @@ func TestTranslatorQoSZeroExplicit(t *testing.T) {
 	}
 	defer b.Close()
 	mem := NewMemoryTarget()
-	tr, err := New(Config{
+	tr, err := New(context.Background(), Config{
 		Broker:        b.Addr(),
 		RetryInterval: 150 * time.Millisecond,
 		MaxRetries:    10,

@@ -10,7 +10,7 @@
 //
 // Device side (capture):
 //
-//	client, err := provlight.NewClient(provlight.Config{
+//	client, err := provlight.NewClient(ctx, provlight.Config{
 //	    Broker:   "cloud-host:1883",
 //	    ClientID: "edge-device-1",
 //	})
@@ -25,21 +25,39 @@
 //
 // Server side (broker + provenance data translator):
 //
-//	server, err := provlight.StartServer(provlight.ServerConfig{
+//	server, err := provlight.StartServer(ctx, provlight.ServerConfig{
 //	    Addr:    ":1883",
 //	    Targets: []provlight.Target{provlight.NewMemoryTarget()},
 //	})
 //
+// Read side (queries and live subscriptions): every backend exposes the
+// same Source interface, so analysis code is backend-agnostic:
+//
+//	var src provlight.Source = mem // or a dfanalyzer store / remote client
+//	rows, err := src.Select(ctx, provlight.Query{
+//	    Dataflow: "provlight", Set: "training_output",
+//	    OrderBy: "accuracy", Desc: true, Limit: 3,
+//	})
+//	records, cancel := server.Subscribe(ctx, provlight.Filter{Workflow: "1"})
+//	defer cancel()
+//	for rec := range records { /* live monitoring */ }
+//
 // Targets exist for the DfAnalyzer and ProvLake provenance systems
 // (re-implemented in this repository), for W3C PROV-JSON export, and for
-// in-memory analysis; custom systems integrate by implementing Target.
+// in-memory analysis; custom systems integrate by implementing Target, and
+// custom capture backends by implementing CaptureClient.
 package provlight
 
 import (
+	"context"
+
+	"github.com/provlight/provlight/internal/capture"
 	"github.com/provlight/provlight/internal/core"
 	"github.com/provlight/provlight/internal/dfanalyzer"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/provlake"
+	"github.com/provlight/provlight/internal/queries"
+	"github.com/provlight/provlight/internal/source"
 	"github.com/provlight/provlight/internal/translate"
 )
 
@@ -49,7 +67,8 @@ type Client = core.Client
 // Config configures a capture client.
 type Config = core.Config
 
-// Stats counts client capture activity.
+// Stats counts client capture activity. Obtain snapshots via
+// Client.StatsSnapshot.
 type Stats = core.Stats
 
 // Workflow is the application workflow handle (PROV-DM Agent).
@@ -66,6 +85,29 @@ type Attribute = provdm.Attribute
 
 // Record is the provenance exchange record crossing the network.
 type Record = provdm.Record
+
+// EventKind identifies the capture event a Record carries.
+type EventKind = provdm.EventKind
+
+// Capture event kinds (workflow/task lifecycle).
+const (
+	EventWorkflowBegin = provdm.EventWorkflowBegin
+	EventWorkflowEnd   = provdm.EventWorkflowEnd
+	EventTaskBegin     = provdm.EventTaskBegin
+	EventTaskEnd       = provdm.EventTaskEnd
+)
+
+// CaptureClient is the uniform provenance-capture interface implemented by
+// every capture backend in the evaluation (ProvLight's Client, DfAnalyzer,
+// ProvLake): instrument a workload once, run it against any backend.
+type CaptureClient = capture.Client
+
+// NopCapture is a CaptureClient that discards everything: the "no capture"
+// baseline used to measure workflow time without provenance.
+type NopCapture = capture.Nop
+
+// CaptureFunc adapts a function to the CaptureClient interface.
+type CaptureFunc = capture.Func
 
 // Server bundles the MQTT-SN broker and the provenance data translators.
 type Server = core.Server
@@ -85,14 +127,70 @@ type Translator = translate.Translator
 // TranslatorConfig configures a standalone Translator.
 type TranslatorConfig = translate.Config
 
-// MemoryTarget accumulates records in memory.
+// MemoryTarget accumulates records in memory and doubles as a Source.
 type MemoryTarget = translate.MemoryTarget
 
 // PROVJSONTarget folds records into a W3C PROV-JSON document.
 type PROVJSONTarget = translate.PROVJSONTarget
 
-// NewClient connects a capture client to a broker.
-func NewClient(cfg Config) (*Client, error) { return core.NewClient(cfg) }
+// Source is the backend-agnostic read interface over captured provenance:
+// Select (predicate/order/limit queries), Task (catalog lookup), and
+// Workflows (known dataflow tags). MemoryTarget, the DfAnalyzer store, and
+// the remote DfAnalyzer client all implement it, and the queries in this
+// package run identically against any of them.
+type Source = source.Source
+
+// Query selects rows from one set of a dataflow: conjunctive Where
+// predicates, optional Project, and OrderBy/Desc/Limit top-k behaviour.
+type Query = source.Query
+
+// Pred filters rows on one attribute.
+type Pred = source.Pred
+
+// Op is a comparison operator in a query predicate.
+type Op = source.Op
+
+// Predicate operators.
+const (
+	Eq = source.Eq
+	Ne = source.Ne
+	Lt = source.Lt
+	Le = source.Le
+	Gt = source.Gt
+	Ge = source.Ge
+)
+
+// Row is one query result with attribute values plus the producing task id
+// under "task_id".
+type Row = source.Row
+
+// TaskInfo is the backend-agnostic task-catalog entry returned by
+// Source.Task.
+type TaskInfo = source.TaskInfo
+
+// ErrNotFound is returned (wrapped) by Source lookups for missing
+// entities; match with errors.Is.
+var ErrNotFound = source.ErrNotFound
+
+// Filter selects which records a live subscription receives; the zero
+// value matches everything. Buffer bounds the per-subscriber channel.
+type Filter = translate.Filter
+
+// SubscriptionStats counts live-subscription activity, including
+// slow-consumer drops.
+type SubscriptionStats = translate.HubStats
+
+// EpochMetrics is one training epoch's captured provenance, as returned by
+// LatestEpochMetrics.
+type EpochMetrics = queries.EpochMetrics
+
+// HyperparamSummary aggregates accuracy per hyperparameter value, as
+// returned by AccuracyByHyperparam.
+type HyperparamSummary = queries.HyperparamSummary
+
+// NewClient connects a capture client to a broker; ctx bounds the connect
+// handshake.
+func NewClient(ctx context.Context, cfg Config) (*Client, error) { return core.NewClient(ctx, cfg) }
 
 // NewData creates a data handle with ordered attributes.
 func NewData(id string, attributes []Attribute) *Data { return core.NewData(id, attributes) }
@@ -100,14 +198,27 @@ func NewData(id string, attributes []Attribute) *Data { return core.NewData(id, 
 // Attrs builds a deterministic attribute list from a map.
 func Attrs(m map[string]any) []Attribute { return core.Attrs(m) }
 
-// StartServer launches the broker plus translators.
-func StartServer(cfg ServerConfig) (*Server, error) { return core.StartServer(cfg) }
+// StartServer launches the broker plus translators; ctx bounds the
+// translators' connect/subscribe handshakes.
+func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
+	return core.StartServer(ctx, cfg)
+}
 
-// NewTranslator connects a standalone translator to a broker.
-func NewTranslator(cfg TranslatorConfig) (*Translator, error) { return translate.New(cfg) }
+// NewTranslator connects a standalone translator to a broker; ctx bounds
+// the connect/subscribe handshakes.
+func NewTranslator(ctx context.Context, cfg TranslatorConfig) (*Translator, error) {
+	return translate.New(ctx, cfg)
+}
 
-// NewMemoryTarget returns an in-memory record sink.
+// NewMemoryTarget returns an in-memory record sink whose Source view is
+// exposed under the dataflow tag "provlight".
 func NewMemoryTarget() *MemoryTarget { return translate.NewMemoryTarget() }
+
+// NewMemoryTargetForDataflow returns an in-memory record sink exposing its
+// Source view under the given dataflow tag.
+func NewMemoryTargetForDataflow(tag string) *MemoryTarget {
+	return translate.NewMemoryTargetForDataflow(tag)
+}
 
 // NewPROVJSONTarget returns a W3C PROV-JSON accumulator.
 func NewPROVJSONTarget() *PROVJSONTarget { return translate.NewPROVJSONTarget() }
@@ -118,7 +229,29 @@ func NewDfAnalyzerTarget(baseURL, dataflowTag string) Target {
 	return translate.NewDfAnalyzerTarget(dfanalyzer.NewClient(baseURL), dataflowTag)
 }
 
+// NewDfAnalyzerSource returns a Source that queries a remote DfAnalyzer
+// server over HTTP — the read-side counterpart of NewDfAnalyzerTarget.
+func NewDfAnalyzerSource(baseURL string) Source { return dfanalyzer.NewClient(baseURL) }
+
 // NewProvLakeTarget forwards records to a ProvLake manager service.
 func NewProvLakeTarget(baseURL string) Target {
 	return translate.NewProvLakeTarget(provlake.NewClient(baseURL))
+}
+
+// TopKAccuracy answers query (ii) of the paper's §I against any Source:
+// the k output rows with the best accuracy values.
+func TopKAccuracy(ctx context.Context, src Source, dataflow, outputSet string, k int) ([]Row, error) {
+	return queries.TopKAccuracy(ctx, src, dataflow, outputSet, k)
+}
+
+// LatestEpochMetrics answers query (i) of the paper's §I against any
+// Source: per-epoch loss/accuracy joined with task elapsed times.
+func LatestEpochMetrics(ctx context.Context, src Source, dataflow, outputSet string) ([]EpochMetrics, error) {
+	return queries.LatestEpochMetrics(ctx, src, dataflow, outputSet)
+}
+
+// AccuracyByHyperparam groups the output set's accuracy by an input
+// attribute (e.g. learning rate) against any Source.
+func AccuracyByHyperparam(ctx context.Context, src Source, dataflow, inputSet, outputSet, attr string) ([]HyperparamSummary, error) {
+	return queries.AccuracyByHyperparam(ctx, src, dataflow, inputSet, outputSet, attr)
 }
