@@ -24,6 +24,7 @@ import (
 	"github.com/provlight/provlight/internal/netem"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/provlake"
+	"github.com/provlight/provlight/internal/translate"
 	"github.com/provlight/provlight/internal/wire"
 	"github.com/provlight/provlight/internal/workload"
 )
@@ -354,6 +355,112 @@ func BenchmarkMQTTSNPublishWindowed(b *testing.B) {
 	}
 }
 
+// BenchmarkBrokerFanIn measures the broker's fan-in ceiling: many devices
+// publishing QoS 2 frames on per-workflow topics into one consumer group
+// whose members sit behind a 25 ms netem uplink (the latency-bound
+// configuration where one subscriber session's outbound window caps the
+// whole continuum). Sweeping the group size shows the aggregate window —
+// and thus frames/s — scaling with the member count.
+func BenchmarkBrokerFanIn(b *testing.B) {
+	for _, members := range []int{1, 2, 4} {
+		members := members
+		b.Run(fmt.Sprintf("netem25ms/sessions%d", members), func(b *testing.B) {
+			gw, err := broker.New(broker.Config{Addr: "127.0.0.1:0", RetryInterval: 2 * time.Second})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer gw.Close()
+			var received atomic.Int64
+			for m := 0; m < members; m++ {
+				raw, err := net.ListenPacket("udp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				shaped := netem.WrapPacketConn(raw, netem.Profile{Delay: 25 * time.Millisecond})
+				c, err := mqttsn.NewClient(mqttsn.ClientConfig{
+					ClientID:      fmt.Sprintf("fanin-member-%d", m),
+					Gateway:       gw.Addr(),
+					Conn:          shaped,
+					RetryInterval: 2 * time.Second,
+					MaxRetries:    10,
+					CleanSession:  true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				defer shaped.Close()
+				if err := c.Connect(); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Subscribe("$share/bench/fanin/+/records", mqttsn.QoS2, func(string, []byte) {
+					received.Add(1)
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			const pubs = 8
+			const topicsPerPub = 4 // 32 workflow topics spread over the group
+			clients := make([]*mqttsn.Client, pubs)
+			for p := range clients {
+				c, err := mqttsn.NewClient(mqttsn.ClientConfig{
+					ClientID:       fmt.Sprintf("fanin-pub-%d", p),
+					Gateway:        gw.Addr(),
+					RetryInterval:  time.Second,
+					MaxRetries:     10,
+					InflightWindow: 64,
+					CleanSession:   true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if err := c.Connect(); err != nil {
+					b.Fatal(err)
+				}
+				clients[p] = c
+			}
+			payload := make([]byte, 128)
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for p := 0; p < pubs; p++ {
+				n := b.N / pubs
+				if p < b.N%pubs {
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(p, n int) {
+					defer wg.Done()
+					acks := make([]<-chan error, 0, n)
+					for i := 0; i < n; i++ {
+						topic := fmt.Sprintf("fanin/%d/records", p*topicsPerPub+i%topicsPerPub)
+						acks = append(acks, clients[p].PublishAsync(topic, payload, mqttsn.QoS2))
+					}
+					for i, ch := range acks {
+						if err := <-ch; err != nil {
+							b.Errorf("publisher %d frame %d: %v", p, i, err)
+							return
+						}
+					}
+				}(p, n)
+			}
+			wg.Wait()
+			deadline := time.Now().Add(60*time.Second + time.Duration(b.N)*20*time.Millisecond)
+			for received.Load() < int64(b.N) {
+				if time.Now().After(deadline) {
+					b.Fatalf("group received %d/%d frames", received.Load(), b.N)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "frames/s")
+		})
+	}
+}
+
 // BenchmarkBrokerRouteQoS1 measures the broker's publish -> match ->
 // deliver path (one publisher, one wildcard subscriber) on localhost,
 // with allocation accounting across the whole route path.
@@ -655,6 +762,115 @@ func BenchmarkTranslatorPipeline(b *testing.B) {
 			elapsed := time.Since(start)
 			b.StopTimer()
 			frames := client.Stats().FramesPublished
+			b.ReportMetric(float64(frames)/elapsed.Seconds(), "frames/s")
+		})
+	}
+}
+
+// BenchmarkTranslatorPipelineSessions is the fan-in variant of
+// BenchmarkTranslatorPipeline: 8 devices capture concurrently through the
+// real broker into ONE translator whose consumer-group session count is
+// swept, with every translator session behind a 25 ms netem uplink. On
+// this latency-bound configuration the broker->translator QoS 2 window is
+// the bottleneck, so frames/s scales with the number of group sessions.
+func BenchmarkTranslatorPipelineSessions(b *testing.B) {
+	for _, sessions := range []int{1, 2, 4} {
+		sessions := sessions
+		b.Run(fmt.Sprintf("netem25ms/sessions%d", sessions), func(b *testing.B) {
+			gw, err := broker.New(broker.Config{Addr: "127.0.0.1:0", RetryInterval: 2 * time.Second})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer gw.Close()
+			mem := translate.NewMemoryTarget()
+			tr, err := translate.New(context.Background(), translate.Config{
+				Broker:        gw.Addr(),
+				ClientID:      "bench-group",
+				Sessions:      sessions,
+				RetryInterval: 2 * time.Second,
+				MaxRetries:    10,
+				Targets:       []translate.Target{mem},
+				DialConn: func() (net.PacketConn, error) {
+					raw, err := net.ListenPacket("udp", "127.0.0.1:0")
+					if err != nil {
+						return nil, err
+					}
+					return netem.WrapPacketConn(raw, netem.Profile{Delay: 25 * time.Millisecond}), nil
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+
+			const devices = 8
+			clients := make([]*provlight.Client, devices)
+			workflows := make([]*provlight.Workflow, devices)
+			for d := range clients {
+				c, err := provlight.NewClient(context.Background(), provlight.Config{
+					Broker:     gw.Addr(),
+					ClientID:   fmt.Sprintf("bench-gdev-%d", d),
+					WindowSize: 64,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				clients[d] = c
+				workflows[d] = c.NewWorkflow(fmt.Sprintf("wf-%d", d))
+				if err := workflows[d].Begin(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			attrs := provlight.Attrs(map[string]any{"epoch": int64(0), "loss": 0.5})
+			baseline := len(mem.Records()) // workflow-begin frames
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for d := 0; d < devices; d++ {
+				n := b.N / devices
+				if d < b.N%devices {
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(d, n int) {
+					defer wg.Done()
+					wf := workflows[d]
+					for i := 0; i < n; i++ {
+						task := wf.NewTask(fmt.Sprintf("t%d", i), "bench")
+						if err := task.Begin(provlight.NewData(fmt.Sprintf("in%d", i), attrs)); err != nil {
+							b.Errorf("device %d begin %d: %v", d, i, err)
+							return
+						}
+						if err := task.End(provlight.NewData(fmt.Sprintf("out%d", i), attrs)); err != nil {
+							b.Errorf("device %d end %d: %v", d, i, err)
+							return
+						}
+					}
+					if err := clients[d].Flush(); err != nil {
+						b.Errorf("device %d flush: %v", d, err)
+					}
+				}(d, n)
+			}
+			wg.Wait()
+			want := baseline + 2*b.N // begin + end record per task
+			deadline := time.Now().Add(60*time.Second + time.Duration(b.N)*20*time.Millisecond)
+			for len(mem.Records()) < want {
+				if time.Now().After(deadline) {
+					b.Fatalf("target has %d/%d records", len(mem.Records()), want)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			tr.Drain()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			var frames uint64
+			for _, c := range clients {
+				frames += c.Stats().FramesPublished
+			}
 			b.ReportMetric(float64(frames)/elapsed.Seconds(), "frames/s")
 		})
 	}

@@ -9,16 +9,23 @@
 //	provbench -table II            # one table: II, III, VII, VIII, IX, X
 //	provbench -figure 6            # Figure 6 (CPU/memory/network/power)
 //	provbench -ablations
+//	provbench -sessions 1,2,4      # Table IX fan-in on the real pipeline,
+//	                               # sweeping consumer-group sessions
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
+	"github.com/provlight/provlight"
 	"github.com/provlight/provlight/internal/experiment"
+	"github.com/provlight/provlight/internal/stats"
 )
 
 func main() {
@@ -26,9 +33,18 @@ func main() {
 	table := flag.String("table", "", "regenerate one table: II, III, VII, VIII, IX, X")
 	figure := flag.String("figure", "", "regenerate Figure 6 (accepts 6, 6a..6d)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
+	sessions := flag.String("sessions", "", "comma-separated consumer-group session counts for the real-pipeline Table IX fan-in sweep (e.g. 1,2,4)")
+	devices := flag.Int("devices", 16, "parallel devices for the -sessions sweep")
+	tasks := flag.Int("tasks", 50, "tasks per device for the -sessions sweep")
 	flag.Parse()
 
 	switch {
+	case *sessions != "":
+		counts, err := parseSessions(*sessions)
+		if err != nil {
+			log.Fatalf("provbench: %v", err)
+		}
+		fmt.Println(sessionsSweep(counts, *devices, *tasks).String())
 	case *all:
 		for _, tr := range experiment.AllTables() {
 			fmt.Println(tr.Table.String())
@@ -63,4 +79,103 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func parseSessions(list string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid -sessions entry %q (want positive integers)", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// sessionsSweep reproduces the Table IX fan-in scenario on the real
+// pipeline — many devices publishing concurrently into one server — while
+// sweeping how many shared-subscription consumer-group sessions the
+// translator holds. The reported frames/s is the aggregate ingest rate
+// (capture start to last record delivered to the target).
+func sessionsSweep(counts []int, devices, tasks int) *stats.Table {
+	tbl := stats.NewTable(
+		fmt.Sprintf("Table IX (real pipeline): %d devices x %d tasks, consumer-group fan-in", devices, tasks),
+		"sessions", "elapsed", "frames/s", "records")
+	for _, n := range counts {
+		elapsed, frames, records := runFanIn(n, devices, tasks)
+		tbl.AddRow(fmt.Sprint(n),
+			elapsed.Truncate(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(frames)/elapsed.Seconds()),
+			fmt.Sprint(records))
+	}
+	return tbl
+}
+
+func runFanIn(sessions, devices, tasks int) (time.Duration, uint64, int) {
+	mem := provlight.NewMemoryTarget()
+	server, err := provlight.StartServer(context.Background(), provlight.ServerConfig{
+		Addr:     "127.0.0.1:0",
+		Targets:  []provlight.Target{mem},
+		Sessions: sessions,
+	})
+	if err != nil {
+		log.Fatalf("provbench: start server: %v", err)
+	}
+	defer server.Close()
+
+	start := time.Now()
+	errs := make(chan error, devices)
+	for d := 0; d < devices; d++ {
+		go func(d int) {
+			client, err := provlight.NewClient(context.Background(), provlight.Config{
+				Broker:   server.Addr(),
+				ClientID: fmt.Sprintf("bench-dev-%d", d),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			wf := client.NewWorkflow(fmt.Sprintf("wf-%d", d))
+			if err := wf.Begin(); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < tasks; i++ {
+				task := wf.NewTask(fmt.Sprintf("t%d", i), "bench")
+				if err := task.Begin(); err != nil {
+					errs <- err
+					return
+				}
+				if err := task.End(provlight.NewData(fmt.Sprintf("out%d", i), provlight.Attrs(map[string]any{"i": int64(i)}))); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- client.Flush()
+		}(d)
+	}
+	var frames uint64
+	for d := 0; d < devices; d++ {
+		if err := <-errs; err != nil {
+			log.Fatalf("provbench: device capture: %v", err)
+		}
+	}
+	// Every task contributes a begin and an end record plus the workflow
+	// begin; wait for full delivery, then stop the clock.
+	want := devices * (1 + 2*tasks)
+	deadline := time.Now().Add(2 * time.Minute)
+	for len(mem.Records()) < want {
+		if time.Now().After(deadline) {
+			log.Fatalf("provbench: fan-in stalled at %d/%d records", len(mem.Records()), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	server.Drain()
+	elapsed := time.Since(start)
+	for _, tr := range server.Translators {
+		frames += tr.Stats().FramesReceived
+	}
+	return elapsed, frames, len(mem.Records())
 }

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	provlight-broker -addr 0.0.0.0:1883 [-retry 1s] [-v]
+//	provlight-broker -addr 0.0.0.0:1883 [-retry 1s] [-max-retries 5] \
+//	    [-send-window 32] [-shards 16] [-v]
 package main
 
 import (
@@ -20,10 +21,19 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:1883", "UDP listen address")
 	retry := flag.Duration("retry", time.Second, "retransmission interval")
+	maxRetries := flag.Int("max-retries", 5, "outbound retransmissions before giving a frame up (group frames re-route instead)")
+	sendWindow := flag.Int("send-window", 32, "in-flight QoS 1/2 messages per subscriber session")
+	shards := flag.Int("shards", 16, "session-table stripes (each with its own handler goroutine)")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
 
-	cfg := broker.Config{Addr: *addr, RetryInterval: *retry}
+	cfg := broker.Config{
+		Addr:          *addr,
+		RetryInterval: *retry,
+		MaxRetries:    *maxRetries,
+		SendWindow:    *sendWindow,
+		Shards:        *shards,
+	}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
@@ -38,6 +48,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := b.Stats()
-	log.Printf("provlight-broker: shutting down (publishes=%d routed=%d retransmissions=%d)",
-		st.PublishesReceived, st.MessagesRouted, st.Retransmissions)
+	log.Printf("provlight-broker: shutting down (publishes=%d routed=%d retransmissions=%d groups=%d rerouted=%d giveups=%d)",
+		st.PublishesReceived, st.MessagesRouted, st.Retransmissions,
+		st.Groups, st.GroupRerouted, st.DeliveryGiveUps)
 }

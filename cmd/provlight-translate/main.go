@@ -6,9 +6,17 @@
 //
 //	provlight-translate -broker 127.0.0.1:1883 \
 //	    [-topic 'provlight/+/records'] [-workers 4] \
+//	    [-sessions 4] [-group translators] \
 //	    [-batch 64] [-linger 0s] \
 //	    [-dfanalyzer http://host:port -dataflow tag] \
 //	    [-provlake http://host:port] [-provjson out.json]
+//
+// With -sessions > 1 (or an explicit -group) the translator consumes
+// through a shared-subscription consumer group ($share/<group>/<topic>):
+// the broker partitions the device topics across the sessions, scaling
+// the fan-in path while keeping each device's stream ordered. Several
+// provlight-translate processes sharing one -group split the stream the
+// same way across processes.
 package main
 
 import (
@@ -28,6 +36,9 @@ import (
 func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:1883", "MQTT-SN broker address")
 	topic := flag.String("topic", "provlight/+/records", "topic filter to consume")
+	clientID := flag.String("client-id", "translator", "broker client id (must differ between processes sharing a -group)")
+	sessions := flag.Int("sessions", 1, "broker sessions in one consumer group (scales fan-in)")
+	group := flag.String("group", "", "consumer-group name (default: the client id; implies a shared subscription)")
 	workers := flag.Int("workers", 1, "parallel delivery workers")
 	batch := flag.Int("batch", 64, "delivery micro-batch size (1 disables batching)")
 	linger := flag.Duration("linger", 0, "max wait for an underfull batch to fill")
@@ -57,7 +68,10 @@ func main() {
 	connectCtx, cancelConnect := context.WithTimeout(context.Background(), *connectTimeout)
 	tr, err := translate.New(connectCtx, translate.Config{
 		Broker:      *brokerAddr,
+		ClientID:    *clientID,
 		TopicFilter: *topic,
+		Sessions:    *sessions,
+		Group:       *group,
 		Workers:     *workers,
 		BatchSize:   *batch,
 		BatchLinger: *linger,
@@ -68,8 +82,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("provlight-translate: %v", err)
 	}
-	log.Printf("provlight-translate: consuming %q from %s with %d targets",
-		*topic, *brokerAddr, len(targets))
+	log.Printf("provlight-translate: consuming %q from %s with %d targets (%d sessions)",
+		*topic, *brokerAddr, len(targets), tr.Sessions())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -4,6 +4,7 @@
 //
 // Features: client sessions with keepalive expiry, topic registration with
 // gateway-scoped 16-bit ids, exact and wildcard ('+', '#') subscriptions,
+// shared-subscription consumer groups ("$share/<group>/<filter>"),
 // QoS 0/1/2 inbound and outbound flows with exactly-once semantics at
 // QoS 2, retained messages, and last-will publication when a session is
 // lost. A janitor goroutine retransmits unacknowledged outbound messages
@@ -13,10 +14,12 @@
 // by client address, and each shard has its own handler goroutine fed from
 // pooled datagram buffers, so one hot session or slow subscriber contends
 // only with the clients that hash to its shard instead of serializing the
-// whole gateway. Topic registry, retained store, and counters live behind
-// their own narrow locks (the registry under an RWMutex, counters as
-// atomics). Lock order: clientMu before any shard mutex; topic and
-// retained locks are leaves; no two shard mutexes are ever held at once.
+// whole gateway. The topic registry is a copy-on-write atomic snapshot
+// (reads are lock-free; registrations clone the maps), routed message and
+// outbound-flow structs are pooled, and counters are atomics. Lock order:
+// clientMu before any shard mutex; a shard mutex may be held when taking
+// groupMu, never the reverse; retained and topic-write locks are leaves;
+// no two shard mutexes are ever held at once.
 package broker
 
 import (
@@ -62,12 +65,25 @@ type Config struct {
 // Stats counts broker activity.
 type Stats struct {
 	Sessions          int
+	Groups            int // live consumer groups ($share subscriptions)
 	PublishesReceived uint64
 	MessagesRouted    uint64
 	DuplicatesDropped uint64
 	Retransmissions   uint64
 	WillsPublished    uint64
 	SessionsExpired   uint64
+	// DeliveryGiveUps counts QoS 1/2 frames dropped for good: abandoned
+	// after MaxRetries (or at session teardown) with no consumer group to
+	// hand them back to.
+	DeliveryGiveUps uint64
+	// GroupRerouted counts frames re-delivered to a surviving
+	// consumer-group member after their assigned member died or stopped
+	// acknowledging.
+	GroupRerouted uint64
+	// BacklogDropped counts queued or in-flight frames discarded because
+	// their (non-group) subscriber session ended before delivery
+	// completed.
+	BacklogDropped uint64
 }
 
 type message struct {
@@ -77,6 +93,10 @@ type message struct {
 	qos     mqttsn.QoS
 	retain  bool
 	seq     uint64 // per-publisher arrival sequence (QoS 2 ordered release)
+	// group is set on copies routed on behalf of a consumer group; a
+	// frame the member never acknowledges is handed back to the group
+	// instead of dropped.
+	group *consumerGroup
 }
 
 const (
@@ -85,6 +105,14 @@ const (
 	obAwaitPubcomp
 )
 
+// regFlow is one outstanding REGISTER exchange (broker -> subscriber),
+// janitor-retransmitted like any other outbound flow.
+type regFlow struct {
+	msgID    uint16
+	lastSent time.Time
+	retries  int
+}
+
 type outbound struct {
 	msg      *message
 	msgID    uint16
@@ -92,6 +120,7 @@ type outbound struct {
 	lastSent time.Time
 	retries  int
 	dup      bool
+	seq      uint64 // per-session enqueue order (group handoff keeps it)
 }
 
 type session struct {
@@ -102,6 +131,13 @@ type session struct {
 	lastSeen  time.Time
 
 	subs map[string]mqttsn.QoS // filter -> granted qos
+	// groupSubs tracks consumer-group memberships by their full
+	// "$share/<group>/<filter>" subscribe string, for unsubscribe and
+	// teardown.
+	groupSubs map[string]*consumerGroup
+	// sendSeq stamps outbound QoS 1/2 flows in enqueue order so a dead
+	// member's in-flight frames hand off to the group in order.
+	sendSeq uint64
 
 	will             *mqttsn.Will
 	awaitingWill     bool
@@ -113,6 +149,11 @@ type session struct {
 	nextMsgID   uint16
 	knownTopics map[uint16]bool
 	pendingReg  map[uint16][]*message // awaiting REGACK before delivery
+	// regFlows tracks the in-flight REGISTER exchange per pending topic
+	// id so the janitor can retransmit a lost REGISTER instead of letting
+	// pendingReg wedge forever, and give the frames up (or hand them back
+	// to their group) when the subscriber never answers.
+	regFlows map[uint16]*regFlow
 
 	// QoS 2 ordered release: with a windowed publisher, PUBRELs can arrive
 	// out of publish order; messages are stamped with an arrival sequence
@@ -218,6 +259,17 @@ type counters struct {
 	retransmissions   atomic.Uint64
 	willsPublished    atomic.Uint64
 	sessionsExpired   atomic.Uint64
+	deliveryGiveUps   atomic.Uint64
+	groupRerouted     atomic.Uint64
+	backlogDropped    atomic.Uint64
+}
+
+// topicTables is one immutable snapshot of the gateway-scoped topic
+// registry. Lookups on the publish hot path load the current snapshot
+// atomically; registrations (rare) clone-and-swap under topicWmu.
+type topicTables struct {
+	ids   map[string]uint16
+	names map[uint16]string
 }
 
 // Broker is an MQTT-SN broker. Create with New, stop with Close.
@@ -233,11 +285,16 @@ type Broker struct {
 	clientMu   sync.Mutex
 	byClientID map[string]*session
 
-	// topicMu guards the gateway-scoped topic registry.
-	topicMu     sync.RWMutex
-	topicIDs    map[string]uint16
-	topicNames  map[uint16]string
-	nextTopicID uint16
+	// topics is the atomic registry snapshot; topicWmu serializes the
+	// (rare) clone-and-swap registrations.
+	topics      atomic.Pointer[topicTables]
+	topicWmu    sync.Mutex
+	nextTopicID uint16 // guarded by topicWmu
+
+	// groupMu guards the consumer-group registry. May be taken while
+	// holding a shard mutex, never the reverse.
+	groupMu sync.RWMutex
+	groups  map[string]*consumerGroup
 
 	// retMu guards the retained-message store.
 	retMu    sync.Mutex
@@ -246,9 +303,12 @@ type Broker struct {
 	ctr counters
 
 	// bufPool recycles inbound datagram buffers; outPool recycles
-	// outbound marshal buffers on the route path.
+	// outbound marshal buffers on the route path; msgPool and obPool
+	// recycle the per-message routing and outbound-flow structs.
 	bufPool sync.Pool
 	outPool sync.Pool
+	msgPool sync.Pool
+	obPool  sync.Pool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -283,13 +343,20 @@ func New(cfg Config) (*Broker, error) {
 			return nil, fmt.Errorf("broker: listen %s: %w", addr, err)
 		}
 	}
+	// The broker is the fan-in point of the whole continuum: a burst from
+	// N windowed publishers can exceed the kernel's default receive
+	// buffer (a few hundred datagrams) and every dropped datagram costs a
+	// RetryInterval stall somewhere. Grow the buffer when the socket
+	// supports it; best-effort (errors just keep the kernel default).
+	if rb, ok := conn.(interface{ SetReadBuffer(int) error }); ok {
+		_ = rb.SetReadBuffer(4 << 20)
+	}
 	b := &Broker{
 		cfg:        cfg,
 		conn:       conn,
 		seed:       maphash.MakeSeed(),
 		byClientID: map[string]*session{},
-		topicIDs:   map[string]uint16{},
-		topicNames: map[uint16]string{},
+		groups:     map[string]*consumerGroup{},
 		retained:   map[string]*message{},
 		bufPool: sync.Pool{
 			New: func() any { buf := make([]byte, 65536); return &buf },
@@ -297,8 +364,11 @@ func New(cfg Config) (*Broker, error) {
 		outPool: sync.Pool{
 			New: func() any { buf := make([]byte, 0, 2048); return &buf },
 		},
-		done: make(chan struct{}),
+		msgPool: sync.Pool{New: func() any { return new(message) }},
+		obPool:  sync.Pool{New: func() any { return new(outbound) }},
+		done:    make(chan struct{}),
 	}
+	b.topics.Store(&topicTables{ids: map[string]uint16{}, names: map[uint16]string{}})
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
 			sessions: map[string]*session{},
@@ -333,13 +403,42 @@ func (b *Broker) Stats() Stats {
 		Retransmissions:   b.ctr.retransmissions.Load(),
 		WillsPublished:    b.ctr.willsPublished.Load(),
 		SessionsExpired:   b.ctr.sessionsExpired.Load(),
+		DeliveryGiveUps:   b.ctr.deliveryGiveUps.Load(),
+		GroupRerouted:     b.ctr.groupRerouted.Load(),
+		BacklogDropped:    b.ctr.backlogDropped.Load(),
 	}
 	for _, sh := range b.shards {
 		sh.mu.Lock()
 		st.Sessions += len(sh.sessions)
 		sh.mu.Unlock()
 	}
+	b.groupMu.RLock()
+	st.Groups = len(b.groups)
+	b.groupMu.RUnlock()
 	return st
+}
+
+// getMsg / putMsg recycle routed message structs. A message has exactly
+// one owner at a time (route copy -> sendQ / pendingReg -> outbound entry
+// -> released); payload backing arrays are never pooled, so late readers
+// of an already-released message's payload are impossible by
+// construction — only the struct is reused.
+func (b *Broker) getMsg() *message { return b.msgPool.Get().(*message) }
+
+func (b *Broker) putMsg(m *message) {
+	if m == nil {
+		return
+	}
+	*m = message{}
+	b.msgPool.Put(m)
+}
+
+// putOutbound recycles an outbound-flow entry. The caller owns ob.msg
+// separately (release or hand off before or after; ob.msg must already be
+// detached when the entry could still be observed).
+func (b *Broker) putOutbound(ob *outbound) {
+	*ob = outbound{}
+	b.obPool.Put(ob)
 }
 
 // Close stops the broker and releases its socket.
@@ -454,14 +553,29 @@ func (b *Broker) sweep() {
 		addr net.Addr
 		pkt  mqttsn.Packet
 	}
+	type giveUp struct {
+		s   *session
+		msg *message
+	}
+	type expiry struct {
+		s *session
+		r sessionRemains
+	}
+	type eviction struct {
+		s      *session
+		groups []*consumerGroup
+	}
 	var resends []resend
 	var wills []*message
-	var expired []*session
+	var expired []expiry
 	var unblocked []*message
+	var givenUp []giveUp
+	var evictions []eviction
 	holDeadline := time.Duration(b.cfg.MaxRetries+1) * b.cfg.RetryInterval
 	for _, sh := range b.shards {
 		sh.mu.Lock()
 		for key, s := range sh.sessions {
+			lastGivenUp := len(givenUp)
 			// Head-of-line recovery: if a publisher abandoned a QoS 2 flow
 			// (its PUBREL never arrived), skip the gap after the publisher
 			// itself would have given up, releasing the held messages.
@@ -493,14 +607,16 @@ func (b *Broker) sweep() {
 			if s.keepalive > 0 && now.Sub(s.lastSeen) > s.keepalive+s.keepalive/2 {
 				b.ctr.sessionsExpired.Add(1)
 				if s.will != nil {
-					wills = append(wills, &message{
+					w := b.getMsg()
+					*w = message{
 						topic: s.will.Topic, payload: s.will.Payload,
 						qos: s.will.QoS, retain: s.will.Retain,
-					})
+					}
+					wills = append(wills, w)
 					b.ctr.willsPublished.Add(1)
 				}
 				delete(sh.sessions, key)
-				expired = append(expired, s)
+				expired = append(expired, expiry{s: s, r: b.collectRemainsLocked(s)})
 				continue
 			}
 			gaveUp := false
@@ -509,7 +625,14 @@ func (b *Broker) sweep() {
 					continue
 				}
 				if ob.retries >= b.cfg.MaxRetries {
+					// The subscriber stopped acknowledging this frame: stop
+					// retrying. Group-routed frames are handed back to the
+					// group (settled below, outside the shard mutex);
+					// individually-subscribed ones are dropped and counted.
 					delete(s.outbound, msgID)
+					givenUp = append(givenUp, giveUp{s: s, msg: ob.msg})
+					ob.msg = nil
+					b.putOutbound(ob)
 					gaveUp = true
 					continue
 				}
@@ -529,18 +652,59 @@ func (b *Broker) sweep() {
 			if gaveUp {
 				// Abandoned messages freed window slots: keep the backlog
 				// moving.
-				for _, pub := range s.pumpLocked(b.cfg.SendWindow) {
+				for _, pub := range s.pumpLocked(b, b.cfg.SendWindow) {
 					resends = append(resends, resend{s.addr, pub})
 				}
+			}
+			// REGISTER exchanges retransmit like any outbound flow: a
+			// lost REGISTER (or REGACK) must not wedge the pending frames
+			// behind it forever.
+			for topicID, rf := range s.regFlows {
+				if now.Sub(rf.lastSent) < b.cfg.RetryInterval {
+					continue
+				}
+				if rf.retries >= b.cfg.MaxRetries {
+					delete(s.regFlows, topicID)
+					for _, m := range s.pendingReg[topicID] {
+						givenUp = append(givenUp, giveUp{s: s, msg: m})
+					}
+					delete(s.pendingReg, topicID)
+					continue
+				}
+				rf.retries++
+				rf.lastSent = now
+				b.ctr.retransmissions.Add(1)
+				topic, _ := b.topicName(topicID)
+				resends = append(resends, resend{s.addr, &mqttsn.Register{
+					TopicID: topicID, MsgID: rf.msgID, TopicName: topic,
+				}})
+			}
+			// A session that exhausted MaxRetries on a flow AND has been
+			// completely silent for the whole give-up horizon (no ack,
+			// no ping — nothing moved lastSeen) is indistinguishable
+			// from dead: evict it from its groups so the handoff below
+			// cannot assign the frames right back to it (it re-joins by
+			// re-subscribing; keepalive expiry reclaims the session
+			// itself). A live-but-slow member keeps acknowledging or
+			// pinging, keeps lastSeen fresh, and only ever loses the
+			// individual frame — never its membership.
+			if len(givenUp) > lastGivenUp && len(s.groupSubs) > 0 &&
+				now.Sub(s.lastSeen) > time.Duration(b.cfg.MaxRetries)*b.cfg.RetryInterval {
+				ev := eviction{s: s}
+				for _, g := range s.groupSubs {
+					ev.groups = append(ev.groups, g)
+				}
+				s.groupSubs = map[string]*consumerGroup{}
+				evictions = append(evictions, ev)
 			}
 		}
 		sh.mu.Unlock()
 	}
 	if len(expired) > 0 {
 		b.clientMu.Lock()
-		for _, s := range expired {
-			if b.byClientID[s.clientID] == s {
-				delete(b.byClientID, s.clientID)
+		for _, e := range expired {
+			if b.byClientID[e.s.clientID] == e.s {
+				delete(b.byClientID, e.s.clientID)
 			}
 		}
 		b.clientMu.Unlock()
@@ -548,11 +712,25 @@ func (b *Broker) sweep() {
 	for _, r := range resends {
 		b.sendTo(r.addr, r.pkt)
 	}
+	// Settle outside every shard mutex: handoff re-delivers via other
+	// shards' sessions. Evictions go first so the re-routing below never
+	// assigns a frame back to a member that just proved unresponsive.
+	for _, ev := range evictions {
+		for _, g := range ev.groups {
+			b.leaveGroup(g, ev.s)
+		}
+	}
+	for _, e := range expired {
+		b.settleRemains(e.s, e.r)
+	}
+	for _, g := range givenUp {
+		b.settleUndeliverable(g.s, g.msg)
+	}
 	for _, m := range unblocked {
-		b.route(m)
+		b.routeAndRelease(m)
 	}
 	for _, w := range wills {
-		b.route(w)
+		b.routeAndRelease(w)
 	}
 }
 
@@ -567,34 +745,43 @@ func publishPacket(ob *outbound) *mqttsn.Publish {
 	}
 }
 
-// topicID returns (allocating if needed) the gateway-scoped id for a topic.
+// topicID returns (allocating if needed) the gateway-scoped id for a
+// topic. The hit path is a lock-free snapshot load, so concurrent
+// publishes never serialize on the registry.
 func (b *Broker) topicID(topic string) uint16 {
-	b.topicMu.RLock()
-	id, ok := b.topicIDs[topic]
-	b.topicMu.RUnlock()
-	if ok {
+	if id, ok := b.topics.Load().ids[topic]; ok {
 		return id
 	}
-	b.topicMu.Lock()
-	defer b.topicMu.Unlock()
-	if id, ok := b.topicIDs[topic]; ok {
+	b.topicWmu.Lock()
+	defer b.topicWmu.Unlock()
+	cur := b.topics.Load()
+	if id, ok := cur.ids[topic]; ok {
 		return id
 	}
 	b.nextTopicID++
 	if b.nextTopicID == 0 {
 		b.nextTopicID = 1
 	}
-	id = b.nextTopicID
-	b.topicIDs[topic] = id
-	b.topicNames[id] = topic
+	id := b.nextTopicID
+	next := &topicTables{
+		ids:   make(map[string]uint16, len(cur.ids)+1),
+		names: make(map[uint16]string, len(cur.names)+1),
+	}
+	for k, v := range cur.ids {
+		next.ids[k] = v
+	}
+	for k, v := range cur.names {
+		next.names[k] = v
+	}
+	next.ids[topic] = id
+	next.names[id] = topic
+	b.topics.Store(next)
 	return id
 }
 
-// topicName resolves a gateway-scoped topic id.
+// topicName resolves a gateway-scoped topic id (lock-free snapshot read).
 func (b *Broker) topicName(id uint16) (string, bool) {
-	b.topicMu.RLock()
-	name, ok := b.topicNames[id]
-	b.topicMu.RUnlock()
+	name, ok := b.topics.Load().names[id]
 	return name, ok
 }
 
@@ -654,30 +841,39 @@ func (b *Broker) handleConnect(addr net.Addr, p *mqttsn.Connect) {
 		keepalive:    time.Duration(p.Duration) * time.Second,
 		lastSeen:     time.Now(),
 		subs:         map[string]mqttsn.QoS{},
+		groupSubs:    map[string]*consumerGroup{},
 		inbound2:     map[uint16]*message{},
 		outbound:     map[uint16]*outbound{},
 		knownTopics:  map[uint16]bool{},
 		pendingReg:   map[uint16][]*message{},
+		regFlows:     map[uint16]*regFlow{},
 		held:         map[uint64]*message{},
 		awaitingWill: p.Flags.Will,
 	}
-	// Replace any session with the same client id (possibly at an old addr).
+	// Replace any session with the same client id (possibly at an old
+	// addr): the old session leaves its groups and its backlog is handed
+	// off or released.
 	b.clientMu.Lock()
 	old := b.byClientID[p.ClientID]
 	b.byClientID[p.ClientID] = s
 	b.clientMu.Unlock()
-	if old != nil && old.addrKey != s.addrKey {
-		sh := b.shardFor(old.addrKey)
-		sh.mu.Lock()
-		if sh.sessions[old.addrKey] == old {
-			delete(sh.sessions, old.addrKey)
+	var oldRemains sessionRemains
+	if old != nil {
+		osh := b.shardFor(old.addrKey)
+		osh.mu.Lock()
+		if osh.sessions[old.addrKey] == old {
+			delete(osh.sessions, old.addrKey)
 		}
-		sh.mu.Unlock()
+		oldRemains = b.collectRemainsLocked(old)
+		osh.mu.Unlock()
 	}
 	sh := b.shardFor(s.addrKey)
 	sh.mu.Lock()
 	sh.sessions[s.addrKey] = s
 	sh.mu.Unlock()
+	if old != nil {
+		b.settleRemains(old, oldRemains)
+	}
 
 	if s.awaitingWill {
 		b.sendTo(addr, &mqttsn.WillTopicReq{})
@@ -753,17 +949,26 @@ func (b *Broker) handleRegack(addr net.Addr, p *mqttsn.Regack) {
 	sh.mu.Lock()
 	s := sh.sessions[key]
 	var flush []*message
+	var rejected []*message
 	if s != nil {
 		s.lastSeen = time.Now()
 		if p.ReturnCode == mqttsn.Accepted {
 			s.knownTopics[p.TopicID] = true
 			flush = s.pendingReg[p.TopicID]
+		} else {
+			rejected = s.pendingReg[p.TopicID]
 		}
 		delete(s.pendingReg, p.TopicID)
+		delete(s.regFlows, p.TopicID)
 	}
 	sh.mu.Unlock()
 	for _, m := range flush {
-		b.deliver(s, m)
+		b.deliverOrSettle(s, m)
+	}
+	// A rejected registration means this subscriber can never take these
+	// frames: hand group frames back, drop and count the rest.
+	for _, m := range rejected {
+		b.settleUndeliverable(s, m)
 	}
 }
 
@@ -793,19 +998,26 @@ func (b *Broker) handlePublish(addr net.Addr, p *mqttsn.Publish) {
 		}
 		return
 	}
-	msg := &message{topic: topic, topicID: p.TopicID, payload: p.Data, qos: p.Flags.QoS, retain: p.Flags.Retain}
 	switch p.Flags.QoS {
 	case mqttsn.QoS0, mqttsn.QoSMinusOne:
-		b.route(msg)
+		msg := b.getMsg()
+		*msg = message{topic: topic, topicID: p.TopicID, payload: p.Data, qos: p.Flags.QoS, retain: p.Flags.Retain}
+		b.routeAndRelease(msg)
 	case mqttsn.QoS1:
-		b.route(msg)
+		msg := b.getMsg()
+		*msg = message{topic: topic, topicID: p.TopicID, payload: p.Data, qos: p.Flags.QoS, retain: p.Flags.Retain}
+		b.routeAndRelease(msg)
 		b.sendTo(addr, &mqttsn.Puback{TopicID: p.TopicID, MsgID: p.MsgID, ReturnCode: mqttsn.Accepted})
 	case mqttsn.QoS2:
 		sh.mu.Lock()
 		if _, dup := s.inbound2[p.MsgID]; dup || s.recentlyReleased(p.MsgID) {
 			b.ctr.duplicatesDropped.Add(1)
 		} else {
-			msg.seq = s.pubSeq
+			msg := b.getMsg()
+			*msg = message{
+				topic: topic, topicID: p.TopicID, payload: p.Data,
+				qos: p.Flags.QoS, retain: p.Flags.Retain, seq: s.pubSeq,
+			}
 			s.pubSeq++
 			s.inbound2[p.MsgID] = msg
 		}
@@ -838,7 +1050,7 @@ func (b *Broker) handlePubrel(addr net.Addr, p *mqttsn.Pubrel) {
 	comp.MsgID = p.MsgID
 	b.sendTo(addr, comp)
 	for _, m := range ready {
-		b.route(m)
+		b.routeAndRelease(m)
 	}
 }
 
@@ -848,14 +1060,21 @@ func (b *Broker) handlePuback(addr net.Addr, p *mqttsn.Puback) {
 	sh.mu.Lock()
 	var pubs []*mqttsn.Publish
 	s := sh.sessions[key]
+	var done *outbound
 	if s != nil {
 		s.lastSeen = time.Now()
 		if ob, ok := s.outbound[p.MsgID]; ok && ob.state == obAwaitPuback {
 			delete(s.outbound, p.MsgID)
-			pubs = s.pumpLocked(b.cfg.SendWindow)
+			done = ob
+			pubs = s.pumpLocked(b, b.cfg.SendWindow)
 		}
 	}
 	sh.mu.Unlock()
+	if done != nil {
+		b.putMsg(done.msg)
+		done.msg = nil
+		b.putOutbound(done)
+	}
 	for _, pub := range pubs {
 		b.sendTo(s.addr, pub)
 	}
@@ -892,14 +1111,21 @@ func (b *Broker) handlePubcomp(addr net.Addr, p *mqttsn.Pubcomp) {
 	sh.mu.Lock()
 	var pubs []*mqttsn.Publish
 	s := sh.sessions[key]
+	var done *outbound
 	if s != nil {
 		s.lastSeen = time.Now()
 		if ob, ok := s.outbound[p.MsgID]; ok && ob.state == obAwaitPubcomp {
 			delete(s.outbound, p.MsgID)
-			pubs = s.pumpLocked(b.cfg.SendWindow)
+			done = ob
+			pubs = s.pumpLocked(b, b.cfg.SendWindow)
 		}
 	}
 	sh.mu.Unlock()
+	if done != nil {
+		b.putMsg(done.msg)
+		done.msg = nil
+		b.putOutbound(done)
+	}
 	for _, pub := range pubs {
 		b.sendTo(s.addr, pub)
 	}
@@ -925,8 +1151,23 @@ func (b *Broker) handleSubscribe(addr net.Addr, p *mqttsn.Subscribe) {
 		b.sendTo(addr, &mqttsn.Suback{MsgID: p.MsgID, ReturnCode: mqttsn.RejectedNotSupported})
 		return
 	}
-	s.subs[filter] = p.Flags.QoS
 	grantedQoS := p.Flags.QoS
+	if groupName, inner, shared := mqttsn.ParseSharedFilter(filter); shared {
+		// Shared subscription: join the consumer group instead of adding
+		// an individual subscription. No retained delivery (the group
+		// shares one logical subscription; replaying state to every
+		// joining member would duplicate it) and no immediate topic id —
+		// ids are registered on first delivery.
+		g := b.joinGroup(groupName, inner, s, grantedQoS)
+		s.groupSubs[filter] = g
+		sh.mu.Unlock()
+		b.sendTo(addr, &mqttsn.Suback{
+			Flags: mqttsn.Flags{QoS: grantedQoS},
+			MsgID: p.MsgID, ReturnCode: mqttsn.Accepted,
+		})
+		return
+	}
+	s.subs[filter] = p.Flags.QoS
 	sh.mu.Unlock()
 
 	var topicID uint16
@@ -953,11 +1194,12 @@ func (b *Broker) handleSubscribe(addr net.Addr, p *mqttsn.Subscribe) {
 		TopicID: topicID, MsgID: p.MsgID, ReturnCode: mqttsn.Accepted,
 	})
 	for _, m := range retained {
-		out := *m
+		out := b.getMsg()
+		*out = *m
 		if out.qos > grantedQoS {
 			out.qos = grantedQoS
 		}
-		b.deliver(s, &out)
+		b.deliverOrSettle(s, out)
 	}
 }
 
@@ -965,15 +1207,25 @@ func (b *Broker) handleUnsubscribe(addr net.Addr, p *mqttsn.Unsubscribe) {
 	key := addr.String()
 	sh := b.shardFor(key)
 	sh.mu.Lock()
-	if s := sh.sessions[key]; s != nil {
+	var left *consumerGroup
+	var s *session
+	if s = sh.sessions[key]; s != nil {
 		s.lastSeen = time.Now()
 		filter := p.TopicName
 		if p.Flags.TopicIDType == mqttsn.TopicPredefined {
 			filter, _ = b.topicName(p.TopicID)
 		}
-		delete(s.subs, filter)
+		if g, ok := s.groupSubs[filter]; ok {
+			delete(s.groupSubs, filter)
+			left = g
+		} else {
+			delete(s.subs, filter)
+		}
 	}
 	sh.mu.Unlock()
+	if left != nil {
+		b.leaveGroup(left, s)
+	}
 	ack := &mqttsn.Unsuback{}
 	ack.MsgID = p.MsgID
 	b.sendTo(addr, ack)
@@ -984,9 +1236,11 @@ func (b *Broker) handleDisconnect(addr net.Addr) {
 	sh := b.shardFor(key)
 	sh.mu.Lock()
 	s := sh.sessions[key]
+	var remains sessionRemains
 	if s != nil {
 		// Clean disconnect: will is discarded (spec §6.14).
 		delete(sh.sessions, key)
+		remains = b.collectRemainsLocked(s)
 	}
 	sh.mu.Unlock()
 	if s != nil {
@@ -995,20 +1249,34 @@ func (b *Broker) handleDisconnect(addr net.Addr) {
 			delete(b.byClientID, s.clientID)
 		}
 		b.clientMu.Unlock()
+		b.settleRemains(s, remains)
 	}
 	b.sendTo(addr, &mqttsn.Disconnect{})
 }
 
-// route fans a message out to all matching subscribers (and stores it if
-// retained). It walks the shards one at a time, so a hot shard never
-// blocks matching on the others.
-func (b *Broker) route(msg *message) {
+// routeAndRelease routes msg, then returns it to the message pool unless
+// the retained store took ownership of it.
+func (b *Broker) routeAndRelease(msg *message) {
+	if !b.route(msg) {
+		b.putMsg(msg)
+	}
+}
+
+// route fans a message out to all matching subscribers — every individual
+// subscription, plus exactly one member per matching consumer group,
+// chosen by the topic-affinity hash — and stores it if retained. It walks
+// the shards one at a time, so a hot shard never blocks matching on the
+// others. route does not take ownership of msg (each delivery gets its
+// own pooled copy); it reports whether the retained store kept msg.
+func (b *Broker) route(msg *message) bool {
+	stored := false
 	if msg.retain {
 		b.retMu.Lock()
 		if len(msg.payload) == 0 {
 			delete(b.retained, msg.topic)
 		} else {
 			b.retained[msg.topic] = msg
+			stored = true
 		}
 		b.retMu.Unlock()
 	}
@@ -1018,8 +1286,11 @@ func (b *Broker) route(msg *message) {
 	type target struct {
 		s   *session
 		qos mqttsn.QoS
+		g   *consumerGroup
 	}
-	var targets []target
+	// Stack-backed in the common case (few subscribers per topic).
+	var tbuf [8]target
+	targets := tbuf[:0]
 	for _, sh := range b.shards {
 		sh.mu.Lock()
 		for _, s := range sh.sessions {
@@ -1034,26 +1305,61 @@ func (b *Broker) route(msg *message) {
 				if best < q {
 					q = best
 				}
-				targets = append(targets, target{s, q})
+				targets = append(targets, target{s: s, qos: q})
 			}
 		}
 		sh.mu.Unlock()
 	}
+	var gbuf [4]groupTarget
+	for _, gt := range b.matchGroups(msg.topic, nil, gbuf[:0]) {
+		q := msg.qos
+		if gt.qos < q {
+			q = gt.qos
+		}
+		targets = append(targets, target{s: gt.s, qos: q, g: gt.g})
+	}
 	b.ctr.messagesRouted.Add(uint64(len(targets)))
 	for _, t := range targets {
-		out := *msg
+		out := b.getMsg()
+		*out = *msg
 		out.qos = t.qos
-		b.deliver(t.s, &out)
+		out.group = t.g
+		b.deliverOrSettle(t.s, out)
+	}
+	return stored
+}
+
+// deliverOrSettle delivers msg to s, and settles ownership if the session
+// turns out to be dead: group frames go back to their group (with the
+// dead member removed so it stops attracting assignments), the rest are
+// dropped and counted.
+func (b *Broker) deliverOrSettle(s *session, msg *message) {
+	if b.deliver(s, msg) {
+		return
+	}
+	if msg.group != nil {
+		b.leaveGroup(msg.group, s)
+		b.rerouteGroup(msg, s)
+	} else {
+		b.ctr.backlogDropped.Add(1)
+		b.putMsg(msg)
 	}
 }
 
 // deliver sends one message to one subscriber, respecting its QoS and
-// registering the topic first if the client does not know its id.
-func (b *Broker) deliver(s *session, msg *message) {
+// registering the topic first if the client does not know its id. deliver
+// takes ownership of msg; it returns false — handing ownership back to
+// the caller — when the session is no longer live.
+func (b *Broker) deliver(s *session, msg *message) bool {
 	sh := b.shardFor(s.addrKey)
 	sh.mu.Lock()
+	if sh.sessions[s.addrKey] != s {
+		sh.mu.Unlock()
+		return false
+	}
 	if !s.knownTopics[msg.topicID] {
-		// Queue behind a REGISTER exchange.
+		// Queue behind a REGISTER exchange (retransmitted by the janitor
+		// until acknowledged or given up).
 		pending, already := s.pendingReg[msg.topicID]
 		s.pendingReg[msg.topicID] = append(pending, msg)
 		addr := s.addr
@@ -1062,45 +1368,54 @@ func (b *Broker) deliver(s *session, msg *message) {
 		var regMsgID uint16
 		if !already {
 			regMsgID = s.allocMsgID()
+			s.regFlows[id] = &regFlow{msgID: regMsgID, lastSent: time.Now()}
 		}
 		sh.mu.Unlock()
 		if !already {
 			b.sendTo(addr, &mqttsn.Register{TopicID: id, MsgID: regMsgID, TopicName: topic})
 		}
-		return
+		return true
 	}
 	var pubs []*mqttsn.Publish
+	release := false
 	switch msg.qos {
 	case mqttsn.QoS1, mqttsn.QoS2:
 		// Flow-controlled path: enqueue in arrival order, then fill the
 		// in-flight window.
 		s.sendQ = append(s.sendQ, msg)
-		pubs = s.pumpLocked(b.cfg.SendWindow)
+		pubs = s.pumpLocked(b, b.cfg.SendWindow)
 	default:
 		pubs = append(pubs, &mqttsn.Publish{
 			Flags:   mqttsn.Flags{QoS: msg.qos, Retain: msg.retain},
 			TopicID: msg.topicID,
 			Data:    msg.payload,
 		})
+		release = true // fire-and-forget: done once sent
 	}
 	addr := s.addr
 	sh.mu.Unlock()
 	for _, pub := range pubs {
 		b.sendTo(addr, pub)
 	}
+	if release {
+		b.putMsg(msg)
+	}
+	return true
 }
 
 // pumpLocked moves queued QoS 1/2 messages into the in-flight window.
 // The caller holds the session's shard mutex; the returned packets must be
 // sent after unlocking.
-func (s *session) pumpLocked(window int) []*mqttsn.Publish {
+func (s *session) pumpLocked(b *Broker, window int) []*mqttsn.Publish {
 	var pubs []*mqttsn.Publish
 	for len(s.sendQ) > 0 && len(s.outbound) < window {
 		msg := s.sendQ[0]
 		s.sendQ[0] = nil
 		s.sendQ = s.sendQ[1:]
 		msgID := s.allocMsgID()
-		ob := &outbound{msg: msg, msgID: msgID, lastSent: time.Now()}
+		ob := b.obPool.Get().(*outbound)
+		*ob = outbound{msg: msg, msgID: msgID, lastSent: time.Now(), seq: s.sendSeq}
+		s.sendSeq++
 		if msg.qos == mqttsn.QoS1 {
 			ob.state = obAwaitPuback
 		} else {

@@ -582,3 +582,71 @@ func TestStatsSnapshotRace(t *testing.T) {
 		}
 	}
 }
+
+func TestServerSessionsConsumerGroup(t *testing.T) {
+	// One translator, several consumer-group broker sessions: capture from
+	// parallel devices must arrive exactly once with per-workflow order.
+	mem := translate.NewMemoryTarget()
+	srv, err := StartServer(context.Background(), ServerConfig{
+		Addr:          "127.0.0.1:0",
+		Targets:       []translate.Target{mem},
+		Sessions:      3,
+		RetryInterval: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	if got := srv.Translators[0].Sessions(); got != 3 {
+		t.Fatalf("translator sessions = %d, want 3", got)
+	}
+	const devices = 4
+	for d := 0; d < devices; d++ {
+		client, err := NewClient(context.Background(), Config{
+			Broker:        srv.Addr(),
+			ClientID:      fmt.Sprintf("gdev-%d", d),
+			RetryInterval: 150 * time.Millisecond,
+			MaxRetries:    10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf := client.NewWorkflow(fmt.Sprintf("gwf-%d", d))
+		if err := wf.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		task := wf.NewTask("t0", "tr")
+		if err := task.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := task.End(); err != nil {
+			t.Fatal(err)
+		}
+		if err := wf.End(); err != nil {
+			t.Fatal(err)
+		}
+		client.Close()
+	}
+	records := waitRecords(t, mem, devices*4)
+	perWf := map[string][]provdm.EventKind{}
+	for _, r := range records {
+		perWf[r.WorkflowID] = append(perWf[r.WorkflowID], r.Event)
+	}
+	wantSeq := []provdm.EventKind{
+		provdm.EventWorkflowBegin, provdm.EventTaskBegin,
+		provdm.EventTaskEnd, provdm.EventWorkflowEnd,
+	}
+	for d := 0; d < devices; d++ {
+		got := perWf[fmt.Sprintf("gwf-%d", d)]
+		if len(got) != len(wantSeq) {
+			t.Errorf("workflow gwf-%d has %d records, want %d", d, len(got), len(wantSeq))
+			continue
+		}
+		for i := range wantSeq {
+			if got[i] != wantSeq[i] {
+				t.Errorf("workflow gwf-%d event %d = %v, want %v (order violated)", d, i, got[i], wantSeq[i])
+				break
+			}
+		}
+	}
+}

@@ -28,6 +28,12 @@ type ServerConfig struct {
 	// (e.g. one per device topic, as in the Table IX scalability setup).
 	// When set, it overrides Translators.
 	TopicFilters []string
+	// Sessions is how many broker sessions each translator opens in one
+	// shared-subscription consumer group: the broker partitions the
+	// device topic space across them (per-workflow order preserved), so
+	// the fan-in path scales horizontally instead of squeezing through
+	// one session's outbound window. Default 1.
+	Sessions int
 	// Workers per translator. Default 1.
 	Workers int
 	// BatchSize caps the translator delivery micro-batch (frames drained
@@ -80,6 +86,7 @@ func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 			QoS:           mqttsn.QoS2,
 			QoSSet:        true,
 			Targets:       cfg.Targets,
+			Sessions:      cfg.Sessions,
 			Workers:       cfg.Workers,
 			BatchSize:     cfg.BatchSize,
 			BatchLinger:   cfg.BatchLinger,

@@ -149,6 +149,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		}
 		ownConn = true
 	}
+	// A subscriber session can receive a full broker send-window in one
+	// burst; grow the receive buffer past the kernel default so the burst
+	// is absorbed instead of recovered by timed retransmissions.
+	// Best-effort: not every PacketConn supports it.
+	if rb, ok := conn.(interface{ SetReadBuffer(int) error }); ok {
+		_ = rb.SetReadBuffer(1 << 20)
+	}
 	gwAddr, err := net.ResolveUDPAddr("udp", cfg.Gateway)
 	if err != nil {
 		if ownConn {

@@ -5,10 +5,14 @@ import "strings"
 // TopicMatches reports whether a topic name matches a subscription filter
 // using MQTT wildcard semantics: '+' matches exactly one level, '#' (which
 // must be the final level) matches any number of trailing levels including
-// zero.
+// zero. A shared filter ("$share/<group>/<filter>") matches whatever its
+// inner filter matches: share routing picks the receiver, not the match.
 func TopicMatches(filter, topic string) bool {
 	if filter == topic {
 		return true
+	}
+	if _, inner, ok := ParseSharedFilter(filter); ok {
+		return TopicMatches(inner, topic)
 	}
 	fLevels := strings.Split(filter, "/")
 	tLevels := strings.Split(topic, "/")
@@ -26,12 +30,44 @@ func TopicMatches(filter, topic string) bool {
 	return len(fLevels) == len(tLevels)
 }
 
+// SharePrefix marks a shared-subscription filter:
+// "$share/<group>/<filter>". Subscribers using the same group name and
+// filter form a consumer group; the broker routes each matching message
+// to exactly one member, partitioned by topic so one publisher's stream
+// stays on one member.
+const SharePrefix = "$share/"
+
+// ParseSharedFilter splits a "$share/<group>/<filter>" subscription into
+// its consumer-group name and the underlying topic filter. ok is false
+// when filter does not use the shared syntax or is malformed (empty or
+// wildcard-bearing group name, empty remainder).
+func ParseSharedFilter(filter string) (group, topicFilter string, ok bool) {
+	if !strings.HasPrefix(filter, SharePrefix) {
+		return "", "", false
+	}
+	rest := filter[len(SharePrefix):]
+	slash := strings.IndexByte(rest, '/')
+	if slash <= 0 || slash == len(rest)-1 {
+		return "", "", false
+	}
+	group = rest[:slash]
+	if strings.ContainsAny(group, "+#") {
+		return "", "", false
+	}
+	return group, rest[slash+1:], true
+}
+
 // ValidFilter reports whether a subscription filter is well-formed:
 // non-empty, '#' only as the final complete level, '+' only as a complete
-// level.
+// level. Shared filters ("$share/<group>/<filter>") are valid when the
+// group name is well-formed and the inner filter is itself valid.
 func ValidFilter(filter string) bool {
 	if filter == "" {
 		return false
+	}
+	if strings.HasPrefix(filter, SharePrefix) {
+		_, inner, ok := ParseSharedFilter(filter)
+		return ok && ValidFilter(inner)
 	}
 	levels := strings.Split(filter, "/")
 	for i, l := range levels {

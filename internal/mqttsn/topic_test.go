@@ -1,0 +1,49 @@
+package mqttsn
+
+import "testing"
+
+func TestParseSharedFilter(t *testing.T) {
+	cases := []struct {
+		in     string
+		group  string
+		filter string
+		ok     bool
+	}{
+		{"$share/g1/provlight/+/records", "g1", "provlight/+/records", true},
+		{"$share/translators/#", "translators", "#", true},
+		{"$share/g/a", "g", "a", true},
+		{"provlight/+/records", "", "", false}, // not shared
+		{"$share/", "", "", false},             // no group
+		{"$share//a/b", "", "", false},         // empty group
+		{"$share/g/", "", "", false},           // empty inner filter
+		{"$share/g", "", "", false},            // no inner filter at all
+		{"$share/g+/a", "", "", false},         // wildcard in group
+		{"$share/#/a", "", "", false},
+	}
+	for _, c := range cases {
+		group, filter, ok := ParseSharedFilter(c.in)
+		if group != c.group || filter != c.filter || ok != c.ok {
+			t.Errorf("ParseSharedFilter(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.in, group, filter, ok, c.group, c.filter, c.ok)
+		}
+	}
+}
+
+func TestSharedFilterValidityAndMatching(t *testing.T) {
+	for _, f := range []string{"$share/g/provlight/+/records", "$share/g/#", "$share/g/a/b"} {
+		if !ValidFilter(f) {
+			t.Errorf("ValidFilter(%q) = false, want true", f)
+		}
+	}
+	for _, f := range []string{"$share/g/", "$share//x", "$share/g/a/#/b", "$share/g/a+b"} {
+		if ValidFilter(f) {
+			t.Errorf("ValidFilter(%q) = true, want false", f)
+		}
+	}
+	if !TopicMatches("$share/g/provlight/+/records", "provlight/dev1/records") {
+		t.Error("shared filter should match what its inner filter matches")
+	}
+	if TopicMatches("$share/g/provlight/+/records", "other/dev1/records") {
+		t.Error("shared filter matched a non-matching topic")
+	}
+}

@@ -153,6 +153,15 @@ func (c *PacketConn) deliverLoop() {
 	}
 }
 
+// SetReadBuffer forwards to the underlying socket when it supports it
+// (shaping happens on the write side; reads hit the raw socket directly).
+func (c *PacketConn) SetReadBuffer(bytes int) error {
+	if rb, ok := c.PacketConn.(interface{ SetReadBuffer(int) error }); ok {
+		return rb.SetReadBuffer(bytes)
+	}
+	return nil
+}
+
 // Close stops the delivery goroutine (dropping any datagrams still "in
 // flight", as a dying link would) and closes the underlying socket.
 func (c *PacketConn) Close() error {

@@ -8,6 +8,7 @@ package translate
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,10 +55,29 @@ type Config struct {
 	// Broker is the MQTT-SN gateway address.
 	Broker string
 	// ClientID of the translator's broker session. Default "translator".
+	// With Sessions > 1 each session appends its index ("-s2", "-s3", …).
 	ClientID string
 	// TopicFilter selects which device topics to consume. Default
 	// "provlight/+/records" (all devices).
 	TopicFilter string
+	// Sessions is how many broker sessions the translator opens in one
+	// shared-subscription consumer group ("$share/<group>/<filter>").
+	// The broker partitions the device topic space across the sessions by
+	// a topic-affinity hash, so each device's stream stays on one session
+	// (per-workflow order preserved) while the group's aggregate outbound
+	// window — the fan-in bottleneck on high-latency links — scales with
+	// the session count. All sessions feed the same worker/batch/target
+	// machinery. Default 1: a plain (unshared) subscription.
+	Sessions int
+	// Group names the consumer group. Default: ClientID. Two translator
+	// processes using the same Group and TopicFilter split the stream
+	// between them; distinct groups each receive the full stream. Setting
+	// Group forces the shared subscription even with Sessions == 1.
+	Group string
+	// DialConn, when set, supplies the packet socket for each broker
+	// session (called once per session). Used by benchmarks and tests to
+	// interpose netem-shaped links; nil means plain UDP.
+	DialConn func() (net.PacketConn, error)
 	// QoS of the subscription; default QoS 2 to preserve exactly-once.
 	// The zero value means QoS 2 unless QoSSet is true.
 	QoS mqttsn.QoS
@@ -90,9 +110,15 @@ type Config struct {
 }
 
 // Translator subscribes to device topics and pumps records into targets.
+// With Config.Sessions > 1 it holds several broker sessions in one
+// consumer group, all feeding the same work queue.
 type Translator struct {
-	cfg  Config
-	mqtt *mqttsn.Client
+	cfg      Config
+	sessions []*mqttsn.Client
+	// dialed holds DialConn-supplied sockets: the mqttsn client treats a
+	// caller-provided conn as borrowed and never closes it, so teardown
+	// closes them here.
+	dialed []net.PacketConn
 
 	frames       atomic.Uint64
 	records      atomic.Uint64
@@ -117,6 +143,9 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 	if cfg.TopicFilter == "" {
 		cfg.TopicFilter = "provlight/+/records"
 	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
@@ -129,38 +158,69 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 	if len(cfg.Targets) == 0 {
 		return nil, fmt.Errorf("translate: at least one target required")
 	}
-	mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
-		ClientID:      cfg.ClientID,
-		Gateway:       cfg.Broker,
-		KeepAlive:     cfg.KeepAlive,
-		RetryInterval: cfg.RetryInterval,
-		MaxRetries:    cfg.MaxRetries,
-		CleanSession:  true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := mc.WithContext(ctx, mc.Connect); err != nil {
-		mc.Close()
-		return nil, fmt.Errorf("translate: connect broker: %w", err)
+	// A multi-session translator (or an explicit Group) consumes through
+	// a shared-subscription consumer group so the broker partitions the
+	// stream across the sessions instead of duplicating it to each.
+	filter := cfg.TopicFilter
+	if cfg.Sessions > 1 || cfg.Group != "" {
+		group := cfg.Group
+		if group == "" {
+			group = cfg.ClientID
+		}
+		filter = mqttsn.SharePrefix + group + "/" + cfg.TopicFilter
 	}
 	t := &Translator{
 		cfg:  cfg,
-		mqtt: mc,
 		work: make(chan []provdm.Record, 256),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		t.wg.Add(1)
 		go t.worker()
 	}
-	if err := mc.WithContext(ctx, func() error {
-		return mc.Subscribe(cfg.TopicFilter, cfg.QoS, t.onMessage)
-	}); err != nil {
-		t.Close()
-		return nil, fmt.Errorf("translate: subscribe %q: %w", cfg.TopicFilter, err)
+	for i := 0; i < cfg.Sessions; i++ {
+		clientID := cfg.ClientID
+		if i > 0 {
+			clientID = fmt.Sprintf("%s-s%d", cfg.ClientID, i+1)
+		}
+		var conn net.PacketConn
+		if cfg.DialConn != nil {
+			var err error
+			if conn, err = cfg.DialConn(); err != nil {
+				t.Close()
+				return nil, fmt.Errorf("translate: dial session %d: %w", i+1, err)
+			}
+			t.dialed = append(t.dialed, conn) // closed by Shutdown/Close
+		}
+		mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
+			ClientID:      clientID,
+			Gateway:       cfg.Broker,
+			Conn:          conn,
+			KeepAlive:     cfg.KeepAlive,
+			RetryInterval: cfg.RetryInterval,
+			MaxRetries:    cfg.MaxRetries,
+			CleanSession:  true,
+		})
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.sessions = append(t.sessions, mc)
+		if err := mc.WithContext(ctx, mc.Connect); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("translate: connect broker (session %d): %w", i+1, err)
+		}
+		if err := mc.WithContext(ctx, func() error {
+			return mc.Subscribe(filter, cfg.QoS, t.onMessage)
+		}); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("translate: subscribe %q (session %d): %w", filter, i+1, err)
+		}
 	}
 	return t, nil
 }
+
+// Sessions reports how many broker sessions the translator holds.
+func (t *Translator) Sessions() int { return len(t.sessions) }
 
 // Stats returns a snapshot of translator counters.
 func (t *Translator) Stats() Stats {
@@ -287,9 +347,18 @@ func (t *Translator) Shutdown(ctx context.Context) error {
 		// deadline-free Close after a timed-out Shutdown really drains).
 		return ctxutil.Wait(ctx, t.wg.Wait)
 	}
-	// mqtt.Close returns only after its read loop (the onMessage caller)
-	// has exited, so no enqueue can race the channel close below.
-	t.mqtt.Close()
+	// Disconnect cleanly so the broker releases the sessions at once —
+	// in a consumer group the survivors take the partitions over
+	// immediately instead of waiting for keepalive expiry. Disconnect
+	// closes the client, and Close returns only after its read loop (the
+	// onMessage caller) has exited, so no enqueue can race the channel
+	// close below.
+	for _, mc := range t.sessions {
+		_ = mc.Disconnect()
+	}
+	for _, conn := range t.dialed {
+		conn.Close()
+	}
 	close(t.work) // workers drain the queue, then exit
 	return ctxutil.Wait(ctx, t.wg.Wait)
 }

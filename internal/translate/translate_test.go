@@ -385,3 +385,105 @@ func TestDfAnalyzerTargetRetriesRegistration(t *testing.T) {
 		t.Errorf("task count = %d, want 2", got)
 	}
 }
+
+// TestMultiSessionConsumerGroup runs one translator with three broker
+// sessions in a consumer group: the broker must partition the device
+// topics across the sessions, and the target must see every record
+// exactly once with per-device order intact.
+func TestMultiSessionConsumerGroup(t *testing.T) {
+	b, err := broker.New(broker.Config{Addr: "127.0.0.1:0", RetryInterval: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	mem := NewMemoryTarget()
+	tr, err := New(context.Background(), Config{
+		Broker:        b.Addr(),
+		Targets:       []Target{mem},
+		Sessions:      3,
+		RetryInterval: 150 * time.Millisecond,
+		MaxRetries:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	if got := tr.Sessions(); got != 3 {
+		t.Fatalf("Sessions() = %d, want 3", got)
+	}
+
+	const devices = 6
+	const tasks = 5
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			id := fmt.Sprintf("dev-%d", d)
+			pub, err := mqttsn.NewClient(mqttsn.ClientConfig{
+				ClientID: id, Gateway: b.Addr(),
+				RetryInterval: 150 * time.Millisecond, MaxRetries: 10, CleanSession: true,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer pub.Close()
+			if err := pub.Connect(); err != nil {
+				t.Error(err)
+				return
+			}
+			enc := wire.Encoder{}
+			topic := fmt.Sprintf("provlight/%s/records", id)
+			for i := 0; i < tasks; i++ {
+				rec := provdm.Record{
+					Event: provdm.EventTaskEnd, WorkflowID: id,
+					TaskID: fmt.Sprintf("t%d", i), Transformation: "train",
+					Status: provdm.StatusFinished, Time: time.Now(),
+				}
+				frame, err := enc.EncodeFrame(&rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := pub.Publish(topic, frame, mqttsn.QoS2); err != nil {
+					t.Errorf("%s publish %d: %v", id, i, err)
+					return
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+
+	want := devices * tasks
+	deadline := time.Now().Add(10 * time.Second)
+	for len(mem.Records()) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("target has %d/%d records", len(mem.Records()), want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	tr.Drain()
+	recs := mem.Records()
+	if len(recs) != want {
+		t.Fatalf("records = %d, want exactly %d (duplicates or losses across the group)", len(recs), want)
+	}
+	// Exactly once per (workflow, task), order preserved per workflow.
+	nextTask := map[string]int{}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		key := r.WorkflowID + "/" + r.TaskID
+		if seen[key] {
+			t.Errorf("record %s delivered twice", key)
+		}
+		seen[key] = true
+		want := fmt.Sprintf("t%d", nextTask[r.WorkflowID])
+		if r.TaskID != want {
+			t.Errorf("workflow %s: got %s, want %s (per-workflow order violated)", r.WorkflowID, r.TaskID, want)
+		}
+		nextTask[r.WorkflowID]++
+	}
+	if st := tr.Stats(); st.FramesReceived != uint64(want) {
+		t.Errorf("FramesReceived = %d, want %d", st.FramesReceived, want)
+	}
+}
