@@ -8,8 +8,10 @@
 //	    [-topic 'provlight/+/records'] [-workers 4] \
 //	    [-sessions 4] [-group translators] \
 //	    [-batch 64] [-linger 0s] \
+//	    [-data-dir ./translator-data] [-fsync interval] \
 //	    [-dfanalyzer http://host:port -dataflow tag] \
-//	    [-provlake http://host:port] [-provjson out.json]
+//	    [-provlake http://host:port] \
+//	    [-provjson out.json] [-output-interval 30s]
 //
 // With -sessions > 1 (or an explicit -group) the translator consumes
 // through a shared-subscription consumer group ($share/<group>/<topic>):
@@ -17,11 +19,21 @@
 // the fan-in path while keeping each device's stream ordered. Several
 // provlight-translate processes sharing one -group split the stream the
 // same way across processes.
+//
+// With -data-dir the translator embeds a WAL-backed, snapshotting
+// DfAnalyzer store: every delivered frame is persisted and deduplicated
+// by its durable id before it is acknowledged back to the device, so a
+// spooling client gets exactly-once capture across crashes of either
+// process. The PROV-JSON document (-provjson) is written via temp-file +
+// atomic rename — a crash mid-write can never leave a truncated document
+// — and refreshed every -output-interval as well as on shutdown.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -31,7 +43,21 @@ import (
 	"github.com/provlight/provlight/internal/dfanalyzer"
 	"github.com/provlight/provlight/internal/provlake"
 	"github.com/provlight/provlight/internal/translate"
+	"github.com/provlight/provlight/internal/wal"
 )
+
+// writeAtomic writes the PROV-JSON document via temp-file + fsync +
+// rename, so readers (and restarts) only ever see a complete document.
+func writeAtomic(path string, pj *translate.PROVJSONTarget) error {
+	err := wal.WriteFileAtomic(path, func(w io.Writer) error {
+		_, werr := pj.WriteTo(w)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("write PROV-JSON: %w", err)
+	}
+	return nil
+}
 
 func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:1883", "MQTT-SN broker address")
@@ -42,17 +68,42 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel delivery workers")
 	batch := flag.Int("batch", 64, "delivery micro-batch size (1 disables batching)")
 	linger := flag.Duration("linger", 0, "max wait for an underfull batch to fill")
+	dataDir := flag.String("data-dir", "", "embed a durable (WAL + snapshot) store in this directory; enables exactly-once acks for spooling clients")
+	fsync := flag.String("fsync", "interval", "embedded store WAL fsync policy: each|interval|off")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
+	snapshotEvery := flag.Int("snapshot-every", 4096, "embedded store snapshot period in operations (negative disables)")
 	dfaURL := flag.String("dfanalyzer", "", "DfAnalyzer base URL (enables DfAnalyzer target)")
-	dataflow := flag.String("dataflow", "provlight", "DfAnalyzer dataflow tag")
+	dataflow := flag.String("dataflow", "provlight", "dataflow tag (DfAnalyzer and embedded store)")
 	plURL := flag.String("provlake", "", "ProvLake base URL (enables ProvLake target)")
-	provjson := flag.String("provjson", "", "write a PROV-JSON document to this file on exit")
+	provjson := flag.String("provjson", "", "write a PROV-JSON document to this file (atomically)")
+	outputInterval := flag.Duration("output-interval", 30*time.Second, "refresh the PROV-JSON document this often (0: only on exit)")
 	connectTimeout := flag.Duration("connect-timeout", 30*time.Second, "broker connect/subscribe deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 	flag.Parse()
 
 	var targets []translate.Target
-	mem := translate.NewMemoryTarget()
-	targets = append(targets, mem)
+	var durable *dfanalyzer.Store
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("provlight-translate: %v", err)
+		}
+		start := time.Now()
+		durable, err = dfanalyzer.OpenStore(dfanalyzer.StoreOptions{
+			Dir:           *dataDir,
+			Sync:          policy,
+			SyncInterval:  *fsyncInterval,
+			SnapshotEvery: *snapshotEvery,
+		})
+		if err != nil {
+			log.Fatalf("provlight-translate: open store: %v", err)
+		}
+		log.Printf("provlight-translate: recovered %s in %v (%d tasks in %q)",
+			*dataDir, time.Since(start).Round(time.Millisecond), durable.TaskCount(*dataflow), *dataflow)
+		targets = append(targets, translate.NewStoreTarget(durable, *dataflow))
+	} else {
+		targets = append(targets, translate.NewMemoryTarget())
+	}
 	if *dfaURL != "" {
 		targets = append(targets, translate.NewDfAnalyzerTarget(dfanalyzer.NewClient(*dfaURL), *dataflow))
 	}
@@ -63,6 +114,16 @@ func main() {
 	if *provjson != "" {
 		pj = translate.NewPROVJSONTarget()
 		targets = append(targets, pj)
+	}
+
+	// End-to-end acks tell spooling clients their frames are durable and
+	// may be reclaimed from disk. Only say so when some target actually
+	// is durable (-data-dir, or an external DfAnalyzer the operator
+	// vouches for) — acking from a purely in-memory pipeline would let
+	// clients discard frames this process loses on its next crash.
+	disableAcks := *dataDir == "" && *dfaURL == ""
+	if disableAcks {
+		log.Printf("provlight-translate: no durable target (-data-dir / -dfanalyzer): end-to-end acks disabled, spooling clients will retain their frames")
 	}
 
 	connectCtx, cancelConnect := context.WithTimeout(context.Background(), *connectTimeout)
@@ -76,6 +137,7 @@ func main() {
 		BatchSize:   *batch,
 		BatchLinger: *linger,
 		Targets:     targets,
+		DisableAcks: disableAcks,
 		OnError:     func(err error) { log.Printf("provlight-translate: %v", err) },
 	})
 	cancelConnect()
@@ -89,12 +151,22 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(10 * time.Second)
 	defer ticker.Stop()
+	var output <-chan time.Time
+	if pj != nil && *outputInterval > 0 {
+		outputTicker := time.NewTicker(*outputInterval)
+		defer outputTicker.Stop()
+		output = outputTicker.C
+	}
 	for {
 		select {
 		case <-ticker.C:
 			st := tr.Stats()
-			log.Printf("provlight-translate: frames=%d records=%d batches=%d decode_errs=%d delivery_errs=%d",
-				st.FramesReceived, st.RecordsTranslated, st.BatchesDelivered, st.DecodeErrors, st.DeliveryErrors)
+			log.Printf("provlight-translate: frames=%d records=%d batches=%d acks=%d decode_errs=%d delivery_errs=%d",
+				st.FramesReceived, st.RecordsTranslated, st.BatchesDelivered, st.AcksPublished, st.DecodeErrors, st.DeliveryErrors)
+		case <-output:
+			if err := writeAtomic(*provjson, pj); err != nil {
+				log.Printf("provlight-translate: %v", err)
+			}
 		case <-sig:
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 			if err := tr.Shutdown(shutdownCtx); err != nil {
@@ -102,15 +174,18 @@ func main() {
 			}
 			cancel()
 			if pj != nil {
-				f, err := os.Create(*provjson)
-				if err != nil {
+				if err := writeAtomic(*provjson, pj); err != nil {
 					log.Fatalf("provlight-translate: %v", err)
 				}
-				if _, err := pj.WriteTo(f); err != nil {
-					log.Fatalf("provlight-translate: write PROV-JSON: %v", err)
-				}
-				f.Close()
 				log.Printf("provlight-translate: wrote %s", *provjson)
+			}
+			if durable != nil {
+				if err := durable.Snapshot(); err != nil {
+					log.Printf("provlight-translate: final snapshot: %v", err)
+				}
+				if err := durable.Close(); err != nil {
+					log.Printf("provlight-translate: close store: %v", err)
+				}
 			}
 			return
 		}

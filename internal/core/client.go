@@ -8,6 +8,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -18,8 +19,16 @@ import (
 	"github.com/provlight/provlight/internal/ctxutil"
 	"github.com/provlight/provlight/internal/mqttsn"
 	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/spool"
+	"github.com/provlight/provlight/internal/wal"
 	"github.com/provlight/provlight/internal/wire"
 )
+
+// ErrQueueFull is returned by Capture when the asynchronous transmit
+// queue is full and no spool is configured: the frame is dropped and
+// counted in StatsSnapshot.QueueFull. See Config.QueueCapacity for the
+// backpressure contract.
+var ErrQueueFull = errors.New("provlight: transmit queue full")
 
 // DefaultTopic returns the topic a client with the given id publishes its
 // records on: one topic per device, mirroring Fig. 5 (topic-1..topic-64).
@@ -50,10 +59,58 @@ type Config struct {
 	// DisableCompression turns off payload compression (ablation).
 	DisableCompression bool
 	// Synchronous makes Capture block until the QoS flow completes
-	// (ablation; the paper's client is asynchronous).
+	// (ablation; the paper's client is asynchronous). Incompatible with
+	// SpoolDir.
 	Synchronous bool
 	// QueueCapacity bounds the async transmit queue. Default 1024.
+	//
+	// Backpressure contract: when the queue is full (the broker is slower
+	// than capture, or unreachable) and no spool is configured, Capture
+	// drops the frame, counts it in StatsSnapshot.QueueFull, and returns
+	// ErrQueueFull — it never blocks the instrumented workload. Callers
+	// that prefer lossless capture under backpressure should either size
+	// QueueCapacity for their burst profile or configure SpoolDir, which
+	// replaces the bounded memory queue with a disk-backed one.
 	QueueCapacity int
+	// SpoolDir, when set, enables store-and-forward capture: frames are
+	// appended to a segmented write-ahead log in this directory before
+	// (instead of) the in-memory transmit queue, a background drainer
+	// publishes them — auto-reconnecting to the broker with exponential
+	// backoff and re-establishing the session, topic registration, and
+	// acknowledgement subscription each time — and frames are released
+	// (and their disk space reclaimed) only on end-to-end acknowledgements
+	// from the translator. Capture therefore survives client crashes and
+	// arbitrarily long partitions; redelivered frames carry durable ids so
+	// the server ingests them exactly once. NewClient does not require the
+	// broker to be reachable in this mode.
+	SpoolDir string
+	// SpoolSync is the spool's fsync policy. The default, wal.SyncInterval,
+	// survives process crashes with zero loss (the page cache persists)
+	// and bounds power-loss exposure to SpoolSyncInterval; wal.SyncEach
+	// makes every captured frame power-loss durable before Capture
+	// returns.
+	SpoolSync wal.SyncPolicy
+	// SpoolSyncInterval is the background fsync period. Default 100 ms.
+	SpoolSyncInterval time.Duration
+	// SpoolSegmentSize is the WAL segment rotation size. Default 8 MiB.
+	SpoolSegmentSize int64
+	// AckWindow caps how many frames the drainer publishes ahead of the
+	// acknowledged floor. Default 64.
+	AckWindow int
+	// RedeliverAfter: when no acknowledgement progress happens for this
+	// long while published frames are pending, the drainer rewinds and
+	// republishes them (covering lost acks and translator restarts).
+	// Default 10 s.
+	RedeliverAfter time.Duration
+	// ReconnectMinDelay / ReconnectMaxDelay bound the drainer's
+	// exponential reconnect backoff. Defaults 250 ms and 10 s.
+	ReconnectMinDelay time.Duration
+	ReconnectMaxDelay time.Duration
+	// DialConn, when set, supplies a fresh packet socket for each broker
+	// session the spool drainer establishes (reconnects open new
+	// sessions). Used by tests to interpose netem-shaped links; takes
+	// precedence over Conn.
+	DialConn func() (net.PacketConn, error)
 	// WindowSize bounds how many publish handshakes the async sender keeps
 	// in flight at once. At QoS 2 each frame costs two round trips; the
 	// window overlaps those handshakes so throughput is no longer capped at
@@ -91,6 +148,20 @@ type Stats struct {
 	FramesCompressed uint64
 	RecordsGrouped   uint64
 	AsyncErrors      uint64
+	// QueueFull counts frames dropped because the transmit queue was full
+	// (no spool configured); each drop also returned ErrQueueFull.
+	QueueFull uint64
+	// Spool counters (zero without SpoolDir). FramesSpooled counts frames
+	// appended to the WAL; SpoolAcked is the contiguously acknowledged
+	// floor; SpoolPending is how many spooled frames still await
+	// end-to-end acknowledgement; SpoolRedeliveries counts rewind passes
+	// after ack stalls; SpoolReconnects counts broker sessions
+	// established by the drainer (the first connect included).
+	FramesSpooled     uint64
+	SpoolAcked        uint64
+	SpoolPending      uint64
+	SpoolRedeliveries uint64
+	SpoolReconnects   uint64
 }
 
 // Client is the ProvLight capture library handle. Create with NewClient,
@@ -123,6 +194,15 @@ type Client struct {
 	sendQ chan *[]byte
 	wg    sync.WaitGroup // sender goroutine
 	inFly sync.WaitGroup // outstanding frames
+
+	// Spool mode (Config.SpoolDir): the drainer owns the broker session
+	// lifecycle; c.mqtt is nil and sendQ is unused.
+	spool     *spool.Spool
+	drainStop chan struct{} // graceful stop (after drain or deadline)
+	drainKill chan struct{} // hard stop (Abort: simulate a crash)
+	drainWG   sync.WaitGroup
+	sessMu    sync.Mutex
+	sess      *mqttsn.Client // current drainer session, nil when down
 }
 
 // framePool recycles encoded frame buffers. A frame is leased in
@@ -142,12 +222,20 @@ type counters struct {
 	framesCompressed atomic.Uint64
 	recordsGrouped   atomic.Uint64
 	asyncErrors      atomic.Uint64
+	queueFull        atomic.Uint64
+	framesSpooled    atomic.Uint64
+	redeliveries     atomic.Uint64
+	reconnects       atomic.Uint64
 }
 
 // NewClient connects to the broker and returns a ready capture client.
 // ctx bounds the connect and topic-registration handshakes (a nil or
 // background context means the transport's own retry budget applies); it
 // does not govern the client's lifetime — use Shutdown/Close for that.
+//
+// With Config.SpoolDir set, NewClient opens the spool and returns without
+// requiring the broker to be reachable: the drainer connects (and keeps
+// reconnecting) in the background while captures land on disk.
 func NewClient(ctx context.Context, cfg Config) (*Client, error) {
 	if cfg.ClientID == "" {
 		return nil, fmt.Errorf("provlight: ClientID required")
@@ -166,6 +254,9 @@ func NewClient(ctx context.Context, cfg Config) (*Client, error) {
 		// documenting QoS 2 as the default; the capture pipeline (Table VI)
 		// is exactly-once, so make the zero value mean that.
 		cfg.QoS = mqttsn.QoS2
+	}
+	if cfg.SpoolDir != "" {
+		return newSpoolClient(cfg)
 	}
 	mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
 		ClientID:       cfg.ClientID,
@@ -215,14 +306,23 @@ func NewClient(ctx context.Context, cfg Config) (*Client, error) {
 // snapshot taken mid-burst may observe a frame whose byte count lands in
 // the next snapshot; every counter is monotonically consistent.
 func (c *Client) StatsSnapshot() Stats {
-	return Stats{
-		RecordsCaptured:  c.ctr.recordsCaptured.Load(),
-		FramesPublished:  c.ctr.framesPublished.Load(),
-		BytesPublished:   c.ctr.bytesPublished.Load(),
-		FramesCompressed: c.ctr.framesCompressed.Load(),
-		RecordsGrouped:   c.ctr.recordsGrouped.Load(),
-		AsyncErrors:      c.ctr.asyncErrors.Load(),
+	st := Stats{
+		RecordsCaptured:   c.ctr.recordsCaptured.Load(),
+		FramesPublished:   c.ctr.framesPublished.Load(),
+		BytesPublished:    c.ctr.bytesPublished.Load(),
+		FramesCompressed:  c.ctr.framesCompressed.Load(),
+		RecordsGrouped:    c.ctr.recordsGrouped.Load(),
+		AsyncErrors:       c.ctr.asyncErrors.Load(),
+		QueueFull:         c.ctr.queueFull.Load(),
+		FramesSpooled:     c.ctr.framesSpooled.Load(),
+		SpoolRedeliveries: c.ctr.redeliveries.Load(),
+		SpoolReconnects:   c.ctr.reconnects.Load(),
 	}
+	if c.spool != nil {
+		st.SpoolAcked = c.spool.Floor()
+		st.SpoolPending = c.spool.Pending()
+	}
+	return st
 }
 
 // Stats returns a snapshot of capture counters.
@@ -230,8 +330,18 @@ func (c *Client) StatsSnapshot() Stats {
 // Deprecated: use StatsSnapshot, which documents the atomicity contract.
 func (c *Client) Stats() Stats { return c.StatsSnapshot() }
 
-// MQTTStats exposes the underlying transport counters.
-func (c *Client) MQTTStats() mqttsn.ClientStats { return c.mqtt.Stats() }
+// MQTTStats exposes the underlying transport counters. In spool mode the
+// counters are those of the drainer's *current* broker session (zero
+// while disconnected); they reset on reconnect.
+func (c *Client) MQTTStats() mqttsn.ClientStats {
+	if c.spool != nil {
+		if mc := c.currentSession(); mc != nil {
+			return mc.Stats()
+		}
+		return mqttsn.ClientStats{}
+	}
+	return c.mqtt.Stats()
+}
 
 // sender keeps the publish window full: it submits each queued frame as an
 // asynchronous handshake and only blocks when WindowSize handshakes are
@@ -315,9 +425,18 @@ func (c *Client) flushGroup(ctx context.Context) error {
 	return err
 }
 
-// Flush transmits any buffered group and waits for in-flight frames.
+// Flush transmits any buffered group and waits for in-flight frames. In
+// spool mode it waits until every spooled frame is acknowledged end to
+// end — which blocks for as long as the broker stays unreachable; use
+// Shutdown with a deadline to stop without waiting out a partition.
 func (c *Client) Flush() error {
 	err := c.flushGroup(context.Background())
+	if c.spool != nil {
+		if werr := c.waitDrained(context.Background()); werr != nil && err == nil {
+			err = werr
+		}
+		return err
+	}
 	c.inFly.Wait()
 	return err
 }
@@ -337,6 +456,9 @@ func (c *Client) Close() error { return c.Shutdown(context.Background()) }
 // while a previous call is still draining waits for that drain under the
 // new ctx rather than returning early.
 func (c *Client) Shutdown(ctx context.Context) error {
+	if c.spool != nil {
+		return c.shutdownSpool(ctx)
+	}
 	// Flush the buffered group before claiming the shutdown, so the
 	// closed-client check in the transmit path doesn't reject our own
 	// group frame. In synchronous mode the flush publishes inline through
@@ -398,10 +520,14 @@ func (c *Client) transmitOrdered(records ...*provdm.Record) error {
 
 // transmitOrderedCtx is transmitOrdered with a context bound on the
 // enqueue (used by Shutdown's group flush): when the transmit queue stays
-// full past ctx, the frame is dropped and counted as an async error. A
-// nil or background ctx blocks on a full queue, exposing backpressure to
-// the caller like a real radio queue.
+// full past ctx, the frame is dropped and counted as an async error. With
+// a nil or background ctx a full queue drops the frame immediately
+// (ErrQueueFull + StatsSnapshot.QueueFull) — capture never blocks the
+// instrumented workload. In spool mode the frame goes to disk instead.
 func (c *Client) transmitOrderedCtx(ctx context.Context, records ...*provdm.Record) error {
+	if c.spool != nil {
+		return c.spoolAppend(records...)
+	}
 	bufp := framePool.Get().(*[]byte)
 	frame, err := c.enc.AppendFrame((*bufp)[:0], records...)
 	if err != nil {
@@ -434,9 +560,18 @@ func (c *Client) transmitOrderedCtx(ctx context.Context, records ...*provdm.Reco
 	}
 	c.inFly.Add(1)
 	if ctx == nil || ctx.Done() == nil {
-		c.sendQ <- bufp
-		countPublished()
-		return nil
+		// Never block the capture path: a full queue (broker slower than
+		// capture, or unreachable) drops the frame and tells the caller.
+		select {
+		case c.sendQ <- bufp:
+			countPublished()
+			return nil
+		default:
+			c.inFly.Done()
+			framePool.Put(bufp)
+			c.ctr.queueFull.Add(1)
+			return ErrQueueFull
+		}
 	}
 	select {
 	case c.sendQ <- bufp:

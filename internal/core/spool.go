@@ -1,0 +1,455 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/provlight/provlight/internal/ctxutil"
+	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/spool"
+	"github.com/provlight/provlight/internal/wire"
+)
+
+// This file implements the client's store-and-forward mode
+// (Config.SpoolDir): captures append to a disk spool, and a single
+// drainer goroutine owns the broker session lifecycle — dialing with
+// exponential backoff, re-establishing the topic registration and the
+// end-to-end acknowledgement subscription on every (re)connect, sliding
+// an ack window over the spool, and rewinding to redeliver frames whose
+// acknowledgements never arrived. The mqtt transport below it still runs
+// QoS 2, but broker receipt no longer releases a frame: only the
+// translator's ack (published after durable delivery to every target)
+// advances the spool's persisted floor.
+
+// Sentinel results of a drain session.
+var (
+	errDrainStop    = errors.New("provlight: drain stopped")
+	errDrainKill    = errors.New("provlight: drain killed")
+	errSessionDown  = errors.New("provlight: broker session down")
+	errSpoolReadEnd = errors.New("provlight: spool read failed")
+)
+
+// newSpoolClient opens the spool and starts the drainer; the broker does
+// not need to be reachable.
+func newSpoolClient(cfg Config) (*Client, error) {
+	if cfg.Synchronous {
+		return nil, fmt.Errorf("provlight: Synchronous and SpoolDir are mutually exclusive")
+	}
+	if cfg.AckWindow <= 0 {
+		cfg.AckWindow = 64
+	}
+	if cfg.RedeliverAfter <= 0 {
+		cfg.RedeliverAfter = 10 * time.Second
+	}
+	if cfg.ReconnectMinDelay <= 0 {
+		cfg.ReconnectMinDelay = 250 * time.Millisecond
+	}
+	if cfg.ReconnectMaxDelay <= 0 {
+		cfg.ReconnectMaxDelay = 10 * time.Second
+	}
+	sp, err := spool.Open(spool.Options{
+		Dir:          cfg.SpoolDir,
+		Sync:         cfg.SpoolSync,
+		SyncInterval: cfg.SpoolSyncInterval,
+		SegmentSize:  cfg.SpoolSegmentSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("provlight: open spool: %w", err)
+	}
+	c := &Client{
+		cfg:       cfg,
+		topic:     cfg.Topic,
+		enc:       wire.Encoder{DisableCompression: cfg.DisableCompression},
+		spool:     sp,
+		drainStop: make(chan struct{}),
+		drainKill: make(chan struct{}),
+	}
+	c.drainWG.Add(1)
+	go c.drainer()
+	return c, nil
+}
+
+// spoolAppend encodes records into a frame stamped with its spool
+// sequence number and appends it to the WAL. This is the whole capture
+// hot path in spool mode: one encode, one write(2).
+func (c *Client) spoolAppend(records ...*provdm.Record) error {
+	if c.closed.Load() {
+		return fmt.Errorf("provlight: client closed")
+	}
+	bufp := framePool.Get().(*[]byte)
+	defer framePool.Put(bufp)
+	var size int
+	var compressed bool
+	_, err := c.spool.AppendWith(func(seq uint64) ([]byte, error) {
+		frame, err := c.enc.AppendFrameSeq((*bufp)[:0], seq, records...)
+		if err != nil {
+			return nil, err
+		}
+		*bufp = frame
+		size = len(frame)
+		compressed = wire.IsCompressed(frame)
+		return frame, nil
+	})
+	if err != nil {
+		return err
+	}
+	c.ctr.framesSpooled.Add(1)
+	c.ctr.bytesPublished.Add(uint64(size))
+	if compressed {
+		c.ctr.framesCompressed.Add(1)
+	}
+	return nil
+}
+
+// reportAsync counts an asynchronous error and delivers it to OnError
+// under the serialization contract.
+func (c *Client) reportAsync(err error) {
+	c.ctr.asyncErrors.Add(1)
+	if cb := c.cfg.OnError; cb != nil {
+		c.errMu.Lock()
+		cb(err)
+		c.errMu.Unlock()
+	}
+}
+
+func (c *Client) currentSession() *mqttsn.Client {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	return c.sess
+}
+
+func (c *Client) setSession(mc *mqttsn.Client) {
+	c.sessMu.Lock()
+	c.sess = mc
+	c.sessMu.Unlock()
+}
+
+// drainer owns the broker connection: dial, drain, tear down, back off,
+// repeat — until stopped (graceful) or killed (crash simulation).
+func (c *Client) drainer() {
+	defer c.drainWG.Done()
+	backoff := c.cfg.ReconnectMinDelay
+	for {
+		select {
+		case <-c.drainStop:
+			return
+		case <-c.drainKill:
+			return
+		default:
+		}
+		mc, conn, down, err := c.dialSession()
+		if err != nil {
+			c.reportAsync(fmt.Errorf("provlight: spool connect %s: %w", c.cfg.Broker, err))
+			if !c.backoffWait(&backoff) {
+				return
+			}
+			continue
+		}
+		c.ctr.reconnects.Add(1)
+		backoff = c.cfg.ReconnectMinDelay
+		c.setSession(mc)
+		err = c.drainWith(mc, down)
+		c.setSession(nil)
+		if err == errDrainStop {
+			_ = mc.Disconnect() // clean goodbye: the broker releases the session now
+		} else {
+			mc.Close()
+		}
+		if conn != nil {
+			conn.Close() // DialConn-supplied sockets are ours to close
+		}
+		switch err {
+		case errDrainStop, errDrainKill:
+			return
+		}
+		if !c.backoffWait(&backoff) {
+			return
+		}
+	}
+}
+
+// backoffWait sleeps the current backoff (then doubles it up to the max),
+// returning false when the drainer should exit instead.
+func (c *Client) backoffWait(d *time.Duration) bool {
+	timer := time.NewTimer(*d)
+	defer timer.Stop()
+	*d *= 2
+	if *d > c.cfg.ReconnectMaxDelay {
+		*d = c.cfg.ReconnectMaxDelay
+	}
+	select {
+	case <-timer.C:
+		return true
+	case <-c.drainStop:
+		return false
+	case <-c.drainKill:
+		return false
+	}
+}
+
+// dialSession establishes one broker session: connect, register the
+// records topic, subscribe to the ack topic. down is closed when the
+// session dies (broker disconnect, socket error, or a publish giving up
+// its retries).
+func (c *Client) dialSession() (*mqttsn.Client, net.PacketConn, <-chan struct{}, error) {
+	var conn net.PacketConn
+	var dialed bool
+	if c.cfg.DialConn != nil {
+		var err error
+		if conn, err = c.cfg.DialConn(); err != nil {
+			return nil, nil, nil, err
+		}
+		dialed = true
+	} else if c.cfg.Conn != nil {
+		conn = c.cfg.Conn // reused across sessions; caller-owned
+	}
+	down := make(chan struct{})
+	var downOnce sync.Once
+	closeDown := func(error) { downOnce.Do(func() { close(down) }) }
+	mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
+		ClientID:       c.cfg.ClientID,
+		Gateway:        c.cfg.Broker,
+		Conn:           conn,
+		KeepAlive:      c.cfg.KeepAlive,
+		RetryInterval:  c.cfg.RetryInterval,
+		MaxRetries:     c.cfg.MaxRetries,
+		InflightWindow: c.cfg.WindowSize,
+		CleanSession:   true,
+		OnDisconnect:   closeDown,
+	})
+	if err != nil {
+		if dialed && conn != nil {
+			conn.Close()
+		}
+		return nil, nil, nil, err
+	}
+	fail := func(err error) (*mqttsn.Client, net.PacketConn, <-chan struct{}, error) {
+		mc.Close()
+		if dialed && conn != nil {
+			conn.Close()
+		}
+		return nil, nil, nil, err
+	}
+	if err := mc.Connect(); err != nil {
+		return fail(err)
+	}
+	if _, err := mc.RegisterTopic(c.topic); err != nil {
+		return fail(err)
+	}
+	// Subscription re-establishment: the per-device ack topic, on which
+	// the translator reports end-to-end durable delivery.
+	if err := mc.Subscribe(wire.AckTopic(c.topic), mqttsn.QoS1, c.onAck); err != nil {
+		return fail(err)
+	}
+	if !dialed {
+		conn = nil // not ours to close
+	}
+	return mc, conn, down, nil
+}
+
+// onAck advances the spool floor from a translator acknowledgement. Runs
+// on the session's read goroutine.
+func (c *Client) onAck(_ string, payload []byte) {
+	seqs, err := wire.DecodeAckPayload(payload)
+	if err != nil {
+		c.reportAsync(fmt.Errorf("provlight: bad ack payload: %w", err))
+		return
+	}
+	for _, seq := range seqs {
+		if err := c.spool.Ack(seq); err != nil {
+			c.reportAsync(fmt.Errorf("provlight: ack %d: %w", seq, err))
+		}
+	}
+}
+
+// drainWith pumps spooled frames through one session until it dies or the
+// client stops. Frames are published in order within an ack window above
+// the floor; completion of the QoS handshake releases the frame buffer
+// but not the frame — only acks do that.
+func (c *Client) drainWith(mc *mqttsn.Client, down <-chan struct{}) error {
+	r := c.spool.NewReader()
+	defer r.Close()
+	window := uint64(c.cfg.AckWindow)
+	stall := time.NewTicker(c.cfg.RedeliverAfter)
+	defer stall.Stop()
+	lastFloor := c.spool.Floor()
+	var lastPub uint64
+
+	// checkStall rewinds the reader when published frames sit unacked
+	// with no floor progress for a full tick: the ack was lost, or the
+	// translator restarted. Redelivered frames are deduplicated
+	// downstream by their durable ids.
+	checkStall := func() {
+		floor := c.spool.Floor()
+		if floor == lastFloor && lastPub > floor && c.spool.Pending() > 0 {
+			r.Reset()
+			c.ctr.redeliveries.Add(1)
+		}
+		lastFloor = floor
+	}
+
+	// The session is gone when either `down` fires (broker DISCONNECT or
+	// socket death, via OnDisconnect) or the client is closed — which
+	// includes the publish-failure collector below recycling it with
+	// mc.Close(), a path OnDisconnect deliberately does NOT report.
+	// Selecting on both is what lets the drainer notice its own recycle.
+	sessionGone := mc.Done()
+	for {
+		select {
+		case <-c.drainKill:
+			return errDrainKill
+		case <-c.drainStop:
+			return errDrainStop
+		case <-down:
+			return errSessionDown
+		case <-sessionGone:
+			return errSessionDown
+		default:
+		}
+		// Sliding ack window: never run more than AckWindow frames ahead
+		// of the acknowledged floor.
+		for lastPub >= c.spool.Floor()+window {
+			select {
+			case <-c.spool.AckSignal():
+			case <-stall.C:
+				checkStall()
+			case <-down:
+				return errSessionDown
+			case <-sessionGone:
+				return errSessionDown
+			case <-c.drainStop:
+				return errDrainStop
+			case <-c.drainKill:
+				return errDrainKill
+			}
+		}
+		bufp := framePool.Get().(*[]byte)
+		seq, frame, ok, err := r.Next((*bufp)[:0])
+		if err != nil {
+			framePool.Put(bufp)
+			c.reportAsync(fmt.Errorf("provlight: read spool: %w", err))
+			return errSpoolReadEnd
+		}
+		if !ok {
+			framePool.Put(bufp)
+			// Caught up: sleep until new frames, ack progress (which can
+			// expose skipped frames after a Reset), or a stall tick.
+			select {
+			case <-c.spool.Notify():
+			case <-c.spool.AckSignal():
+			case <-stall.C:
+				checkStall()
+			case <-down:
+				return errSessionDown
+			case <-sessionGone:
+				return errSessionDown
+			case <-c.drainStop:
+				return errDrainStop
+			case <-c.drainKill:
+				return errDrainKill
+			}
+			continue
+		}
+		*bufp = frame
+		// Publish barrier: the frame must be on stable storage before the
+		// server can see (and dedup-mark) its sequence number.
+		if err := c.spool.EnsureSynced(seq); err != nil {
+			framePool.Put(bufp)
+			c.reportAsync(fmt.Errorf("provlight: sync spool before publish: %w", err))
+			return errSpoolReadEnd
+		}
+		// Blocks only while the transport's in-flight window is full;
+		// Close/Abort unblocks it.
+		errc := mc.PublishAsync(c.topic, frame, c.cfg.QoS)
+		c.ctr.framesPublished.Add(1)
+		lastPub = seq
+		go func() {
+			err := <-errc
+			framePool.Put(bufp)
+			if err != nil {
+				if !errors.Is(err, mqttsn.ErrClosed) {
+					c.reportAsync(fmt.Errorf("provlight: publish spooled frame %d: %w", seq, err))
+				}
+				// A handshake that exhausted its retries means the link is
+				// gone: recycle the session, the next one redelivers.
+				mc.Close()
+			}
+		}()
+	}
+}
+
+// waitDrained blocks until every spooled frame is acked, or ctx expires.
+func (c *Client) waitDrained(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for !c.spool.Drained() {
+		select {
+		case <-c.spool.AckSignal():
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// shutdownSpool is Shutdown for spool mode: flush the group to disk, wait
+// (under ctx) for the spool to drain end to end, then stop the drainer
+// and persist the spool state. On ctx expiry the unacked frames simply
+// stay on disk for the next run — durable shutdown never loses data, it
+// only decides how long to wait for the network.
+func (c *Client) shutdownSpool(ctx context.Context) error {
+	err := c.flushGroup(nil)
+	if !c.closed.CompareAndSwap(false, true) {
+		// Another Shutdown/Close/Abort owns the teardown; wait for it
+		// under our ctx.
+		if werr := ctxutil.Wait(ctx, c.drainWG.Wait); werr != nil && err == nil {
+			err = werr
+		}
+		return err
+	}
+	werr := c.waitDrained(ctx)
+	close(c.drainStop)
+	c.drainWG.Wait()
+	if cerr := c.spool.Close(); err == nil {
+		err = cerr
+	}
+	if werr != nil && err == nil {
+		err = werr
+	}
+	return err
+}
+
+// Abort tears the client down as a crash would: no group flush, no drain,
+// no ack-mark persistence — the spool directory is left exactly as a
+// SIGKILL would leave it, and the next NewClient with the same SpoolDir
+// resumes from the persisted state. Used by crash-recovery tests and as
+// an emergency stop; the graceful path is Shutdown/Close.
+func (c *Client) Abort() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if c.spool != nil {
+		close(c.drainKill)
+		if mc := c.currentSession(); mc != nil {
+			mc.Close()
+		}
+		c.drainWG.Wait()
+		c.spool.Crash()
+		return
+	}
+	c.mqtt.Close()
+	c.txMu.Lock()
+	c.txMu.Unlock() //nolint:staticcheck // barrier: wait out in-progress transmits
+	close(c.sendQ)
+	c.wg.Wait()
+	c.inFly.Wait()
+}

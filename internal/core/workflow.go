@@ -40,14 +40,21 @@ func (w *Workflow) Begin() error {
 	if !w.began.CompareAndSwap(false, true) {
 		return fmt.Errorf("provlight: workflow %s already began", w.id)
 	}
-	return w.client.Capture(&provdm.Record{
+	err := w.client.Capture(&provdm.Record{
 		Event:      provdm.EventWorkflowBegin,
 		WorkflowID: w.id,
 		Time:       time.Now(),
 	})
+	if err != nil {
+		w.began.Store(false) // retryable, e.g. after ErrQueueFull
+	}
+	return err
 }
 
 // End captures the workflow end event and flushes any grouped records.
+// In spool mode the flush ends at the disk spool (the workflow's records
+// are durable at that point); it does not wait for the broker — waiting
+// out a partition is Flush/Shutdown's job, not the workload's.
 func (w *Workflow) End() error {
 	if !w.ended.CompareAndSwap(false, true) {
 		return fmt.Errorf("provlight: workflow %s already ended", w.id)
@@ -57,7 +64,13 @@ func (w *Workflow) End() error {
 		WorkflowID: w.id,
 		Time:       time.Now(),
 	}); err != nil {
+		w.ended.Store(false) // retryable, e.g. after ErrQueueFull
 		return err
+	}
+	if w.client.spool != nil {
+		// The group buffer (if any) was cut by the workflow-end capture
+		// above and is already on disk; nothing in flight to wait for.
+		return nil
 	}
 	return w.client.Flush()
 }
@@ -90,12 +103,13 @@ func (w *Workflow) NewTask(id, transformation string, deps ...*Task) *Task {
 func (t *Task) ID() string { return t.id }
 
 // Begin captures the task start together with its input data derivations
-// (used relations).
+// (used relations). A failed capture (e.g. ErrQueueFull under
+// backpressure) leaves the task un-begun, so the call is retryable.
 func (t *Task) Begin(inputs ...*Data) error {
 	if !t.began.CompareAndSwap(false, true) {
 		return fmt.Errorf("provlight: task %s already began", t.id)
 	}
-	return t.workflow.client.Capture(&provdm.Record{
+	err := t.workflow.client.Capture(&provdm.Record{
 		Event:          provdm.EventTaskBegin,
 		WorkflowID:     t.workflow.id,
 		TaskID:         t.id,
@@ -105,10 +119,15 @@ func (t *Task) Begin(inputs ...*Data) error {
 		Data:           dataRefs(t.workflow.id, inputs),
 		Time:           time.Now(),
 	})
+	if err != nil {
+		t.began.Store(false)
+	}
+	return err
 }
 
 // End captures the task completion together with its generated outputs
-// (wasGeneratedBy relations).
+// (wasGeneratedBy relations). Like Begin, a failed capture leaves the
+// task un-ended so the call is retryable.
 func (t *Task) End(outputs ...*Data) error {
 	if !t.began.Load() {
 		return fmt.Errorf("provlight: task %s ended before beginning", t.id)
@@ -116,7 +135,7 @@ func (t *Task) End(outputs ...*Data) error {
 	if !t.ended.CompareAndSwap(false, true) {
 		return fmt.Errorf("provlight: task %s already ended", t.id)
 	}
-	return t.workflow.client.Capture(&provdm.Record{
+	err := t.workflow.client.Capture(&provdm.Record{
 		Event:          provdm.EventTaskEnd,
 		WorkflowID:     t.workflow.id,
 		TaskID:         t.id,
@@ -125,6 +144,10 @@ func (t *Task) End(outputs ...*Data) error {
 		Data:           dataRefs(t.workflow.id, outputs),
 		Time:           time.Now(),
 	})
+	if err != nil {
+		t.ended.Store(false)
+	}
+	return err
 }
 
 // Data is the PROV-DM Entity of the exchange model: input parameters or

@@ -77,6 +77,17 @@ func (c *Client) SendTasks(msgs []*TaskMsg) error {
 	return c.post("/tasks", msgs)
 }
 
+// SendFrames ships a batch of decoded capture frames with their durable
+// identities to POST /frames: the server deduplicates redeliveries by
+// (origin, seq), making this the exactly-once counterpart of SendTasks
+// for spooling clients.
+func (c *Client) SendFrames(frames []FrameMsg) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	return c.post("/frames", frames)
+}
+
 // Client implements the backend-agnostic read interface remotely: queries
 // written against source.Source run against a DfAnalyzer server over HTTP
 // exactly as they run against a local Store.

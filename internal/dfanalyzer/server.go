@@ -53,6 +53,7 @@ func (s *Server) Start(addr string) error {
 	mux.HandleFunc("/dataflow/", s.handleDataflowGet)
 	mux.HandleFunc("/task", s.handleTask)
 	mux.HandleFunc("/tasks", s.handleTasks)
+	mux.HandleFunc("/frames", s.handleFrames)
 	mux.HandleFunc("/query", s.handleQuery)
 	s.http = &http.Server{Handler: s.count(mux)}
 	go s.http.Serve(lis)
@@ -185,6 +186,30 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ingested": len(msgs)})
+}
+
+// handleFrames is the exactly-once ingestion endpoint: a batch of decoded
+// capture frames with their (origin, seq) identities, deduplicated by the
+// store. The response reports how many frames were newly applied versus
+// skipped as redeliveries.
+func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var frames []FrameMsg
+	if err := json.NewDecoder(r.Body).Decode(&frames); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	applied, err := s.store.IngestFrames(frames)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "applied": applied, "deduplicated": len(frames) - applied,
+	})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

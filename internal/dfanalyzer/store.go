@@ -19,6 +19,17 @@ import (
 type Store struct {
 	mu     sync.RWMutex // guards the shard map only, not shard contents
 	shards map[string]*dataflowShard
+
+	// commitMu serializes durable mutations (WAL append + apply) so that
+	// replay order equals apply order, and guards the dedup table. It is
+	// uncontended for in-memory stores outside IngestFrames.
+	commitMu sync.Mutex
+	// dedup tracks applied (origin, frame seq) pairs for exactly-once
+	// ingestion of redelivered spool frames. Guarded by commitMu.
+	dedup *dedupTable
+	// dur is the durability state (WAL + snapshots); nil for a purely
+	// in-memory store from NewStore.
+	dur *durability
 }
 
 // dataflowShard holds everything belonging to one dataflow.
@@ -30,9 +41,10 @@ type dataflowShard struct {
 	taskOrder []string            // ids in first-ingestion order
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty in-memory store. For a crash-durable store
+// backed by a WAL and snapshots, use OpenStore.
 func NewStore() *Store {
-	return &Store{shards: map[string]*dataflowShard{}}
+	return &Store{shards: map[string]*dataflowShard{}, dedup: newDedupTable()}
 }
 
 // shard returns the shard for a dataflow, or nil.
@@ -120,8 +132,29 @@ func (t *Table) upgrade(schema SetSchema) {
 // RegisterDataflow validates and installs a dataflow spec, creating empty
 // tables for every set. Re-registering a grown spec (the translator's
 // incremental schema tracker does this when new attributes appear) widens
-// existing tables in place.
+// existing tables in place. On a durable store the registration is
+// write-ahead logged before it is applied.
 func (s *Store) RegisterDataflow(df *Dataflow) error {
+	if err := df.Validate(); err != nil {
+		return err
+	}
+	if s.dur != nil {
+		s.commitMu.Lock()
+		defer s.commitMu.Unlock()
+		if err := s.logOp(&walOp{Op: "register", Dataflow: df}); err != nil {
+			return err
+		}
+		if err := s.registerDataflowApply(df); err != nil {
+			return err
+		}
+		return s.maybeSnapshotLocked()
+	}
+	return s.registerDataflowApply(df)
+}
+
+// registerDataflowApply installs an already-validated, already-logged
+// spec.
+func (s *Store) registerDataflowApply(df *Dataflow) error {
 	if err := df.Validate(); err != nil {
 		return err
 	}
@@ -177,8 +210,99 @@ func (s *Store) IngestTask(m *TaskMsg) error {
 
 // IngestTasks stores a batch of task messages under one lock acquisition
 // per run of same-dataflow messages (the batch endpoint's fast path).
-// On error, messages before the failing one remain ingested.
+// On error, messages before the failing one remain ingested. On a durable
+// store the batch is validated, write-ahead logged, then applied.
 func (s *Store) IngestTasks(msgs []*TaskMsg) error {
+	if s.dur == nil {
+		return s.ingestTasksApply(msgs)
+	}
+	if err := s.validateBatch(msgs); err != nil {
+		return err
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if err := s.logOp(&walOp{Op: "ingest", Tasks: msgs}); err != nil {
+		return err
+	}
+	if err := s.ingestTasksApply(msgs); err != nil {
+		return err
+	}
+	return s.maybeSnapshotLocked()
+}
+
+// validateBatch rejects batches the apply path would reject, so invalid
+// input never reaches the WAL.
+func (s *Store) validateBatch(msgs []*TaskMsg) error {
+	for _, m := range msgs {
+		if m == nil {
+			return fmt.Errorf("dfanalyzer: nil task message in batch")
+		}
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		if sh := s.shard(m.Dataflow); sh == nil || !sh.registered() {
+			return fmt.Errorf("dfanalyzer: unknown dataflow %q", m.Dataflow)
+		}
+	}
+	return nil
+}
+
+// IngestFrames ingests decoded capture frames with their provenance
+// identities, deduplicating redeliveries: a frame whose (origin, seq) was
+// already applied is skipped entirely. Returns how many frames were newly
+// applied. This is the exactly-once ingestion path used by spooling
+// clients; frames without a durable id (Seq == 0) are always applied.
+//
+// Poison frames: a frame that passes validation but still fails to apply
+// (e.g. an element whose type conflicts with the schema a later
+// registration grew) is dedup-marked *before* the apply, deliberately.
+// Such a frame can never succeed, so redelivering it forever would wedge
+// the client's spool; instead the failure surfaces once through the
+// returned error (the translator counts it and withholds the batch ack),
+// and the eventual redelivery is absorbed as a duplicate. WAL replay
+// after a crash applies the same rule, so live and recovered stores
+// agree.
+func (s *Store) IngestFrames(frames []FrameMsg) (applied int, err error) {
+	for i := range frames {
+		if err := s.validateBatch(frames[i].Tasks); err != nil {
+			return 0, err
+		}
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	fresh := make([]FrameMsg, 0, len(frames))
+	for _, f := range frames {
+		if f.Origin != "" && f.Seq > 0 && s.dedup.applied(f.Origin, f.Seq) {
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	if s.dur != nil {
+		if err := s.logOp(&walOp{Op: "frames", Frames: fresh}); err != nil {
+			return 0, err
+		}
+	}
+	for _, f := range fresh {
+		if f.Origin != "" && f.Seq > 0 {
+			s.dedup.mark(f.Origin, f.Seq)
+		}
+		if err := s.ingestTasksApply(f.Tasks); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	if s.dur != nil {
+		return applied, s.maybeSnapshotLocked()
+	}
+	return applied, nil
+}
+
+// ingestTasksApply is the in-memory apply path (the historical
+// IngestTasks body).
+func (s *Store) ingestTasksApply(msgs []*TaskMsg) error {
 	for i := 0; i < len(msgs); {
 		m := msgs[i]
 		if m == nil {

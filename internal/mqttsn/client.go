@@ -53,6 +53,12 @@ type ClientConfig struct {
 	CleanSession bool
 	// Will is the optional last-will message.
 	Will *Will
+	// OnDisconnect, when set, is invoked (once, on its own goroutine) when
+	// the session dies without a local Close/Disconnect: the broker sent a
+	// DISCONNECT, or the socket failed. Reconnect loops use it to replace
+	// the session promptly instead of waiting for the next publish to time
+	// out.
+	OnDisconnect func(err error)
 }
 
 // MessageHandler receives inbound publications.
@@ -102,6 +108,9 @@ type Client struct {
 	// PublishAsync handshake.
 	window chan struct{}
 
+	// downNotified ensures OnDisconnect fires at most once. Guarded by mu.
+	downNotified bool
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -148,6 +157,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			return nil, fmt.Errorf("mqttsn: open socket: %w", err)
 		}
 		ownConn = true
+	} else {
+		// A borrowed conn may carry a stale read deadline from a previous
+		// client's Close (Close unblocks its read loop that way); clear it
+		// so sequential session reuse over one socket works.
+		_ = conn.SetReadDeadline(time.Time{})
 	}
 	// A subscriber session can receive a full broker send-window in one
 	// burst; grow the receive buffer past the kernel default so the burst
@@ -489,6 +503,26 @@ func (c *Client) Disconnect() error {
 	return err
 }
 
+// Done returns a channel closed when the client is closed (locally or via
+// teardown after a fatal socket error).
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// sessionDown fires the OnDisconnect hook exactly once, unless the client
+// is being closed locally.
+func (c *Client) sessionDown(err error) {
+	c.mu.Lock()
+	if c.closed || c.downNotified {
+		c.mu.Unlock()
+		return
+	}
+	c.downNotified = true
+	cb := c.cfg.OnDisconnect
+	c.mu.Unlock()
+	if cb != nil {
+		go cb(err)
+	}
+}
+
 // WithContext runs op — a sequence of blocking protocol exchanges on c
 // (Connect, RegisterTopic, Subscribe, ...) — and bounds it by ctx: if the
 // context expires first, the client is force-closed (which fails the
@@ -579,6 +613,7 @@ func (c *Client) readLoop() {
 					continue
 				}
 			}
+			c.sessionDown(fmt.Errorf("mqttsn: read: %w", err))
 			return
 		}
 		if addr.String() != c.gwAddr.String() {
@@ -683,6 +718,7 @@ func (c *Client) dispatch(pkt Packet) {
 		c.mu.Lock()
 		c.connected = false
 		c.mu.Unlock()
+		c.sessionDown(fmt.Errorf("mqttsn: broker disconnected the session"))
 	}
 }
 

@@ -1,0 +1,352 @@
+// Package spool implements the edge-side store-and-forward queue: a
+// disk-backed buffer of encoded capture frames that survives client
+// crashes and long network partitions.
+//
+// Captured frames are appended to a segmented WAL (internal/wal) before
+// transmission; a drainer reads them back in order and publishes them,
+// and *end-to-end* acknowledgements — not mere broker receipt — advance a
+// persisted low-water mark ("floor"). Everything at or below the floor is
+// durably applied on the server, so fully-acked segments are reclaimed.
+// Acks may arrive out of order (the publish window completes handshakes
+// concurrently, and the server batches deliveries): the spool keeps the
+// floor plus a sparse set of acked sequence numbers above it, advancing
+// the floor whenever the run above it becomes contiguous.
+//
+// Crash recovery: on Open the WAL replays its surviving tail, the floor
+// is restored from the mark file, and every unacked frame above the floor
+// is redelivered. Frames that were applied server-side but whose ack was
+// lost (or not yet persisted) are redelivered too — the durable frame ids
+// stamped into each frame (wire.AppendFrameSeq) let the server
+// deduplicate them, which is what turns at-least-once redelivery into
+// exactly-once ingestion.
+package spool
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/provlight/provlight/internal/wal"
+)
+
+// Options configures a Spool. Only Dir is required.
+type Options struct {
+	// Dir is the spool directory (created if missing).
+	Dir string
+	// Sync is the WAL fsync policy. Default wal.SyncInterval: appends stay
+	// at memory speed and a crash loses at most SyncInterval of frames
+	// from the *page cache flush* point of view — a process crash loses
+	// nothing, a power loss at most that window.
+	Sync wal.SyncPolicy
+	// SyncInterval is the background fsync period. Default 100 ms.
+	SyncInterval time.Duration
+	// SegmentSize is the WAL segment rotation size. Default 8 MiB.
+	SegmentSize int64
+	// PersistEvery persists the ack mark after this many floor advances
+	// (and always on Close). Default 64. Redelivery after a crash covers
+	// the frames acked since the last persist; deduplication absorbs them.
+	PersistEvery int
+}
+
+const markFile = "ack.mark"
+
+// Spool is a disk-backed frame queue. All methods are safe for concurrent
+// use.
+type Spool struct {
+	log          *wal.Log
+	markPath     string
+	persistEvery int
+	sync         wal.SyncPolicy
+
+	mu          sync.Mutex
+	floor       uint64 // every seq <= floor is acked
+	acked       map[uint64]struct{}
+	lastPersist uint64
+	syncedUpTo  uint64 // highest seq known fsynced (publish barrier)
+	closed      bool
+
+	ackCh chan struct{} // coalesced ack-progress signal
+}
+
+// Open opens (or creates) the spool in opts.Dir, recovering WAL and ack
+// mark state.
+func Open(opts Options) (*Spool, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("spool: Dir required")
+	}
+	if opts.PersistEvery <= 0 {
+		opts.PersistEvery = 64
+	}
+	l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{
+		Sync:         opts.Sync,
+		SyncInterval: opts.SyncInterval,
+		SegmentSize:  opts.SegmentSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Spool{
+		log:          l,
+		markPath:     filepath.Join(opts.Dir, markFile),
+		persistEvery: opts.PersistEvery,
+		sync:         opts.Sync,
+		acked:        map[uint64]struct{}{},
+		ackCh:        make(chan struct{}, 1),
+	}
+	floor, err := readMark(s.markPath)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	s.floor = floor
+	// Segments are only reclaimed after the mark covering them persisted,
+	// but a crash can still leave the mark behind a truncated front (the
+	// reverse is prevented by persist-before-truncate). Trust whichever is
+	// further along.
+	if first := l.FirstSeq(); first > 0 && first-1 > s.floor {
+		s.floor = first - 1
+	}
+	s.lastPersist = s.floor
+	// Never reuse a frame id: if the mark outran a lossy log tail, push
+	// the sequence space past everything possibly already published.
+	l.Reserve(s.floor)
+	return s, nil
+}
+
+func readMark(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("spool: read mark: %w", err)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spool: parse mark %q: %w", data, err)
+	}
+	return v, nil
+}
+
+// persistMarkLocked writes the floor atomically. Callers hold s.mu.
+func (s *Spool) persistMarkLocked() error {
+	floor := s.floor
+	err := wal.WriteFileAtomic(s.markPath, func(w io.Writer) error {
+		_, werr := fmt.Fprintf(w, "%d\n", floor)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("spool: persist mark: %w", err)
+	}
+	s.lastPersist = floor
+	return nil
+}
+
+// AppendWith appends one frame built by build, which receives the durable
+// sequence number the frame will carry (stamp it into the frame with
+// wire.AppendFrameSeq). The append is atomic with the sequence
+// assignment.
+func (s *Spool) AppendWith(build func(seq uint64) ([]byte, error)) (uint64, error) {
+	return s.log.AppendWith(build)
+}
+
+// Ack marks one frame as durably applied end-to-end. When the run above
+// the floor becomes contiguous the floor advances, the mark is persisted
+// every PersistEvery advances, and fully-acked segments are reclaimed.
+func (s *Spool) Ack(seq uint64) error {
+	s.mu.Lock()
+	if s.closed || seq <= s.floor {
+		s.mu.Unlock()
+		return nil
+	}
+	if _, dup := s.acked[seq]; dup {
+		s.mu.Unlock()
+		return nil
+	}
+	s.acked[seq] = struct{}{}
+	advanced := false
+	for {
+		if _, ok := s.acked[s.floor+1]; !ok {
+			break
+		}
+		delete(s.acked, s.floor+1)
+		s.floor++
+		advanced = true
+	}
+	var err error
+	var reclaimTo uint64
+	if advanced && s.floor-s.lastPersist >= uint64(s.persistEvery) {
+		// Persist before reclaiming: the mark must always cover every
+		// truncated segment, or a crash would leave the floor pointing at
+		// deleted frames.
+		if err = s.persistMarkLocked(); err == nil {
+			reclaimTo = s.floor
+		}
+	}
+	s.mu.Unlock()
+	if reclaimTo > 0 {
+		if terr := s.log.TruncateFront(reclaimTo); err == nil {
+			err = terr
+		}
+	}
+	if advanced {
+		select {
+		case s.ackCh <- struct{}{}:
+		default:
+		}
+	}
+	return err
+}
+
+// EnsureSynced is the publish barrier: it guarantees the frame with the
+// given sequence number is on stable storage before the caller transmits
+// it. Without it, a power loss could drop an unsynced WAL tail whose
+// frames were already published (and dedup-marked server-side); their
+// sequence numbers would then be reassigned to new frames on reopen, and
+// the server would silently swallow those as redeliveries. With the
+// barrier, every published sequence number is durable, so the persisted
+// ack mark can never outrun the log and sequence reuse is impossible.
+//
+// No-op under wal.SyncOff: that policy explicitly trades power-loss
+// safety away. Under SyncEach the data is already durable and the call
+// is nearly free; under SyncInterval it fsyncs only when the drainer
+// outruns the background syncer.
+func (s *Spool) EnsureSynced(seq uint64) error {
+	if s.sync == wal.SyncOff {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.syncedUpTo {
+		return nil
+	}
+	last := s.log.LastSeq() // everything appended so far is covered by Sync
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+	s.syncedUpTo = last
+	return nil
+}
+
+// Acked reports whether seq is already acknowledged.
+func (s *Spool) Acked(seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.floor {
+		return true
+	}
+	_, ok := s.acked[seq]
+	return ok
+}
+
+// Floor returns the highest contiguously acknowledged sequence number.
+func (s *Spool) Floor() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.floor
+}
+
+// LastSeq returns the last appended sequence number.
+func (s *Spool) LastSeq() uint64 { return s.log.LastSeq() }
+
+// Pending returns how many appended frames await acknowledgement.
+func (s *Spool) Pending() uint64 {
+	last := s.log.LastSeq()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if last <= s.floor {
+		return 0
+	}
+	return last - s.floor - uint64(len(s.acked))
+}
+
+// Drained reports whether every appended frame is acknowledged.
+func (s *Spool) Drained() bool { return s.Pending() == 0 }
+
+// Notify signals appended frames (coalesced); AckSignal signals floor
+// advances. Drain loops sleep on these instead of polling.
+func (s *Spool) Notify() <-chan struct{}    { return s.log.Notify() }
+func (s *Spool) AckSignal() <-chan struct{} { return s.ackCh }
+
+// SyncMark persists the ack mark now (used on clean shutdown).
+func (s *Spool) SyncMark() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.persistMarkLocked()
+}
+
+// Close persists the mark, syncs the WAL, and releases the spool. Spooled
+// but unacked frames stay on disk for the next Open.
+func (s *Spool) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.persistMarkLocked()
+	s.closed = true
+	s.mu.Unlock()
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash abandons the spool without persisting the ack mark — the
+// process-crash path used by recovery tests and Client.Abort. State on
+// disk is exactly what a SIGKILL would have left.
+func (s *Spool) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	_ = s.log.Close()
+}
+
+// Reader iterates unacknowledged frames in sequence order, starting at
+// the floor when created (or Reset). Frames acked while the reader was
+// behind are skipped.
+type Reader struct {
+	s *Spool
+	r *wal.Reader
+}
+
+// NewReader returns a reader positioned at the first unacked frame.
+func (s *Spool) NewReader() *Reader {
+	return &Reader{s: s, r: s.log.ReadFrom(s.Floor() + 1)}
+}
+
+// Reset repositions the reader at the first unacked frame — the
+// redelivery path after a reconnect or an ack timeout.
+func (r *Reader) Reset() { r.r.Seek(r.s.Floor() + 1) }
+
+// Next appends the next unacked frame to buf and returns it with its
+// sequence number; ok is false when the reader has caught up with the
+// appended tail (sleep on Notify/AckSignal and retry).
+func (r *Reader) Next(buf []byte) (seq uint64, frame []byte, ok bool, err error) {
+	for {
+		seq, frame, ok, err = r.r.Next(buf)
+		if err != nil || !ok {
+			return 0, frame, false, err
+		}
+		if r.s.Acked(seq) {
+			buf = frame[:len(buf)]
+			continue
+		}
+		return seq, frame, true, nil
+	}
+}
+
+// Close releases the reader.
+func (r *Reader) Close() { r.r.Close() }

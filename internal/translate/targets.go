@@ -218,20 +218,9 @@ func (d *DfAnalyzerTarget) Deliver(records []provdm.Record) error {
 // lock so that a parallel worker observing an already-tracked attribute
 // cannot send tasks for it before the grown spec reaches the server.
 func (d *DfAnalyzerTarget) DeliverBatch(frames [][]provdm.Record) error {
-	d.mu.Lock()
-	for _, records := range frames {
-		if d.schema.Observe(records) {
-			d.dirty = true
-		}
+	if err := d.observeAndRegister(frames); err != nil {
+		return err
 	}
-	if d.dirty {
-		if err := d.client.RegisterDataflow(d.schema.Dataflow()); err != nil {
-			d.mu.Unlock()
-			return err
-		}
-		d.dirty = false
-	}
-	d.mu.Unlock()
 	msgs := make([]*dfanalyzer.TaskMsg, 0, len(frames))
 	for _, records := range frames {
 		for i := range records {
@@ -241,6 +230,129 @@ func (d *DfAnalyzerTarget) DeliverBatch(frames [][]provdm.Record) error {
 		}
 	}
 	return d.client.SendTasks(msgs)
+}
+
+// observeAndRegister folds the batch into the schema tracker and
+// (re-)registers the spec with the server when it grew.
+func (d *DfAnalyzerTarget) observeAndRegister(frames [][]provdm.Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, records := range frames {
+		if d.schema.Observe(records) {
+			d.dirty = true
+		}
+	}
+	if d.dirty {
+		if err := d.client.RegisterDataflow(d.schema.Dataflow()); err != nil {
+			return err
+		}
+		d.dirty = false
+	}
+	return nil
+}
+
+// DeliverFrames implements FrameTarget: identified frames go to the
+// exactly-once POST /frames endpoint, where the server deduplicates
+// redeliveries by (origin, seq). Batches without any durable id fall back
+// to the plain POST /tasks path, which any DfAnalyzer-protocol server
+// accepts.
+func (d *DfAnalyzerTarget) DeliverFrames(frames []Frame) error {
+	identified := false
+	recordsView := make([][]provdm.Record, len(frames))
+	for i := range frames {
+		recordsView[i] = frames[i].Records
+		if frames[i].Seq > 0 {
+			identified = true
+		}
+	}
+	if !identified {
+		return d.DeliverBatch(recordsView)
+	}
+	if err := d.observeAndRegister(recordsView); err != nil {
+		return err
+	}
+	return d.client.SendFrames(frameMsgs(d.dataflow, frames))
+}
+
+// frameMsgs translates identified frames into the store's ingestion
+// shape. Frames whose records produce no task messages (pure workflow
+// lifecycle events) still yield an — empty — FrameMsg: the store must
+// mark them applied or they would be redelivered forever.
+func frameMsgs(dataflow string, frames []Frame) []dfanalyzer.FrameMsg {
+	out := make([]dfanalyzer.FrameMsg, 0, len(frames))
+	for i := range frames {
+		f := &frames[i]
+		fm := dfanalyzer.FrameMsg{Origin: f.Origin, Seq: f.Seq}
+		for j := range f.Records {
+			if msg, ok := dfanalyzer.RecordToTaskMsg(dataflow, &f.Records[j]); ok {
+				fm.Tasks = append(fm.Tasks, msg)
+			}
+		}
+		out = append(out, fm)
+	}
+	return out
+}
+
+// StoreTarget delivers records straight into a local dfanalyzer.Store —
+// the in-process counterpart of DfAnalyzerTarget, and the building block
+// of a durable standalone translator (provlight-translate -data-dir):
+// paired with a store from OpenStore, every delivered frame is
+// write-ahead logged, deduplicated by its durable id, and recovered on
+// restart.
+type StoreTarget struct {
+	store    *dfanalyzer.Store
+	dataflow string
+
+	mu     sync.Mutex
+	schema *dfanalyzer.SchemaTracker
+	dirty  bool
+}
+
+// NewStoreTarget creates a target that ingests into store under the given
+// dataflow tag.
+func NewStoreTarget(store *dfanalyzer.Store, dataflow string) *StoreTarget {
+	return &StoreTarget{store: store, dataflow: dataflow, schema: dfanalyzer.NewSchemaTracker(dataflow)}
+}
+
+// Store returns the backing store (for queries and snapshots).
+func (s *StoreTarget) Store() *dfanalyzer.Store { return s.store }
+
+// Name implements Target.
+func (*StoreTarget) Name() string { return "store" }
+
+// Deliver implements Target.
+func (s *StoreTarget) Deliver(records []provdm.Record) error {
+	return s.DeliverFrames([]Frame{{Records: records}})
+}
+
+// DeliverBatch implements BatchTarget.
+func (s *StoreTarget) DeliverBatch(frames [][]provdm.Record) error {
+	wrapped := make([]Frame, len(frames))
+	for i := range frames {
+		wrapped[i].Records = frames[i]
+	}
+	return s.DeliverFrames(wrapped)
+}
+
+// DeliverFrames implements FrameTarget: one IngestFrames call per batch,
+// deduplicated by the store.
+func (s *StoreTarget) DeliverFrames(frames []Frame) error {
+	s.mu.Lock()
+	for i := range frames {
+		if s.schema.Observe(frames[i].Records) {
+			s.dirty = true
+		}
+	}
+	if s.dirty {
+		if err := s.store.RegisterDataflow(s.schema.Dataflow()); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.dirty = false
+	}
+	s.mu.Unlock()
+	_, err := s.store.IngestFrames(frameMsgs(s.dataflow, frames))
+	return err
 }
 
 // ProvLakeTarget forwards records to a ProvLake manager service.

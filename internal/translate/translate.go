@@ -39,6 +39,28 @@ type BatchTarget interface {
 	DeliverBatch(frames [][]provdm.Record) error
 }
 
+// Frame is one decoded capture frame with its provenance identity: the
+// topic it arrived on and the durable sequence number a spooling client
+// stamped into it (0 for non-spooling clients). The identity is what lets
+// durable targets deduplicate redelivered frames and lets the translator
+// acknowledge them end-to-end.
+type Frame struct {
+	Origin  string
+	Seq     uint64
+	Records []provdm.Record
+}
+
+// FrameTarget is the durable-delivery extension of Target: the translator
+// hands over frames *with their identities*, and the target applies them
+// exactly once (skipping already-applied (origin, seq) pairs). Targets
+// implementing it are what make a spooling client's redeliveries
+// idempotent end to end.
+type FrameTarget interface {
+	Target
+	// DeliverFrames forwards a micro-batch of identified frames.
+	DeliverFrames(frames []Frame) error
+}
+
 // Stats counts translator activity.
 type Stats struct {
 	FramesReceived    uint64
@@ -48,6 +70,11 @@ type Stats struct {
 	BatchesDelivered uint64
 	DecodeErrors     uint64
 	DeliveryErrors   uint64
+	// AcksPublished counts end-to-end acknowledgements sent back to
+	// spooling devices (one ack message may cover several frames);
+	// AckErrors counts ack publishes that failed.
+	AcksPublished uint64
+	AckErrors     uint64
 }
 
 // Config configures a Translator.
@@ -103,6 +130,15 @@ type Config struct {
 	MaxRetries    int
 	// OnError receives asynchronous delivery errors.
 	OnError func(error)
+	// DisableAcks turns off end-to-end acknowledgements. By default the
+	// translator, after a batch is delivered to every target without
+	// error, publishes the durable frame ids back to each device's ack
+	// topic (wire.AckTopic) at QoS 1 — a spooling client reclaims its
+	// disk-buffered frames only on these acks. Pair spooling clients with
+	// a durable target (StoreTarget, DfAnalyzerTarget): acks from a
+	// purely in-memory pipeline promise durability the pipeline does not
+	// have.
+	DisableAcks bool
 	// Hub, when set, receives every delivered batch for fan-out to live
 	// subscribers (Server.Subscribe). Several translators may share one
 	// hub.
@@ -125,11 +161,14 @@ type Translator struct {
 	batches      atomic.Uint64
 	decodeErrs   atomic.Uint64
 	deliveryErrs atomic.Uint64
+	acks         atomic.Uint64
+	ackErrs      atomic.Uint64
 
-	work   chan []provdm.Record
-	wg     sync.WaitGroup
-	inFl   sync.WaitGroup
-	closed atomic.Bool
+	work    chan Frame
+	wg      sync.WaitGroup
+	inFl    sync.WaitGroup
+	closed  atomic.Bool
+	aborted atomic.Bool
 }
 
 // New connects the translator to the broker and starts consuming. ctx
@@ -171,7 +210,7 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 	}
 	t := &Translator{
 		cfg:  cfg,
-		work: make(chan []provdm.Record, 256),
+		work: make(chan Frame, 256),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		t.wg.Add(1)
@@ -230,6 +269,8 @@ func (t *Translator) Stats() Stats {
 		BatchesDelivered:  t.batches.Load(),
 		DecodeErrors:      t.decodeErrs.Load(),
 		DeliveryErrors:    t.deliveryErrs.Load(),
+		AcksPublished:     t.acks.Load(),
+		AckErrors:         t.ackErrs.Load(),
 	}
 }
 
@@ -243,33 +284,39 @@ func (t *Translator) onMessage(topic string, payload []byte) {
 		}
 		return
 	}
+	seq, _ := wire.FrameSeq(payload)
 	t.inFl.Add(1)
-	t.work <- records
+	t.work <- Frame{Origin: topic, Seq: seq, Records: records}
 }
 
 // worker drains the frame queue into micro-batches and delivers each to
-// every target, preferring the BatchTarget fast path.
+// every target, preferring the FrameTarget / BatchTarget fast paths.
 func (t *Translator) worker() {
 	defer t.wg.Done()
-	batch := make([][]provdm.Record, 0, t.cfg.BatchSize)
-	for records := range t.work {
-		batch = t.fillBatch(append(batch[:0], records))
-		t.deliver(batch)
+	batch := make([]Frame, 0, t.cfg.BatchSize)
+	recordsView := make([][]provdm.Record, 0, t.cfg.BatchSize)
+	for frame := range t.work {
+		batch = t.fillBatch(append(batch[:0], frame))
+		recordsView = recordsView[:0]
+		for i := range batch {
+			recordsView = append(recordsView, batch[i].Records)
+		}
+		t.deliver(batch, recordsView)
 	}
 }
 
 // fillBatch tops the batch up to BatchSize with frames already queued; if
 // BatchLinger is set it also waits up to that long for stragglers so
 // slow-trickling devices still form batches.
-func (t *Translator) fillBatch(batch [][]provdm.Record) [][]provdm.Record {
+func (t *Translator) fillBatch(batch []Frame) []Frame {
 	var linger <-chan time.Time
 	for len(batch) < cap(batch) {
 		select {
-		case records, ok := <-t.work:
+		case frame, ok := <-t.work:
 			if !ok {
 				return batch
 			}
-			batch = append(batch, records)
+			batch = append(batch, frame)
 		default:
 			if t.cfg.BatchLinger <= 0 {
 				return batch
@@ -280,11 +327,11 @@ func (t *Translator) fillBatch(batch [][]provdm.Record) [][]provdm.Record {
 				linger = timer.C
 			}
 			select {
-			case records, ok := <-t.work:
+			case frame, ok := <-t.work:
 				if !ok {
 					return batch
 				}
-				batch = append(batch, records)
+				batch = append(batch, frame)
 			case <-linger:
 				return batch
 			}
@@ -293,23 +340,40 @@ func (t *Translator) fillBatch(batch [][]provdm.Record) [][]provdm.Record {
 	return batch
 }
 
-func (t *Translator) deliver(batch [][]provdm.Record) {
-	var n uint64
-	for _, frame := range batch {
-		n += uint64(len(frame))
+func (t *Translator) deliver(batch []Frame, recordsView [][]provdm.Record) {
+	if t.aborted.Load() {
+		// Crash simulation (Abort): drop without delivering, as a killed
+		// process would have. Undelivered frames are unacked and so will
+		// be redelivered by the spooling client.
+		t.inFl.Add(-len(batch))
+		return
 	}
+	var n uint64
+	for i := range batch {
+		n += uint64(len(batch[i].Records))
+	}
+	delivered := true
 	for _, target := range t.cfg.Targets {
-		if bt, ok := target.(BatchTarget); ok {
-			if err := bt.DeliverBatch(batch); err != nil {
+		if ft, ok := target.(FrameTarget); ok {
+			if err := ft.DeliverFrames(batch); err != nil {
 				t.reportDeliveryError(target, err)
+				delivered = false
+			}
+			continue
+		}
+		if bt, ok := target.(BatchTarget); ok {
+			if err := bt.DeliverBatch(recordsView); err != nil {
+				t.reportDeliveryError(target, err)
+				delivered = false
 			}
 			continue
 		}
 		// Per-frame fallback keeps the pre-batching error contract: every
 		// failing frame counts and reaches OnError.
-		for _, frame := range batch {
-			if err := target.Deliver(frame); err != nil {
+		for _, records := range recordsView {
+			if err := target.Deliver(records); err != nil {
 				t.reportDeliveryError(target, err)
+				delivered = false
 			}
 		}
 	}
@@ -317,11 +381,51 @@ func (t *Translator) deliver(batch [][]provdm.Record) {
 		// Live fan-out after target delivery: a subscription observes the
 		// same stream the targets ingested, and Drain implies the hub saw
 		// every drained frame.
-		t.cfg.Hub.Publish(batch)
+		t.cfg.Hub.Publish(recordsView)
+	}
+	if delivered && !t.cfg.DisableAcks {
+		// Acks only when *every* target took the whole batch: a failed
+		// target leaves the batch unacked so the spooling client
+		// redelivers it, and the durable targets that did apply it will
+		// deduplicate the redelivery.
+		t.publishAcks(batch)
 	}
 	t.records.Add(n)
 	t.batches.Add(1)
 	t.inFl.Add(-len(batch))
+}
+
+// publishAcks sends the delivered frames' durable ids back to their
+// devices: one QoS 1 message per origin topic, on its wire.AckTopic.
+func (t *Translator) publishAcks(batch []Frame) {
+	var acks map[string][]uint64
+	for i := range batch {
+		if batch[i].Seq == 0 {
+			continue
+		}
+		if acks == nil {
+			acks = map[string][]uint64{}
+		}
+		acks[batch[i].Origin] = append(acks[batch[i].Origin], batch[i].Seq)
+	}
+	if len(acks) == 0 || len(t.sessions) == 0 {
+		return
+	}
+	mc := t.sessions[0]
+	for origin, seqs := range acks {
+		payload := wire.AppendAckPayload(nil, seqs)
+		errc := mc.PublishAsync(wire.AckTopic(origin), payload, mqttsn.QoS1)
+		go func() {
+			if err := <-errc; err != nil {
+				t.ackErrs.Add(1)
+				if t.cfg.OnError != nil {
+					t.cfg.OnError(fmt.Errorf("translate: publish acks: %w", err))
+				}
+				return
+			}
+			t.acks.Add(1)
+		}()
+	}
 }
 
 func (t *Translator) reportDeliveryError(target Target, err error) {
@@ -366,3 +470,28 @@ func (t *Translator) Shutdown(ctx context.Context) error {
 // Close stops consumption and releases resources, draining without a
 // deadline.
 func (t *Translator) Close() { _ = t.Shutdown(context.Background()) }
+
+// Abort tears the translator down as a crash would: sessions are closed
+// without the protocol goodbye, and frames already received but not yet
+// delivered are dropped undelivered (and therefore unacknowledged, so a
+// spooling client will redeliver them). Used by crash-recovery tests; a
+// graceful stop is Shutdown.
+func (t *Translator) Abort() {
+	t.aborted.Store(true)
+	if !t.closed.CompareAndSwap(false, true) {
+		t.wg.Wait()
+		return
+	}
+	// Close (not Disconnect): the broker sees the session vanish exactly
+	// as it would on a SIGKILL. Close returns only after the read loop —
+	// the onMessage caller — has exited, so the channel close cannot race
+	// an enqueue.
+	for _, mc := range t.sessions {
+		mc.Close()
+	}
+	for _, conn := range t.dialed {
+		conn.Close()
+	}
+	close(t.work)
+	t.wg.Wait()
+}

@@ -1,0 +1,715 @@
+// Package wal implements a segmented append-only write-ahead log: the
+// durability primitive behind both the edge spool (store-and-forward
+// capture) and the server-side store recovery.
+//
+// Records are framed with a CRC32C (Castagnoli) checksum:
+//
+//	offset 0: uint32 LE payload length
+//	offset 4: uint32 LE crc32c(payload)
+//	offset 8: payload
+//
+// The log is a directory of segment files named "<firstSeq>.wal" (20-digit
+// decimal, zero padded, so lexical order is sequence order). Appends go to
+// the active (last) segment; when it exceeds Options.SegmentSize the
+// segment is sealed and a new one started. Sequence numbers are assigned
+// contiguously starting at 1 and survive reopen.
+//
+// Crash behaviour on Open:
+//
+//   - a torn final record (partial header or short payload at the tail of
+//     the last segment) is truncated away — the write never completed, so
+//     dropping it is the only consistent choice;
+//   - a CRC mismatch inside the final segment is treated the same way
+//     (a torn write that was later partially overwritten);
+//   - a CRC mismatch inside a *sealed* segment means real corruption: the
+//     segment is quarantined (renamed to "<name>.corrupt") and skipped,
+//     leaving a sequence gap, and Open still succeeds. Readers skip gaps.
+//
+// Durability is tunable per log via Options.Sync: SyncEach fsyncs every
+// append, SyncInterval (the default) fsyncs on a background timer, and
+// SyncOff leaves flushing to the OS.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WriteFileAtomic writes a file with the crash-safe pattern shared by the
+// spool's ack mark, the store's snapshots, and the translator's PROV-JSON
+// output: write to a temp file in the same directory, fsync it, rename it
+// over the target, then fsync the directory so the rename itself survives
+// power loss. Readers (and recovery) only ever observe either the old or
+// the complete new content.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename. Best effort: not every filesystem supports
+	// fsync on directories.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs dirty segments on a background timer
+	// (Options.SyncInterval). A crash can lose at most the last interval's
+	// appends. This is the default: it keeps appends at memory speed while
+	// bounding the loss window.
+	SyncInterval SyncPolicy = iota
+	// SyncEach fsyncs after every append before Append returns: nothing
+	// acknowledged is ever lost, at the cost of one fsync per record.
+	SyncEach
+	// SyncOff never fsyncs explicitly; the OS flushes when it pleases.
+	// Survives process crashes (the page cache is intact) but not power
+	// loss or kernel panics.
+	SyncOff
+)
+
+// String returns the flag-style name of the policy ("interval", "each",
+// "off").
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncEach:
+		return "each"
+	case SyncOff:
+		return "off"
+	default:
+		return "interval"
+	}
+}
+
+// ParseSyncPolicy parses the flag-style names accepted by the server
+// commands: "each" (or "always"), "interval", "off" (or "none").
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "each", "always":
+		return SyncEach, nil
+	case "interval", "":
+		return SyncInterval, nil
+	case "off", "none":
+		return SyncOff, nil
+	}
+	return SyncInterval, fmt.Errorf("wal: unknown sync policy %q (want each|interval|off)", s)
+}
+
+// Options tunes a Log. The zero value is usable: 8 MiB segments, interval
+// fsync every 100 ms.
+type Options struct {
+	// SegmentSize is the byte size past which the active segment is sealed
+	// and a new one started. Default 8 MiB.
+	SegmentSize int64
+	// Sync is the fsync policy. Default SyncInterval.
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period for SyncInterval.
+	// Default 100 ms.
+	SyncInterval time.Duration
+}
+
+func (o *Options) applyDefaults() {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 8 << 20
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+}
+
+const (
+	headerSize = 8
+	// MaxRecord bounds a single record payload (defense against a corrupt
+	// length field pointing into gigabytes).
+	MaxRecord = 64 << 20
+	suffix    = ".wal"
+	// CorruptSuffix is appended to quarantined segment files.
+	CorruptSuffix = ".corrupt"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segment is one log file. first/last are the sequence numbers of its
+// first and last records; a sealed segment's last is fixed, the active
+// segment's grows with every append.
+type segment struct {
+	path  string
+	first uint64
+	last  uint64 // 0 when the segment holds no records yet
+	size  int64
+}
+
+func (s *segment) empty() bool { return s.last == 0 }
+
+// Log is a segmented append-only log. All methods are safe for concurrent
+// use; appends are serialized internally.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	segs        []*segment // ascending by first; last entry is active
+	active      *os.File
+	buf         []byte // append scratch: header + payload in one write
+	last        uint64 // last assigned sequence number
+	first       uint64 // first retained sequence number (after TruncateFront); 0 if none written yet
+	dirty       bool
+	closed      bool
+	forceRotate bool // next append must start a fresh segment (after Reserve)
+
+	quarantined int // segments quarantined during Open
+	truncated   int // bytes truncated from the tail during Open
+
+	notify chan struct{} // 1-buffered append signal for tailing readers
+
+	syncStop chan struct{}
+	syncDone chan struct{}
+}
+
+// Open opens (or creates) the log in dir, recovering from torn or corrupt
+// tails as described in the package comment.
+func Open(dir string, opts Options) (*Log, error) {
+	opts.applyDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{
+		dir:    dir,
+		opts:   opts,
+		notify: make(chan struct{}, 1),
+	}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if opts.Sync == SyncInterval {
+		l.syncStop = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// scan discovers existing segments, validates them, quarantines corrupt
+// sealed segments, and truncates a torn tail off the final one.
+func (l *Log) scan() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: read dir: %w", err)
+	}
+	var segs []*segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, suffix), 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		segs = append(segs, &segment{path: filepath.Join(l.dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	for i, s := range segs {
+		final := i == len(segs)-1
+		count, validSize, clean, err := validateSegment(s.path)
+		switch {
+		// A sealed segment must both checksum and end exactly at a record
+		// boundary; the final segment may end torn (the crashed write).
+		case (err == nil && clean) || final:
+			// Healthy, or the tail segment: a torn/corrupt suffix there is
+			// truncated away (it is the record being written at the crash).
+			if final && validSize >= 0 {
+				if fi, statErr := os.Stat(s.path); statErr == nil && fi.Size() > validSize {
+					l.truncated += int(fi.Size() - validSize)
+					if err := os.Truncate(s.path, validSize); err != nil {
+						return fmt.Errorf("wal: truncate torn tail of %s: %w", s.path, err)
+					}
+				}
+			}
+			s.size = validSize
+			if count > 0 {
+				s.last = s.first + uint64(count) - 1
+			}
+			l.segs = append(l.segs, s)
+		default:
+			// Corruption inside a sealed segment: quarantine and move on.
+			if qerr := os.Rename(s.path, s.path+CorruptSuffix); qerr != nil {
+				return fmt.Errorf("wal: quarantine %s: %w", s.path, qerr)
+			}
+			l.quarantined++
+		}
+	}
+	for _, s := range l.segs {
+		if l.first == 0 {
+			l.first = s.first
+		}
+		if !s.empty() && s.last > l.last {
+			l.last = s.last
+		}
+		if s.empty() && s.first > l.last {
+			// An empty tail segment pre-announces the next sequence number.
+			l.last = s.first - 1
+		}
+	}
+	if n := len(l.segs); n > 0 {
+		f, err := os.OpenFile(l.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: open active segment: %w", err)
+		}
+		l.active = f
+	}
+	return nil
+}
+
+// validateSegment walks a segment and returns the record count and the
+// byte offset after the last whole, checksum-valid record. clean reports
+// whether the segment ended exactly at a record boundary (EOF); err is
+// non-nil on a checksum or length-field violation. validSize is always
+// meaningful for truncation.
+func validateSegment(path string) (count int, validSize int64, clean bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	var (
+		hdr [headerSize]byte
+		buf []byte
+		off int64
+	)
+	for {
+		if _, rerr := io.ReadFull(f, hdr[:]); rerr != nil {
+			return count, off, rerr == io.EOF, nil // clean end or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > MaxRecord {
+			return count, off, false, fmt.Errorf("wal: record length %d exceeds limit", n)
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, rerr := io.ReadFull(f, buf); rerr != nil {
+			return count, off, false, nil // torn payload: truncatable
+		}
+		if crc32.Checksum(buf, castagnoli) != crc {
+			return count, off, false, fmt.Errorf("wal: crc mismatch at offset %d", off)
+		}
+		off += headerSize + int64(n)
+		count++
+	}
+}
+
+// Quarantined reports how many corrupt sealed segments Open set aside.
+func (l *Log) Quarantined() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.quarantined
+}
+
+// TruncatedBytes reports how many torn-tail bytes Open discarded.
+func (l *Log) TruncatedBytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
+// LastSeq returns the sequence number of the most recently appended
+// record (0 if the log is empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// FirstSeq returns the first retained sequence number (0 if empty).
+func (l *Log) FirstSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return 0
+	}
+	return l.first
+}
+
+func segPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", first, suffix))
+}
+
+// rotateLocked seals the active segment and starts a new one whose first
+// record will be seq. An active segment that never received a record is
+// deleted instead of sealed (it would otherwise pin TruncateFront
+// forever). Callers hold l.mu.
+func (l *Log) rotateLocked(seq uint64) error {
+	if l.active != nil {
+		if l.dirty && l.opts.Sync != SyncOff {
+			if err := l.active.Sync(); err != nil {
+				return fmt.Errorf("wal: sync sealed segment: %w", err)
+			}
+			l.dirty = false
+		}
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: close sealed segment: %w", err)
+		}
+		l.active = nil
+		if n := len(l.segs); n > 0 && l.segs[n-1].empty() {
+			if err := os.Remove(l.segs[n-1].path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: remove empty segment: %w", err)
+			}
+			l.segs = l.segs[:n-1]
+		}
+	}
+	path := segPath(l.dir, seq)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.active = f
+	l.segs = append(l.segs, &segment{path: path, first: seq})
+	if l.first == 0 {
+		l.first = seq
+	}
+	return nil
+}
+
+// Append writes one record and returns its sequence number. The write is
+// a single write(2) call (header and payload in one buffer), so a crash
+// tears at most the record being written — exactly what Open truncates.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	seq, err := l.AppendWith(func(uint64) ([]byte, error) { return payload, nil })
+	return seq, err
+}
+
+// AppendWith assigns the next sequence number, calls build with it, and
+// appends the returned payload under that number — atomically with respect
+// to other appends. It exists for callers that embed the sequence number
+// inside the payload itself (the spool's frame ids).
+func (l *Log) AppendWith(build func(seq uint64) ([]byte, error)) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	seq := l.last + 1
+	payload, err := build(seq)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	if l.active == nil || l.forceRotate || (len(l.segs) > 0 && l.segs[len(l.segs)-1].size >= l.opts.SegmentSize) {
+		if err := l.rotateLocked(seq); err != nil {
+			return 0, err
+		}
+		l.forceRotate = false
+	}
+	l.buf = l.buf[:0]
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(len(payload)))
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, crc32.Checksum(payload, castagnoli))
+	l.buf = append(l.buf, payload...)
+	if _, err := l.active.Write(l.buf); err != nil {
+		// The write may have landed partially; Open will truncate the torn
+		// record. Do not advance the sequence.
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	seg := l.segs[len(l.segs)-1]
+	seg.size += int64(len(l.buf))
+	seg.last = seq
+	l.last = seq
+	if l.opts.Sync == SyncEach {
+		if err := l.active.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+	} else {
+		l.dirty = true
+	}
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+	return seq, nil
+}
+
+// Reserve advances the sequence counter so the next append is assigned at
+// least seq+1. The spool uses it on open to keep frame ids from being
+// reused when the persisted ack mark outruns a log tail lost to a crash
+// under a relaxed fsync policy (reused ids would be swallowed by the
+// server's deduplication). The next append starts a fresh segment, since
+// records within one segment must be contiguously numbered.
+func (l *Log) Reserve(seq uint64) {
+	l.mu.Lock()
+	if seq > l.last {
+		l.last = seq
+		l.forceRotate = true
+	}
+	l.mu.Unlock()
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.closed || l.active == nil || !l.dirty {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	ticker := time.NewTicker(l.opts.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.syncStop:
+			return
+		case <-ticker.C:
+			_ = l.Sync()
+		}
+	}
+}
+
+// Notify returns a 1-buffered channel signalled on every append, so a
+// tailing reader can sleep until new records arrive. Signals coalesce.
+func (l *Log) Notify() <-chan struct{} { return l.notify }
+
+// TruncateFront deletes sealed segments whose records all have sequence
+// numbers <= upto, reclaiming disk space behind a durable low-water mark.
+// The active segment and any segment holding a record > upto survive.
+func (l *Log) TruncateFront(upto uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keep := 0
+	for keep < len(l.segs)-1 { // never the active (last) segment
+		s := l.segs[keep]
+		if s.empty() || s.last > upto {
+			break
+		}
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("wal: remove segment: %w", err)
+		}
+		keep++
+	}
+	if keep > 0 {
+		l.segs = append(l.segs[:0], l.segs[keep:]...)
+		l.first = l.segs[0].first
+	}
+	return nil
+}
+
+// Close syncs and releases the log. Appends after Close fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	if l.active != nil {
+		if cerr := l.active.Close(); err == nil {
+			err = cerr
+		}
+		l.active = nil
+	}
+	l.mu.Unlock()
+	if l.syncStop != nil {
+		close(l.syncStop)
+		<-l.syncDone
+	}
+	return err
+}
+
+// Replay calls fn for every retained record with sequence number >= from,
+// in order, skipping quarantine gaps. fn returning an error stops the
+// replay and propagates it.
+func (l *Log) Replay(from uint64, fn func(seq uint64, payload []byte) error) error {
+	r := l.ReadFrom(from)
+	defer r.Close()
+	var buf []byte
+	for {
+		seq, payload, ok, err := r.Next(buf[:0])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		buf = payload
+		if err := fn(seq, payload); err != nil {
+			return err
+		}
+	}
+}
+
+// Reader iterates records in sequence order. It tolerates concurrent
+// appends (records become visible atomically with their sequence number)
+// and concurrent TruncateFront of segments it has passed.
+type Reader struct {
+	l    *Log
+	next uint64 // next sequence number wanted
+	f    *os.File
+	seg  segment // copy of the segment f reads (first fixed; last/size refreshed)
+	at   uint64  // sequence number the file offset points at
+	hdr  [headerSize]byte
+}
+
+// ReadFrom returns a reader positioned at the first retained record with
+// sequence number >= from.
+func (l *Log) ReadFrom(from uint64) *Reader {
+	if from == 0 {
+		from = 1
+	}
+	return &Reader{l: l, next: from}
+}
+
+// Seek repositions the reader at the first retained record >= from.
+func (r *Reader) Seek(from uint64) {
+	if from == 0 {
+		from = 1
+	}
+	r.next = from
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+}
+
+// locate finds the segment holding r.next (or the first one after a gap)
+// and returns a copy plus whether a record >= r.next exists yet.
+func (r *Reader) locate() (segment, bool) {
+	l := r.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r.next > l.last {
+		return segment{}, false
+	}
+	for _, s := range l.segs {
+		if s.empty() {
+			continue
+		}
+		if s.last >= r.next {
+			if s.first > r.next {
+				r.next = s.first // quarantine/truncation gap: skip forward
+			}
+			return *s, true
+		}
+	}
+	return segment{}, false
+}
+
+// Next appends the next record's payload to buf and returns it with its
+// sequence number. ok is false when the reader has caught up with the
+// tail (wait on Log.Notify and retry). Errors are permanent for the
+// current position; Seek past them to continue.
+func (r *Reader) Next(buf []byte) (seq uint64, payload []byte, ok bool, err error) {
+	for {
+		seg, found := r.locate()
+		if !found {
+			return 0, buf, false, nil
+		}
+		if r.f == nil || r.seg.first != seg.first || r.at > r.next {
+			if r.f != nil {
+				r.f.Close()
+				r.f = nil
+			}
+			f, oerr := os.Open(seg.path)
+			if oerr != nil {
+				return 0, buf, false, fmt.Errorf("wal: open segment: %w", oerr)
+			}
+			r.f = f
+			r.seg = seg
+			r.at = seg.first
+		}
+		r.seg.last = seg.last
+		// Skip forward to r.next within the segment.
+		for r.at <= r.seg.last {
+			if _, err := io.ReadFull(r.f, r.hdr[:]); err != nil {
+				return 0, buf, false, fmt.Errorf("wal: read header of %d: %w", r.at, err)
+			}
+			n := binary.LittleEndian.Uint32(r.hdr[0:4])
+			crc := binary.LittleEndian.Uint32(r.hdr[4:8])
+			if n > MaxRecord {
+				return 0, buf, false, fmt.Errorf("wal: record %d length %d exceeds limit", r.at, n)
+			}
+			if r.at < r.next {
+				if _, err := r.f.Seek(int64(n), io.SeekCurrent); err != nil {
+					return 0, buf, false, fmt.Errorf("wal: skip record %d: %w", r.at, err)
+				}
+				r.at++
+				continue
+			}
+			start := len(buf)
+			if cap(buf)-start < int(n) {
+				grown := make([]byte, start, start+int(n))
+				copy(grown, buf)
+				buf = grown
+			}
+			buf = buf[:start+int(n)]
+			if _, err := io.ReadFull(r.f, buf[start:]); err != nil {
+				return 0, buf[:start], false, fmt.Errorf("wal: read record %d: %w", r.at, err)
+			}
+			if crc32.Checksum(buf[start:], castagnoli) != crc {
+				return 0, buf[:start], false, fmt.Errorf("wal: crc mismatch at record %d", r.at)
+			}
+			seq = r.at
+			r.at++
+			r.next = seq + 1
+			return seq, buf, true, nil
+		}
+		// Exhausted this segment; move to the next one.
+		r.f.Close()
+		r.f = nil
+		if r.next <= r.seg.last {
+			r.next = r.seg.last + 1
+		}
+	}
+}
+
+// Close releases the reader's file handle.
+func (r *Reader) Close() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+}

@@ -1,0 +1,77 @@
+// End-to-end acknowledgement protocol for spooling clients.
+//
+// A QoS 2 publish handshake only proves the *broker* received a frame; a
+// store-and-forward client must not reclaim spooled frames until they have
+// been durably applied on the server side. The translator therefore
+// publishes acknowledgements back to each device on a per-device ack
+// topic; the spooling client subscribes to its own ack topic and advances
+// the spool's persisted low-water mark from these messages.
+//
+// An ack payload is: one version byte, then a uvarint count, then that
+// many uvarint sequence numbers (the durable frame ids the server applied,
+// see AppendFrameSeq). Acks are idempotent and unordered: the spool tracks
+// a floor plus a sparse acked set, so lost, duplicated, or reordered acks
+// all resolve correctly.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// AckVersion is the ack payload format version.
+const AckVersion = 1
+
+// recordsSuffix is the conventional last topic segment for capture frames
+// (core.DefaultTopic publishes on "provlight/<id>/records").
+const recordsSuffix = "/records"
+
+// AckSuffix is the last topic segment acknowledgements travel on.
+const AckSuffix = "/acks"
+
+// AckTopic derives the acknowledgement topic paired with a records topic:
+// "provlight/<id>/records" -> "provlight/<id>/acks". Topics without the
+// "/records" suffix get "/acks" appended, so every topic has a distinct,
+// deterministic ack counterpart on both ends of the pipeline.
+func AckTopic(recordsTopic string) string {
+	return strings.TrimSuffix(recordsTopic, recordsSuffix) + AckSuffix
+}
+
+// AppendAckPayload appends the ack encoding of seqs to dst.
+func AppendAckPayload(dst []byte, seqs []uint64) []byte {
+	dst = append(dst, AckVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(seqs)))
+	for _, s := range seqs {
+		dst = binary.AppendUvarint(dst, s)
+	}
+	return dst
+}
+
+// DecodeAckPayload decodes an ack message into the acknowledged frame
+// sequence numbers.
+func DecodeAckPayload(p []byte) ([]uint64, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("wire: ack payload too short (%d bytes)", len(p))
+	}
+	if p[0] != AckVersion {
+		return nil, fmt.Errorf("wire: unsupported ack version %d", p[0])
+	}
+	rd := &reader{b: p[1:]}
+	count, err := rd.listLen()
+	if err != nil {
+		return nil, err
+	}
+	seqs := make([]uint64, 0, count)
+	for i := 0; i < count; i++ {
+		s, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		seqs = append(seqs, s)
+	}
+	if rd.remain() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in ack payload", rd.remain())
+	}
+	return seqs, nil
+}

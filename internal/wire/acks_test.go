@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFrameSeqRoundTrip(t *testing.T) {
+	enc := &Encoder{}
+	rec := taskRecord(10)
+	for _, seq := range []uint64{1, 127, 128, 1 << 40} {
+		frame, err := enc.AppendFrameSeq(nil, seq, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := FrameSeq(frame)
+		if !ok || got != seq {
+			t.Fatalf("FrameSeq = %d, %v; want %d", got, ok, seq)
+		}
+		// The body still decodes identically to a plain frame.
+		records, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("decode seq frame: %v", err)
+		}
+		if len(records) != 1 || !reflect.DeepEqual(records[0], *rec) {
+			t.Fatal("seq frame body mismatch")
+		}
+	}
+}
+
+func TestFrameSeqZeroEncodesPlainFrame(t *testing.T) {
+	enc := &Encoder{}
+	rec := taskRecord(2)
+	plain, err := enc.EncodeFrame(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSeq, err := enc.AppendFrameSeq(nil, 0, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, viaSeq) {
+		t.Fatal("seq=0 frame differs from plain frame")
+	}
+	if _, ok := FrameSeq(plain); ok {
+		t.Fatal("plain frame reports a sequence")
+	}
+}
+
+func TestFrameSeqGroupedCompressed(t *testing.T) {
+	enc := &Encoder{}
+	// Grouped + large enough to compress.
+	r1, r2 := taskRecord(40), taskRecord(40)
+	frame, err := enc.AppendFrameSeq(nil, 999, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsCompressed(frame) || !IsGroup(frame) {
+		t.Fatalf("expected compressed group frame, flags=%x", frame[0])
+	}
+	if seq, ok := FrameSeq(frame); !ok || seq != 999 {
+		t.Fatalf("FrameSeq = %d, %v", seq, ok)
+	}
+	records, err := DecodeFrame(frame)
+	if err != nil || len(records) != 2 {
+		t.Fatalf("decode: %d records, err %v", len(records), err)
+	}
+}
+
+func TestAckPayloadRoundTrip(t *testing.T) {
+	cases := [][]uint64{
+		nil,
+		{1},
+		{5, 3, 9, 9, 1 << 50},
+	}
+	for _, seqs := range cases {
+		payload := AppendAckPayload(nil, seqs)
+		got, err := DecodeAckPayload(payload)
+		if err != nil {
+			t.Fatalf("decode acks %v: %v", seqs, err)
+		}
+		if len(got) != len(seqs) {
+			t.Fatalf("decoded %d seqs, want %d", len(got), len(seqs))
+		}
+		for i := range seqs {
+			if got[i] != seqs[i] {
+				t.Fatalf("seq %d = %d, want %d", i, got[i], seqs[i])
+			}
+		}
+	}
+	if _, err := DecodeAckPayload([]byte{}); err == nil {
+		t.Fatal("empty ack payload accepted")
+	}
+	if _, err := DecodeAckPayload([]byte{99, 1, 1}); err == nil {
+		t.Fatal("bad ack version accepted")
+	}
+}
+
+func TestAckTopicDerivation(t *testing.T) {
+	cases := map[string]string{
+		"provlight/dev-1/records": "provlight/dev-1/acks",
+		"custom/topic":            "custom/topic/acks",
+	}
+	for in, want := range cases {
+		if got := AckTopic(in); got != want {
+			t.Fatalf("AckTopic(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -33,6 +33,11 @@ const Version = 1
 const (
 	flagCompressed = 0x01
 	flagGroup      = 0x02
+	// flagSeq marks a frame carrying a durable frame id: a uvarint
+	// sequence number between the header byte and the body. Spooling
+	// clients stamp every frame with its spool sequence so the server can
+	// deduplicate redeliveries across client restarts (exactly-once).
+	flagSeq = 0x04
 )
 
 // DefaultCompressThreshold is the body size above which EncodeFrame
@@ -191,6 +196,14 @@ func (e *Encoder) EncodeFrame(records ...*provdm.Record) ([]byte, error) {
 // state path is growing dst itself; callers that reuse dst encode with
 // zero allocations.
 func (e *Encoder) AppendFrame(dst []byte, records ...*provdm.Record) ([]byte, error) {
+	return e.AppendFrameSeq(dst, 0, records...)
+}
+
+// AppendFrameSeq is AppendFrame with a durable frame id: when seq > 0 the
+// frame carries it in a header field (flagSeq) so the receiving side can
+// deduplicate redelivered frames by (origin topic, seq). seq == 0 encodes
+// a plain frame.
+func (e *Encoder) AppendFrameSeq(dst []byte, seq uint64, records ...*provdm.Record) ([]byte, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("wire: empty frame")
 	}
@@ -247,16 +260,35 @@ func (e *Encoder) AppendFrame(dst []byte, records ...*provdm.Record) ([]byte, er
 			flags |= flagCompressed
 		}
 	}
-	need := 1 + len(body)
+	need := 1 + binary.MaxVarintLen64 + len(body)
 	if cap(dst)-len(dst) < need {
 		grown := make([]byte, len(dst), len(dst)+need)
 		copy(grown, dst)
 		dst = grown
 	}
+	if seq > 0 {
+		flags |= flagSeq
+	}
 	dst = append(dst, Version<<4|flags)
+	if seq > 0 {
+		dst = binary.AppendUvarint(dst, seq)
+	}
 	dst = append(dst, body...)
 	putEncScratch(s)
 	return dst, nil
+}
+
+// FrameSeq returns the durable frame id carried by a frame, if any,
+// without decoding the body.
+func FrameSeq(frame []byte) (uint64, bool) {
+	if len(frame) < 2 || frame[0]&flagSeq == 0 {
+		return 0, false
+	}
+	seq, n := binary.Uvarint(frame[1:])
+	if n <= 0 {
+		return 0, false
+	}
+	return seq, true
 }
 
 // reader consumes a record body.
@@ -524,6 +556,13 @@ func DecodeFrame(frame []byte) ([]provdm.Record, error) {
 		return nil, fmt.Errorf("wire: unsupported version %d", head>>4)
 	}
 	body := frame[1:]
+	if head&flagSeq != 0 {
+		_, n := binary.Uvarint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("wire: bad frame sequence field")
+		}
+		body = body[n:]
+	}
 	var scratch *decScratch
 	if head&flagCompressed != 0 {
 		scratch = decPool.Get().(*decScratch)

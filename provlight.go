@@ -59,6 +59,7 @@ import (
 	"github.com/provlight/provlight/internal/queries"
 	"github.com/provlight/provlight/internal/source"
 	"github.com/provlight/provlight/internal/translate"
+	"github.com/provlight/provlight/internal/wal"
 )
 
 // Client is the device-side capture library.
@@ -115,11 +116,47 @@ type Server = core.Server
 // ServerConfig configures StartServer.
 type ServerConfig = core.ServerConfig
 
+// ErrQueueFull is returned by Capture when the transmit queue is full
+// and no spool is configured (see Config.QueueCapacity for the
+// backpressure contract); the drop is counted in StatsSnapshot.QueueFull.
+var ErrQueueFull = core.ErrQueueFull
+
+// SyncPolicy selects when WAL appends (client spool and durable store)
+// are fsynced: SyncEach, SyncInterval (default), or SyncOff.
+type SyncPolicy = wal.SyncPolicy
+
+// WAL fsync policies.
+const (
+	SyncEach     = wal.SyncEach
+	SyncInterval = wal.SyncInterval
+	SyncOff      = wal.SyncOff
+)
+
+// DfStore is the DfAnalyzer-model column store: in-memory via NewStore,
+// crash-durable (WAL + snapshots + recovery-on-open) via OpenStore.
+type DfStore = dfanalyzer.Store
+
+// StoreOptions configures a durable store for OpenStore.
+type StoreOptions = dfanalyzer.StoreOptions
+
 // Target receives translated provenance records on the server side.
 type Target = translate.Target
 
 // BatchTarget is the optional batch-delivery extension of Target.
 type BatchTarget = translate.BatchTarget
+
+// Frame is one decoded capture frame with its provenance identity
+// (origin topic + durable sequence number), as handed to FrameTargets.
+type Frame = translate.Frame
+
+// FrameTarget is the durable-delivery extension of Target: targets
+// implementing it receive frames with their identities and deduplicate
+// redeliveries, enabling exactly-once ingestion from spooling clients.
+type FrameTarget = translate.FrameTarget
+
+// StoreTarget delivers records straight into a local DfStore; paired
+// with OpenStore it forms a durable, exactly-once translator backend.
+type StoreTarget = translate.StoreTarget
 
 // Translator consumes device topics and feeds targets.
 type Translator = translate.Translator
@@ -232,6 +269,25 @@ func NewDfAnalyzerTarget(baseURL, dataflowTag string) Target {
 // NewDfAnalyzerSource returns a Source that queries a remote DfAnalyzer
 // server over HTTP — the read-side counterpart of NewDfAnalyzerTarget.
 func NewDfAnalyzerSource(baseURL string) Source { return dfanalyzer.NewClient(baseURL) }
+
+// NewStore returns an empty in-memory DfStore.
+func NewStore() *DfStore { return dfanalyzer.NewStore() }
+
+// OpenStore opens a crash-durable DfStore: every mutation is write-ahead
+// logged, snapshots are written periodically with atomic temp+rename,
+// and opening recovers the latest snapshot plus the WAL tail.
+//
+// Migration from NewStore: a store previously created with NewStore (or
+// NewServer(nil)) was lost on process exit; pass the same data through
+// OpenStore(StoreOptions{Dir: ...}) instead and it survives crashes —
+// the rest of the Store API is unchanged.
+func OpenStore(opts StoreOptions) (*DfStore, error) { return dfanalyzer.OpenStore(opts) }
+
+// NewStoreTarget returns a Target (and FrameTarget) that ingests into a
+// local store under the given dataflow tag.
+func NewStoreTarget(store *DfStore, dataflow string) *StoreTarget {
+	return translate.NewStoreTarget(store, dataflow)
+}
 
 // NewProvLakeTarget forwards records to a ProvLake manager service.
 func NewProvLakeTarget(baseURL string) Target {
