@@ -3,6 +3,12 @@
 // optional crash durability: -data-dir write-ahead logs every mutation,
 // snapshots periodically (atomic temp+rename), and recovers on start by
 // loading the latest snapshot and replaying the WAL tail.
+//
+// Replication: -replication-listen makes a durable store the primary of
+// a replication group, shipping its WAL to followers; -replicate-from
+// runs this process as a read replica of a primary; -promote lifts a
+// (stopped) replica's data directory into a new primary under a fresh
+// term, fencing the old primary out.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"time"
 
 	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/replica"
 	"github.com/provlight/provlight/internal/wal"
 )
 
@@ -23,7 +30,22 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: each|interval|off")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
 	snapshotEvery := flag.Int("snapshot-every", 4096, "snapshot after this many logged operations (negative disables)")
+	replListen := flag.String("replication-listen", "", "serve WAL replication to followers on this address (primary role; requires -data-dir)")
+	replFrom := flag.String("replicate-from", "", "follow the primary's replication address as a read replica (requires -data-dir)")
+	replID := flag.String("replica-id", "", "stable follower identity for resumable replication (default: hostname)")
+	minSync := flag.Int("min-sync", 0, "followers that must acknowledge a record before it counts as committed (0 = async replication)")
+	promote := flag.Bool("promote", false, "promote this data directory to primary under a new term, then serve (run against the most caught-up replica after primary loss)")
 	flag.Parse()
+
+	if (*replListen != "" || *replFrom != "" || *promote) && *dataDir == "" {
+		log.Fatalf("dfanalyzer-server: replication requires -data-dir (the WAL is what gets shipped)")
+	}
+	if *replFrom != "" && *replListen != "" {
+		log.Fatalf("dfanalyzer-server: -replicate-from and -replication-listen are mutually exclusive (chained replication is not supported)")
+	}
+	if *replFrom != "" && *promote {
+		log.Fatalf("dfanalyzer-server: -promote conflicts with -replicate-from; restart without -replicate-from to promote")
+	}
 
 	var store *dfanalyzer.Store
 	if *dataDir != "" {
@@ -45,18 +67,76 @@ func main() {
 			*dataDir, time.Since(start).Round(time.Millisecond), store.Dataflows())
 	}
 
+	if *promote {
+		term, err := store.Promote()
+		if err != nil {
+			log.Fatalf("dfanalyzer-server: promote: %v", err)
+		}
+		log.Printf("dfanalyzer-server: promoted to primary, term %d (deposed primaries and stale translators are fenced)", term)
+	}
+
 	srv := dfanalyzer.NewServer(store)
+
+	var repl *replica.Server
+	var follower *replica.Follower
+	switch {
+	case *replListen != "":
+		var err error
+		repl, err = replica.NewServer(store, replica.Options{
+			MinSync: *minSync,
+			OnError: func(err error) { log.Printf("dfanalyzer-server: replication: %v", err) },
+		})
+		if err != nil {
+			log.Fatalf("dfanalyzer-server: replication: %v", err)
+		}
+		if err := repl.Start(*replListen); err != nil {
+			log.Fatalf("dfanalyzer-server: replication listen: %v", err)
+		}
+		repl.AttachStats(srv)
+		log.Printf("dfanalyzer-server: primary, term %d, shipping WAL on %s (min-sync %d)",
+			store.CurrentTerm(), repl.Addr(), *minSync)
+	case *replFrom != "":
+		id := *replID
+		if id == "" {
+			id, _ = os.Hostname()
+		}
+		var err error
+		follower, err = replica.StartFollower(store, replica.FollowerOptions{
+			Primary: *replFrom,
+			ID:      id,
+			OnError: func(err error) { log.Printf("dfanalyzer-server: replica: %v", err) },
+		})
+		if err != nil {
+			log.Fatalf("dfanalyzer-server: replica: %v", err)
+		}
+		follower.AttachStats(srv)
+		log.Printf("dfanalyzer-server: read replica %q following %s (writes rejected; reads and /stats served)", id, *replFrom)
+	}
+
 	if err := srv.Start(*addr); err != nil {
 		log.Fatalf("dfanalyzer-server: %v", err)
 	}
 	defer srv.Close()
 	log.Printf("dfanalyzer-server: serving on http://%s", srv.Addr())
-	log.Printf("dfanalyzer-server: endpoints: POST /dataflow, POST /task, POST /tasks (batch), POST /frames (exactly-once), POST /query, GET /dataflow/{tag}")
+	log.Printf("dfanalyzer-server: endpoints: POST /dataflow, POST /task, POST /tasks (batch), POST /frames (exactly-once), POST /query, GET /dataflow/{tag}, GET /stats")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("dfanalyzer-server: served %d requests", srv.Requests())
+	// Stop replication before the store: followers see a clean EOF, and a
+	// follower must not apply into a closing store.
+	if follower != nil {
+		follower.Stop()
+		if err := follower.Err(); err != nil {
+			log.Printf("dfanalyzer-server: replica stopped with: %v", err)
+		}
+	}
+	if repl != nil {
+		if err := repl.Close(); err != nil {
+			log.Printf("dfanalyzer-server: close replication: %v", err)
+		}
+	}
 	if *dataDir != "" {
 		// A final snapshot makes the next recovery instant; Close syncs
 		// the WAL either way.

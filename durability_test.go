@@ -54,6 +54,7 @@ func newSpoolingClient(t testing.TB, brokerAddr, spoolDir string) *provlight.Cli
 		RedeliverAfter:    500 * time.Millisecond,
 		ReconnectMinDelay: 50 * time.Millisecond,
 		ReconnectMaxDelay: 400 * time.Millisecond,
+		OnError:           func(err error) { t.Logf("client: %v", err) },
 	})
 	if err != nil {
 		t.Fatal(err)

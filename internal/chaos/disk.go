@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Disk-fault helpers: damage files the way crashes and bad sectors do,
+// so recovery paths (torn-tail truncation, CRC quarantine) get exercised
+// by tests against real on-disk state rather than mocks.
+
+// Segments lists the files in dir matching pattern (e.g. "*.wal"),
+// sorted by name — WAL segment names sort in sequence order.
+func Segments(dir, pattern string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// TearTail chops the final n bytes off path, simulating a torn write: a
+// crash mid-append leaves a record header with a missing or short body.
+func TearTail(path string, n int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := info.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// FlipByte XOR-flips every bit of the byte at offset in path, simulating
+// a bad sector or bit rot inside a record body — the CRC-mismatch case,
+// distinct from the truncated-tail case.
+func FlipByte(path string, offset int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		return fmt.Errorf("chaos: read byte to flip: %w", err)
+	}
+	buf[0] ^= 0xFF
+	if _, err := f.WriteAt(buf, offset); err != nil {
+		return fmt.Errorf("chaos: write flipped byte: %w", err)
+	}
+	return f.Sync()
+}

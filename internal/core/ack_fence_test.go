@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight/internal/wire"
+)
+
+// TestJitterDelayBounds pins the reconnect jitter contract: sleeps are
+// spread uniformly over [d/2, d] so a fleet's backoffs decorrelate after
+// a shared outage, and the per-client worst case never exceeds d.
+func TestJitterDelayBounds(t *testing.T) {
+	const d = 800 * time.Millisecond
+	for _, u := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		got := jitterDelay(d, u)
+		if got < d/2 || got > d {
+			t.Fatalf("jitterDelay(%v, %v) = %v, outside [%v, %v]", d, u, got, d/2, d)
+		}
+	}
+	if got := jitterDelay(d, 0); got != d/2 {
+		t.Fatalf("jitterDelay(d, 0) = %v, want %v", got, d/2)
+	}
+	if got := jitterDelay(0, 0.5); got != 0 {
+		t.Fatalf("jitterDelay(0, u) = %v, want 0", got)
+	}
+	if got := jitterDelay(-time.Second, 0.5); got != 0 {
+		t.Fatalf("jitterDelay(<0, u) = %v, want 0", got)
+	}
+}
+
+// TestStaleAckTermFencing drives the ack handler directly with crafted
+// payloads: term-stamped acks from the highest seen term (and unfenced
+// version-1 acks) advance the spool floor, while acks from a lower term
+// — a zombie translator still feeding a deposed primary — are dropped
+// whole and counted.
+func TestStaleAckTermFencing(t *testing.T) {
+	client, err := NewClient(context.Background(), Config{
+		Broker:            "127.0.0.1:9", // no broker: spool only
+		ClientID:          "fence-device",
+		SpoolDir:          t.TempDir(),
+		RetryInterval:     50 * time.Millisecond,
+		MaxRetries:        1,
+		ReconnectMinDelay: time.Hour, // keep the drainer out of the way
+		ReconnectMaxDelay: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Abort()
+
+	for i := 0; i < 2; i++ {
+		captureTask(t, client, "wf", i) // 2 frames each: seqs 1..4
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for client.StatsSnapshot().FramesSpooled < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("frames not spooled: %+v", client.StatsSnapshot())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ack := func(term uint64, seqs ...uint64) {
+		client.onAck("", wire.AppendAckPayload(nil, term, seqs))
+	}
+
+	ack(5, 1)
+	st := client.StatsSnapshot()
+	if st.SpoolAcked != 1 || st.AckTerm != 5 || st.StaleAcks != 0 {
+		t.Fatalf("after term-5 ack: %+v", st)
+	}
+
+	// Lower term: the whole ack is ignored, floor stays put.
+	ack(3, 2)
+	st = client.StatsSnapshot()
+	if st.SpoolAcked != 1 || st.StaleAcks != 1 || st.AckTerm != 5 {
+		t.Fatalf("after stale term-3 ack: %+v", st)
+	}
+
+	// Unfenced version-1 ack (term 0) is always accepted.
+	ack(0, 2)
+	if st = client.StatsSnapshot(); st.SpoolAcked != 2 || st.AckTerm != 5 {
+		t.Fatalf("after unfenced ack: %+v", st)
+	}
+
+	// Higher term advances the fence and acks normally.
+	ack(7, 3, 4)
+	st = client.StatsSnapshot()
+	if st.SpoolAcked != 4 || st.AckTerm != 7 || st.StaleAcks != 1 {
+		t.Fatalf("after term-7 ack: %+v", st)
+	}
+}

@@ -103,7 +103,9 @@ type Config struct {
 	// Default 10 s.
 	RedeliverAfter time.Duration
 	// ReconnectMinDelay / ReconnectMaxDelay bound the drainer's
-	// exponential reconnect backoff. Defaults 250 ms and 10 s.
+	// exponential reconnect backoff. Defaults 250 ms and 10 s. Each sleep
+	// is jittered uniformly over [d/2, d] so a fleet of edge clients that
+	// lost the same broker or translator does not reconnect in lockstep.
 	ReconnectMinDelay time.Duration
 	ReconnectMaxDelay time.Duration
 	// DialConn, when set, supplies a fresh packet socket for each broker
@@ -162,6 +164,12 @@ type Stats struct {
 	SpoolPending      uint64
 	SpoolRedeliveries uint64
 	SpoolReconnects   uint64
+	// StaleAcks counts end-to-end acknowledgements dropped because they
+	// carried a replication term lower than the highest this client has
+	// seen — acks from a zombie translator still feeding a deposed
+	// primary after a failover. AckTerm is that highest seen term.
+	StaleAcks uint64
+	AckTerm   uint64
 }
 
 // Client is the ProvLight capture library handle. Create with NewClient,
@@ -226,6 +234,8 @@ type counters struct {
 	framesSpooled    atomic.Uint64
 	redeliveries     atomic.Uint64
 	reconnects       atomic.Uint64
+	staleAcks        atomic.Uint64
+	ackTerm          atomic.Uint64
 }
 
 // NewClient connects to the broker and returns a ready capture client.
@@ -317,6 +327,8 @@ func (c *Client) StatsSnapshot() Stats {
 		FramesSpooled:     c.ctr.framesSpooled.Load(),
 		SpoolRedeliveries: c.ctr.redeliveries.Load(),
 		SpoolReconnects:   c.ctr.reconnects.Load(),
+		StaleAcks:         c.ctr.staleAcks.Load(),
+		AckTerm:           c.ctr.ackTerm.Load(),
 	}
 	if c.spool != nil {
 		st.SpoolAcked = c.spool.Floor()

@@ -607,6 +607,11 @@ func TestServerSessionsConsumerGroup(t *testing.T) {
 			ClientID:      fmt.Sprintf("gdev-%d", d),
 			RetryInterval: 150 * time.Millisecond,
 			MaxRetries:    10,
+			// Stop-and-wait: overlapping handshakes (WindowSize > 1) may
+			// complete out of order by design, and this test asserts strict
+			// per-workflow order — what it pins is the *group's* stickiness,
+			// so arrival order must be deterministic.
+			WindowSize: 1,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -173,10 +174,16 @@ func (c *Client) drainer() {
 	}
 }
 
-// backoffWait sleeps the current backoff (then doubles it up to the max),
-// returning false when the drainer should exit instead.
+// backoffWait sleeps a jittered spread of the current backoff (then
+// doubles the backoff up to the max), returning false when the drainer
+// should exit instead. The jitter matters at fleet scale: after a broker
+// or translator failover, every edge client notices the outage within the
+// same retry interval, and without jitter their exponential backoffs stay
+// phase-locked — thousands of devices re-dialing in synchronized waves.
+// Spreading each sleep uniformly over [d/2, d] decorrelates the fleet
+// while keeping the per-client worst case at the configured delay.
 func (c *Client) backoffWait(d *time.Duration) bool {
-	timer := time.NewTimer(*d)
+	timer := time.NewTimer(jitterDelay(*d, rand.Float64()))
 	defer timer.Stop()
 	*d *= 2
 	if *d > c.cfg.ReconnectMaxDelay {
@@ -190,6 +197,16 @@ func (c *Client) backoffWait(d *time.Duration) bool {
 	case <-c.drainKill:
 		return false
 	}
+}
+
+// jitterDelay maps a backoff d and a uniform sample u in [0, 1) onto the
+// jittered sleep in [d/2, d].
+func jitterDelay(d time.Duration, u float64) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(u*float64(d-half))
 }
 
 // dialSession establishes one broker session: connect, register the
@@ -254,11 +271,32 @@ func (c *Client) dialSession() (*mqttsn.Client, net.PacketConn, <-chan struct{},
 
 // onAck advances the spool floor from a translator acknowledgement. Runs
 // on the session's read goroutine.
+//
+// Term fencing: the ack payload carries the replication term of the
+// primary store the translator fed (0 for unfenced version-1 acks). The
+// client tracks the highest term it has ever seen and drops acks from any
+// lower term — after a failover, a zombie translator still applying
+// frames to the deposed primary must not release spooled frames, because
+// the deposed store's writes are off the promoted lineage and will be
+// discarded when it rejoins. Unfenced (term 0) acks are always accepted,
+// so single-node deployments behave exactly as before.
 func (c *Client) onAck(_ string, payload []byte) {
-	seqs, err := wire.DecodeAckPayload(payload)
+	seqs, term, err := wire.DecodeAckPayload(payload)
 	if err != nil {
 		c.reportAsync(fmt.Errorf("provlight: bad ack payload: %w", err))
 		return
+	}
+	if term > 0 {
+		for {
+			cur := c.ctr.ackTerm.Load()
+			if term < cur {
+				c.ctr.staleAcks.Add(1)
+				return // zombie translator: ignore the whole ack
+			}
+			if term == cur || c.ctr.ackTerm.CompareAndSwap(cur, term) {
+				break
+			}
+		}
 	}
 	for _, seq := range seqs {
 		if err := c.spool.Ack(seq); err != nil {
@@ -283,11 +321,16 @@ func (c *Client) drainWith(mc *mqttsn.Client, down <-chan struct{}) error {
 	// checkStall rewinds the reader when published frames sit unacked
 	// with no floor progress for a full tick: the ack was lost, or the
 	// translator restarted. Redelivered frames are deduplicated
-	// downstream by their durable ids.
+	// downstream by their durable ids. Rewinding must also reopen the
+	// ack window (lastPub back to the floor): the rewound reader re-sends
+	// from floor+1, and keeping the old high-water mark would wedge the
+	// window-wait loop whenever an ack hole sits more than AckWindow
+	// frames below the furthest publish — rewound but never re-read.
 	checkStall := func() {
 		floor := c.spool.Floor()
 		if floor == lastFloor && lastPub > floor && c.spool.Pending() > 0 {
 			r.Reset()
+			lastPub = floor
 			c.ctr.redeliveries.Add(1)
 		}
 		lastFloor = floor

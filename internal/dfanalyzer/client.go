@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/provlight/provlight/internal/provdm"
@@ -21,6 +23,10 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	// term, when non-zero, is stamped into every mutating request via
+	// TermHeader so a server on a different replication term rejects the
+	// write (fenced failover; see replication.go).
+	term atomic.Uint64
 }
 
 // NewClient returns a capture client for the server at baseURL
@@ -34,12 +40,27 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
+// SetTerm sets the replication term stamped into subsequent writes
+// (0 disables the header — the unfenced single-node default).
+func (c *Client) SetTerm(term uint64) { c.term.Store(term) }
+
+// Term returns the replication term currently stamped into writes.
+func (c *Client) Term() uint64 { return c.term.Load() }
+
 func (c *Client) post(path string, body any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if term := c.term.Load(); term > 0 {
+		req.Header.Set(TermHeader, strconv.FormatUint(term, 10))
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -172,6 +193,16 @@ func (c *Client) Tasks(ctx context.Context, dataflow string) ([]source.TaskInfo,
 		return nil, err
 	}
 	return infos, nil
+}
+
+// Stats fetches the server's replication-aware health snapshot from
+// GET /stats.
+func (c *Client) Stats(ctx context.Context) (*StoreStats, error) {
+	var st StoreStats
+	if err := c.getJSON(ctx, "/stats", "stats", &st, nil); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // Workflows implements source.Source over GET /dataflow (the registered

@@ -57,10 +57,16 @@ type durability struct {
 
 // walOp is one logged mutation, JSON-encoded into a WAL record.
 type walOp struct {
-	Op       string     `json:"op"` // "register" | "ingest" | "frames"
+	Op       string     `json:"op"` // "register" | "ingest" | "frames" | "term"
 	Dataflow *Dataflow  `json:"dataflow,omitempty"`
 	Tasks    []*TaskMsg `json:"tasks,omitempty"`
 	Frames   []FrameMsg `json:"frames,omitempty"`
+	// Term/TermStart record a replication term adoption (Op == "term"):
+	// the new term and the WAL position where it began. Logging the term
+	// makes fencing survive restarts and ship to followers through the
+	// ordinary replication stream (see replication.go).
+	Term      uint64 `json:"term,omitempty"`
+	TermStart uint64 `json:"term_start,omitempty"`
 }
 
 // FrameMsg is one decoded capture frame with its provenance identity: the
@@ -149,6 +155,9 @@ func (s *Store) applyOp(op *walOp) error {
 			_ = s.ingestTasksApply(f.Tasks)
 		}
 		return nil
+	case "term":
+		s.setTermState(op.Term, op.TermStart)
+		return nil
 	default:
 		return fmt.Errorf("dfanalyzer: unknown WAL op %q", op.Op)
 	}
@@ -213,6 +222,10 @@ type snapFile struct {
 	WalSeq uint64                `json:"wal_seq"`
 	Dedup  map[string]originSnap `json:"dedup,omitempty"`
 	Shards map[string]shardSnap  `json:"shards"`
+	// Term/TermStart carry the replication term the snapshot was cut
+	// under, so fencing state survives WAL truncation behind the snapshot.
+	Term      uint64 `json:"term,omitempty"`
+	TermStart uint64 `json:"term_start,omitempty"`
 }
 
 type shardSnap struct {
@@ -239,9 +252,11 @@ type colSnap struct {
 // durable mutation, so the cut is consistent with the WAL position.
 func (s *Store) snapshotLocked() error {
 	snap := snapFile{
-		WalSeq: s.dur.log.LastSeq(),
-		Dedup:  s.dedup.snapshot(),
-		Shards: map[string]shardSnap{},
+		WalSeq:    s.dur.log.LastSeq(),
+		Dedup:     s.dedup.snapshot(),
+		Shards:    map[string]shardSnap{},
+		Term:      s.repl.term.Load(),
+		TermStart: s.repl.termStart.Load(),
 	}
 	s.mu.RLock()
 	tags := make([]string, 0, len(s.shards))
@@ -308,7 +323,15 @@ func (s *Store) loadSnapshot(path string) (uint64, error) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return 0, fmt.Errorf("dfanalyzer: corrupt snapshot %s: %w", path, err)
 	}
+	s.installSnapshotState(&snap)
+	return snap.WalSeq, nil
+}
+
+// installSnapshotState loads a parsed snapshot into the in-memory state
+// (recovery-on-open, and InstallSnapshot on a bootstrapping follower).
+func (s *Store) installSnapshotState(snap *snapFile) {
 	s.dedup.restore(snap.Dedup)
+	s.setTermState(snap.Term, snap.TermStart)
 	for tag, ss := range snap.Shards {
 		sh := s.ensureShard(tag)
 		sh.mu.Lock()
@@ -333,7 +356,6 @@ func (s *Store) loadSnapshot(path string) (uint64, error) {
 		}
 		sh.mu.Unlock()
 	}
-	return snap.WalSeq, nil
 }
 
 // ---- frame deduplication ----

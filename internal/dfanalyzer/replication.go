@@ -1,0 +1,461 @@
+package dfanalyzer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"github.com/provlight/provlight/internal/wal"
+)
+
+// This file is the store side of WAL-shipping replication (internal/
+// replica drives the wire protocol): role and term state, the fenced
+// write guard, the follower apply path that mirrors the primary's WAL
+// byte for byte, and snapshot install/export for follower bootstrap.
+//
+// The fencing model is a single monotonic *term*, Raft-style but without
+// elections — promotion is an explicit operator (or harness) action:
+//
+//   - every store has a current term, persisted as a WAL record and in
+//     snapshots, so it survives restarts and ships to followers through
+//     the ordinary replication stream;
+//   - promotion bumps the term by one and records the WAL position where
+//     the new term began (TermStart);
+//   - writers (translators, HTTP clients) stamp the term they believe is
+//     current into each write; the store rejects mismatches, so a
+//     translator still feeding a deposed primary — or a deposed primary
+//     accepting writes after the cluster moved on — cannot silently
+//     swallow frames that the client's spool will then discard on ack;
+//   - a rejoining follower whose WAL extends past the promotion point of
+//     a newer term has *diverged* (its tail was never replicated and the
+//     new lineage wrote different records there); the primary refuses it
+//     until its data directory is reset.
+
+// Role is a store's replication role.
+type Role int32
+
+const (
+	// RoleStandalone is the default: a single-node store, no fencing.
+	RoleStandalone Role = iota
+	// RolePrimary accepts writes and ships its WAL to followers.
+	RolePrimary
+	// RoleReplica replays a primary's WAL and serves reads; every
+	// external write path is rejected with ErrNotPrimary.
+	RoleReplica
+)
+
+// String returns "standalone", "primary", or "replica".
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleReplica:
+		return "replica"
+	default:
+		return "standalone"
+	}
+}
+
+// Errors of the fenced write path. Match with errors.Is.
+var (
+	// ErrNotPrimary reports a write sent to a read replica.
+	ErrNotPrimary = errors.New("dfanalyzer: store is a read replica, not the primary")
+	// ErrStaleTerm reports a write whose replication term does not match
+	// the store's current term (a deposed primary, or a writer that has
+	// not yet learned of a promotion).
+	ErrStaleTerm = errors.New("dfanalyzer: replication term mismatch")
+	// ErrDiverged reports a follower whose WAL is not a prefix of the
+	// primary's lineage; its data directory must be reset before it can
+	// follow again.
+	ErrDiverged = errors.New("dfanalyzer: follower log diverged from primary lineage")
+)
+
+// replState is the atomically-readable replication state of a Store.
+// Mutations happen under the store's commitMu; reads (the write guard,
+// stats) are lock-free.
+type replState struct {
+	role      atomic.Int32
+	term      atomic.Uint64
+	termStart atomic.Uint64 // WAL seq at which the current term began
+	// applied is the replica apply cursor: the highest replicated WAL
+	// sequence whose in-memory effects are visible to queries. It trails
+	// the WAL tail inside a batched apply (records are logged in one write
+	// before their ops run), which is exactly why it exists — "caught up"
+	// for read routing and follower acks must mean applied, not just
+	// logged. Zero until the first replicated apply; see Store.AppliedSeq.
+	applied atomic.Uint64
+}
+
+// Role returns the store's replication role.
+func (s *Store) Role() Role { return Role(s.repl.role.Load()) }
+
+// CurrentTerm returns the store's replication term (0 until a term is
+// adopted — the unfenced single-node state).
+func (s *Store) CurrentTerm() uint64 { return s.repl.term.Load() }
+
+// TermStartSeq returns the WAL sequence number at which the current term
+// began (the promotion point; 0 for term 0).
+func (s *Store) TermStartSeq() uint64 { return s.repl.termStart.Load() }
+
+// CheckWriteTerm is the fenced write guard: it rejects writes to a read
+// replica, and — when the writer stamped a non-zero term — writes whose
+// term does not match the store's. Term 0 writers (legacy, single-node)
+// pass the term check unconditionally.
+func (s *Store) CheckWriteTerm(term uint64) error {
+	if s.Role() == RoleReplica {
+		return ErrNotPrimary
+	}
+	if cur := s.repl.term.Load(); term != 0 && term != cur {
+		return fmt.Errorf("%w: writer term %d, store term %d", ErrStaleTerm, term, cur)
+	}
+	return nil
+}
+
+// AdoptTerm raises the store's term to term, write-ahead logging the
+// change on durable stores so it survives restarts and replicates to
+// followers. Adopting a term at or below the current one is a no-op
+// (terms are monotonic). The store's role is unchanged.
+func (s *Store) AdoptTerm(term uint64) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.adoptTermLocked(term)
+}
+
+func (s *Store) adoptTermLocked(term uint64) error {
+	if term <= s.repl.term.Load() {
+		return nil
+	}
+	start := uint64(0)
+	if s.dur != nil {
+		_, err := s.dur.log.AppendWith(func(seq uint64) ([]byte, error) {
+			start = seq
+			return json.Marshal(&walOp{Op: "term", Term: term, TermStart: seq})
+		})
+		if err != nil {
+			return fmt.Errorf("dfanalyzer: log term record: %w", err)
+		}
+		s.dur.opsSinceSnap++
+	}
+	s.setTermState(term, start)
+	return nil
+}
+
+// setTermState installs a term transition (live adoption, WAL replay, or
+// snapshot restore).
+func (s *Store) setTermState(term, start uint64) {
+	s.repl.term.Store(term)
+	s.repl.termStart.Store(start)
+}
+
+// Promote makes the store the primary of a new term: term+1 is adopted
+// (and WAL-logged, marking the promotion point) and the role flips to
+// primary. Returns the new term. The caller must have stopped any
+// replication stream into this store first (replica.Follower.Promote
+// handles the ordering).
+func (s *Store) Promote() (uint64, error) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	next := s.repl.term.Load() + 1
+	if err := s.adoptTermLocked(next); err != nil {
+		return 0, err
+	}
+	s.repl.role.Store(int32(RolePrimary))
+	return next, nil
+}
+
+// BecomePrimary marks the store primary without changing its term,
+// adopting term 1 if no term was ever adopted (the fresh-cluster case).
+func (s *Store) BecomePrimary() error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if s.repl.term.Load() == 0 {
+		if err := s.adoptTermLocked(1); err != nil {
+			return err
+		}
+	}
+	s.repl.role.Store(int32(RolePrimary))
+	return nil
+}
+
+// BeginFollowing marks the store a read replica: every external write
+// path is rejected with ErrNotPrimary until Promote.
+func (s *Store) BeginFollowing() {
+	s.repl.role.Store(int32(RoleReplica))
+}
+
+// ReplicationWAL exposes the store's write-ahead log for WAL shipping
+// (nil for an in-memory store, which cannot replicate).
+func (s *Store) ReplicationWAL() *wal.Log {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.log
+}
+
+// WALSeqs returns the store's retained WAL bounds (0, 0 when in-memory
+// or empty). On a follower, last is the last replicated-and-applied
+// sequence number, the resumable offset.
+func (s *Store) WALSeqs() (first, last uint64) {
+	if s.dur == nil {
+		return 0, 0
+	}
+	return s.dur.log.FirstSeq(), s.dur.log.LastSeq()
+}
+
+// AppliedSeq returns the highest WAL sequence whose effects are visible
+// to queries on this store. On a replica it is the apply cursor (which
+// can trail the WAL tail mid-batch); elsewhere — and on a freshly
+// recovered replica that has not applied a replicated record yet — it is
+// the WAL tail, since recovery replays everything it retains.
+func (s *Store) AppliedSeq() uint64 {
+	if a := s.repl.applied.Load(); a > 0 {
+		return a
+	}
+	_, last := s.WALSeqs()
+	return last
+}
+
+// SnapshotSeq returns the WAL sequence covered by the latest on-disk
+// snapshot (0 when none has been taken).
+func (s *Store) SnapshotSeq() uint64 {
+	if s.dur == nil {
+		return 0
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.dur.snapSeq
+}
+
+// SnapshotBytes returns the on-disk snapshot document and the WAL
+// sequence it covers, taking a fresh snapshot first when none exists —
+// the bootstrap payload for a follower too far behind the retained WAL.
+func (s *Store) SnapshotBytes() ([]byte, uint64, error) {
+	if s.dur == nil {
+		return nil, 0, fmt.Errorf("dfanalyzer: in-memory store has no snapshot")
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if _, err := os.Stat(s.dur.snapPath); os.IsNotExist(err) {
+		if err := s.snapshotLocked(); err != nil {
+			return nil, 0, err
+		}
+	}
+	data, err := os.ReadFile(s.dur.snapPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, s.dur.snapSeq, nil
+}
+
+// ApplyReplicated appends one record shipped from the primary to the
+// follower's own WAL — byte-identical, at the same sequence number — and
+// applies it, reusing the recovery replay path (applyOp), so a promoted
+// follower's state and dedup table are exactly what the primary's
+// recovery would have produced. Sequence numbers below the follower's
+// tail are duplicates of already-applied records (a resumed stream
+// overlapping) and are ignored; a gap above the tail (a quarantined
+// segment on the primary) is skipped with Reserve so numbering stays
+// aligned.
+func (s *Store) ApplyReplicated(seq uint64, payload []byte) error {
+	return s.ApplyReplicatedBatch([]ReplRecord{{Seq: seq, Payload: payload}})
+}
+
+// ReplRecord is one primary WAL record in flight to a follower: the
+// primary-side sequence number and the raw record payload.
+type ReplRecord struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// ApplyReplicatedBatch applies a run of shipped records under one commit
+// lock acquisition, mirroring each contiguous run into the local WAL with
+// a single batched append (wal.Log.AppendBatch) — the difference between
+// a follower that keeps up with a 10k frames/s primary and one that
+// drowns in per-record write(2) calls. Semantics are identical to calling
+// ApplyReplicated per record: duplicates below the local tail are
+// skipped, gaps are Reserved, and a sequence-skew between the primary's
+// numbering and the local append aborts the batch.
+func (s *Store) ApplyReplicatedBatch(recs []ReplRecord) error {
+	if s.dur == nil {
+		return fmt.Errorf("dfanalyzer: in-memory store cannot replicate")
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if s.repl.applied.Load() == 0 {
+		// First replicated apply since open: everything the recovery
+		// replayed is applied, so the cursor starts at the current tail.
+		s.repl.applied.Store(s.dur.log.LastSeq())
+	}
+	for i := 0; i < len(recs); {
+		last := s.dur.log.LastSeq()
+		if recs[i].Seq <= last {
+			i++ // already replicated and applied
+			continue
+		}
+		if recs[i].Seq > last+1 {
+			s.dur.log.Reserve(recs[i].Seq - 1)
+		}
+		// Extend to the contiguous run starting here; it lands in one
+		// batched append.
+		j := i + 1
+		for j < len(recs) && recs[j].Seq == recs[j-1].Seq+1 {
+			j++
+		}
+		payloads := make([][]byte, j-i)
+		for k := i; k < j; k++ {
+			payloads[k-i] = recs[k].Payload
+		}
+		appended, err := s.dur.log.AppendBatch(payloads)
+		if err != nil {
+			return err
+		}
+		if appended != recs[j-1].Seq {
+			return fmt.Errorf("dfanalyzer: replication seq skew: primary %d, local %d",
+				recs[j-1].Seq, appended)
+		}
+		for k := i; k < j; k++ {
+			s.dur.opsSinceSnap++
+			var op walOp
+			if err := json.Unmarshal(recs[k].Payload, &op); err != nil {
+				return fmt.Errorf("dfanalyzer: corrupt replicated op at seq %d: %w", recs[k].Seq, err)
+			}
+			if op.Op == "term" {
+				// Replicated term records carry their primary-side position;
+				// trust it rather than the local append (they are equal by
+				// construction, but the payload is the authority).
+				s.setTermState(op.Term, op.TermStart)
+				continue
+			}
+			if err := s.applyOp(&op); err != nil {
+				return err
+			}
+		}
+		s.repl.applied.Store(recs[j-1].Seq)
+		i = j
+	}
+	return s.maybeSnapshotLocked()
+}
+
+// InstallSnapshot resets the store to a primary's snapshot: the in-memory
+// state is discarded, the snapshot is loaded and persisted locally, and
+// the WAL is advanced past the covered sequence so replication resumes at
+// snapSeq+1. Only a follower whose log is *behind* the snapshot may
+// install it (bootstrap or catch-up past a truncation gap); a log ahead
+// of the snapshot means divergence, which the replication handshake
+// rejects before it gets here.
+func (s *Store) InstallSnapshot(data []byte) (uint64, error) {
+	if s.dur == nil {
+		return 0, fmt.Errorf("dfanalyzer: in-memory store cannot install snapshots")
+	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	var snap snapFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("dfanalyzer: corrupt replication snapshot: %w", err)
+	}
+	if last := s.dur.log.LastSeq(); last > snap.WalSeq {
+		return 0, fmt.Errorf("%w: local log at %d, snapshot covers %d", ErrDiverged, last, snap.WalSeq)
+	}
+	// Reset and reload: shards and dedup state are replaced wholesale.
+	s.mu.Lock()
+	s.shards = map[string]*dataflowShard{}
+	s.mu.Unlock()
+	s.dedup = newDedupTable()
+	s.installSnapshotState(&snap)
+	if err := wal.WriteFileAtomic(s.dur.snapPath, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
+		return 0, err
+	}
+	s.dur.snapSeq = snap.WalSeq
+	s.dur.opsSinceSnap = 0
+	s.dur.log.Reserve(snap.WalSeq)
+	if err := s.dur.log.TruncateFront(snap.WalSeq); err != nil {
+		return 0, err
+	}
+	s.repl.applied.Store(snap.WalSeq)
+	return snap.WalSeq, nil
+}
+
+// StoreStats is the replication-aware health snapshot served by the HTTP
+// /stats endpoint. The core fields come from Store.Stats; the Replication
+// and Replica halves are filled in by the replication layer (internal/
+// replica) through Server.OnStats — whichever side this store is on.
+type StoreStats struct {
+	Role      string `json:"role"`
+	Term      uint64 `json:"term"`
+	TermStart uint64 `json:"term_start,omitempty"`
+	Dataflows int    `json:"dataflows"`
+	Tasks     int    `json:"tasks"`
+	// WAL bounds and snapshot position (0 for in-memory stores).
+	WALFirstSeq uint64 `json:"wal_first_seq,omitempty"`
+	WALLastSeq  uint64 `json:"wal_last_seq,omitempty"`
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	// Replication is the primary-side view (nil unless this store ships
+	// its WAL to followers).
+	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Replica is the follower-side view (nil unless this store replays a
+	// primary's WAL).
+	Replica *ReplicaStats `json:"replica,omitempty"`
+}
+
+// ReplicationStats is the primary's view of its followers.
+type ReplicationStats struct {
+	Listen    string          `json:"listen"`
+	MinSync   int             `json:"min_sync"`
+	Followers []FollowerStats `json:"followers"`
+}
+
+// FollowerStats is one follower's replication health as seen from the
+// primary.
+type FollowerStats struct {
+	ID string `json:"id"`
+	// AckedSeq is the highest WAL sequence the follower has confirmed
+	// durable; SentSeq is the highest streamed to it.
+	AckedSeq uint64 `json:"acked_seq"`
+	SentSeq  uint64 `json:"sent_seq"`
+	// LagRecords/LagBytes measure how far the follower trails the
+	// primary's WAL tail: records behind the last appended sequence, and
+	// bytes sent but not yet acknowledged.
+	LagRecords uint64 `json:"lag_records"`
+	LagBytes   uint64 `json:"lag_bytes"`
+}
+
+// ReplicaStats is the follower's view of its primary.
+type ReplicaStats struct {
+	Primary string `json:"primary"`
+	// AppliedSeq is the last WAL sequence replayed locally; PrimarySeq is
+	// the primary's tail as of the last record or heartbeat received.
+	AppliedSeq uint64 `json:"applied_seq"`
+	PrimarySeq uint64 `json:"primary_seq"`
+	LagRecords uint64 `json:"lag_records"`
+	// StalenessMillis is how long ago the last record or heartbeat
+	// arrived — the read-routing staleness bound's input.
+	StalenessMillis int64 `json:"staleness_ms"`
+	Connected       bool  `json:"connected"`
+}
+
+// Stats returns the store-local half of StoreStats (role, term, WAL
+// bounds, catalog sizes). The server's /stats handler merges in the
+// replication layer's half via Server.OnStats.
+func (s *Store) Stats() StoreStats {
+	st := StoreStats{
+		Role:      s.Role().String(),
+		Term:      s.CurrentTerm(),
+		TermStart: s.TermStartSeq(),
+	}
+	tags := s.Dataflows()
+	st.Dataflows = len(tags)
+	for _, tag := range tags {
+		st.Tasks += s.TaskCount(tag)
+	}
+	if s.dur != nil {
+		st.WALFirstSeq, st.WALLastSeq = s.WALSeqs()
+		st.SnapshotSeq = s.SnapshotSeq()
+	}
+	return st
+}

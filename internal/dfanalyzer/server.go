@@ -2,13 +2,21 @@ package dfanalyzer
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 )
+
+// TermHeader carries the writer's replication term on mutating requests.
+// A server whose store has a different current term rejects the write
+// with 409 Conflict, fencing deposed primaries and stale translators (see
+// replication.go). Absent or zero means an unfenced legacy writer.
+const TermHeader = "X-Provlight-Term"
 
 // Server exposes the store over the original tool's HTTP 1.1
 // request/response interface (uWSGI-style, Fig. 5 of the paper).
@@ -20,6 +28,11 @@ type Server struct {
 	// ProcessingDelay adds artificial per-request server work, used by
 	// integration tests that emulate the slower Python/uWSGI backend.
 	ProcessingDelay time.Duration
+
+	// OnStats, when set, decorates the /stats response with the
+	// replication layer's half (follower lag on a primary, staleness on a
+	// replica) before it is served. Set before Start.
+	OnStats func(*StoreStats)
 
 	requests atomic.Uint64
 }
@@ -55,6 +68,7 @@ func (s *Server) Start(addr string) error {
 	mux.HandleFunc("/tasks", s.handleTasks)
 	mux.HandleFunc("/frames", s.handleFrames)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
 	s.http = &http.Server{Handler: s.count(mux)}
 	go s.http.Serve(lis)
 	return nil
@@ -96,6 +110,31 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// writeIngestErr maps store errors onto status codes: fencing rejections
+// (replica role, stale term) are 409 Conflict so clients can tell "you
+// are talking to the wrong node" from a malformed request.
+func writeIngestErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrStaleTerm) {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err)
+}
+
+// requestTerm extracts the writer's replication term from TermHeader
+// (0 when absent or unparseable — the unfenced legacy writer).
+func requestTerm(r *http.Request) uint64 {
+	h := r.Header.Get(TermHeader)
+	if h == "" {
+		return 0
+	}
+	term, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return term
+}
+
 func (s *Server) handleDataflow(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost, http.MethodPut:
@@ -104,8 +143,12 @@ func (s *Server) handleDataflow(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		if err := s.store.CheckWriteTerm(requestTerm(r)); err != nil {
+			writeIngestErr(w, err)
+			return
+		}
 		if err := s.store.RegisterDataflow(&df); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeIngestErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"status": "registered", "tag": df.Tag})
@@ -151,8 +194,12 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := s.store.CheckWriteTerm(requestTerm(r)); err != nil {
+		writeIngestErr(w, err)
+		return
+	}
 	if err := s.store.IngestTask(&msg); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeIngestErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -181,8 +228,12 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := s.store.CheckWriteTerm(requestTerm(r)); err != nil {
+		writeIngestErr(w, err)
+		return
+	}
 	if err := s.store.IngestTasks(msgs); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeIngestErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ingested": len(msgs)})
@@ -202,14 +253,29 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	applied, err := s.store.IngestFrames(frames)
+	applied, err := s.store.IngestFramesTerm(requestTerm(r), frames)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeIngestErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok", "applied": applied, "deduplicated": len(frames) - applied,
 	})
+}
+
+// handleStats serves the replication-aware health snapshot: role, term,
+// WAL bounds, catalog sizes, plus whatever half the replication layer
+// fills in through OnStats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	st := s.store.Stats()
+	if s.OnStats != nil {
+		s.OnStats(&st)
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

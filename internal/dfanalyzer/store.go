@@ -30,6 +30,9 @@ type Store struct {
 	// dur is the durability state (WAL + snapshots); nil for a purely
 	// in-memory store from NewStore.
 	dur *durability
+	// repl is the replication role/term state (see replication.go).
+	// Mutated under commitMu, read lock-free by the write guard.
+	repl replState
 }
 
 // dataflowShard holds everything belonging to one dataflow.
@@ -135,6 +138,9 @@ func (t *Table) upgrade(schema SetSchema) {
 // existing tables in place. On a durable store the registration is
 // write-ahead logged before it is applied.
 func (s *Store) RegisterDataflow(df *Dataflow) error {
+	if err := s.CheckWriteTerm(0); err != nil {
+		return err
+	}
 	if err := df.Validate(); err != nil {
 		return err
 	}
@@ -213,6 +219,9 @@ func (s *Store) IngestTask(m *TaskMsg) error {
 // On error, messages before the failing one remain ingested. On a durable
 // store the batch is validated, write-ahead logged, then applied.
 func (s *Store) IngestTasks(msgs []*TaskMsg) error {
+	if err := s.CheckWriteTerm(0); err != nil {
+		return err
+	}
 	if s.dur == nil {
 		return s.ingestTasksApply(msgs)
 	}
@@ -263,6 +272,18 @@ func (s *Store) validateBatch(msgs []*TaskMsg) error {
 // after a crash applies the same rule, so live and recovered stores
 // agree.
 func (s *Store) IngestFrames(frames []FrameMsg) (applied int, err error) {
+	return s.IngestFramesTerm(0, frames)
+}
+
+// IngestFramesTerm is IngestFrames with fenced-write semantics: the
+// writer's replication term is checked against the store's before
+// anything is logged or applied (see CheckWriteTerm). Term 0 skips the
+// term check (but not the replica-role check) for single-node
+// deployments that never adopted a term.
+func (s *Store) IngestFramesTerm(term uint64, frames []FrameMsg) (applied int, err error) {
+	if err := s.CheckWriteTerm(term); err != nil {
+		return 0, err
+	}
 	for i := range frames {
 		if err := s.validateBatch(frames[i].Tasks); err != nil {
 			return 0, err
@@ -270,6 +291,11 @@ func (s *Store) IngestFrames(frames []FrameMsg) (applied int, err error) {
 	}
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	// Re-check under the commit lock: a promotion or demotion that landed
+	// between the entry check and here must fence this batch too.
+	if err := s.CheckWriteTerm(term); err != nil {
+		return 0, err
+	}
 	fresh := make([]FrameMsg, 0, len(frames))
 	for _, f := range frames {
 		if f.Origin != "" && f.Seq > 0 && s.dedup.applied(f.Origin, f.Seq) {

@@ -1,0 +1,135 @@
+// Package replica implements WAL-shipping replication for the durable
+// DfAnalyzer store: a primary streams its write-ahead log to followers —
+// sealed segments for catch-up, then the live tail — and each follower
+// replays the records into its own store, serving Source queries as a
+// read replica. Failover is explicit and fenced by a monotonic term (see
+// internal/dfanalyzer's replication.go for the fencing model); promotion
+// picks the most-caught-up follower, and with Server.MinSync > 0 the ack
+// path waits for replication, so an acknowledged frame survives the loss
+// of the primary.
+package replica
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The wire protocol is length-prefixed binary over one TCP connection
+// per follower, initiated by the follower:
+//
+//	[1-byte type][4-byte big-endian payload length][payload][4-byte CRC32C]
+//
+// The CRC covers the payload and is *re-verified* on receipt even though
+// TCP has its own checksums: WAL records cross process and disk
+// boundaries on both ends, and a corruption introduced anywhere between
+// the primary's disk and the follower's append must not be silently
+// replayed into a replica.
+//
+// Handshake: the follower sends hello (its id, resume offset, term, and
+// last applied seq); the primary answers welcome, optionally ships a
+// snapshot when the follower's offset predates the primary's retained
+// WAL, then streams records. Heartbeats flow primary→follower when the
+// tail is idle; acks flow follower→primary carrying the applied seq
+// (the input to lag stats and semi-sync commit waits).
+
+const (
+	msgHello     byte = 1 // follower → primary: JSON helloMsg
+	msgWelcome   byte = 2 // primary → follower: JSON welcomeMsg
+	msgSnapshot  byte = 3 // primary → follower: [8-byte snapSeq][snapshot doc]
+	msgRecord    byte = 4 // primary → follower: [8-byte seq][WAL payload]
+	msgHeartbeat byte = 5 // primary → follower: [8-byte primary last seq]
+	msgAck       byte = 6 // follower → primary: [8-byte applied seq]
+	msgError     byte = 7 // either direction: UTF-8 reason, then close
+)
+
+// maxMessage bounds one protocol message (a snapshot is the largest).
+const maxMessage = 1 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// helloMsg opens a replication session.
+type helloMsg struct {
+	// ID names the follower (stable across reconnects; the primary keys
+	// lag stats by it).
+	ID string `json:"id"`
+	// From is the first sequence number the follower wants (its last
+	// applied + 1 — the resumable offset).
+	From uint64 `json:"from"`
+	// Term and LastApplied let the primary detect divergence: a follower
+	// on an older term whose log extends past the promotion point of the
+	// current term carries records that were never replicated.
+	Term        uint64 `json:"term"`
+	LastApplied uint64 `json:"last_applied"`
+}
+
+// welcomeMsg accepts a replication session.
+type welcomeMsg struct {
+	Term     uint64 `json:"term"`
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+	// Snapshot announces that a msgSnapshot follows before the record
+	// stream (the follower's offset predates the retained WAL).
+	Snapshot bool `json:"snapshot"`
+}
+
+// writeMsg frames and writes one protocol message.
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxMessage {
+		return fmt.Errorf("replica: message of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, 0, 5+len(payload)+4)
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(buf)
+	return err
+}
+
+// readMsg reads and CRC-verifies one protocol message.
+func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxMessage {
+		return 0, nil, fmt.Errorf("replica: message of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	payload = body[:n]
+	want := binary.BigEndian.Uint32(body[n:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return 0, nil, fmt.Errorf("replica: message crc mismatch (type %d)", hdr[0])
+	}
+	return hdr[0], payload, nil
+}
+
+func writeJSONMsg(w io.Writer, typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeMsg(w, typ, payload)
+}
+
+// seqPayload frames an 8-byte sequence number plus optional body.
+func seqPayload(seq uint64, body []byte) []byte {
+	buf := make([]byte, 8, 8+len(body))
+	binary.BigEndian.PutUint64(buf, seq)
+	return append(buf, body...)
+}
+
+// splitSeqPayload undoes seqPayload.
+func splitSeqPayload(p []byte) (seq uint64, body []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("replica: short seq payload (%d bytes)", len(p))
+	}
+	return binary.BigEndian.Uint64(p), p[8:], nil
+}

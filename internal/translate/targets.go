@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"github.com/provlight/provlight/internal/dfanalyzer"
 	"github.com/provlight/provlight/internal/provdm"
@@ -303,6 +304,12 @@ type StoreTarget struct {
 	store    *dfanalyzer.Store
 	dataflow string
 
+	// term, when non-zero, is stamped into every ingest so a store on a
+	// different replication term rejects the write (fenced failover; see
+	// dfanalyzer's replication.go). Updated via SetTerm after a failover,
+	// alongside Translator.SetTerm.
+	term atomic.Uint64
+
 	mu     sync.Mutex
 	schema *dfanalyzer.SchemaTracker
 	dirty  bool
@@ -316,6 +323,10 @@ func NewStoreTarget(store *dfanalyzer.Store, dataflow string) *StoreTarget {
 
 // Store returns the backing store (for queries and snapshots).
 func (s *StoreTarget) Store() *dfanalyzer.Store { return s.store }
+
+// SetTerm sets the replication term stamped into subsequent ingests
+// (0 disables the check — the unfenced single-node default).
+func (s *StoreTarget) SetTerm(term uint64) { s.term.Store(term) }
 
 // Name implements Target.
 func (*StoreTarget) Name() string { return "store" }
@@ -351,7 +362,7 @@ func (s *StoreTarget) DeliverFrames(frames []Frame) error {
 		s.dirty = false
 	}
 	s.mu.Unlock()
-	_, err := s.store.IngestFrames(frameMsgs(s.dataflow, frames))
+	_, err := s.store.IngestFramesTerm(s.term.Load(), frameMsgs(s.dataflow, frames))
 	return err
 }
 

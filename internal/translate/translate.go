@@ -130,6 +130,23 @@ type Config struct {
 	MaxRetries    int
 	// OnError receives asynchronous delivery errors.
 	OnError func(error)
+	// Term is the replication term of the primary store this translator
+	// feeds, stamped into every end-to-end acknowledgement (wire ack
+	// payload version 2). Spooling clients ignore acks whose term is lower
+	// than the highest they have seen, which fences a zombie translator —
+	// one still feeding a deposed primary after a failover — out of the
+	// ack path. 0 (the default) publishes unfenced version-1 acks.
+	// Update after a failover with Translator.SetTerm.
+	Term uint64
+	// AckGate, when set, is consulted after a batch reached every target
+	// and before its end-to-end acks are published. A semi-synchronous
+	// replication deployment points this at replica.Server.CommitGate so
+	// acks are withheld until the batch is durable on enough followers —
+	// otherwise a primary crash after ack but before replication would
+	// lose frames the devices already reclaimed. If the gate errors the
+	// batch stays unacked: the spooling client redelivers it and the
+	// durable targets deduplicate.
+	AckGate func() error
 	// DisableAcks turns off end-to-end acknowledgements. By default the
 	// translator, after a batch is delivered to every target without
 	// error, publishes the durable frame ids back to each device's ack
@@ -163,6 +180,10 @@ type Translator struct {
 	deliveryErrs atomic.Uint64
 	acks         atomic.Uint64
 	ackErrs      atomic.Uint64
+
+	// term is the replication term stamped into acks (Config.Term,
+	// updated by SetTerm after a failover).
+	term atomic.Uint64
 
 	work    chan Frame
 	wg      sync.WaitGroup
@@ -212,6 +233,7 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 		cfg:  cfg,
 		work: make(chan Frame, 256),
 	}
+	t.term.Store(cfg.Term)
 	for i := 0; i < cfg.Workers; i++ {
 		t.wg.Add(1)
 		go t.worker()
@@ -260,6 +282,25 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 
 // Sessions reports how many broker sessions the translator holds.
 func (t *Translator) Sessions() int { return len(t.sessions) }
+
+// SetTerm updates the replication term stamped into end-to-end acks —
+// called after a failover, when the translator is repointed at a promoted
+// store. Terms are monotonic: a lower term than the current one is
+// ignored (a stale failover script must never un-fence the ack path).
+func (t *Translator) SetTerm(term uint64) {
+	for {
+		cur := t.term.Load()
+		if term <= cur {
+			return
+		}
+		if t.term.CompareAndSwap(cur, term) {
+			return
+		}
+	}
+}
+
+// Term returns the replication term currently stamped into acks.
+func (t *Translator) Term() uint64 { return t.term.Load() }
 
 // Stats returns a snapshot of translator counters.
 func (t *Translator) Stats() Stats {
@@ -388,7 +429,18 @@ func (t *Translator) deliver(batch []Frame, recordsView [][]provdm.Record) {
 		// target leaves the batch unacked so the spooling client
 		// redelivers it, and the durable targets that did apply it will
 		// deduplicate the redelivery.
-		t.publishAcks(batch)
+		if t.cfg.AckGate != nil {
+			if err := t.cfg.AckGate(); err != nil {
+				t.ackErrs.Add(1)
+				if t.cfg.OnError != nil {
+					t.cfg.OnError(fmt.Errorf("translate: ack gate: %w", err))
+				}
+				delivered = false
+			}
+		}
+		if delivered {
+			t.publishAcks(batch)
+		}
 	}
 	t.records.Add(n)
 	t.batches.Add(1)
@@ -412,8 +464,9 @@ func (t *Translator) publishAcks(batch []Frame) {
 		return
 	}
 	mc := t.sessions[0]
+	term := t.term.Load()
 	for origin, seqs := range acks {
-		payload := wire.AppendAckPayload(nil, seqs)
+		payload := wire.AppendAckPayload(nil, term, seqs)
 		errc := mc.PublishAsync(wire.AckTopic(origin), payload, mqttsn.QoS1)
 		go func() {
 			if err := <-errc; err != nil {

@@ -1,0 +1,217 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func segCount(t *testing.T, dir string) int {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(files)
+}
+
+// Tailing edge cases the replication path leans on: a reader parked at a
+// segment boundary while the writer rotates, TruncateFront racing a live
+// tail, and replay resuming from an offset in the middle of a segment.
+
+// readAvailable drains the reader until it reports caught-up, returning
+// the sequences it saw (in order).
+func readAvailable(t *testing.T, r *Reader) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	var buf []byte
+	for {
+		seq, _, ok, err := r.Next(buf[:0])
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			return seqs
+		}
+		seqs = append(seqs, seq)
+	}
+}
+
+// TestReaderAtSegmentBoundaryDuringRotation parks a tailing reader
+// exactly on the last record of the active segment, rotates under it,
+// and checks it follows into the new segment without skipping or
+// re-reading — the position a caught-up replication follower sits in
+// almost all the time.
+func TestReaderAtSegmentBoundaryDuringRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff, SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	r := l.ReadFrom(1)
+	defer r.Close()
+
+	// Fill until at least one rotation happened, reading to the tail
+	// after every single append so the reader repeatedly lands on the
+	// exact boundary between "last record written" and "nothing yet".
+	var got []uint64
+	seq := uint64(0)
+	for rotations := 0; rotations < 3; {
+		before := segCount(t, dir)
+		var err error
+		seq, err = l.Append([]byte(fmt.Sprintf("record-%04d", seq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if segCount(t, dir) > before {
+			rotations++
+		}
+		got = append(got, readAvailable(t, r)...)
+		// Caught up: one more probe must say "no record yet", not error.
+		if s, _, ok, err := r.Next(nil); ok || err != nil {
+			t.Fatalf("probe at boundary: seq=%d ok=%v err=%v", s, ok, err)
+		}
+	}
+	if uint64(len(got)) != seq {
+		t.Fatalf("tailed %d records, writer wrote %d", len(got), seq)
+	}
+	for i, s := range got {
+		if s != uint64(i+1) {
+			t.Fatalf("record %d: seq = %d, want %d", i, s, i+1)
+		}
+	}
+}
+
+// TestTruncateFrontRacesActiveTail runs a writer that appends and
+// aggressively truncates behind itself while a reader tails from seq 1.
+// The reader must never error, never go backwards, and never skip a
+// record that was still retained when it got there: every observed jump
+// must land on a sequence that was genuinely truncated away.
+func TestTruncateFrontRacesActiveTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff, SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const total = 1500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+			if i%100 == 99 {
+				if err := l.TruncateFront(uint64(i - 20)); err != nil {
+					t.Errorf("truncate at %d: %v", i, err)
+					return
+				}
+			}
+		}
+	}()
+
+	r := l.ReadFrom(1)
+	defer r.Close()
+	var buf []byte
+	last := uint64(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for last < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("tail stalled at seq %d", last)
+		}
+		seq, payload, ok, err := r.Next(buf[:0])
+		if err != nil {
+			t.Fatalf("Next after %d: %v", last, err)
+		}
+		if !ok {
+			select {
+			case <-l.Notify():
+			case <-time.After(5 * time.Millisecond):
+			}
+			continue
+		}
+		if seq <= last {
+			t.Fatalf("reader went backwards: %d after %d", seq, last)
+		}
+		if seq > last+1 {
+			// A jump is only legal when truncation outran us.
+			if first := l.FirstSeq(); first <= last+1 {
+				t.Fatalf("skipped %d..%d but FirstSeq is %d (still retained)",
+					last+1, seq-1, first)
+			}
+		}
+		if want := fmt.Sprintf("record-%04d", seq-1); string(payload) != want {
+			t.Fatalf("record %d: payload %q, want %q", seq, payload, want)
+		}
+		last = seq
+	}
+	wg.Wait()
+}
+
+// TestReplayFromMidSegmentOffset resumes reads from offsets that fall in
+// the middle of sealed segments — the position a replication follower
+// hands back after reconnecting — via both Replay and a tailing Reader,
+// including after a close/reopen of the log.
+func TestReplayFromMidSegmentOffset(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 120)
+	if segCount(t, dir) < 3 {
+		t.Fatalf("want several segments, got %d", segCount(t, dir))
+	}
+
+	check := func(l *Log, from uint64) {
+		t.Helper()
+		got := collect(t, l, from)
+		if uint64(len(got)) != 120-from+1 {
+			t.Fatalf("replay from %d: %d records, want %d", from, len(got), 120-from+1)
+		}
+		for seq := from; seq <= 120; seq++ {
+			if want := fmt.Sprintf("record-%04d", seq-1); got[seq] != want {
+				t.Fatalf("replay from %d: record %d = %q, want %q", from, seq, got[seq], want)
+			}
+		}
+		r := l.ReadFrom(from)
+		defer r.Close()
+		seqs := readAvailable(t, r)
+		if uint64(len(seqs)) != 120-from+1 || seqs[0] != from || seqs[len(seqs)-1] != 120 {
+			t.Fatalf("ReadFrom(%d): got %d records spanning %d..%d",
+				from, len(seqs), seqs[0], seqs[len(seqs)-1])
+		}
+		// Seek back mid-stream must re-deliver from the new position.
+		r.Seek(from)
+		if again := readAvailable(t, r); len(again) != len(seqs) {
+			t.Fatalf("after Seek(%d): %d records, want %d", from, len(again), len(seqs))
+		}
+	}
+
+	// Offsets chosen to land inside segments, not on their edges.
+	for _, from := range []uint64{7, 37, 61, 113} {
+		check(l, from)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopened log (follower restart) must serve the same mid-segment
+	// offsets from its recovered index.
+	l2, err := Open(dir, Options{Sync: SyncOff, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for _, from := range []uint64{7, 37, 61, 113} {
+		check(l2, from)
+	}
+}

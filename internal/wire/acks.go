@@ -12,6 +12,15 @@
 // see AppendFrameSeq). Acks are idempotent and unordered: the spool tracks
 // a floor plus a sparse acked set, so lost, duplicated, or reordered acks
 // all resolve correctly.
+//
+// Version 2 additionally stamps the primary's replication *term* (a
+// uvarint between the version byte and the count). The term fences a
+// deposed primary's translator out of the ack path: a spooling client
+// tracks the highest term it has seen and ignores acks from any lower
+// term, so a zombie pipeline that durably applied frames only to a store
+// off the promoted lineage can never release the client's spooled copies.
+// Version 1 payloads decode with term 0 (unfenced), so mixed deployments
+// interoperate.
 package wire
 
 import (
@@ -20,8 +29,11 @@ import (
 	"strings"
 )
 
-// AckVersion is the ack payload format version.
+// AckVersion is the unfenced ack payload format version.
 const AckVersion = 1
+
+// AckVersionTerm is the term-stamped ack payload format version.
+const AckVersionTerm = 2
 
 // recordsSuffix is the conventional last topic segment for capture frames
 // (core.DefaultTopic publishes on "provlight/<id>/records").
@@ -38,9 +50,16 @@ func AckTopic(recordsTopic string) string {
 	return strings.TrimSuffix(recordsTopic, recordsSuffix) + AckSuffix
 }
 
-// AppendAckPayload appends the ack encoding of seqs to dst.
-func AppendAckPayload(dst []byte, seqs []uint64) []byte {
-	dst = append(dst, AckVersion)
+// AppendAckPayload appends the ack encoding of seqs to dst. A zero term
+// produces the compact version-1 payload; a non-zero term produces the
+// version-2 term-stamped payload.
+func AppendAckPayload(dst []byte, term uint64, seqs []uint64) []byte {
+	if term == 0 {
+		dst = append(dst, AckVersion)
+	} else {
+		dst = append(dst, AckVersionTerm)
+		dst = binary.AppendUvarint(dst, term)
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(seqs)))
 	for _, s := range seqs {
 		dst = binary.AppendUvarint(dst, s)
@@ -49,29 +68,35 @@ func AppendAckPayload(dst []byte, seqs []uint64) []byte {
 }
 
 // DecodeAckPayload decodes an ack message into the acknowledged frame
-// sequence numbers.
-func DecodeAckPayload(p []byte) ([]uint64, error) {
+// sequence numbers and the publishing translator's term (0 for version-1
+// unfenced payloads).
+func DecodeAckPayload(p []byte) (seqs []uint64, term uint64, err error) {
 	if len(p) < 2 {
-		return nil, fmt.Errorf("wire: ack payload too short (%d bytes)", len(p))
+		return nil, 0, fmt.Errorf("wire: ack payload too short (%d bytes)", len(p))
 	}
-	if p[0] != AckVersion {
-		return nil, fmt.Errorf("wire: unsupported ack version %d", p[0])
+	if p[0] != AckVersion && p[0] != AckVersionTerm {
+		return nil, 0, fmt.Errorf("wire: unsupported ack version %d", p[0])
 	}
 	rd := &reader{b: p[1:]}
+	if p[0] == AckVersionTerm {
+		if term, err = rd.uvarint(); err != nil {
+			return nil, 0, err
+		}
+	}
 	count, err := rd.listLen()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	seqs := make([]uint64, 0, count)
+	seqs = make([]uint64, 0, count)
 	for i := 0; i < count; i++ {
 		s, err := rd.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		seqs = append(seqs, s)
 	}
 	if rd.remain() != 0 {
-		return nil, fmt.Errorf("wire: %d trailing bytes in ack payload", rd.remain())
+		return nil, 0, fmt.Errorf("wire: %d trailing bytes in ack payload", rd.remain())
 	}
-	return seqs, nil
+	return seqs, term, nil
 }

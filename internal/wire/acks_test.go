@@ -74,24 +74,35 @@ func TestAckPayloadRoundTrip(t *testing.T) {
 		{5, 3, 9, 9, 1 << 50},
 	}
 	for _, seqs := range cases {
-		payload := AppendAckPayload(nil, seqs)
-		got, err := DecodeAckPayload(payload)
-		if err != nil {
-			t.Fatalf("decode acks %v: %v", seqs, err)
-		}
-		if len(got) != len(seqs) {
-			t.Fatalf("decoded %d seqs, want %d", len(got), len(seqs))
-		}
-		for i := range seqs {
-			if got[i] != seqs[i] {
-				t.Fatalf("seq %d = %d, want %d", i, got[i], seqs[i])
+		for _, term := range []uint64{0, 1, 7, 1 << 33} {
+			payload := AppendAckPayload(nil, term, seqs)
+			if term == 0 && payload[0] != AckVersion {
+				t.Fatalf("term 0 should encode version 1, got %d", payload[0])
+			}
+			if term > 0 && payload[0] != AckVersionTerm {
+				t.Fatalf("term %d should encode version 2, got %d", term, payload[0])
+			}
+			got, gotTerm, err := DecodeAckPayload(payload)
+			if err != nil {
+				t.Fatalf("decode acks %v term %d: %v", seqs, term, err)
+			}
+			if gotTerm != term {
+				t.Fatalf("decoded term %d, want %d", gotTerm, term)
+			}
+			if len(got) != len(seqs) {
+				t.Fatalf("decoded %d seqs, want %d", len(got), len(seqs))
+			}
+			for i := range seqs {
+				if got[i] != seqs[i] {
+					t.Fatalf("seq %d = %d, want %d", i, got[i], seqs[i])
+				}
 			}
 		}
 	}
-	if _, err := DecodeAckPayload([]byte{}); err == nil {
+	if _, _, err := DecodeAckPayload([]byte{}); err == nil {
 		t.Fatal("empty ack payload accepted")
 	}
-	if _, err := DecodeAckPayload([]byte{99, 1, 1}); err == nil {
+	if _, _, err := DecodeAckPayload([]byte{99, 1, 1}); err == nil {
 		t.Fatal("bad ack version accepted")
 	}
 }
