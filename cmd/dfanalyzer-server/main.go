@@ -35,6 +35,7 @@ func main() {
 	replID := flag.String("replica-id", "", "stable follower identity for resumable replication (default: hostname)")
 	minSync := flag.Int("min-sync", 0, "followers that must acknowledge a record before it counts as committed (0 = async replication)")
 	promote := flag.Bool("promote", false, "promote this data directory to primary under a new term, then serve (run against the most caught-up replica after primary loss)")
+	readyMaxLag := flag.Uint64("ready-max-lag", 0, "replica lag (records) beyond which /readyz reports not ready (0: any connected replica is ready)")
 	flag.Parse()
 
 	if (*replListen != "" || *replFrom != "" || *promote) && *dataDir == "" {
@@ -76,6 +77,7 @@ func main() {
 	}
 
 	srv := dfanalyzer.NewServer(store)
+	srv.ReadyMaxLag = *readyMaxLag
 
 	var repl *replica.Server
 	var follower *replica.Follower
@@ -118,7 +120,7 @@ func main() {
 	}
 	defer srv.Close()
 	log.Printf("dfanalyzer-server: serving on http://%s", srv.Addr())
-	log.Printf("dfanalyzer-server: endpoints: POST /dataflow, POST /task, POST /tasks (batch), POST /frames (exactly-once), POST /query, GET /dataflow/{tag}, GET /stats")
+	log.Printf("dfanalyzer-server: endpoints: POST /dataflow, POST /task, POST /tasks (batch), POST /frames (exactly-once), POST /query, GET /dataflow/{tag}, GET /stats, GET /healthz, GET /readyz")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -11,10 +11,13 @@
 //	provbench -ablations
 //	provbench -sessions 1,2,4      # Table IX fan-in on the real pipeline,
 //	                               # sweeping consumer-group sessions
+//	provbench -soak -devices 2000 -duration 2m -churn-mtbf 20s \
+//	          -loss 0.25 -quota 1048576   # churn soak with exactly-once check
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +28,8 @@ import (
 
 	"github.com/provlight/provlight"
 	"github.com/provlight/provlight/internal/experiment"
+	"github.com/provlight/provlight/internal/soak"
+	"github.com/provlight/provlight/internal/spool"
 	"github.com/provlight/provlight/internal/stats"
 )
 
@@ -34,11 +39,64 @@ func main() {
 	figure := flag.String("figure", "", "regenerate Figure 6 (accepts 6, 6a..6d)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	sessions := flag.String("sessions", "", "comma-separated consumer-group session counts for the real-pipeline Table IX fan-in sweep (e.g. 1,2,4)")
-	devices := flag.Int("devices", 16, "parallel devices for the -sessions sweep")
+	devices := flag.Int("devices", 16, "parallel devices for the -sessions sweep and -soak")
 	tasks := flag.Int("tasks", 50, "tasks per device for the -sessions sweep")
+	runSoak := flag.Bool("soak", false, "run the churn soak harness and verify exactly-once delivery")
+	soakDuration := flag.Duration("duration", time.Minute, "soak capture-phase length")
+	soakSeed := flag.Int64("seed", 1, "soak churn/loss seed (same seed replays the same run)")
+	soakMTBF := flag.Duration("churn-mtbf", 15*time.Second, "soak mean device uptime between crashes (0 disables churn)")
+	soakDowntime := flag.Duration("churn-downtime", 0, "soak mean device outage length (default mtbf/10)")
+	soakLoss := flag.Float64("loss", 0, "soak uplink packet-loss fraction, e.g. 0.25")
+	soakQuota := flag.Int64("quota", 0, "soak per-device spool byte quota (0 = unlimited)")
+	soakPolicy := flag.String("policy", "block", "soak spool degradation policy: block, drop-new, drop-oldest")
+	soakMaxSessions := flag.Int("max-sessions", 0, "soak broker session cap (0 = unlimited)")
+	soakConnectRate := flag.Float64("connect-rate", 0, "soak broker CONNECT admissions per second (0 = unlimited)")
+	soakDrainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "soak post-run spool drain deadline")
+	soakDrainConc := flag.Int("drain-concurrency", 64, "soak devices draining concurrently in the post-run phase")
+	soakOut := flag.String("out", "BENCH_soak.json", "soak report output path")
 	flag.Parse()
 
 	switch {
+	case *runSoak:
+		policy, err := spool.ParseDegradePolicy(*soakPolicy)
+		if err != nil {
+			log.Fatalf("provbench: %v", err)
+		}
+		rep, err := soak.Run(context.Background(), soak.Options{
+			Devices:          *devices,
+			Duration:         *soakDuration,
+			Seed:             *soakSeed,
+			MTBF:             *soakMTBF,
+			Downtime:         *soakDowntime,
+			Loss:             *soakLoss,
+			Quota:            *soakQuota,
+			Policy:           policy,
+			MaxSessions:      *soakMaxSessions,
+			ConnectRate:      *soakConnectRate,
+			DrainTimeout:     *soakDrainTimeout,
+			DrainConcurrency: *soakDrainConc,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("provbench: soak: %v", err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("provbench: soak report: %v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*soakOut, data, 0o644); err != nil {
+			log.Fatalf("provbench: soak report: %v", err)
+		}
+		fmt.Printf("soak: %d devices, %d churn events, %d frames applied, report %s\n",
+			rep.Devices, rep.ChurnEvents, rep.FramesApplied, *soakOut)
+		if !rep.ExactlyOnce {
+			for _, v := range rep.Violations {
+				fmt.Fprintf(os.Stderr, "soak violation: %s\n", v)
+			}
+			log.Fatalf("provbench: soak: exactly-once contract violated (%d violations)", len(rep.Violations))
+		}
+		fmt.Println("soak: exactly-once verified")
 	case *sessions != "":
 		counts, err := parseSessions(*sessions)
 		if err != nil {

@@ -4,12 +4,22 @@
 // Usage:
 //
 //	provlight-broker -addr 0.0.0.0:1883 [-retry 1s] [-max-retries 5] \
-//	    [-send-window 32] [-shards 16] [-v]
+//	    [-send-window 32] [-shards 16] \
+//	    [-max-sessions 0] [-connect-rate 0] \
+//	    [-stats-listen 127.0.0.1:1884] [-v]
+//
+// -max-sessions and -connect-rate enable overload admission control:
+// past either limit, new CONNECTs are rejected with a congestion CONNACK
+// that well-behaved clients back off from (reconnects of existing
+// sessions always pass the session cap). -stats-listen serves the broker
+// counters as JSON on GET /stats (plus GET /healthz).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +34,10 @@ func main() {
 	maxRetries := flag.Int("max-retries", 5, "outbound retransmissions before giving a frame up (group frames re-route instead)")
 	sendWindow := flag.Int("send-window", 32, "in-flight QoS 1/2 messages per subscriber session")
 	shards := flag.Int("shards", 16, "session-table stripes (each with its own handler goroutine)")
+	maxSessions := flag.Int("max-sessions", 0, "admission control: reject new CONNECTs past this many live sessions (0: unlimited)")
+	connectRate := flag.Float64("connect-rate", 0, "admission control: sustained CONNECTs accepted per second (0: unlimited)")
+	connectBurst := flag.Int("connect-burst", 0, "CONNECT burst allowance for -connect-rate (0: 2x the rate)")
+	statsListen := flag.String("stats-listen", "", "serve broker stats as JSON on this HTTP address (GET /stats, /healthz)")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
 
@@ -33,6 +47,9 @@ func main() {
 		MaxRetries:    *maxRetries,
 		SendWindow:    *sendWindow,
 		Shards:        *shards,
+		MaxSessions:   *maxSessions,
+		ConnectRate:   *connectRate,
+		ConnectBurst:  *connectBurst,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -44,11 +61,31 @@ func main() {
 	defer b.Close()
 	log.Printf("provlight-broker: serving MQTT-SN on udp://%s", b.Addr())
 
+	if *statsListen != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(b.Stats())
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"ok":true}` + "\n"))
+		})
+		statsSrv := &http.Server{Addr: *statsListen, Handler: mux}
+		go func() {
+			if err := statsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("provlight-broker: stats listener: %v", err)
+			}
+		}()
+		defer statsSrv.Close()
+		log.Printf("provlight-broker: serving stats on http://%s/stats", *statsListen)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := b.Stats()
-	log.Printf("provlight-broker: shutting down (publishes=%d routed=%d retransmissions=%d groups=%d rerouted=%d giveups=%d)",
+	log.Printf("provlight-broker: shutting down (publishes=%d routed=%d retransmissions=%d groups=%d rerouted=%d giveups=%d congestion_rejected=%d)",
 		st.PublishesReceived, st.MessagesRouted, st.Retransmissions,
-		st.Groups, st.GroupRerouted, st.DeliveryGiveUps)
+		st.Groups, st.GroupRerouted, st.DeliveryGiveUps, st.CongestionRejected)
 }

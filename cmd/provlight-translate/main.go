@@ -73,6 +73,7 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
 	snapshotEvery := flag.Int("snapshot-every", 4096, "embedded store snapshot period in operations (negative disables)")
 	dfaURL := flag.String("dfanalyzer", "", "DfAnalyzer base URL (enables DfAnalyzer target)")
+	dfaRetries := flag.Int("dfanalyzer-retries", 5, "total HTTP attempts per DfAnalyzer delivery before the error surfaces (1 disables retries)")
 	dataflow := flag.String("dataflow", "provlight", "dataflow tag (DfAnalyzer and embedded store)")
 	plURL := flag.String("provlake", "", "ProvLake base URL (enables ProvLake target)")
 	provjson := flag.String("provjson", "", "write a PROV-JSON document to this file (atomically)")
@@ -105,7 +106,11 @@ func main() {
 		targets = append(targets, translate.NewMemoryTarget())
 	}
 	if *dfaURL != "" {
-		targets = append(targets, translate.NewDfAnalyzerTarget(dfanalyzer.NewClient(*dfaURL), *dataflow))
+		cl := dfanalyzer.NewClient(*dfaURL)
+		if *dfaRetries > 1 {
+			cl.WithRetry(*dfaRetries, 100*time.Millisecond, 5*time.Second)
+		}
+		targets = append(targets, translate.NewDfAnalyzerTarget(cl, *dataflow))
 	}
 	if *plURL != "" {
 		targets = append(targets, translate.NewProvLakeTarget(provlake.NewClient(*plURL)))

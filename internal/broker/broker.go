@@ -58,6 +58,20 @@ type Config struct {
 	Shards int
 	// HandlerQueue bounds each shard's pending-packet queue. Default 256.
 	HandlerQueue int
+	// MaxSessions caps concurrently live sessions (0 = unlimited). A
+	// CONNECT from a *new* client id over the cap is rejected with a
+	// congestion CONNACK; a reconnect of an existing session always
+	// replaces it and is never count-rejected.
+	MaxSessions int
+	// ConnectRate caps accepted CONNECTs per second (0 = unlimited) via
+	// a token bucket of ConnectBurst capacity. This is the thundering-
+	// herd valve: when a partition heals and every device reconnects at
+	// once, the excess get a congestion CONNACK and retry with jitter
+	// instead of all melting the broker in the same instant.
+	ConnectRate float64
+	// ConnectBurst is the token-bucket depth for ConnectRate. Default
+	// max(2×ConnectRate, 1).
+	ConnectBurst int
 	// Logf, when set, receives debug logs.
 	Logf func(format string, args ...any)
 }
@@ -84,6 +98,9 @@ type Stats struct {
 	// their (non-group) subscriber session ended before delivery
 	// completed.
 	BacklogDropped uint64
+	// CongestionRejected counts CONNECTs refused by admission control
+	// (session cap or connection-rate limit) with a congestion CONNACK.
+	CongestionRejected uint64
 }
 
 type message struct {
@@ -259,9 +276,46 @@ type counters struct {
 	retransmissions   atomic.Uint64
 	willsPublished    atomic.Uint64
 	sessionsExpired   atomic.Uint64
-	deliveryGiveUps   atomic.Uint64
-	groupRerouted     atomic.Uint64
-	backlogDropped    atomic.Uint64
+	deliveryGiveUps    atomic.Uint64
+	groupRerouted      atomic.Uint64
+	backlogDropped     atomic.Uint64
+	congestionRejected atomic.Uint64
+}
+
+// connLimiter is the CONNECT-admission token bucket. It is consulted once
+// per CONNECT (not on the publish hot path), so a mutex is fine.
+type connLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newConnLimiter(rate float64, burst int) *connLimiter {
+	if burst <= 0 {
+		burst = int(2 * rate)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &connLimiter{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+func (cl *connLimiter) allow() bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	now := time.Now()
+	cl.tokens += now.Sub(cl.last).Seconds() * cl.rate
+	cl.last = now
+	if cl.tokens > cl.burst {
+		cl.tokens = cl.burst
+	}
+	if cl.tokens < 1 {
+		return false
+	}
+	cl.tokens--
+	return true
 }
 
 // topicTables is one immutable snapshot of the gateway-scoped topic
@@ -301,6 +355,9 @@ type Broker struct {
 	retained map[string]*message
 
 	ctr counters
+
+	// connLimit rate-limits CONNECT admission (nil = unlimited).
+	connLimit *connLimiter
 
 	// bufPool recycles inbound datagram buffers; outPool recycles
 	// outbound marshal buffers on the route path; msgPool and obPool
@@ -368,6 +425,9 @@ func New(cfg Config) (*Broker, error) {
 		obPool:  sync.Pool{New: func() any { return new(outbound) }},
 		done:    make(chan struct{}),
 	}
+	if cfg.ConnectRate > 0 {
+		b.connLimit = newConnLimiter(cfg.ConnectRate, cfg.ConnectBurst)
+	}
 	b.topics.Store(&topicTables{ids: map[string]uint16{}, names: map[uint16]string{}})
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -404,8 +464,9 @@ func (b *Broker) Stats() Stats {
 		WillsPublished:    b.ctr.willsPublished.Load(),
 		SessionsExpired:   b.ctr.sessionsExpired.Load(),
 		DeliveryGiveUps:   b.ctr.deliveryGiveUps.Load(),
-		GroupRerouted:     b.ctr.groupRerouted.Load(),
-		BacklogDropped:    b.ctr.backlogDropped.Load(),
+		GroupRerouted:      b.ctr.groupRerouted.Load(),
+		BacklogDropped:     b.ctr.backlogDropped.Load(),
+		CongestionRejected: b.ctr.congestionRejected.Load(),
 	}
 	for _, sh := range b.shards {
 		sh.mu.Lock()
@@ -812,7 +873,15 @@ func (b *Broker) handle(addr net.Addr, pkt mqttsn.Packet) {
 	case *mqttsn.Unsubscribe:
 		b.handleUnsubscribe(addr, p)
 	case *mqttsn.Pingreq:
-		b.touch(addr)
+		if !b.touch(addr) {
+			// The session is gone (expired by the janitor, typically after
+			// an overload window swallowed its pings). Answering with a
+			// plain PINGRESP would keep the client in a zombie state —
+			// pinging forever, believing it is connected, subscribed to
+			// nothing. A DISCONNECT tells it to re-CONNECT instead.
+			b.sendTo(addr, &mqttsn.Disconnect{})
+			return
+		}
 		b.sendTo(addr, &mqttsn.Pingresp{})
 	case *mqttsn.Disconnect:
 		b.handleDisconnect(addr)
@@ -823,17 +892,46 @@ func (b *Broker) handle(addr net.Addr, pkt mqttsn.Packet) {
 	}
 }
 
-func (b *Broker) touch(addr net.Addr) {
+// touch refreshes the session's liveness clock and reports whether the
+// address still maps to a live session.
+func (b *Broker) touch(addr net.Addr) bool {
 	key := addr.String()
 	sh := b.shardFor(key)
 	sh.mu.Lock()
-	if s := sh.sessions[key]; s != nil {
+	s := sh.sessions[key]
+	if s != nil {
 		s.lastSeen = time.Now()
 	}
 	sh.mu.Unlock()
+	return s != nil
+}
+
+// admitConnect is the overload valve: it refuses a CONNECT when the
+// accept rate is over the token bucket or a *new* client id would exceed
+// the session cap. Reconnects of known client ids are never count-capped
+// (they replace, not add), so a full broker can still churn sessions.
+func (b *Broker) admitConnect(clientID string) bool {
+	if b.connLimit != nil && !b.connLimit.allow() {
+		return false
+	}
+	if b.cfg.MaxSessions > 0 {
+		b.clientMu.Lock()
+		_, existing := b.byClientID[clientID]
+		n := len(b.byClientID)
+		b.clientMu.Unlock()
+		if !existing && n >= b.cfg.MaxSessions {
+			return false
+		}
+	}
+	return true
 }
 
 func (b *Broker) handleConnect(addr net.Addr, p *mqttsn.Connect) {
+	if !b.admitConnect(p.ClientID) {
+		b.ctr.congestionRejected.Add(1)
+		b.sendTo(addr, &mqttsn.Connack{ReturnCode: mqttsn.RejectedCongestion})
+		return
+	}
 	s := &session{
 		clientID:     p.ClientID,
 		addr:         addr,

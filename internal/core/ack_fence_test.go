@@ -5,28 +5,26 @@ import (
 	"testing"
 	"time"
 
+	"github.com/provlight/provlight/internal/resilience"
 	"github.com/provlight/provlight/internal/wire"
 )
 
-// TestJitterDelayBounds pins the reconnect jitter contract: sleeps are
+// TestReconnectJitterBounds pins the reconnect jitter contract the
+// drainer inherits from the shared resilience schedule: sleeps are
 // spread uniformly over [d/2, d] so a fleet's backoffs decorrelate after
 // a shared outage, and the per-client worst case never exceeds d.
-func TestJitterDelayBounds(t *testing.T) {
+func TestReconnectJitterBounds(t *testing.T) {
 	const d = 800 * time.Millisecond
 	for _, u := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
-		got := jitterDelay(d, u)
+		bo := resilience.Backoff{Min: d, Max: d, Rand: func() float64 { return u }}
+		got := bo.Delay(0)
 		if got < d/2 || got > d {
-			t.Fatalf("jitterDelay(%v, %v) = %v, outside [%v, %v]", d, u, got, d/2, d)
+			t.Fatalf("Delay with u=%v = %v, outside [%v, %v]", u, got, d/2, d)
 		}
 	}
-	if got := jitterDelay(d, 0); got != d/2 {
-		t.Fatalf("jitterDelay(d, 0) = %v, want %v", got, d/2)
-	}
-	if got := jitterDelay(0, 0.5); got != 0 {
-		t.Fatalf("jitterDelay(0, u) = %v, want 0", got)
-	}
-	if got := jitterDelay(-time.Second, 0.5); got != 0 {
-		t.Fatalf("jitterDelay(<0, u) = %v, want 0", got)
+	bo := resilience.Backoff{Min: d, Max: d, Rand: func() float64 { return 0 }}
+	if got := bo.Delay(0); got != d/2 {
+		t.Fatalf("Delay(u=0) = %v, want %v", got, d/2)
 	}
 }
 

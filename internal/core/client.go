@@ -94,6 +94,23 @@ type Config struct {
 	SpoolSyncInterval time.Duration
 	// SpoolSegmentSize is the WAL segment rotation size. Default 8 MiB.
 	SpoolSegmentSize int64
+	// SpoolQuota caps the spool's on-disk bytes (0 = unlimited). When
+	// usage crosses SpoolHighWatermark×SpoolQuota the spool degrades
+	// according to SpoolPolicy until usage falls below
+	// SpoolLowWatermark×SpoolQuota. See spool.DegradePolicy.
+	SpoolQuota         int64
+	SpoolHighWatermark float64
+	SpoolLowWatermark  float64
+	// SpoolPolicy selects degraded-mode behavior: spool.Block (default)
+	// stalls capture with ErrSpoolDegraded, spool.DropNew sheds arriving
+	// QoS 0 frames first, spool.DropOldestUnacked sheds the oldest
+	// spooled frames (freshest-data-wins).
+	SpoolPolicy spool.DegradePolicy
+	// CongestionRetryAfter is the minimum (pre-jitter) delay before
+	// re-dialing a broker that rejected the CONNECT for congestion.
+	// Default 1 s. The actual sleep is jittered upward so a rejected
+	// herd does not re-arrive in lockstep.
+	CongestionRetryAfter time.Duration
 	// AckWindow caps how many frames the drainer publishes ahead of the
 	// acknowledged floor. Default 64.
 	AckWindow int
@@ -170,6 +187,31 @@ type Stats struct {
 	// primary after a failover. AckTerm is that highest seen term.
 	StaleAcks uint64
 	AckTerm   uint64
+	// Reconnect backoff state (spool mode). ReconnectAttempts counts
+	// every dial the drainer made (successful or not);
+	// ReconnectConsecFailures is the current failure streak (0 while
+	// connected); NextRetryUnixNano is when the next dial is scheduled
+	// (0 when connected or not waiting). Together they answer "is this
+	// client connected, and if not, when will it try again?".
+	ReconnectAttempts       uint64
+	ReconnectConsecFailures uint64
+	NextRetryUnixNano       int64
+	// FramesShed counts capture frames intentionally dropped by the
+	// spool's degradation policy (vs stored or stalled).
+	FramesShed uint64
+	// Spool degradation + durability health (zero-valued without
+	// SpoolDir; see spool.Stats for field semantics).
+	SpoolUsedBytes            int64
+	SpoolQuotaBytes           int64
+	SpoolDegraded             bool
+	SpoolDegradedEvents       uint64
+	SpoolShedQoS0             uint64
+	SpoolShedHigher           uint64
+	SpoolBlockedAppends       uint64
+	SpoolMarkPersistErrors    uint64
+	SpoolLastMarkPersistError string
+	SpoolWALSyncErrors        uint64
+	SpoolLastWALSyncError     string
 }
 
 // Client is the ProvLight capture library handle. Create with NewClient,
@@ -236,6 +278,11 @@ type counters struct {
 	reconnects       atomic.Uint64
 	staleAcks        atomic.Uint64
 	ackTerm          atomic.Uint64
+	framesShed       atomic.Uint64
+	// Reconnect backoff state (spool-mode drainer).
+	reconnectAttempts atomic.Uint64
+	consecFailures    atomic.Uint64
+	nextRetryNano     atomic.Int64
 }
 
 // NewClient connects to the broker and returns a ready capture client.
@@ -329,10 +376,27 @@ func (c *Client) StatsSnapshot() Stats {
 		SpoolReconnects:   c.ctr.reconnects.Load(),
 		StaleAcks:         c.ctr.staleAcks.Load(),
 		AckTerm:           c.ctr.ackTerm.Load(),
+
+		ReconnectAttempts:       c.ctr.reconnectAttempts.Load(),
+		ReconnectConsecFailures: c.ctr.consecFailures.Load(),
+		NextRetryUnixNano:       c.ctr.nextRetryNano.Load(),
+		FramesShed:              c.ctr.framesShed.Load(),
 	}
 	if c.spool != nil {
 		st.SpoolAcked = c.spool.Floor()
 		st.SpoolPending = c.spool.Pending()
+		sp := c.spool.Stats()
+		st.SpoolUsedBytes = sp.UsedBytes
+		st.SpoolQuotaBytes = sp.QuotaBytes
+		st.SpoolDegraded = sp.Degraded
+		st.SpoolDegradedEvents = sp.DegradedEvents
+		st.SpoolShedQoS0 = sp.ShedQoS0
+		st.SpoolShedHigher = sp.ShedHigher
+		st.SpoolBlockedAppends = sp.BlockedAppends
+		st.SpoolMarkPersistErrors = sp.MarkPersistErrors
+		st.SpoolLastMarkPersistError = sp.LastMarkPersistError
+		st.SpoolWALSyncErrors = sp.WALSyncErrors
+		st.SpoolLastWALSyncError = sp.LastWALSyncError
 	}
 	return st
 }

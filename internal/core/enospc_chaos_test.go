@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight/internal/broker"
+	"github.com/provlight/provlight/internal/chaos"
+	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/spool"
+	"github.com/provlight/provlight/internal/translate"
+	"github.com/provlight/provlight/internal/wal"
+)
+
+// deadBrokerAddr reserves a UDP address and closes it, so a client's
+// drainer spools everything locally until a real broker appears there.
+func deadBrokerAddr(t *testing.T) string {
+	t.Helper()
+	b, err := broker.New(broker.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+	b.Close()
+	return addr
+}
+
+func enospcClient(t *testing.T, addr string, policy spool.DegradePolicy) *Client {
+	t.Helper()
+	client, err := NewClient(context.Background(), Config{
+		Broker:            addr,
+		ClientID:          "enospc-" + policy.String(),
+		SpoolDir:          t.TempDir(),
+		SpoolSegmentSize:  256, // several sealed segments from a small stream
+		SpoolPolicy:       policy,
+		RetryInterval:     100 * time.Millisecond,
+		MaxRetries:        3,
+		RedeliverAfter:    500 * time.Millisecond,
+		ReconnectMinDelay: 20 * time.Millisecond,
+		ReconnectMaxDelay: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return client
+}
+
+// captureOne sends a single workflow-begin record (one spool frame).
+func captureOne(c *Client, i int) error {
+	return c.Capture(&provdm.Record{
+		Event:      provdm.EventWorkflowBegin,
+		WorkflowID: fmt.Sprintf("wf%d", i),
+		Time:       time.Now(),
+	})
+}
+
+// drainAndCount frees the quota fault, brings a broker+translator up on
+// addr, shuts the client down (draining the spool), and returns the
+// record count that reached the target.
+func drainAndCount(t *testing.T, client *Client, addr string) (Stats, int) {
+	t.Helper()
+	mem := translate.NewMemoryTarget()
+	srv, err := StartServer(context.Background(), ServerConfig{
+		Addr:          addr,
+		Targets:       []translate.Target{mem},
+		RetryInterval: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := client.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v (stats %+v)", err, client.StatsSnapshot())
+	}
+	srv.Drain()
+	return client.StatsSnapshot(), mem.Len()
+}
+
+// TestENOSPCBlockStallsThenDrains: with the Block policy, exhausting the
+// spool quota mid-stream makes Capture fail with a retryable full error
+// — no frame is shed — and freeing space lets capture resume and the
+// spool drain cleanly with every admitted frame delivered exactly once.
+func TestENOSPCBlockStallsThenDrains(t *testing.T) {
+	addr := deadBrokerAddr(t)
+	client := enospcClient(t, addr, spool.Block)
+
+	const before = 20
+	for i := 0; i < before; i++ {
+		if err := captureOne(client, i); err != nil {
+			t.Fatalf("capture %d with space: %v", i, err)
+		}
+	}
+
+	dq := chaos.NewDiskQuota(client.spool)
+	dq.Fill()
+	var stalled int
+	for i := 0; i < 5; i++ {
+		err := captureOne(client, before+i)
+		if err == nil {
+			t.Fatalf("capture %d succeeded with the quota exhausted", before+i)
+		}
+		if !errors.Is(err, wal.ErrNoSpace) {
+			t.Fatalf("capture under ENOSPC: %v, want wal.ErrNoSpace", err)
+		}
+		stalled++
+	}
+	st := client.StatsSnapshot()
+	if st.SpoolBlockedAppends == 0 || st.FramesShed != 0 {
+		t.Fatalf("blocked=%d shed=%d, want blocked>0 shed=0", st.SpoolBlockedAppends, st.FramesShed)
+	}
+
+	dq.Free()
+	if err := captureOne(client, 99); err != nil {
+		t.Fatalf("capture after freeing space: %v", err)
+	}
+
+	st, got := drainAndCount(t, client, addr)
+	want := before + 1 // the stalled captures were rejected, not queued
+	if got != want {
+		t.Fatalf("target has %d records, want %d", got, want)
+	}
+	if st.SpoolAcked != uint64(want) {
+		t.Fatalf("acked %d frames, want %d", st.SpoolAcked, want)
+	}
+}
+
+// TestENOSPCDropNewShedsAndCounts: with the DropNew policy a full spool
+// sheds arriving frames (Capture reports success; the policy chose the
+// loss) and counts them; surviving frames drain exactly once.
+func TestENOSPCDropNewShedsAndCounts(t *testing.T) {
+	addr := deadBrokerAddr(t)
+	client := enospcClient(t, addr, spool.DropNew)
+
+	const before = 20
+	for i := 0; i < before; i++ {
+		if err := captureOne(client, i); err != nil {
+			t.Fatalf("capture %d with space: %v", i, err)
+		}
+	}
+
+	dq := chaos.NewDiskQuota(client.spool)
+	dq.Fill()
+	const during = 5
+	for i := 0; i < during; i++ {
+		if err := captureOne(client, before+i); err != nil {
+			t.Fatalf("capture %d under DropNew: %v (want silent shed)", before+i, err)
+		}
+	}
+	st := client.StatsSnapshot()
+	if st.FramesShed != during {
+		t.Fatalf("FramesShed = %d, want %d", st.FramesShed, during)
+	}
+
+	dq.Free()
+	if err := captureOne(client, 99); err != nil {
+		t.Fatalf("capture after freeing space: %v", err)
+	}
+
+	st, got := drainAndCount(t, client, addr)
+	want := before + 1
+	if got != want {
+		t.Fatalf("target has %d records, want %d (shed frames must not reappear)", got, want)
+	}
+	if st.SpoolAcked != uint64(want) {
+		t.Fatalf("acked %d frames, want %d", st.SpoolAcked, want)
+	}
+}
+
+// TestENOSPCDropOldestShedsPrefix: with the DropOldestUnacked policy a
+// full spool sheds its oldest sealed segments to admit new frames: the
+// floor only ever advances, sheds are counted by class, and after space
+// returns the surviving tail drains cleanly.
+func TestENOSPCDropOldestShedsPrefix(t *testing.T) {
+	addr := deadBrokerAddr(t)
+	client := enospcClient(t, addr, spool.DropOldestUnacked)
+
+	const before = 60 // enough to seal several 2 KiB segments
+	for i := 0; i < before; i++ {
+		if err := captureOne(client, i); err != nil {
+			t.Fatalf("capture %d with space: %v", i, err)
+		}
+	}
+
+	dq := chaos.NewDiskQuota(client.spool)
+	dq.Fill()
+	if err := captureOne(client, before); err != nil {
+		t.Fatalf("capture under DropOldestUnacked: %v (want shed-to-admit)", err)
+	}
+	st := client.StatsSnapshot()
+	shed := st.SpoolShedHigher + st.SpoolShedQoS0
+	if shed == 0 {
+		t.Fatalf("nothing shed: %+v", st)
+	}
+	floorAfterShed := client.spool.Floor()
+	if floorAfterShed != shed {
+		// Nothing was acked yet, so the advanced floor must equal the shed
+		// count exactly — anything else means acked bookkeeping drifted.
+		t.Fatalf("floor %d != shed %d with nothing acked", floorAfterShed, shed)
+	}
+
+	dq.Free()
+	st, got := drainAndCount(t, client, addr)
+	if client.spool.Floor() < floorAfterShed {
+		t.Fatalf("floor regressed %d -> %d", floorAfterShed, client.spool.Floor())
+	}
+	want := int(st.FramesSpooled - shed)
+	if got != want {
+		t.Fatalf("target has %d records, want %d (spooled %d - shed %d)",
+			got, want, st.FramesSpooled, shed)
+	}
+	// The floor covers acked *or shed* frames; after a clean drain it
+	// reaches the last spooled sequence.
+	if st.SpoolAcked != st.FramesSpooled {
+		t.Fatalf("floor at %d after drain, want %d", st.SpoolAcked, st.FramesSpooled)
+	}
+}

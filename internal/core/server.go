@@ -44,6 +44,12 @@ type ServerConfig struct {
 	BatchLinger time.Duration
 	// RetryInterval tunes broker and translator retransmissions.
 	RetryInterval time.Duration
+	// MaxSessions, ConnectRate and ConnectBurst pass through to the
+	// broker's overload admission control (see broker.Config): past either
+	// limit new CONNECTs get a congestion CONNACK instead of a session.
+	MaxSessions  int
+	ConnectRate  float64
+	ConnectBurst int
 	// OnError receives asynchronous translator errors.
 	OnError func(error)
 }
@@ -63,7 +69,13 @@ func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 	if len(cfg.Targets) == 0 {
 		return nil, fmt.Errorf("provlight: server requires at least one target")
 	}
-	b, err := broker.New(broker.Config{Addr: cfg.Addr, RetryInterval: cfg.RetryInterval})
+	b, err := broker.New(broker.Config{
+		Addr:          cfg.Addr,
+		RetryInterval: cfg.RetryInterval,
+		MaxSessions:   cfg.MaxSessions,
+		ConnectRate:   cfg.ConnectRate,
+		ConnectBurst:  cfg.ConnectBurst,
+	})
 	if err != nil {
 		return nil, err
 	}

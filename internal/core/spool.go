@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"github.com/provlight/provlight/internal/ctxutil"
 	"github.com/provlight/provlight/internal/mqttsn"
 	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/resilience"
 	"github.com/provlight/provlight/internal/spool"
 	"github.com/provlight/provlight/internal/wire"
 )
@@ -53,11 +53,18 @@ func newSpoolClient(cfg Config) (*Client, error) {
 	if cfg.ReconnectMaxDelay <= 0 {
 		cfg.ReconnectMaxDelay = 10 * time.Second
 	}
+	if cfg.CongestionRetryAfter <= 0 {
+		cfg.CongestionRetryAfter = time.Second
+	}
 	sp, err := spool.Open(spool.Options{
-		Dir:          cfg.SpoolDir,
-		Sync:         cfg.SpoolSync,
-		SyncInterval: cfg.SpoolSyncInterval,
-		SegmentSize:  cfg.SpoolSegmentSize,
+		Dir:           cfg.SpoolDir,
+		Sync:          cfg.SpoolSync,
+		SyncInterval:  cfg.SpoolSyncInterval,
+		SegmentSize:   cfg.SpoolSegmentSize,
+		Quota:         cfg.SpoolQuota,
+		HighWatermark: cfg.SpoolHighWatermark,
+		LowWatermark:  cfg.SpoolLowWatermark,
+		Policy:        cfg.SpoolPolicy,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("provlight: open spool: %w", err)
@@ -77,7 +84,10 @@ func newSpoolClient(cfg Config) (*Client, error) {
 
 // spoolAppend encodes records into a frame stamped with its spool
 // sequence number and appends it to the WAL. This is the whole capture
-// hot path in spool mode: one encode, one write(2).
+// hot path in spool mode: one encode, one write(2). Under a disk quota
+// the spool's degradation policy applies: a shed frame is counted and
+// silently dropped (the policy chose loss), a Block rejection propagates
+// as a retryable error so the caller stalls rather than loses data.
 func (c *Client) spoolAppend(records ...*provdm.Record) error {
 	if c.closed.Load() {
 		return fmt.Errorf("provlight: client closed")
@@ -86,7 +96,8 @@ func (c *Client) spoolAppend(records ...*provdm.Record) error {
 	defer framePool.Put(bufp)
 	var size int
 	var compressed bool
-	_, err := c.spool.AppendWith(func(seq uint64) ([]byte, error) {
+	qos0 := c.cfg.QoS <= mqttsn.QoS0
+	_, err := c.spool.AppendFrame(qos0, func(seq uint64) ([]byte, error) {
 		frame, err := c.enc.AppendFrameSeq((*bufp)[:0], seq, records...)
 		if err != nil {
 			return nil, err
@@ -96,6 +107,10 @@ func (c *Client) spoolAppend(records ...*provdm.Record) error {
 		compressed = wire.IsCompressed(frame)
 		return frame, nil
 	})
+	if errors.Is(err, spool.ErrShed) {
+		c.ctr.framesShed.Add(1)
+		return nil
+	}
 	if err != nil {
 		return err
 	}
@@ -131,10 +146,19 @@ func (c *Client) setSession(mc *mqttsn.Client) {
 }
 
 // drainer owns the broker connection: dial, drain, tear down, back off,
-// repeat — until stopped (graceful) or killed (crash simulation).
+// repeat — until stopped (graceful) or killed (crash simulation). Backoff
+// comes from the shared resilience schedule: exponential with [d/2, d]
+// jitter, which matters at fleet scale — after a broker or translator
+// failover every edge client notices the outage within the same retry
+// interval, and without jitter their backoffs stay phase-locked,
+// thousands of devices re-dialing in synchronized waves. A congestion
+// rejection from the broker's admission control raises the sleep to at
+// least CongestionRetryAfter (jittered upward), honoring the broker's
+// "come back later" instead of hammering it at the dial cadence.
 func (c *Client) drainer() {
 	defer c.drainWG.Done()
-	backoff := c.cfg.ReconnectMinDelay
+	bo := resilience.Backoff{Min: c.cfg.ReconnectMinDelay, Max: c.cfg.ReconnectMaxDelay}
+	attempt := 0
 	for {
 		select {
 		case <-c.drainStop:
@@ -143,16 +167,28 @@ func (c *Client) drainer() {
 			return
 		default:
 		}
+		c.ctr.reconnectAttempts.Add(1)
 		mc, conn, down, err := c.dialSession()
 		if err != nil {
+			c.ctr.consecFailures.Add(1)
 			c.reportAsync(fmt.Errorf("provlight: spool connect %s: %w", c.cfg.Broker, err))
-			if !c.backoffWait(&backoff) {
+			sleep := bo.Delay(attempt)
+			if errors.Is(err, mqttsn.ErrCongestion) && sleep < c.cfg.CongestionRetryAfter {
+				// Jitter over [after, 2×after]: at least what the broker
+				// asked for, never the whole herd at once.
+				after := c.cfg.CongestionRetryAfter
+				sleep = resilience.Backoff{Min: 2 * after, Max: 2 * after}.Delay(0)
+			}
+			attempt++
+			if !c.backoffSleep(sleep) {
 				return
 			}
 			continue
 		}
 		c.ctr.reconnects.Add(1)
-		backoff = c.cfg.ReconnectMinDelay
+		c.ctr.consecFailures.Store(0)
+		c.ctr.nextRetryNano.Store(0)
+		attempt = 0
 		c.setSession(mc)
 		err = c.drainWith(mc, down)
 		c.setSession(nil)
@@ -168,45 +204,30 @@ func (c *Client) drainer() {
 		case errDrainStop, errDrainKill:
 			return
 		}
-		if !c.backoffWait(&backoff) {
+		sleep := bo.Delay(attempt)
+		attempt++
+		if !c.backoffSleep(sleep) {
 			return
 		}
 	}
 }
 
-// backoffWait sleeps a jittered spread of the current backoff (then
-// doubles the backoff up to the max), returning false when the drainer
-// should exit instead. The jitter matters at fleet scale: after a broker
-// or translator failover, every edge client notices the outage within the
-// same retry interval, and without jitter their exponential backoffs stay
-// phase-locked — thousands of devices re-dialing in synchronized waves.
-// Spreading each sleep uniformly over [d/2, d] decorrelates the fleet
-// while keeping the per-client worst case at the configured delay.
-func (c *Client) backoffWait(d *time.Duration) bool {
-	timer := time.NewTimer(jitterDelay(*d, rand.Float64()))
+// backoffSleep waits out one backoff delay, publishing the wake deadline
+// in stats (NextRetryUnixNano) so an operator can see when a disconnected
+// client will try again. Returns false when the drainer should exit.
+func (c *Client) backoffSleep(d time.Duration) bool {
+	c.ctr.nextRetryNano.Store(time.Now().Add(d).UnixNano())
+	timer := time.NewTimer(d)
 	defer timer.Stop()
-	*d *= 2
-	if *d > c.cfg.ReconnectMaxDelay {
-		*d = c.cfg.ReconnectMaxDelay
-	}
 	select {
 	case <-timer.C:
+		c.ctr.nextRetryNano.Store(0)
 		return true
 	case <-c.drainStop:
 		return false
 	case <-c.drainKill:
 		return false
 	}
-}
-
-// jitterDelay maps a backoff d and a uniform sample u in [0, 1) onto the
-// jittered sleep in [d/2, d].
-func jitterDelay(d time.Duration, u float64) time.Duration {
-	if d <= 0 {
-		return 0
-	}
-	half := d / 2
-	return half + time.Duration(u*float64(d-half))
 }
 
 // dialSession establishes one broker session: connect, register the

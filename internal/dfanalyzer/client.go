@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/resilience"
 	"github.com/provlight/provlight/internal/source"
 )
 
@@ -27,6 +28,12 @@ type Client struct {
 	// TermHeader so a server on a different replication term rejects the
 	// write (fenced failover; see replication.go).
 	term atomic.Uint64
+	// retry, when set via WithRetry, wraps every mutating POST in the
+	// shared resilience policy: budgeted jittered-backoff retries gated
+	// by a circuit breaker. Server rejections (4xx, including the 409
+	// term fence) are permanent; 5xx and transport errors retry.
+	retry   *resilience.Retry
+	breaker *resilience.Breaker
 }
 
 // NewClient returns a capture client for the server at baseURL
@@ -38,6 +45,32 @@ func NewClient(baseURL string) *Client {
 			Timeout: 30 * time.Second,
 		},
 	}
+}
+
+// WithRetry enables budgeted retries on the mutating POST paths:
+// budget total attempts with jittered exponential backoff between min
+// and max, gated by a circuit breaker that opens after repeated
+// failures (so a down server costs one fast rejection per delivery
+// instead of a full backoff ladder). Rejections the server will repeat
+// (4xx, including the 409 term fence) are never retried. Returns c for
+// chaining; call before the first request.
+func (c *Client) WithRetry(budget int, min, max time.Duration) *Client {
+	c.breaker = &resilience.Breaker{}
+	c.retry = &resilience.Retry{
+		Budget:  budget,
+		Backoff: resilience.Backoff{Min: min, Max: max},
+		Breaker: c.breaker,
+	}
+	return c
+}
+
+// BreakerStats reports the retry circuit breaker's state; zero-valued
+// when WithRetry was not enabled.
+func (c *Client) BreakerStats() resilience.BreakerStats {
+	if c.breaker == nil {
+		return resilience.BreakerStats{}
+	}
+	return c.breaker.Stats()
 }
 
 // SetTerm sets the replication term stamped into subsequent writes
@@ -52,9 +85,22 @@ func (c *Client) post(path string, body any) error {
 	if err != nil {
 		return err
 	}
+	if c.retry == nil {
+		return c.postOnce(path, data)
+	}
+	return c.retry.Do(context.Background(), func(context.Context) error {
+		return c.postOnce(path, data)
+	})
+}
+
+// postOnce performs one POST attempt. Failures the server will repeat on
+// a retry of the same request (4xx, including the 409 term fence after a
+// failover) are marked permanent; transport errors and 5xx are left
+// retryable for the resilience policy.
+func (c *Client) postOnce(path string, data []byte) error {
 	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(data))
 	if err != nil {
-		return err
+		return resilience.Permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if term := c.term.Load(); term > 0 {
@@ -67,7 +113,11 @@ func (c *Client) post(path string, body any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("dfanalyzer: %s returned %s: %s", path, resp.Status, msg)
+		err := fmt.Errorf("dfanalyzer: %s returned %s: %s", path, resp.Status, msg)
+		if resp.StatusCode < 500 {
+			return resilience.Permanent(err)
+		}
+		return err
 	}
 	// Drain so the connection is reused.
 	_, _ = io.Copy(io.Discard, resp.Body)

@@ -1,0 +1,52 @@
+package dfanalyzer
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetryTransient: 5xx responses are retried under the budget
+// and the delivery succeeds once the server recovers.
+func TestClientRetryTransient(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL).WithRetry(5, time.Millisecond, 5*time.Millisecond)
+	if err := cl.SendTask(&TaskMsg{Dataflow: "df", Transformation: "t", ID: "wf/1", Status: StatusRunning}); err != nil {
+		t.Fatalf("SendTask after transient 503s: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestClientRetryPermanent: a 4xx (here the 409 term fence) is never
+// retried — the server would reject the identical request again.
+func TestClientRetryPermanent(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "stale term", http.StatusConflict)
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL).WithRetry(5, time.Millisecond, 5*time.Millisecond)
+	err := cl.SendTask(&TaskMsg{Dataflow: "df", Transformation: "t", ID: "wf/1", Status: StatusRunning})
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("want 409 error, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (permanent)", got)
+	}
+}

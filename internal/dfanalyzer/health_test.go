@@ -1,0 +1,86 @@
+package dfanalyzer
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func getJSONStatus(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHealthEndpointsStandalone: a serving standalone store is live and
+// ready.
+func TestHealthEndpointsStandalone(t *testing.T) {
+	srv := NewServer(NewStore())
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code := getJSONStatus(t, base+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	var ready readyzResponse
+	if code := getJSONStatus(t, base+"/readyz", &ready); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+	if !ready.Ready || ready.Role != "standalone" {
+		t.Fatalf("readyz = %+v, want ready standalone", ready)
+	}
+}
+
+// TestHealthEndpointsReplica: a replica's readiness tracks its
+// replication stream — attached and under the lag threshold.
+func TestHealthEndpointsReplica(t *testing.T) {
+	store := NewStore()
+	store.BeginFollowing()
+	srv := NewServer(store)
+	srv.ReadyMaxLag = 10
+
+	// The replication layer's half of /stats, as replica.Follower's
+	// AttachStats would fill it in.
+	replica := &ReplicaStats{Connected: true, LagRecords: 3}
+	srv.OnStats = func(st *StoreStats) { st.Replica = replica }
+
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	var ready readyzResponse
+	if code := getJSONStatus(t, base+"/readyz", &ready); code != http.StatusOK {
+		t.Fatalf("connected replica under threshold: /readyz = %d, want 200", code)
+	}
+	if !ready.Ready || ready.LagRecords != 3 {
+		t.Fatalf("readyz = %+v, want ready with lag 3", ready)
+	}
+
+	replica.LagRecords = 11
+	if code := getJSONStatus(t, base+"/readyz", &ready); code != http.StatusServiceUnavailable {
+		t.Fatalf("lagging replica: /readyz = %d, want 503", code)
+	}
+	if ready.Ready || ready.Reason == "" {
+		t.Fatalf("readyz = %+v, want not ready with reason", ready)
+	}
+
+	replica.LagRecords = 3
+	replica.Connected = false
+	if code := getJSONStatus(t, base+"/readyz", &ready); code != http.StatusServiceUnavailable {
+		t.Fatalf("disconnected replica: /readyz = %d, want 503", code)
+	}
+}

@@ -395,6 +395,10 @@ type StoreStats struct {
 	WALFirstSeq uint64 `json:"wal_first_seq,omitempty"`
 	WALLastSeq  uint64 `json:"wal_last_seq,omitempty"`
 	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	// Background WAL sync failures: silent durability degradation an
+	// operator must see (zero/empty when healthy or in-memory).
+	WALSyncErrors    uint64 `json:"wal_sync_errors,omitempty"`
+	LastWALSyncError string `json:"last_wal_sync_error,omitempty"`
 	// Replication is the primary-side view (nil unless this store ships
 	// its WAL to followers).
 	Replication *ReplicationStats `json:"replication,omitempty"`
@@ -456,6 +460,7 @@ func (s *Store) Stats() StoreStats {
 	if s.dur != nil {
 		st.WALFirstSeq, st.WALLastSeq = s.WALSeqs()
 		st.SnapshotSeq = s.SnapshotSeq()
+		st.WALSyncErrors, st.LastWALSyncError = s.dur.log.SyncErrors()
 	}
 	return st
 }

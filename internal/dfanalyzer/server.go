@@ -34,6 +34,11 @@ type Server struct {
 	// replica) before it is served. Set before Start.
 	OnStats func(*StoreStats)
 
+	// ReadyMaxLag bounds how many records a read replica may trail its
+	// primary and still report ready on /readyz. 0 means any connected
+	// replica is ready regardless of lag. Set before Start.
+	ReadyMaxLag uint64
+
 	requests atomic.Uint64
 }
 
@@ -69,6 +74,8 @@ func (s *Server) Start(addr string) error {
 	mux.HandleFunc("/frames", s.handleFrames)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	s.http = &http.Server{Handler: s.count(mux)}
 	go s.http.Serve(lis)
 	return nil
@@ -276,6 +283,55 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.OnStats(&st)
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleHealthz is process liveness: serving at all means the process is
+// up and — for durable stores — WAL recovery completed (OpenStore only
+// returns after replay, and Start runs after OpenStore).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// readyzResponse is the /readyz body: whether this node should receive
+// traffic, and why not when it shouldn't.
+type readyzResponse struct {
+	Ready  bool   `json:"ready"`
+	Role   string `json:"role"`
+	Reason string `json:"reason,omitempty"`
+	// LagRecords is how far a replica trails its primary (replica only).
+	LagRecords uint64 `json:"lag_records,omitempty"`
+}
+
+// handleReadyz is traffic readiness: recovery is complete (implied by
+// serving), and a read replica is connected to its primary and — when
+// ReadyMaxLag is set — trailing by no more than that many records. A
+// standalone or primary store that is serving is always ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	if s.OnStats != nil {
+		s.OnStats(&st)
+	}
+	resp := readyzResponse{Ready: true, Role: st.Role}
+	if st.Role == RoleReplica.String() {
+		switch {
+		case st.Replica == nil:
+			resp.Ready, resp.Reason = false, "replication stream not attached"
+		case !st.Replica.Connected:
+			resp.Ready, resp.Reason = false, "disconnected from primary"
+		case s.ReadyMaxLag > 0 && st.Replica.LagRecords > s.ReadyMaxLag:
+			resp.Ready = false
+			resp.Reason = fmt.Sprintf("replica lag %d records exceeds threshold %d",
+				st.Replica.LagRecords, s.ReadyMaxLag)
+		}
+		if st.Replica != nil {
+			resp.LagRecords = st.Replica.LagRecords
+		}
+	}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

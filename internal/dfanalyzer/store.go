@@ -326,6 +326,20 @@ func (s *Store) IngestFramesTerm(term uint64, frames []FrameMsg) (applied int, e
 	return applied, nil
 }
 
+// AppliedFrameCount returns how many distinct frames the store has
+// applied from origin — the exactly-once ledger behind IngestFrames.
+// Soak and chaos harnesses compare it against what the origin's spool
+// admitted to prove no acknowledged frame was lost or double-applied.
+func (s *Store) AppliedFrameCount(origin string) uint64 {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	st, ok := s.dedup.origins[origin]
+	if !ok {
+		return 0
+	}
+	return st.floor + uint64(len(st.seen))
+}
+
 // ingestTasksApply is the in-memory apply path (the historical
 // IngestTasks body).
 func (s *Store) ingestTasksApply(msgs []*TaskMsg) error {

@@ -15,6 +15,12 @@ var (
 	ErrTimeout      = errors.New("mqttsn: timed out waiting for acknowledgement")
 	ErrClosed       = errors.New("mqttsn: client closed")
 	ErrNotConnected = errors.New("mqttsn: not connected")
+	// ErrCongestion is returned by Connect when the gateway refused the
+	// session with a congestion CONNACK (admission control under
+	// overload). The spec's contract for this code is "try again later":
+	// callers should back off with jitter — never retry immediately, or a
+	// rejected thundering herd re-arrives as the same herd.
+	ErrCongestion = errors.New("mqttsn: connect rejected: congestion")
 )
 
 // Will configures a last-will message published by the gateway if the
@@ -311,6 +317,9 @@ func (c *Client) Connect() error {
 		return err
 	}
 	ca := ack.(*Connack)
+	if ca.ReturnCode == RejectedCongestion {
+		return ErrCongestion
+	}
 	if ca.ReturnCode != Accepted {
 		return fmt.Errorf("mqttsn: connect rejected: %s", ca.ReturnCode)
 	}

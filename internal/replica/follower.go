@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/resilience"
 )
 
 // FollowerOptions configures one read replica.
@@ -99,26 +100,26 @@ func StartFollower(store *dfanalyzer.Store, opts FollowerOptions) (*Follower, er
 }
 
 // run is the reconnect loop: dial, replicate until the session drops,
-// back off, repeat — until Stop/Promote or a permanent rejection.
+// back off, repeat — until Stop/Promote or a permanent rejection. The
+// backoff schedule is the shared resilience policy (jittered exponential
+// between ReconnectMin and ReconnectMax); a working session resets it.
 func (f *Follower) run() {
 	defer f.wg.Done()
-	delay := f.opts.ReconnectMin
+	bo := resilience.Backoff{Min: f.opts.ReconnectMin, Max: f.opts.ReconnectMax}
+	attempt := 0
 	for f.ctx.Err() == nil && f.Err() == nil {
 		conn, err := f.opts.Dial("tcp", f.opts.Primary)
 		if err == nil {
-			ok := f.session(conn)
-			if ok {
-				delay = f.opts.ReconnectMin // a working session resets backoff
+			if f.session(conn) {
+				attempt = 0 // a working session resets backoff
 			}
 		}
 		select {
 		case <-f.ctx.Done():
 			return
-		case <-time.After(delay):
+		case <-time.After(bo.Delay(attempt)):
 		}
-		if delay *= 2; delay > f.opts.ReconnectMax {
-			delay = f.opts.ReconnectMax
-		}
+		attempt++
 	}
 }
 
@@ -246,9 +247,10 @@ func (f *Follower) session(conn net.Conn) (ok bool) {
 				return true
 			}
 			if _, err := f.store.InstallSnapshot(data); err != nil {
-				f.report(fmt.Errorf("replica: install snapshot: %w", err))
+				wrapped := fmt.Errorf("replica: install snapshot: %w", err)
+				f.report(wrapped)
 				if errors.Is(err, dfanalyzer.ErrDiverged) {
-					f.setFatal(err)
+					f.setFatal(resilience.Permanent(wrapped))
 				}
 				return true
 			}
@@ -290,17 +292,18 @@ func (f *Follower) session(conn net.Conn) (ok bool) {
 const maxApplyBatch = 256
 
 // handleRejection classifies a primary-sent error: divergence and
-// stale-term rejections are permanent (the reconnect loop stops — an
-// operator must reset or re-point this replica); everything else (e.g.
-// "log truncated, reconnect for snapshot") is retried.
+// stale-term rejections are permanent in the resilience sense (the
+// reconnect loop stops — an operator must reset or re-point this
+// replica); everything else (e.g. "log truncated, reconnect for
+// snapshot") is retried.
 func (f *Follower) handleRejection(reason string) {
 	err := fmt.Errorf("replica: primary rejected session: %s", reason)
 	switch {
 	case strings.Contains(reason, "diverged"):
-		err = fmt.Errorf("replica: primary rejected session: %s: %w", reason, ErrDiverged)
+		err = resilience.Permanent(fmt.Errorf("replica: primary rejected session: %s: %w", reason, ErrDiverged))
 		f.setFatal(err)
 	case strings.Contains(reason, "term"):
-		err = fmt.Errorf("replica: primary rejected session: %s: %w", reason, dfanalyzer.ErrStaleTerm)
+		err = resilience.Permanent(fmt.Errorf("replica: primary rejected session: %s: %w", reason, dfanalyzer.ErrStaleTerm))
 		f.setFatal(err)
 	}
 	f.report(err)

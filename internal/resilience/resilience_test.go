@@ -1,0 +1,211 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayDoublesAndCaps(t *testing.T) {
+	b := Backoff{Min: 100 * time.Millisecond, Max: 800 * time.Millisecond, Rand: func() float64 { return 1 - 1e-12 }}
+	// With Rand ~1 the jitter returns ~d, so we can check the schedule.
+	want := []time.Duration{100, 200, 400, 800, 800, 800}
+	for i, w := range want {
+		got := b.Delay(i)
+		w *= time.Millisecond
+		if got < w/2 || got > w {
+			t.Fatalf("Delay(%d) = %v, want in [%v, %v]", i, got, w/2, w)
+		}
+	}
+}
+
+func TestBackoffJitterRange(t *testing.T) {
+	b := Backoff{Min: time.Second, Max: time.Second}
+	for i := 0; i < 100; i++ {
+		d := b.Delay(0)
+		if d < 500*time.Millisecond || d > time.Second {
+			t.Fatalf("jittered delay %v outside [500ms, 1s]", d)
+		}
+	}
+}
+
+func TestRetrySucceedsWithinBudget(t *testing.T) {
+	calls := 0
+	r := Retry{Budget: 5, Backoff: Backoff{Min: time.Microsecond, Max: time.Microsecond}}
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	r := Retry{Budget: 3, Backoff: Backoff{Min: time.Microsecond, Max: time.Microsecond}}
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return boom })
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (budget is attempts, not retries)", calls)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	r := Retry{Budget: 10, Backoff: Backoff{Min: time.Microsecond, Max: time.Microsecond}}
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(errors.New("diverged"))
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("err %v not marked permanent", err)
+	}
+}
+
+func TestRetryContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Retry{Backoff: Backoff{Min: time.Hour, Max: time.Hour}}
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Do(ctx, func(context.Context) error { return errors.New("transient") })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not honor cancellation")
+	}
+}
+
+func TestRetryHonorsRetryAfterFloor(t *testing.T) {
+	var sleeps []time.Duration
+	r := Retry{
+		Budget:  2,
+		Backoff: Backoff{Min: time.Microsecond, Max: time.Microsecond},
+		OnRetry: func(_ int, _ error, sleep time.Duration) { sleeps = append(sleeps, sleep) },
+	}
+	after := 5 * time.Millisecond
+	_ = r.Do(context.Background(), func(context.Context) error {
+		return &RetryAfterError{After: after, Err: errors.New("congestion")}
+	})
+	if len(sleeps) != 1 {
+		t.Fatalf("sleeps = %v, want one scheduled retry", sleeps)
+	}
+	if sleeps[0] < after {
+		t.Fatalf("sleep %v below server retry-after floor %v", sleeps[0], after)
+	}
+}
+
+func TestBreakerOpensAtThresholdAndProbes(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{Threshold: 3, Cooldown: time.Minute, now: func() time.Time { return now }}
+	boom := errors.New("down")
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Record(boom)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit probe after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe re-opens and restarts the cooldown.
+	b.Record(boom)
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a call right after a failed probe")
+	}
+
+	// Successful probe closes.
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+	st := b.Stats()
+	if st.Trips != 2 {
+		t.Fatalf("trips = %d, want 2", st.Trips)
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := &Breaker{Threshold: 2, Cooldown: time.Millisecond}
+	boom := errors.New("down")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if b.Allow() {
+					if j%3 == 0 {
+						b.Record(boom)
+					} else {
+						b.Record(nil)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	_ = b.Stats()
+}
+
+func TestRetryWithBreakerSkipsWhileOpen(t *testing.T) {
+	b := &Breaker{Threshold: 1, Cooldown: time.Hour}
+	calls := 0
+	r := Retry{Budget: 4, Backoff: Backoff{Min: time.Microsecond, Max: time.Microsecond}, Breaker: b}
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errors.New("down")
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (breaker should fail fast after first failure)", calls)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) || !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want budget exhausted wrapping ErrOpen", err)
+	}
+}

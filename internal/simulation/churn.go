@@ -1,0 +1,72 @@
+package simulation
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// ChurnKind is what happens to a device at a churn event.
+type ChurnKind int
+
+const (
+	// Crash kills the device process without warning (SIGKILL: the spool
+	// survives on disk, in-flight protocol state is lost).
+	Crash ChurnKind = iota
+	// Rejoin restarts the device on its existing spool directory.
+	Rejoin
+)
+
+// String returns "crash" or "rejoin".
+func (k ChurnKind) String() string {
+	if k == Crash {
+		return "crash"
+	}
+	return "rejoin"
+}
+
+// ChurnEvent schedules one device lifecycle transition at an offset from
+// the start of a run.
+type ChurnEvent struct {
+	At     time.Duration
+	Device int
+	Kind   ChurnKind
+}
+
+// ChurnPlan precomputes a deterministic crash/rejoin timeline for a
+// device fleet: each device alternates an exponentially-distributed
+// uptime (mean mtbf) with a downtime uniform in [downtime/2, downtime],
+// clipped to the run duration. Every Crash is paired with a Rejoin (a
+// device that crashes near the end rejoins before the run closes, so the
+// drain phase can reach its spool). The same seed always produces the
+// same plan — soak failures replay exactly.
+func ChurnPlan(seed int64, devices int, duration, mtbf, downtime time.Duration) []ChurnEvent {
+	if devices <= 0 || duration <= 0 || mtbf <= 0 {
+		return nil
+	}
+	if downtime <= 0 {
+		downtime = mtbf / 10
+	}
+	rng := rand.New(rand.NewPCG(uint64(seed), uint64(devices)))
+	var plan []ChurnEvent
+	for d := 0; d < devices; d++ {
+		t := time.Duration(rng.ExpFloat64() * float64(mtbf))
+		for t < duration {
+			down := downtime/2 + time.Duration(rng.Int64N(int64(downtime/2)+1))
+			rejoinAt := t + down
+			if rejoinAt >= duration {
+				// Clip: rejoin just inside the run so the device's spool is
+				// drained and verified rather than stranded.
+				rejoinAt = duration - 1
+				if rejoinAt <= t {
+					break
+				}
+			}
+			plan = append(plan, ChurnEvent{At: t, Device: d, Kind: Crash})
+			plan = append(plan, ChurnEvent{At: rejoinAt, Device: d, Kind: Rejoin})
+			t = rejoinAt + time.Duration(rng.ExpFloat64()*float64(mtbf))
+		}
+	}
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].At < plan[j].At })
+	return plan
+}

@@ -1,0 +1,66 @@
+package simulation
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChurnPlanDeterministic: the same seed yields the same plan; a
+// different seed yields a different one.
+func TestChurnPlanDeterministic(t *testing.T) {
+	a := ChurnPlan(7, 50, time.Minute, 10*time.Second, time.Second)
+	b := ChurnPlan(7, 50, time.Minute, 10*time.Second, time.Second)
+	if len(a) == 0 {
+		t.Fatal("empty plan for a minute-long run with 10s MTBF")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := ChurnPlan(8, 50, time.Minute, 10*time.Second, time.Second)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// TestChurnPlanWellFormed: events are time-sorted, inside the run, and
+// every device's lifecycle alternates crash/rejoin starting with crash.
+func TestChurnPlanWellFormed(t *testing.T) {
+	duration := 30 * time.Second
+	plan := ChurnPlan(42, 100, duration, 5*time.Second, time.Second)
+	last := time.Duration(0)
+	state := map[int]ChurnKind{} // last kind per device
+	for i, ev := range plan {
+		if ev.At < last {
+			t.Fatalf("event %d out of order: %v after %v", i, ev.At, last)
+		}
+		last = ev.At
+		if ev.At < 0 || ev.At >= duration {
+			t.Fatalf("event %d outside run: %+v", i, ev)
+		}
+		if prev, ok := state[ev.Device]; ok && prev == ev.Kind {
+			t.Fatalf("device %d has consecutive %v events", ev.Device, ev.Kind)
+		} else if !ok && ev.Kind != Crash {
+			t.Fatalf("device %d starts with %v, want crash", ev.Device, ev.Kind)
+		}
+		state[ev.Device] = ev.Kind
+	}
+	for d, k := range state {
+		if k != Rejoin {
+			t.Fatalf("device %d left down at end of plan", d)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package soak
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/provlight/provlight/internal/spool"
+)
+
+// TestSoakSmoke runs a small fleet through churn, loss, and a disk quota
+// and requires the exactly-once contract to hold end to end.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke skipped in -short")
+	}
+	rep, err := Run(context.Background(), Options{
+		Devices:      16,
+		Duration:     3 * time.Second,
+		Seed:         1,
+		MTBF:         1500 * time.Millisecond,
+		Downtime:     300 * time.Millisecond,
+		Loss:         0.10,
+		Quota:        1 << 20,
+		Policy:       spool.Block,
+		SpoolRoot:    t.TempDir(),
+		DrainTimeout: time.Minute,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak run: %v", err)
+	}
+	if !rep.ExactlyOnce {
+		t.Fatalf("exactly-once violated: %v", rep.Violations)
+	}
+	if rep.FramesApplied == 0 {
+		t.Fatal("no frames applied at the store")
+	}
+	if rep.Crashes == 0 || rep.Rejoins == 0 {
+		t.Fatalf("churn never fired: %d crashes, %d rejoins", rep.Crashes, rep.Rejoins)
+	}
+	if rep.FramesAdmitted != rep.FramesApplied+rep.FramesShedOldest {
+		t.Fatalf("ledger mismatch: admitted %d != applied %d + shed %d",
+			rep.FramesAdmitted, rep.FramesApplied, rep.FramesShedOldest)
+	}
+}
+
+// TestSoakDropOldest exercises the shedding policy under a tight quota:
+// devices shed sealed segments, and the verification accounts for every
+// shed frame rather than flagging it as loss.
+func TestSoakDropOldest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke skipped in -short")
+	}
+	rep, err := Run(context.Background(), Options{
+		Devices:      8,
+		Duration:     2 * time.Second,
+		Seed:         2,
+		Loss:         0.25,
+		Quota:        4 << 10,
+		Policy:       spool.DropOldestUnacked,
+		SpoolRoot:    t.TempDir(),
+		DrainTimeout: time.Minute,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak run: %v", err)
+	}
+	if !rep.ExactlyOnce {
+		t.Fatalf("exactly-once violated: %v", rep.Violations)
+	}
+	if rep.FramesApplied == 0 {
+		t.Fatal("no frames applied at the store")
+	}
+}

@@ -22,6 +22,7 @@
 package spool
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -33,6 +34,68 @@ import (
 
 	"github.com/provlight/provlight/internal/wal"
 )
+
+// DegradePolicy selects what the spool does when its byte quota crosses
+// the high watermark: a constrained edge device with a small flash
+// partition must pick which invariant to sacrifice when the network
+// outage outlasts the disk.
+type DegradePolicy int
+
+const (
+	// Block refuses new appends (ErrSpoolFull) until the drain brings
+	// usage back under the low watermark. Nothing is lost; capture
+	// stalls. The default: safest, and correct for QoS >= 1 data.
+	Block DegradePolicy = iota
+	// DropNew sheds arriving frames instead of storing them: QoS 0
+	// frames are shed as soon as the high watermark trips, QoS >= 1
+	// frames only when the hard quota itself is hit. Old data (already
+	// spooled, possibly mid-flight) is preserved.
+	DropNew
+	// DropOldestUnacked reclaims the oldest spooled frames to make room
+	// for new ones — freshest-data-wins, the right choice for telemetry
+	// where the latest reading supersedes stale ones. Reclaim is
+	// prefix-only (whole sealed WAL segments), so the shed prefix can
+	// contain both QoS classes; sheds are counted per class and
+	// acknowledged frames in the prefix are never data loss (they were
+	// already applied server-side). The floor only ever advances.
+	DropOldestUnacked
+)
+
+// String returns the flag-style name ("block", "drop-new", "drop-oldest").
+func (p DegradePolicy) String() string {
+	switch p {
+	case DropNew:
+		return "drop-new"
+	case DropOldestUnacked:
+		return "drop-oldest"
+	default:
+		return "block"
+	}
+}
+
+// ParseDegradePolicy parses the flag-style names.
+func ParseDegradePolicy(s string) (DegradePolicy, error) {
+	switch strings.ToLower(s) {
+	case "block", "":
+		return Block, nil
+	case "drop-new", "dropnew":
+		return DropNew, nil
+	case "drop-oldest", "drop-oldest-unacked", "dropoldest":
+		return DropOldestUnacked, nil
+	}
+	return Block, fmt.Errorf("spool: unknown degrade policy %q (want block|drop-new|drop-oldest)", s)
+}
+
+// ErrSpoolFull is returned by appends rejected under the Block policy (or
+// when no space can be reclaimed under DropOldestUnacked). It matches
+// wal.IsNoSpace: retryable-degraded, not fatal — capture should stall and
+// retry, not crash.
+var ErrSpoolFull = fmt.Errorf("spool: full: %w", wal.ErrNoSpace)
+
+// ErrShed is returned when a frame was intentionally dropped by the
+// degradation policy instead of stored. Callers count it and move on; it
+// is not a failure of the spool.
+var ErrShed = errors.New("spool: frame shed by degradation policy")
 
 // Options configures a Spool. Only Dir is required.
 type Options struct {
@@ -51,6 +114,16 @@ type Options struct {
 	// (and always on Close). Default 64. Redelivery after a crash covers
 	// the frames acked since the last persist; deduplication absorbs them.
 	PersistEvery int
+	// Quota caps the spool's on-disk bytes (0 = unlimited). Crossing
+	// HighWatermark×Quota enters degraded mode (Policy applies) until
+	// usage falls back under LowWatermark×Quota.
+	Quota int64
+	// HighWatermark and LowWatermark are fractions of Quota bounding the
+	// degraded-mode hysteresis. Defaults 0.9 and 0.7.
+	HighWatermark float64
+	LowWatermark  float64
+	// Policy selects degraded-mode behavior. Default Block.
+	Policy DegradePolicy
 }
 
 const markFile = "ack.mark"
@@ -64,13 +137,78 @@ type Spool struct {
 	sync         wal.SyncPolicy
 
 	mu          sync.Mutex
-	floor       uint64 // every seq <= floor is acked
+	floor       uint64 // every seq <= floor is acked (or shed)
 	acked       map[uint64]struct{}
+	lowPrio     map[uint64]struct{} // QoS 0 frames above the floor (shed accounting)
 	lastPersist uint64
 	syncedUpTo  uint64 // highest seq known fsynced (publish barrier)
 	closed      bool
 
+	// Degradation state (quota > 0 only).
+	quota    int64
+	hiBytes  int64
+	loBytes  int64
+	policy   DegradePolicy
+	degraded bool
+
+	// Degradation + durability observability (guarded by mu).
+	degradedEvents  uint64
+	shedQoS0        uint64
+	shedHigher      uint64
+	blockedAppends  uint64
+	markPersistErrs uint64
+	lastMarkErr     error
+
 	ackCh chan struct{} // coalesced ack-progress signal
+}
+
+// Stats is a snapshot of the spool's degradation and durability health.
+type Stats struct {
+	UsedBytes  int64 `json:"used_bytes"`
+	QuotaBytes int64 `json:"quota_bytes,omitempty"`
+	// Degraded is true while usage sits between the watermarks with the
+	// policy active.
+	Degraded bool   `json:"degraded"`
+	Policy   string `json:"policy"`
+	// DegradedEvents counts high-watermark crossings.
+	DegradedEvents uint64 `json:"degraded_events"`
+	// ShedQoS0/ShedHigher count frames dropped by policy, per QoS class.
+	ShedQoS0   uint64 `json:"shed_qos0"`
+	ShedHigher uint64 `json:"shed_higher"`
+	// BlockedAppends counts appends rejected with ErrSpoolFull.
+	BlockedAppends uint64 `json:"blocked_appends"`
+	// MarkPersistErrors/LastMarkPersistError surface ack-mark write
+	// failures (degraded durability: redelivery windows grow).
+	MarkPersistErrors    uint64 `json:"mark_persist_errors"`
+	LastMarkPersistError string `json:"last_mark_persist_error,omitempty"`
+	// WALSyncErrors/LastWALSyncError surface background fsync failures.
+	WALSyncErrors    uint64 `json:"wal_sync_errors"`
+	LastWALSyncError string `json:"last_wal_sync_error,omitempty"`
+}
+
+// Stats snapshots degradation and durability counters.
+func (s *Spool) Stats() Stats {
+	used := s.log.UsedBytes()
+	syncErrs, lastSync := s.log.SyncErrors()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		UsedBytes:         used,
+		QuotaBytes:        s.quota,
+		Degraded:          s.degraded,
+		Policy:            s.policy.String(),
+		DegradedEvents:    s.degradedEvents,
+		ShedQoS0:          s.shedQoS0,
+		ShedHigher:        s.shedHigher,
+		BlockedAppends:    s.blockedAppends,
+		MarkPersistErrors: s.markPersistErrs,
+		WALSyncErrors:     syncErrs,
+		LastWALSyncError:  lastSync,
+	}
+	if s.lastMarkErr != nil {
+		st.LastMarkPersistError = s.lastMarkErr.Error()
+	}
+	return st
 }
 
 // Open opens (or creates) the spool in opts.Dir, recovering WAL and ack
@@ -82,10 +220,17 @@ func Open(opts Options) (*Spool, error) {
 	if opts.PersistEvery <= 0 {
 		opts.PersistEvery = 64
 	}
+	if opts.HighWatermark <= 0 || opts.HighWatermark > 1 {
+		opts.HighWatermark = 0.9
+	}
+	if opts.LowWatermark <= 0 || opts.LowWatermark >= opts.HighWatermark {
+		opts.LowWatermark = opts.HighWatermark * 7 / 9
+	}
 	l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{
 		Sync:         opts.Sync,
 		SyncInterval: opts.SyncInterval,
 		SegmentSize:  opts.SegmentSize,
+		Quota:        opts.Quota,
 	})
 	if err != nil {
 		return nil, err
@@ -96,8 +241,11 @@ func Open(opts Options) (*Spool, error) {
 		persistEvery: opts.PersistEvery,
 		sync:         opts.Sync,
 		acked:        map[uint64]struct{}{},
+		lowPrio:      map[uint64]struct{}{},
+		policy:       opts.Policy,
 		ackCh:        make(chan struct{}, 1),
 	}
+	s.setQuotaLocked(opts.Quota, opts.HighWatermark, opts.LowWatermark)
 	floor, err := readMark(s.markPath)
 	if err != nil {
 		l.Close()
@@ -133,7 +281,35 @@ func readMark(path string) (uint64, error) {
 	return v, nil
 }
 
+// setQuotaLocked installs a quota and derives watermark byte bounds.
+// Callers must not hold s.mu (it takes it).
+func (s *Spool) setQuotaLocked(quota int64, hi, lo float64) {
+	s.mu.Lock()
+	s.quota = quota
+	s.hiBytes = int64(float64(quota) * hi)
+	s.loBytes = int64(float64(quota) * lo)
+	s.mu.Unlock()
+	s.log.SetQuota(quota)
+}
+
+// SetQuota adjusts the byte quota at runtime with default watermarks —
+// the knob the chaos quota injector turns to simulate a partition filling
+// up and being freed.
+func (s *Spool) SetQuota(bytes int64) { s.setQuotaLocked(bytes, 0.9, 0.7) }
+
+// UsedBytes reports the spool's current on-disk usage.
+func (s *Spool) UsedBytes() int64 { return s.log.UsedBytes() }
+
+// Quota reports the current byte quota (0 = unlimited).
+func (s *Spool) Quota() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quota
+}
+
 // persistMarkLocked writes the floor atomically. Callers hold s.mu.
+// Failures are counted (see Stats) so a broken mark file — which silently
+// widens the crash-redelivery window — is observable.
 func (s *Spool) persistMarkLocked() error {
 	floor := s.floor
 	err := wal.WriteFileAtomic(s.markPath, func(w io.Writer) error {
@@ -141,18 +317,190 @@ func (s *Spool) persistMarkLocked() error {
 		return werr
 	})
 	if err != nil {
+		s.markPersistErrs++
+		s.lastMarkErr = err
 		return fmt.Errorf("spool: persist mark: %w", err)
 	}
 	s.lastPersist = floor
+	s.lastMarkErr = nil
 	return nil
 }
 
 // AppendWith appends one frame built by build, which receives the durable
 // sequence number the frame will carry (stamp it into the frame with
 // wire.AppendFrameSeq). The append is atomic with the sequence
-// assignment.
+// assignment. Equivalent to AppendFrame with qos0=false: the frame is
+// treated as precious under the degradation policies.
 func (s *Spool) AppendWith(build func(seq uint64) ([]byte, error)) (uint64, error) {
-	return s.log.AppendWith(build)
+	return s.AppendFrame(false, build)
+}
+
+// AppendFrame appends one frame, applying the degradation policy when the
+// spool is over its quota watermarks. qos0 marks the frame sheddable
+// first: under DropNew a degraded spool sheds QoS 0 frames at the high
+// watermark while still admitting QoS >= 1 frames until the hard quota.
+//
+// Returns ErrShed when the policy dropped the frame (count it, move on),
+// ErrSpoolFull (or another wal.IsNoSpace error) when the caller should
+// stall and retry — both retryable-degraded, never fatal.
+func (s *Spool) AppendFrame(qos0 bool, build func(seq uint64) ([]byte, error)) (uint64, error) {
+	if err := s.admit(qos0); err != nil {
+		return 0, err
+	}
+	seq, err := s.log.AppendWith(build)
+	if err != nil && wal.IsNoSpace(err) {
+		s.mu.Lock()
+		policy := s.policy
+		s.mu.Unlock()
+		switch policy {
+		case DropNew:
+			s.countShed(qos0, 1)
+			return 0, ErrShed
+		case DropOldestUnacked:
+			// Reclaim the oldest sealed segments and retry once; if the
+			// log still cannot take the frame (everything lives in the
+			// active segment) degrade to stalling.
+			s.shedOldest()
+			seq, err = s.log.AppendWith(build)
+			if err != nil && wal.IsNoSpace(err) {
+				s.noteBlocked()
+				return 0, fmt.Errorf("%w (nothing left to shed)", ErrSpoolFull)
+			}
+		default: // Block
+			s.noteBlocked()
+			return 0, err
+		}
+	}
+	if err == nil && qos0 {
+		s.mu.Lock()
+		if seq > s.floor {
+			s.lowPrio[seq] = struct{}{}
+		}
+		s.mu.Unlock()
+	}
+	return seq, err
+}
+
+// admit applies watermark hysteresis and the policy's admission decision
+// before the frame touches the WAL.
+func (s *Spool) admit(qos0 bool) error {
+	s.mu.Lock()
+	if s.quota <= 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	hi, lo := s.hiBytes, s.loBytes
+	s.mu.Unlock()
+	used := s.log.UsedBytes()
+	s.mu.Lock()
+	if !s.degraded && used >= hi {
+		s.degraded = true
+		s.degradedEvents++
+	} else if s.degraded && used <= lo {
+		s.degraded = false
+	}
+	if !s.degraded {
+		s.mu.Unlock()
+		return nil
+	}
+	policy := s.policy
+	switch policy {
+	case Block:
+		s.blockedAppends++
+		s.mu.Unlock()
+		return ErrSpoolFull
+	case DropNew:
+		if qos0 {
+			s.shedQoS0++
+			s.mu.Unlock()
+			return ErrShed
+		}
+		s.mu.Unlock()
+		return nil
+	case DropOldestUnacked:
+		s.mu.Unlock()
+		s.shedOldest()
+		return nil
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Spool) countShed(qos0 bool, n uint64) {
+	s.mu.Lock()
+	if qos0 {
+		s.shedQoS0 += n
+	} else {
+		s.shedHigher += n
+	}
+	s.mu.Unlock()
+}
+
+func (s *Spool) noteBlocked() {
+	s.mu.Lock()
+	s.blockedAppends++
+	s.mu.Unlock()
+}
+
+// shedOldest advances the floor over whole sealed WAL segments — the only
+// reclaimable unit — until usage falls to the low watermark or only the
+// active segment remains. Acked frames in the shed prefix are not loss
+// (already applied server-side); unacked ones are counted per QoS class.
+// The mark is persisted before each truncation (the persist-before-
+// truncate invariant), and the floor only ever advances, so an acked
+// frame can never reappear as unacked after a crash.
+func (s *Spool) shedOldest() {
+	for {
+		if s.log.UsedBytes() <= s.loBytesNow() {
+			return
+		}
+		first, last, ok := s.log.OldestSealed()
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		if s.floor < last {
+			start := s.floor + 1
+			if start < first {
+				start = first // quarantine gap: nothing stored below first
+			}
+			for seq := start; seq <= last; seq++ {
+				if _, acked := s.acked[seq]; acked {
+					delete(s.acked, seq)
+				} else if _, low := s.lowPrio[seq]; low {
+					s.shedQoS0++
+				} else {
+					s.shedHigher++
+				}
+				delete(s.lowPrio, seq)
+			}
+			s.floor = last
+		}
+		err := s.persistMarkLocked()
+		s.mu.Unlock()
+		if err != nil {
+			// Without a persisted mark covering the truncation, deleting
+			// segments would violate persist-before-truncate; stop here.
+			return
+		}
+		if terr := s.log.TruncateFront(last); terr != nil {
+			return
+		}
+		select {
+		case s.ackCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (s *Spool) loBytesNow() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loBytes
 }
 
 // Ack marks one frame as durably applied end-to-end. When the run above
@@ -176,6 +524,7 @@ func (s *Spool) Ack(seq uint64) error {
 		}
 		delete(s.acked, s.floor+1)
 		s.floor++
+		delete(s.lowPrio, s.floor)
 		advanced = true
 	}
 	var err error

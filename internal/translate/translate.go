@@ -16,6 +16,7 @@ import (
 	"github.com/provlight/provlight/internal/ctxutil"
 	"github.com/provlight/provlight/internal/mqttsn"
 	"github.com/provlight/provlight/internal/provdm"
+	"github.com/provlight/provlight/internal/resilience"
 	"github.com/provlight/provlight/internal/wire"
 )
 
@@ -75,6 +76,9 @@ type Stats struct {
 	// AckErrors counts ack publishes that failed.
 	AcksPublished uint64
 	AckErrors     uint64
+	// SessionRedials counts broker sessions the supervisor replaced after
+	// they died (broker restart, overload retry exhaustion, expiry).
+	SessionRedials uint64
 }
 
 // Config configures a Translator.
@@ -162,16 +166,77 @@ type Config struct {
 	Hub *Hub
 }
 
+// sessionSlot is one supervised broker session: the current client and
+// (when DialConn supplied it) its socket, swapped atomically by the
+// supervisor on redial. Readers take the mutex to get the live client —
+// nil while the slot is between sessions.
+type sessionSlot struct {
+	mu   sync.Mutex
+	mc   *mqttsn.Client
+	conn net.PacketConn
+}
+
+func (s *sessionSlot) get() *mqttsn.Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mc
+}
+
+// take empties the slot and returns what it held, for teardown.
+func (s *sessionSlot) take() (*mqttsn.Client, net.PacketConn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mc, conn := s.mc, s.conn
+	s.mc, s.conn = nil, nil
+	return mc, conn
+}
+
+func (s *sessionSlot) set(mc *mqttsn.Client, conn net.PacketConn) {
+	s.mu.Lock()
+	s.mc, s.conn = mc, conn
+	s.mu.Unlock()
+}
+
+// Redial backoff for dead translator sessions: jittered exponential via
+// the shared resilience schedule, capped low enough that the pipeline
+// comes back within seconds of the broker recovering.
+const (
+	redialMinDelay = 250 * time.Millisecond
+	redialMaxDelay = 8 * time.Second
+)
+
 // Translator subscribes to device topics and pumps records into targets.
 // With Config.Sessions > 1 it holds several broker sessions in one
 // consumer group, all feeding the same work queue.
 type Translator struct {
-	cfg      Config
-	sessions []*mqttsn.Client
-	// dialed holds DialConn-supplied sockets: the mqttsn client treats a
-	// caller-provided conn as borrowed and never closes it, so teardown
-	// closes them here.
-	dialed []net.PacketConn
+	cfg Config
+	// filter is the resolved subscription filter (shared-subscription
+	// prefixed when consuming as a group); supervisors re-subscribe with
+	// it on every redial.
+	filter string
+	// slots are the consumer sessions, each kept alive by its own
+	// supervisor goroutine: a session that dies — broker restart, retry
+	// exhaustion during an overload window, expired by the broker janitor
+	// — is closed and redialed with jittered backoff. Without this the
+	// translator goes permanently deaf while every device spool backs up
+	// against its quota.
+	slots []*sessionSlot
+	// ackSlot is a dedicated broker session for publishing end-to-end
+	// acks, supervised like the consumer slots. Sharing a consumer
+	// session for acks deadlocks under load: the worker blocks in
+	// PublishAsync waiting for a REGACK/PUBACK that only that session's
+	// read loop can process, while the read loop blocks in onMessage on
+	// the full work queue waiting for the worker. A session that never
+	// consumes frames breaks the cycle — ack publishing can stall only on
+	// the broker itself, never on the translator's own backlog. nil when
+	// DisableAcks.
+	ackSlot *sessionSlot
+
+	// stop ends the supervisors; supWG waits them out so teardown cannot
+	// race a redial into a fresh session whose read loop would enqueue
+	// onto the closed work channel.
+	stop  chan struct{}
+	supWG sync.WaitGroup
 
 	frames       atomic.Uint64
 	records      atomic.Uint64
@@ -180,6 +245,7 @@ type Translator struct {
 	deliveryErrs atomic.Uint64
 	acks         atomic.Uint64
 	ackErrs      atomic.Uint64
+	redials      atomic.Uint64
 
 	// term is the replication term stamped into acks (Config.Term,
 	// updated by SetTerm after a failover).
@@ -230,8 +296,10 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 		filter = mqttsn.SharePrefix + group + "/" + cfg.TopicFilter
 	}
 	t := &Translator{
-		cfg:  cfg,
-		work: make(chan Frame, 256),
+		cfg:    cfg,
+		filter: filter,
+		work:   make(chan Frame, 256),
+		stop:   make(chan struct{}),
 	}
 	t.term.Store(cfg.Term)
 	for i := 0; i < cfg.Workers; i++ {
@@ -239,49 +307,144 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 		go t.worker()
 	}
 	for i := 0; i < cfg.Sessions; i++ {
-		clientID := cfg.ClientID
-		if i > 0 {
-			clientID = fmt.Sprintf("%s-s%d", cfg.ClientID, i+1)
-		}
-		var conn net.PacketConn
-		if cfg.DialConn != nil {
-			var err error
-			if conn, err = cfg.DialConn(); err != nil {
-				t.Close()
-				return nil, fmt.Errorf("translate: dial session %d: %w", i+1, err)
-			}
-			t.dialed = append(t.dialed, conn) // closed by Shutdown/Close
-		}
-		mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
-			ClientID:      clientID,
-			Gateway:       cfg.Broker,
-			Conn:          conn,
-			KeepAlive:     cfg.KeepAlive,
-			RetryInterval: cfg.RetryInterval,
-			MaxRetries:    cfg.MaxRetries,
-			CleanSession:  true,
-		})
+		clientID := t.slotClientID(i)
+		mc, conn, down, err := t.dialSession(ctx, clientID, true)
 		if err != nil {
 			t.Close()
-			return nil, err
+			return nil, fmt.Errorf("translate: session %d: %w", i+1, err)
 		}
-		t.sessions = append(t.sessions, mc)
-		if err := mc.WithContext(ctx, mc.Connect); err != nil {
+		slot := &sessionSlot{mc: mc, conn: conn}
+		t.slots = append(t.slots, slot)
+		t.supWG.Add(1)
+		go t.supervise(slot, clientID, true, down)
+	}
+	if !cfg.DisableAcks {
+		clientID := cfg.ClientID + "-acks"
+		mc, conn, down, err := t.dialSession(ctx, clientID, false)
+		if err != nil {
 			t.Close()
-			return nil, fmt.Errorf("translate: connect broker (session %d): %w", i+1, err)
+			return nil, fmt.Errorf("translate: ack session: %w", err)
 		}
-		if err := mc.WithContext(ctx, func() error {
-			return mc.Subscribe(filter, cfg.QoS, t.onMessage)
-		}); err != nil {
-			t.Close()
-			return nil, fmt.Errorf("translate: subscribe %q (session %d): %w", filter, i+1, err)
-		}
+		t.ackSlot = &sessionSlot{mc: mc, conn: conn}
+		t.supWG.Add(1)
+		go t.supervise(t.ackSlot, clientID, false, down)
 	}
 	return t, nil
 }
 
+func (t *Translator) slotClientID(i int) string {
+	if i == 0 {
+		return t.cfg.ClientID
+	}
+	return fmt.Sprintf("%s-s%d", t.cfg.ClientID, i+1)
+}
+
+// dialSession dials one broker session: connect and, for a consumer
+// session, subscribe to the resolved filter. The returned channel closes
+// when the session dies without a local teardown.
+func (t *Translator) dialSession(ctx context.Context, clientID string, consumer bool) (*mqttsn.Client, net.PacketConn, <-chan struct{}, error) {
+	var conn net.PacketConn
+	if t.cfg.DialConn != nil {
+		var err error
+		if conn, err = t.cfg.DialConn(); err != nil {
+			return nil, nil, nil, fmt.Errorf("dial: %w", err)
+		}
+	}
+	down := make(chan struct{})
+	var downOnce sync.Once
+	mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
+		ClientID:      clientID,
+		Gateway:       t.cfg.Broker,
+		Conn:          conn,
+		KeepAlive:     t.cfg.KeepAlive,
+		RetryInterval: t.cfg.RetryInterval,
+		MaxRetries:    t.cfg.MaxRetries,
+		CleanSession:  true,
+		OnDisconnect:  func(error) { downOnce.Do(func() { close(down) }) },
+	})
+	if err != nil {
+		if conn != nil {
+			conn.Close()
+		}
+		return nil, nil, nil, err
+	}
+	fail := func(err error) (*mqttsn.Client, net.PacketConn, <-chan struct{}, error) {
+		mc.Close()
+		if conn != nil {
+			conn.Close()
+		}
+		return nil, nil, nil, err
+	}
+	if err := mc.WithContext(ctx, mc.Connect); err != nil {
+		return fail(fmt.Errorf("connect broker: %w", err))
+	}
+	if consumer {
+		if err := mc.WithContext(ctx, func() error {
+			return mc.Subscribe(t.filter, t.cfg.QoS, t.onMessage)
+		}); err != nil {
+			return fail(fmt.Errorf("subscribe %q: %w", t.filter, err))
+		}
+	}
+	return mc, conn, down, nil
+}
+
+// supervise keeps one session slot alive: when the session dies without a
+// local teardown (broker restart, retry exhaustion during an overload
+// window, janitor expiry surfaced as a DISCONNECT to our next ping), the
+// remains are closed and the slot is redialed under the shared jittered
+// backoff until the broker admits it again or the translator stops.
+func (t *Translator) supervise(slot *sessionSlot, clientID string, consumer bool, down <-chan struct{}) {
+	defer t.supWG.Done()
+	bo := resilience.Backoff{Min: redialMinDelay, Max: redialMaxDelay}
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-down:
+		}
+		old, oldConn := slot.take()
+		if old != nil {
+			// Close waits for the read loop — the onMessage caller — to
+			// exit, so a dead consumer session cannot race an enqueue
+			// against teardown's later channel close.
+			old.Close()
+		}
+		if oldConn != nil {
+			oldConn.Close()
+		}
+		for attempt := 0; ; attempt++ {
+			if !t.sleepStop(bo.Delay(attempt)) {
+				return
+			}
+			mc, conn, nd, err := t.dialSession(context.Background(), clientID, consumer)
+			if err != nil {
+				if t.cfg.OnError != nil {
+					t.cfg.OnError(fmt.Errorf("translate: redial %s: %w", clientID, err))
+				}
+				continue
+			}
+			slot.set(mc, conn)
+			t.redials.Add(1)
+			down = nd
+			break
+		}
+	}
+}
+
+// sleepStop sleeps d unless the translator stops first.
+func (t *Translator) sleepStop(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-t.stop:
+		return false
+	}
+}
+
 // Sessions reports how many broker sessions the translator holds.
-func (t *Translator) Sessions() int { return len(t.sessions) }
+func (t *Translator) Sessions() int { return len(t.slots) }
 
 // SetTerm updates the replication term stamped into end-to-end acks —
 // called after a failover, when the translator is repointed at a promoted
@@ -312,6 +475,7 @@ func (t *Translator) Stats() Stats {
 		DeliveryErrors:    t.deliveryErrs.Load(),
 		AcksPublished:     t.acks.Load(),
 		AckErrors:         t.ackErrs.Load(),
+		SessionRedials:    t.redials.Load(),
 	}
 }
 
@@ -460,10 +624,21 @@ func (t *Translator) publishAcks(batch []Frame) {
 		}
 		acks[batch[i].Origin] = append(acks[batch[i].Origin], batch[i].Seq)
 	}
-	if len(acks) == 0 || len(t.sessions) == 0 {
+	if len(acks) == 0 {
 		return
 	}
-	mc := t.sessions[0]
+	var mc *mqttsn.Client
+	if t.ackSlot != nil {
+		mc = t.ackSlot.get()
+	}
+	if mc == nil {
+		// Ack session mid-redial: skip the batch's acks rather than borrow
+		// a consumer session (that reintroduces the deadlock). The unacked
+		// frames are redelivered by the devices, deduplicated by durable
+		// targets, and acked on redelivery once the session is back.
+		t.ackErrs.Add(uint64(len(acks)))
+		return
+	}
 	term := t.term.Load()
 	for origin, seqs := range acks {
 		payload := wire.AppendAckPayload(nil, term, seqs)
@@ -504,20 +679,41 @@ func (t *Translator) Shutdown(ctx context.Context) error {
 		// deadline-free Close after a timed-out Shutdown really drains).
 		return ctxutil.Wait(ctx, t.wg.Wait)
 	}
+	// Stop the supervisors first and wait them out: a redial racing the
+	// teardown could otherwise produce a fresh session whose read loop
+	// enqueues onto the closed work channel.
+	close(t.stop)
+	t.supWG.Wait()
 	// Disconnect cleanly so the broker releases the sessions at once —
 	// in a consumer group the survivors take the partitions over
 	// immediately instead of waiting for keepalive expiry. Disconnect
 	// closes the client, and Close returns only after its read loop (the
 	// onMessage caller) has exited, so no enqueue can race the channel
 	// close below.
-	for _, mc := range t.sessions {
-		_ = mc.Disconnect()
-	}
-	for _, conn := range t.dialed {
-		conn.Close()
+	for _, slot := range t.slots {
+		mc, conn := slot.take()
+		if mc != nil {
+			_ = mc.Disconnect()
+		}
+		if conn != nil {
+			conn.Close()
+		}
 	}
 	close(t.work) // workers drain the queue, then exit
-	return ctxutil.Wait(ctx, t.wg.Wait)
+	err := ctxutil.Wait(ctx, t.wg.Wait)
+	// The ack session goes last: the workers publish acks for every frame
+	// they drain after inbound is cut, and those acks are what lets the
+	// devices reclaim their spools.
+	if t.ackSlot != nil {
+		mc, conn := t.ackSlot.take()
+		if mc != nil {
+			_ = mc.Disconnect()
+		}
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	return err
 }
 
 // Close stops consumption and releases resources, draining without a
@@ -535,15 +731,29 @@ func (t *Translator) Abort() {
 		t.wg.Wait()
 		return
 	}
+	close(t.stop)
+	t.supWG.Wait()
 	// Close (not Disconnect): the broker sees the session vanish exactly
 	// as it would on a SIGKILL. Close returns only after the read loop —
 	// the onMessage caller — has exited, so the channel close cannot race
 	// an enqueue.
-	for _, mc := range t.sessions {
-		mc.Close()
+	for _, slot := range t.slots {
+		mc, conn := slot.take()
+		if mc != nil {
+			mc.Close()
+		}
+		if conn != nil {
+			conn.Close()
+		}
 	}
-	for _, conn := range t.dialed {
-		conn.Close()
+	if t.ackSlot != nil {
+		mc, conn := t.ackSlot.take()
+		if mc != nil {
+			mc.Close() // crash semantics: in-flight acks die too
+		}
+		if conn != nil {
+			conn.Close()
+		}
 	}
 	close(t.work)
 	t.wg.Wait()

@@ -33,6 +33,7 @@ package wal
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -42,8 +43,24 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
+
+// ErrNoSpace marks an append rejected because the log's byte quota would
+// be exceeded. It is the quota analogue of the filesystem's ENOSPC and is
+// classified the same way: retryable-degraded, not fatal — space comes
+// back when acks reclaim segments or an operator frees the disk. Use
+// IsNoSpace to match both causes.
+var ErrNoSpace = errors.New("wal: no space")
+
+// IsNoSpace reports whether err is an out-of-space condition: either the
+// log's own quota (ErrNoSpace) or a real filesystem ENOSPC surfacing
+// through a write or fsync. Callers treat these as retryable-degraded:
+// back off, optionally shed, never crash.
+func IsNoSpace(err error) bool {
+	return errors.Is(err, ErrNoSpace) || errors.Is(err, syscall.ENOSPC)
+}
 
 // WriteFileAtomic writes a file with the crash-safe pattern shared by the
 // spool's ack mark, the store's snapshots, and the translator's PROV-JSON
@@ -137,6 +154,13 @@ type Options struct {
 	// SyncInterval is the background fsync period for SyncInterval.
 	// Default 100 ms.
 	SyncInterval time.Duration
+	// Quota caps the total bytes of retained segments. 0 means unlimited.
+	// An append that would push usage past the quota fails with an error
+	// matching IsNoSpace instead of touching the disk; reclaiming space
+	// (TruncateFront after acks) or SetQuota lifts the condition. This is
+	// how an edge spool shares a small flash partition without ever
+	// hitting the filesystem's own ENOSPC mid-write.
+	Quota int64
 }
 
 func (o *Options) applyDefaults() {
@@ -191,6 +215,12 @@ type Log struct {
 	quarantined int // segments quarantined during Open
 	truncated   int // bytes truncated from the tail during Open
 
+	used  int64 // total bytes across retained segments
+	quota int64 // byte quota (0 = unlimited); runtime-adjustable
+
+	syncErrs    uint64 // background/explicit fsync failures
+	lastSyncErr error  // most recent fsync failure; nil once a sync succeeds
+
 	notify chan struct{} // 1-buffered append signal for tailing readers
 
 	syncStop chan struct{}
@@ -207,6 +237,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	l := &Log{
 		dir:    dir,
 		opts:   opts,
+		quota:  opts.Quota,
 		notify: make(chan struct{}, 1),
 	}
 	if err := l.scan(); err != nil {
@@ -271,6 +302,7 @@ func (l *Log) scan() error {
 		}
 	}
 	for _, s := range l.segs {
+		l.used += s.size
 		if l.first == 0 {
 			l.first = s.first
 		}
@@ -430,6 +462,10 @@ func (l *Log) AppendWith(build func(seq uint64) ([]byte, error)) (uint64, error)
 	if len(payload) > MaxRecord {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
 	}
+	if l.quota > 0 && l.used+headerSize+int64(len(payload)) > l.quota {
+		return 0, fmt.Errorf("%w: quota %d bytes, used %d, record needs %d",
+			ErrNoSpace, l.quota, l.used, headerSize+len(payload))
+	}
 	if l.active == nil || l.forceRotate || (len(l.segs) > 0 && l.segs[len(l.segs)-1].size >= l.opts.SegmentSize) {
 		if err := l.rotateLocked(seq); err != nil {
 			return 0, err
@@ -447,6 +483,7 @@ func (l *Log) AppendWith(build func(seq uint64) ([]byte, error)) (uint64, error)
 	}
 	seg := l.segs[len(l.segs)-1]
 	seg.size += int64(len(l.buf))
+	l.used += int64(len(l.buf))
 	seg.last = seq
 	l.last = seq
 	if l.opts.Sync == SyncEach {
@@ -484,10 +521,16 @@ func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
 	if l.closed {
 		return 0, fmt.Errorf("wal: log closed")
 	}
+	var need int64
 	for _, p := range payloads {
 		if len(p) > MaxRecord {
 			return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(p))
 		}
+		need += headerSize + int64(len(p))
+	}
+	if l.quota > 0 && l.used+need > l.quota {
+		return 0, fmt.Errorf("%w: quota %d bytes, used %d, batch needs %d",
+			ErrNoSpace, l.quota, l.used, need)
 	}
 	l.buf = l.buf[:0]
 	pendingSeq := l.last // last record framed into l.buf
@@ -505,6 +548,7 @@ func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
 		}
 		seg := l.segs[len(l.segs)-1]
 		seg.size += int64(len(l.buf))
+		l.used += int64(len(l.buf))
 		seg.last = pendingSeq
 		l.last = pendingSeq
 		l.buf = l.buf[:0]
@@ -573,29 +617,94 @@ func (l *Log) syncLocked() error {
 		return nil
 	}
 	if err := l.active.Sync(); err != nil {
+		l.syncErrs++
+		l.lastSyncErr = err
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.dirty = false
+	l.lastSyncErr = nil
 	return nil
 }
 
 func (l *Log) syncLoop() {
-	defer close(l.syncDone)
 	ticker := time.NewTicker(l.opts.SyncInterval)
-	defer ticker.Stop()
+	defer func() {
+		ticker.Stop()
+		close(l.syncDone)
+	}()
 	for {
 		select {
 		case <-l.syncStop:
 			return
 		case <-ticker.C:
+			// Failures are recorded in syncErrs/lastSyncErr (see
+			// SyncErrors) so degraded durability is observable in stats
+			// rather than silently swallowed here.
 			_ = l.Sync()
 		}
 	}
 }
 
+// SyncErrors reports how many fsyncs have failed over the log's lifetime
+// and the most recent failure ("" once a later sync succeeds). A non-empty
+// last error means the background syncer is currently unable to make
+// appends durable — degraded durability that should page before it
+// becomes data loss.
+func (l *Log) SyncErrors() (count uint64, last string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lastSyncErr != nil {
+		last = l.lastSyncErr.Error()
+	}
+	return l.syncErrs, last
+}
+
+// UsedBytes returns the total size of retained segments.
+func (l *Log) UsedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// Quota returns the current byte quota (0 = unlimited).
+func (l *Log) Quota() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.quota
+}
+
+// SetQuota adjusts the byte quota at runtime (0 disables it). Lowering it
+// below current usage does not touch existing records; it only makes
+// further appends fail with ErrNoSpace until space is reclaimed — exactly
+// how a filesystem filling up behaves, which is what the chaos quota
+// injector exploits.
+func (l *Log) SetQuota(bytes int64) {
+	l.mu.Lock()
+	l.quota = bytes
+	l.mu.Unlock()
+}
+
 // Notify returns a 1-buffered channel signalled on every append, so a
 // tailing reader can sleep until new records arrive. Signals coalesce.
 func (l *Log) Notify() <-chan struct{} { return l.notify }
+
+// OldestSealed returns the sequence bounds of the oldest sealed
+// (reclaimable) segment. ok is false when only the active segment (or
+// nothing) remains — there is then nothing TruncateFront could reclaim.
+// The spool's DropOldestUnacked policy uses this to shed in the only
+// unit that actually frees disk: whole sealed segments.
+func (l *Log) OldestSealed() (first, last uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) < 2 {
+		return 0, 0, false
+	}
+	s := l.segs[0]
+	if s.empty() {
+		return 0, 0, false
+	}
+	return s.first, s.last, true
+}
 
 // TruncateFront deletes sealed segments whose records all have sequence
 // numbers <= upto, reclaiming disk space behind a durable low-water mark.
@@ -612,6 +721,7 @@ func (l *Log) TruncateFront(upto uint64) error {
 		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("wal: remove segment: %w", err)
 		}
+		l.used -= s.size
 		keep++
 	}
 	if keep > 0 {

@@ -134,6 +134,36 @@ func (c Config) Records(workflowID string, now time.Time) []provdm.Record {
 	return recs
 }
 
+// Rate is one heterogeneous soak-device class: how often a device emits
+// a capture event and how big each event's payload is.
+type Rate struct {
+	// Interval between capture events (one task = two events).
+	Interval time.Duration
+	// Attributes per event, the payload knob of Table I.
+	Attributes int
+}
+
+// SoakRates are the heterogeneous device classes a soak fleet cycles
+// through: a few chatty high-rate devices per many slow sensor-style
+// ones, spanning the paper's rate spectrum (Table I task durations map
+// to event intervals of 0.25..2.5 s; the 50 ms class models the
+// aggregation gateways that dominate fan-in load).
+var SoakRates = []Rate{
+	{Interval: 50 * time.Millisecond, Attributes: 10},
+	{Interval: 250 * time.Millisecond, Attributes: 100},
+	{Interval: 500 * time.Millisecond, Attributes: 10},
+	{Interval: 2500 * time.Millisecond, Attributes: 100},
+}
+
+// RateFor returns the soak rate class for device i (round-robin over
+// SoakRates), so any fleet size gets a deterministic heterogeneous mix.
+func RateFor(i int) Rate {
+	if i < 0 {
+		i = -i
+	}
+	return SoakRates[i%len(SoakRates)]
+}
+
 // SampleTaskRecords returns one representative (begin, end) record pair,
 // used by the cost model to measure real payload sizes.
 func (c Config) SampleTaskRecords(workflowID string) (begin, end provdm.Record) {
