@@ -11,8 +11,15 @@
 //	provbench -ablations
 //	provbench -sessions 1,2,4      # Table IX fan-in on the real pipeline,
 //	                               # sweeping consumer-group sessions
+//	provbench -brokers 1,2,4       # cluster fan-in: sweep broker node
+//	                               # counts over a 25 ms netem link, with a
+//	                               # live node leave mid-run (N >= 2)
 //	provbench -soak -devices 2000 -duration 2m -churn-mtbf 20s \
 //	          -loss 0.25 -quota 1048576   # churn soak with exactly-once check
+//
+// The -brokers sweep writes BENCH_cluster_fanin.json; with BENCH_JSON=1
+// in the environment, the -sessions sweep also writes a
+// BENCH_pipeline.json trajectory entry (frames/s, allocations).
 package main
 
 import (
@@ -22,15 +29,23 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/provlight/provlight"
+	"github.com/provlight/provlight/internal/cluster"
+	"github.com/provlight/provlight/internal/core"
 	"github.com/provlight/provlight/internal/experiment"
+	"github.com/provlight/provlight/internal/netem"
+	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/soak"
 	"github.com/provlight/provlight/internal/spool"
 	"github.com/provlight/provlight/internal/stats"
+	"github.com/provlight/provlight/internal/translate"
+	"github.com/provlight/provlight/internal/transport"
 )
 
 func main() {
@@ -39,8 +54,12 @@ func main() {
 	figure := flag.String("figure", "", "regenerate Figure 6 (accepts 6, 6a..6d)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	sessions := flag.String("sessions", "", "comma-separated consumer-group session counts for the real-pipeline Table IX fan-in sweep (e.g. 1,2,4)")
-	devices := flag.Int("devices", 16, "parallel devices for the -sessions sweep and -soak")
-	tasks := flag.Int("tasks", 50, "tasks per device for the -sessions sweep")
+	brokers := flag.String("brokers", "", "comma-separated broker node counts for the cluster fan-in sweep (e.g. 1,2,4)")
+	devices := flag.Int("devices", 16, "parallel devices for the -sessions / -brokers sweeps and -soak")
+	tasks := flag.Int("tasks", 50, "tasks per device for the -sessions / -brokers sweeps")
+	netemDelay := flag.Duration("netem-delay", 25*time.Millisecond, "one-way translator link delay for the -brokers sweep")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster_fanin.json", "cluster fan-in report output path for -brokers")
+	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "pipeline trajectory output path for -sessions under BENCH_JSON=1")
 	runSoak := flag.Bool("soak", false, "run the churn soak harness and verify exactly-once delivery")
 	soakDuration := flag.Duration("duration", time.Minute, "soak capture-phase length")
 	soakSeed := flag.Int64("seed", 1, "soak churn/loss seed (same seed replays the same run)")
@@ -102,7 +121,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("provbench: %v", err)
 		}
-		fmt.Println(sessionsSweep(counts, *devices, *tasks).String())
+		fmt.Println(sessionsSweep(counts, *devices, *tasks, *pipelineOut).String())
+	case *brokers != "":
+		counts, err := parseSessions(*brokers)
+		if err != nil {
+			log.Fatalf("provbench: %v", err)
+		}
+		fmt.Println(clusterSweep(counts, *devices, *tasks, *netemDelay, *clusterOut).String())
 	case *all:
 		for _, tr := range experiment.AllTables() {
 			fmt.Println(tr.Table.String())
@@ -151,21 +176,74 @@ func parseSessions(list string) ([]int, error) {
 	return counts, nil
 }
 
+// pipelineRun is one -sessions sweep point in the BENCH_pipeline.json
+// trajectory: throughput plus the allocation cost of moving the frames.
+type pipelineRun struct {
+	Sessions        int     `json:"sessions"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	Frames          uint64  `json:"frames"`
+	FramesPerSec    float64 `json:"frames_per_sec"`
+	Records         int     `json:"records"`
+	Allocs          uint64  `json:"allocs"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+type pipelineReport struct {
+	Bench   string        `json:"bench"`
+	Devices int           `json:"devices"`
+	Tasks   int           `json:"tasks"`
+	Runs    []pipelineRun `json:"runs"`
+}
+
+// writeJSON writes an indented report, fataling on failure: a bench that
+// cannot record its result has failed.
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatalf("provbench: encode %s: %v", path, err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("provbench: write %s: %v", path, err)
+	}
+}
+
 // sessionsSweep reproduces the Table IX fan-in scenario on the real
 // pipeline — many devices publishing concurrently into one server — while
 // sweeping how many shared-subscription consumer-group sessions the
 // translator holds. The reported frames/s is the aggregate ingest rate
-// (capture start to last record delivered to the target).
-func sessionsSweep(counts []int, devices, tasks int) *stats.Table {
+// (capture start to last record delivered to the target). With
+// BENCH_JSON=1 the sweep also appends a machine-readable trajectory
+// entry (frames/s and allocations per record) to out, so CI can track
+// the core pipeline across commits.
+func sessionsSweep(counts []int, devices, tasks int, out string) *stats.Table {
 	tbl := stats.NewTable(
 		fmt.Sprintf("Table IX (real pipeline): %d devices x %d tasks, consumer-group fan-in", devices, tasks),
 		"sessions", "elapsed", "frames/s", "records")
+	rep := pipelineReport{Bench: "pipeline_fanin", Devices: devices, Tasks: tasks}
 	for _, n := range counts {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		elapsed, frames, records := runFanIn(n, devices, tasks)
+		runtime.ReadMemStats(&after)
+		allocs := after.Mallocs - before.Mallocs
 		tbl.AddRow(fmt.Sprint(n),
 			elapsed.Truncate(time.Millisecond).String(),
 			fmt.Sprintf("%.0f", float64(frames)/elapsed.Seconds()),
 			fmt.Sprint(records))
+		rep.Runs = append(rep.Runs, pipelineRun{
+			Sessions:        n,
+			ElapsedMS:       float64(elapsed.Microseconds()) / 1000,
+			Frames:          frames,
+			FramesPerSec:    float64(frames) / elapsed.Seconds(),
+			Records:         records,
+			Allocs:          allocs,
+			AllocsPerRecord: float64(allocs) / float64(records),
+		})
+	}
+	if os.Getenv("BENCH_JSON") == "1" {
+		writeJSON(out, rep)
+		fmt.Printf("pipeline trajectory written to %s\n", out)
 	}
 	return tbl
 }
@@ -236,4 +314,274 @@ func runFanIn(sessions, devices, tasks int) (time.Duration, uint64, int) {
 		frames += tr.Stats().FramesReceived
 	}
 	return elapsed, frames, len(mem.Records())
+}
+
+// clusterPartitions fixes the hash-space size for the -brokers sweep so
+// device placement below and the cluster agree on topic -> partition.
+const clusterPartitions = 64
+
+// clusterRun is one -brokers sweep point in BENCH_cluster_fanin.json.
+// ExactlyOnce and OrderOK record assertions the run also enforces (a
+// violation aborts the bench), so a written report is a passing one.
+type clusterRun struct {
+	Nodes        int     `json:"nodes"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	Frames       uint64  `json:"frames"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	Records      int     `json:"records"`
+	ForwardedOut uint64  `json:"forwarded_out"`
+	Migrated     uint64  `json:"migrated"`
+	LinkLost     uint64  `json:"link_lost"`
+	Leave        bool    `json:"leave"`
+	ExactlyOnce  bool    `json:"exactly_once"`
+	OrderOK      bool    `json:"order_ok"`
+}
+
+type clusterFanInReport struct {
+	Bench        string       `json:"bench"`
+	Devices      int          `json:"devices"`
+	Tasks        int          `json:"tasks"`
+	NetemDelayMS float64      `json:"netem_delay_ms"`
+	Runs         []clusterRun `json:"runs"`
+	// Speedup is frames/s of the largest node count over the smallest.
+	Speedup float64 `json:"speedup_max_vs_min"`
+}
+
+// clusterSweep measures fan-in throughput against a clustered broker
+// tier, sweeping the node count. The translator's consumer-group links
+// cross a netem-shaped path (one-way delay per write), so each group
+// member's QoS 2 handshake is latency-bound and aggregate throughput
+// scales with the number of nodes — the scenario the paper's Table IX
+// runs against edge uplinks. Every run with N >= 2 also exercises a live
+// node leave mid-stream and asserts per-workflow order and exactly-once
+// delivery across the migration.
+func clusterSweep(counts []int, devices, tasks int, delay time.Duration, out string) *stats.Table {
+	tbl := stats.NewTable(
+		fmt.Sprintf("Cluster fan-in: %d devices x %d tasks, %s link delay, mid-run leave at N>=2", devices, tasks, delay),
+		"nodes", "elapsed", "frames/s", "forwarded", "migrated")
+	rep := clusterFanInReport{
+		Bench: "cluster_fanin", Devices: devices, Tasks: tasks,
+		NetemDelayMS: float64(delay.Microseconds()) / 1000,
+	}
+	minRate, maxRate := 0.0, 0.0
+	minNodes, maxNodes := 0, 0
+	for _, n := range counts {
+		run := runClusterFanIn(n, devices, tasks, delay)
+		tbl.AddRow(fmt.Sprint(n),
+			(time.Duration(run.ElapsedMS) * time.Millisecond).String(),
+			fmt.Sprintf("%.0f", run.FramesPerSec),
+			fmt.Sprint(run.ForwardedOut),
+			fmt.Sprint(run.Migrated))
+		rep.Runs = append(rep.Runs, run)
+		if minNodes == 0 || n < minNodes {
+			minNodes, minRate = n, run.FramesPerSec
+		}
+		if n > maxNodes {
+			maxNodes, maxRate = n, run.FramesPerSec
+		}
+	}
+	if minNodes != 0 && minRate > 0 {
+		rep.Speedup = maxRate / minRate
+	}
+	writeJSON(out, rep)
+	fmt.Printf("cluster fan-in report written to %s (%.2fx at %d nodes vs %d)\n",
+		out, rep.Speedup, maxNodes, minNodes)
+	return tbl
+}
+
+// runClusterFanIn drives the full capture pipeline through an n-node
+// cluster: devices spread round-robin over the nodes, a cluster-aware
+// translator with a group member on every node behind a delay-shaped
+// link, and (for n >= 2) one extra node that joins the initial
+// membership and leaves mid-stream, migrating its partitions live. The
+// run aborts unless every record arrives exactly once and in per-
+// workflow capture order.
+//
+// Device topics are placed evenly across the steady-state owners (see
+// cluster.Owners): the sweep measures broker capacity, and at a handful
+// of devices an uneven rendezvous draw would otherwise dominate the
+// scaling signal that a paper-scale fleet (64 topics, Fig. 5) averages
+// out naturally.
+func runClusterFanIn(n, devices, tasks int, delay time.Duration) clusterRun {
+	lb := transport.NewLoopback()
+	startNodes, leaver := n, ""
+	if n > 1 {
+		startNodes = n + 1
+		leaver = fmt.Sprintf("n%d", n)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes:         startNodes,
+		Transport:     lb,
+		Partitions:    clusterPartitions,
+		RetryInterval: 2 * time.Second,
+		DrainTimeout:  30 * time.Second,
+	})
+	if err != nil {
+		log.Fatalf("provbench: cluster.New: %v", err)
+	}
+	defer cl.Close()
+
+	steady := make([]string, n)
+	for i := range steady {
+		steady[i] = fmt.Sprintf("n%d", i)
+	}
+	owners := cluster.Owners(clusterPartitions, steady)
+	quota := (devices + n - 1) / n
+	load := map[string]int{}
+	names := make([]string, 0, devices)
+	for k := 0; len(names) < devices; k++ {
+		name := fmt.Sprintf("bench-dev-%d", k)
+		owner := owners[cluster.PartitionOf(core.DefaultTopic(name), clusterPartitions)]
+		if load[owner] >= quota {
+			continue
+		}
+		load[owner]++
+		names = append(names, name)
+	}
+
+	mem := translate.NewMemoryTarget()
+	shaped := netem.WrapTransport(lb, netem.Profile{Delay: delay})
+	tr, err := translate.New(context.Background(), translate.Config{
+		ClusterAddrs:  cl.Addrs(),
+		Transport:     shaped,
+		ClientID:      "bench-cluster-xlate",
+		RetryInterval: 2 * time.Second,
+		MaxRetries:    10,
+		Targets:       []translate.Target{mem},
+		DisableAcks:   true,
+	})
+	if err != nil {
+		log.Fatalf("provbench: translate.New: %v", err)
+	}
+	defer tr.Close()
+
+	addrs := cl.Addrs()
+	start := time.Now()
+	clients := make([]*provlight.Client, devices)
+	for d := range clients {
+		c, err := provlight.NewClient(context.Background(), provlight.Config{
+			Broker:     addrs[d%n], // survivors only: a device on the leaver would need its spool to outlive the broker
+			Transport:  lb,
+			ClientID:   names[d],
+			WindowSize: 16,
+		})
+		if err != nil {
+			log.Fatalf("provbench: device %d: %v", d, err)
+		}
+		defer c.Close()
+		clients[d] = c
+	}
+
+	leave := make(chan struct{})
+	left := make(chan error, 1)
+	if leaver != "" {
+		go func() {
+			<-leave
+			left <- cl.Leave(context.Background(), leaver)
+		}()
+	}
+
+	errs := make(chan error, devices)
+	var leaveOnce sync.Once
+	for d := range clients {
+		go func(d int) {
+			wf := clients[d].NewWorkflow(fmt.Sprintf("wf-%d", d))
+			if err := wf.Begin(); err != nil {
+				errs <- fmt.Errorf("device %d workflow begin: %w", d, err)
+				return
+			}
+			for i := 0; i < tasks; i++ {
+				task := wf.NewTask(fmt.Sprintf("t%04d", i), "bench")
+				if err := task.Begin(); err != nil {
+					errs <- fmt.Errorf("device %d task %d begin: %w", d, i, err)
+					return
+				}
+				if err := task.End(provlight.NewData(fmt.Sprintf("out-%d-%d", d, i), nil)); err != nil {
+					errs <- fmt.Errorf("device %d task %d end: %w", d, i, err)
+					return
+				}
+				if leaver != "" && d == 0 && i == tasks/3 {
+					leaveOnce.Do(func() { close(leave) })
+				}
+			}
+			errs <- clients[d].Flush()
+		}(d)
+	}
+	for i := 0; i < devices; i++ {
+		if err := <-errs; err != nil {
+			log.Fatalf("provbench: %v", err)
+		}
+	}
+	if leaver != "" {
+		if err := <-left; err != nil {
+			log.Fatalf("provbench: leave %s: %v", leaver, err)
+		}
+	}
+
+	want := devices * (1 + 2*tasks)
+	deadline := time.Now().Add(3 * time.Minute)
+	for mem.Len() < want {
+		if time.Now().After(deadline) {
+			log.Fatalf("provbench: cluster fan-in stalled at %d/%d records", mem.Len(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.Drain()
+	elapsed := time.Since(start)
+
+	got := mem.Len()
+	if got != want {
+		log.Fatalf("provbench: cluster fan-in delivered %d records, want exactly %d (duplicate delivery)", got, want)
+	}
+	assertWorkflowOrder(mem.Records(), devices, tasks)
+
+	run := clusterRun{
+		Nodes:        n,
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+		Frames:       tr.Stats().FramesReceived,
+		FramesPerSec: float64(want) / elapsed.Seconds(),
+		Records:      got,
+		Leave:        leaver != "",
+		ExactlyOnce:  true,
+		OrderOK:      true,
+	}
+	for _, ns := range cl.Stats() {
+		run.ForwardedOut += ns.ForwardedOut
+		run.Migrated += ns.Migrated
+		run.LinkLost += ns.LinkLost
+	}
+	return run
+}
+
+// assertWorkflowOrder fatals unless each workflow's records arrived in
+// exact capture order: workflow begin, then task begin/end pairs t0000,
+// t0001, ... — the guarantee the cluster must preserve across
+// forwarding and migration.
+func assertWorkflowOrder(records []provdm.Record, devices, tasks int) {
+	perWF := map[string][]provdm.Record{}
+	for _, r := range records {
+		perWF[r.WorkflowID] = append(perWF[r.WorkflowID], r)
+	}
+	if len(perWF) != devices {
+		log.Fatalf("provbench: records span %d workflows, want %d", len(perWF), devices)
+	}
+	for wf, recs := range perWF {
+		if recs[0].Event != provdm.EventWorkflowBegin {
+			log.Fatalf("provbench: workflow %s: first record is %v, not workflow begin", wf, recs[0].Event)
+		}
+		rest := recs[1:]
+		if len(rest) != 2*tasks {
+			log.Fatalf("provbench: workflow %s: %d task records, want %d", wf, len(rest), 2*tasks)
+		}
+		for i := 0; i < tasks; i++ {
+			wantID := fmt.Sprintf("t%04d", i)
+			begin, end := rest[2*i], rest[2*i+1]
+			if begin.Event != provdm.EventTaskBegin || begin.TaskID != wantID {
+				log.Fatalf("provbench: workflow %s: record %d is %v %s, want begin %s", wf, 2*i, begin.Event, begin.TaskID, wantID)
+			}
+			if end.Event != provdm.EventTaskEnd || end.TaskID != wantID {
+				log.Fatalf("provbench: workflow %s: record %d is %v %s, want end %s", wf, 2*i+1, end.Event, end.TaskID, wantID)
+			}
+		}
+	}
 }

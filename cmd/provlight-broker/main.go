@@ -1,32 +1,80 @@
 // Command provlight-broker runs the ProvLight MQTT-SN broker (the Go
-// equivalent of Eclipse RSMB) on a UDP address.
+// equivalent of Eclipse RSMB) on a UDP address — either a single broker
+// or, with -cluster/-cluster-addrs, N nodes acting as one logical
+// broker.
 //
 // Usage:
 //
 //	provlight-broker -addr 0.0.0.0:1883 [-retry 1s] [-max-retries 5] \
 //	    [-send-window 32] [-shards 16] \
 //	    [-max-sessions 0] [-connect-rate 0] \
+//	    [-cluster 1] [-cluster-addrs host:port,host:port,...] \
+//	    [-partitions 64] \
 //	    [-stats-listen 127.0.0.1:1884] [-v]
 //
 // -max-sessions and -connect-rate enable overload admission control:
 // past either limit, new CONNECTs are rejected with a congestion CONNACK
 // that well-behaved clients back off from (reconnects of existing
-// sessions always pass the session cap). -stats-listen serves the broker
-// counters as JSON on GET /stats (plus GET /healthz).
+// sessions always pass the session cap).
+//
+// With -cluster N (or an explicit -cluster-addrs list) the process runs
+// N broker nodes that partition the topic space by rendezvous hashing
+// and forward frames between each other; clients may connect to any
+// node. The default -cluster 1 is byte-for-byte the single broker: no
+// forwarding, no links, zero extra configuration.
+//
+// -stats-listen serves counters as JSON on GET /stats (plus GET
+// /healthz). In cluster mode /stats carries the full ownership table:
+// per node its id, listen address, owned partitions, broker counters,
+// and the forwarded/migrated/link-lost cluster counters, alongside the
+// partition->owner map.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/provlight/provlight/internal/broker"
+	"github.com/provlight/provlight/internal/cluster"
 )
+
+// clusterStats is the /stats document in cluster mode: the partition
+// ownership table plus every node's identity, owned partitions, broker
+// counters, and cluster-layer forwarded/migrated counters.
+type clusterStats struct {
+	Topology cluster.TopologyInfo `json:"topology"`
+	Nodes    []cluster.NodeStats  `json:"nodes"`
+}
+
+// serveStats starts the JSON stats listener: GET /stats returns
+// payload(), GET /healthz a liveness probe. Returns a shutdown func.
+func serveStats(listen string, payload func() any) func() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(payload())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}` + "\n"))
+	})
+	statsSrv := &http.Server{Addr: listen, Handler: mux}
+	go func() {
+		if err := statsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("provlight-broker: stats listener: %v", err)
+		}
+	}()
+	log.Printf("provlight-broker: serving stats on http://%s/stats", listen)
+	return func() { statsSrv.Close() }
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:1883", "UDP listen address")
@@ -37,9 +85,69 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "admission control: reject new CONNECTs past this many live sessions (0: unlimited)")
 	connectRate := flag.Float64("connect-rate", 0, "admission control: sustained CONNECTs accepted per second (0: unlimited)")
 	connectBurst := flag.Int("connect-burst", 0, "CONNECT burst allowance for -connect-rate (0: 2x the rate)")
+	clusterN := flag.Int("cluster", 1, "run this many broker nodes as one logical broker (1: plain single broker, no clustering)")
+	clusterAddrs := flag.String("cluster-addrs", "", "comma-separated UDP listen addresses, one per cluster node (overrides -cluster and -addr)")
+	partitions := flag.Int("partitions", 64, "cluster topic hash-space size (fixed for the cluster's lifetime)")
 	statsListen := flag.String("stats-listen", "", "serve broker stats as JSON on this HTTP address (GET /stats, /healthz)")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
+
+	var nodeAddrs []string
+	if *clusterAddrs != "" {
+		for _, a := range strings.Split(*clusterAddrs, ",") {
+			nodeAddrs = append(nodeAddrs, strings.TrimSpace(a))
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *clusterN > 1 || len(nodeAddrs) > 0 {
+		ccfg := cluster.Config{
+			Nodes:               *clusterN,
+			Addrs:               nodeAddrs,
+			Partitions:          *partitions,
+			BrokerRetryInterval: *retry,
+			BrokerMaxRetries:    *maxRetries,
+		}
+		if *verbose {
+			ccfg.Logf = log.Printf
+		}
+		cl, err := cluster.New(ccfg)
+		if err != nil {
+			log.Fatalf("provlight-broker: %v", err)
+		}
+		defer cl.Close()
+		ids := cl.NodeIDs()
+		for i, a := range cl.Addrs() {
+			log.Printf("provlight-broker: node %s serving MQTT-SN on udp://%s", ids[i], a)
+		}
+		if *statsListen != "" {
+			stop := serveStats(*statsListen, func() any {
+				return clusterStats{Topology: cl.Topology(), Nodes: cl.Stats()}
+			})
+			defer stop()
+		}
+		<-sig
+		for _, ns := range cl.Stats() {
+			log.Printf("provlight-broker: shutting down %s (publishes=%d routed=%d forwarded_out=%d migrated=%d link_lost=%d)",
+				ns.ID, ns.Broker.PublishesReceived, ns.Broker.MessagesRouted,
+				ns.ForwardedOut, ns.Migrated, ns.LinkLost)
+		}
+		// Graceful-ish teardown: nodes leave one by one so in-flight
+		// frames migrate to survivors before the last broker closes.
+		for len(cl.NodeIDs()) > 1 {
+			ids := cl.NodeIDs()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := cl.Leave(ctx, ids[len(ids)-1]); err != nil {
+				log.Printf("provlight-broker: leave %s: %v", ids[len(ids)-1], err)
+				cancel()
+				break
+			}
+			cancel()
+		}
+		return
+	}
 
 	cfg := broker.Config{
 		Addr:          *addr,
@@ -62,27 +170,10 @@ func main() {
 	log.Printf("provlight-broker: serving MQTT-SN on udp://%s", b.Addr())
 
 	if *statsListen != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(b.Stats())
-		})
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_, _ = w.Write([]byte(`{"ok":true}` + "\n"))
-		})
-		statsSrv := &http.Server{Addr: *statsListen, Handler: mux}
-		go func() {
-			if err := statsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("provlight-broker: stats listener: %v", err)
-			}
-		}()
-		defer statsSrv.Close()
-		log.Printf("provlight-broker: serving stats on http://%s/stats", *statsListen)
+		stop := serveStats(*statsListen, func() any { return b.Stats() })
+		defer stop()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := b.Stats()
 	log.Printf("provlight-broker: shutting down (publishes=%d routed=%d retransmissions=%d groups=%d rerouted=%d giveups=%d congestion_rejected=%d)",

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	provlight-translate -broker 127.0.0.1:1883 \
+//	    [-brokers node0:1883,node1:1883,...] \
 //	    [-topic 'provlight/+/records'] [-workers 4] \
 //	    [-sessions 4] [-group translators] \
 //	    [-batch 64] [-linger 0s] \
@@ -19,6 +20,13 @@
 // the fan-in path while keeping each device's stream ordered. Several
 // provlight-translate processes sharing one -group split the stream the
 // same way across processes.
+//
+// With -brokers (a comma-separated list of clustered broker node
+// addresses) the translator spreads its consumer-group sessions across
+// the nodes — one home node per session, round-robin — so every node
+// has a local group member and forwarded frames never need a second
+// hop. Sessions are raised to at least the node count, and a session
+// whose home node leaves the cluster fails over to the next address.
 //
 // With -data-dir the translator embeds a WAL-backed, snapshotting
 // DfAnalyzer store: every delivered frame is persisted and deduplicated
@@ -37,6 +45,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +70,7 @@ func writeAtomic(path string, pj *translate.PROVJSONTarget) error {
 
 func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:1883", "MQTT-SN broker address")
+	brokerList := flag.String("brokers", "", "comma-separated clustered broker node addresses (spreads sessions across nodes; overrides -broker)")
 	topic := flag.String("topic", "provlight/+/records", "topic filter to consume")
 	clientID := flag.String("client-id", "translator", "broker client id (must differ between processes sharing a -group)")
 	sessions := flag.Int("sessions", 1, "broker sessions in one consumer group (scales fan-in)")
@@ -131,26 +141,38 @@ func main() {
 		log.Printf("provlight-translate: no durable target (-data-dir / -dfanalyzer): end-to-end acks disabled, spooling clients will retain their frames")
 	}
 
+	var clusterAddrs []string
+	if *brokerList != "" {
+		for _, a := range strings.Split(*brokerList, ",") {
+			clusterAddrs = append(clusterAddrs, strings.TrimSpace(a))
+		}
+	}
+
 	connectCtx, cancelConnect := context.WithTimeout(context.Background(), *connectTimeout)
 	tr, err := translate.New(connectCtx, translate.Config{
-		Broker:      *brokerAddr,
-		ClientID:    *clientID,
-		TopicFilter: *topic,
-		Sessions:    *sessions,
-		Group:       *group,
-		Workers:     *workers,
-		BatchSize:   *batch,
-		BatchLinger: *linger,
-		Targets:     targets,
-		DisableAcks: disableAcks,
-		OnError:     func(err error) { log.Printf("provlight-translate: %v", err) },
+		Broker:       *brokerAddr,
+		ClusterAddrs: clusterAddrs,
+		ClientID:     *clientID,
+		TopicFilter:  *topic,
+		Sessions:     *sessions,
+		Group:        *group,
+		Workers:      *workers,
+		BatchSize:    *batch,
+		BatchLinger:  *linger,
+		Targets:      targets,
+		DisableAcks:  disableAcks,
+		OnError:      func(err error) { log.Printf("provlight-translate: %v", err) },
 	})
 	cancelConnect()
 	if err != nil {
 		log.Fatalf("provlight-translate: %v", err)
 	}
+	from := *brokerAddr
+	if len(clusterAddrs) > 0 {
+		from = strings.Join(clusterAddrs, ",")
+	}
 	log.Printf("provlight-translate: consuming %q from %s with %d targets (%d sessions)",
-		*topic, *brokerAddr, len(targets), tr.Sessions())
+		*topic, from, len(targets), tr.Sessions())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,8 @@
-// Package broker implements an MQTT-SN gateway/broker over UDP: the Go
+// Package broker implements an MQTT-SN gateway/broker: the Go
 // equivalent of the Eclipse RSMB (Really Small Message Broker) that
-// ProvLight's server side builds on (paper §IV-C1).
+// ProvLight's server side builds on (paper §IV-C1). It serves plain UDP
+// by default, or any transport.Transport (in-process loopback, TCP
+// stream) — one datagram-shaped packet per MQTT-SN message either way.
 //
 // Features: client sessions with keepalive expiry, topic registration with
 // gateway-scoped 16-bit ids, exact and wildcard ('+', '#') subscriptions,
@@ -9,6 +11,16 @@
 // QoS 2, retained messages, and last-will publication when a session is
 // lost. A janitor goroutine retransmits unacknowledged outbound messages
 // and expires dead sessions.
+//
+// One broker process is a complete gateway on its own, and it is also
+// the building block of internal/cluster's multi-node tier: the Forward
+// hook intercepts released publishes so the cluster can ship them to a
+// topic's owning node, Submit/Inject re-enter frames that arrived over
+// inter-node links, the OnSubscribe/OnUnsubscribe hooks let individual
+// subscriptions propagate across nodes, and PendingForTopics /
+// DetachMatching expose the drain introspection live partition
+// migration needs. None of those hooks are set in single-node use, and
+// the broker then behaves exactly as it did before clustering existed.
 //
 // Fast path: session state is striped across N mutex-guarded shards keyed
 // by client address, and each shard has its own handler goroutine fed from
@@ -27,20 +39,43 @@ import (
 	"hash/maphash"
 	"log"
 	"net"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/transport"
 )
+
+// BridgeSessionPrefix marks inter-node bridge sessions (the mqttsn
+// clients internal/cluster uses as forwarding links). Frames re-entering
+// a node via Inject skip sessions whose client id carries this prefix,
+// so a publication can never echo between nodes.
+const BridgeSessionPrefix = "!bridge/"
+
+// ForwardFrame is one released publish offered to the Forward hook.
+// The payload is owned by the receiver (publish payloads are copied at
+// decode and never pooled), so the hook may retain it.
+type ForwardFrame struct {
+	Topic   string
+	Payload []byte
+	QoS     mqttsn.QoS
+	Retain  bool
+}
 
 // Config configures a broker.
 type Config struct {
-	// Addr is the UDP listen address (e.g. "127.0.0.1:1883"). Ignored if
-	// Conn is set.
+	// Addr is the listen address in the transport's format (e.g.
+	// "127.0.0.1:1883" for UDP/TCP). Ignored if Conn is set.
 	Addr string
 	// Conn optionally supplies a pre-made (possibly netem-shaped) socket.
 	Conn net.PacketConn
+	// Transport, when set and Conn is nil, listens over an alternate
+	// packet substrate (in-process loopback, TCP stream). The default is
+	// plain UDP.
+	Transport transport.Transport
 	// RetryInterval is the outbound acknowledgement timeout. Default 1s.
 	RetryInterval time.Duration
 	// MaxRetries bounds outbound retransmissions. Default 5.
@@ -72,6 +107,24 @@ type Config struct {
 	// ConnectBurst is the token-bucket depth for ConnectRate. Default
 	// max(2×ConnectRate, 1).
 	ConnectBurst int
+	// Forward, when set, is consulted once for every fully-released
+	// inbound publish (after QoS 2 ordered release, so it sees frames in
+	// the same order local routing would). Returning true takes ownership
+	// of the frame — it is not routed locally and counts as Forwarded.
+	// internal/cluster uses this to ship frames to a topic's owning node.
+	// The hook may block briefly (backpressure propagates to the
+	// publisher's shard worker) but must not call back into this broker.
+	Forward func(ForwardFrame) bool
+	// OnSubscribe/OnUnsubscribe, when set, observe individual (non-shared)
+	// subscription changes from non-bridge sessions: OnSubscribe fires
+	// when a session adds a filter it did not have, OnUnsubscribe when a
+	// filter is dropped by an explicit UNSUBSCRIBE or by session teardown
+	// (disconnect, expiry, reconnect replacement). The cluster propagates
+	// these filters to peer nodes so frames released anywhere reach
+	// subscribers everywhere. Hooks must not block and must not call back
+	// into this broker.
+	OnSubscribe   func(filter string)
+	OnUnsubscribe func(filter string)
 	// Logf, when set, receives debug logs.
 	Logf func(format string, args ...any)
 }
@@ -101,6 +154,19 @@ type Stats struct {
 	// CongestionRejected counts CONNECTs refused by admission control
 	// (session cap or connection-rate limit) with a congestion CONNACK.
 	CongestionRejected uint64
+	// Forwarded counts released publishes the Forward hook took ownership
+	// of instead of local routing — in a cluster, frames this node shipped
+	// to their topic's owning node (or buffered during a migration pause).
+	Forwarded uint64
+	// Injected counts frames re-entered through Inject: publications that
+	// arrived over an inter-node bridge link and were delivered to this
+	// node's local individual subscribers.
+	Injected uint64
+	// Migrated counts frames extracted by DetachMatching during a
+	// partition handoff: queued or in-flight state the old owner detached
+	// from its local subscribers so the new owner could take over
+	// delivery.
+	Migrated uint64
 }
 
 type message struct {
@@ -110,6 +176,10 @@ type message struct {
 	qos     mqttsn.QoS
 	retain  bool
 	seq     uint64 // per-publisher arrival sequence (QoS 2 ordered release)
+	// injected marks frames re-entered via Inject (arrived over an
+	// inter-node bridge): routed to local individual non-bridge
+	// subscribers only — no groups, no retained store, no bridge echo.
+	injected bool
 	// group is set on copies routed on behalf of a consumer group; a
 	// frame the member never acknowledges is handed back to the group
 	// instead of dropped.
@@ -120,6 +190,17 @@ const (
 	obAwaitPuback = iota
 	obAwaitPubrec
 	obAwaitPubcomp
+	// obRelPending: the PUBREC arrived, but an older QoS 2 flow on the
+	// session has not had its PUBREL sent yet, so this release is held
+	// back. A QoS 2 subscriber delivers on PUBREL, and PUBRECs follow
+	// PUBLISH *arrival* order — which the network (or two goroutines
+	// racing their post-unlock send loops) may invert. Sending PUBRELs
+	// strictly in enqueue (seq) order makes the subscriber's delivery
+	// order match the broker's release order no matter how the PUBLISH
+	// packets interleaved on the wire. The janitor retransmits the
+	// PUBLISH (DUP) for flows parked here, so a gave-up predecessor
+	// still unblocks them: the duplicate PUBREC re-runs the collection.
+	obRelPending
 )
 
 // regFlow is one outstanding REGISTER exchange (broker -> subscriber),
@@ -280,6 +361,9 @@ type counters struct {
 	groupRerouted      atomic.Uint64
 	backlogDropped     atomic.Uint64
 	congestionRejected atomic.Uint64
+	forwarded          atomic.Uint64
+	injected           atomic.Uint64
+	migrated           atomic.Uint64
 }
 
 // connLimiter is the CONNECT-admission token bucket. It is consulted once
@@ -390,14 +474,18 @@ func New(cfg Config) (*Broker, error) {
 	}
 	conn := cfg.Conn
 	if conn == nil {
-		addr := cfg.Addr
-		if addr == "" {
-			addr = "127.0.0.1:0"
-		}
 		var err error
-		conn, err = net.ListenPacket("udp", addr)
+		if cfg.Transport != nil {
+			conn, err = cfg.Transport.Listen(cfg.Addr)
+		} else {
+			addr := cfg.Addr
+			if addr == "" {
+				addr = "127.0.0.1:0"
+			}
+			conn, err = net.ListenPacket("udp", addr)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("broker: listen %s: %w", addr, err)
+			return nil, fmt.Errorf("broker: listen %q: %w", cfg.Addr, err)
 		}
 	}
 	// The broker is the fan-in point of the whole continuum: a burst from
@@ -451,7 +539,8 @@ func (b *Broker) shardFor(addrKey string) *shard {
 	return b.shards[int(maphash.String(b.seed, addrKey)%uint64(len(b.shards)))]
 }
 
-// Addr returns the UDP address the broker serves on.
+// Addr returns the address the broker serves on, in its transport's
+// format (a UDP/TCP host:port, or a loopback endpoint name).
 func (b *Broker) Addr() string { return b.conn.LocalAddr().String() }
 
 // Stats returns a snapshot of broker counters.
@@ -467,6 +556,9 @@ func (b *Broker) Stats() Stats {
 		GroupRerouted:      b.ctr.groupRerouted.Load(),
 		BacklogDropped:     b.ctr.backlogDropped.Load(),
 		CongestionRejected: b.ctr.congestionRejected.Load(),
+		Forwarded:          b.ctr.forwarded.Load(),
+		Injected:           b.ctr.injected.Load(),
+		Migrated:           b.ctr.migrated.Load(),
 	}
 	for _, sh := range b.shards {
 		sh.mu.Lock()
@@ -1046,13 +1138,35 @@ func (b *Broker) handleRegack(addr net.Addr, p *mqttsn.Regack) {
 	sh := b.shardFor(key)
 	sh.mu.Lock()
 	s := sh.sessions[key]
-	var flush []*message
+	var pubs []*mqttsn.Publish
+	var fired []*message
 	var rejected []*message
+	var saddr net.Addr
 	if s != nil {
 		s.lastSeen = time.Now()
 		if p.ReturnCode == mqttsn.Accepted {
 			s.knownTopics[p.TopicID] = true
-			flush = s.pendingReg[p.TopicID]
+			// The backlog must reach sendQ under the SAME lock acquisition
+			// that flips knownTopics: once the flag is visible, a deliver()
+			// for a concurrently released frame takes the known-topic fast
+			// path, and if the backlog were flushed message-by-message after
+			// unlocking, that new frame would slot into sendQ ahead of the
+			// older frames still waiting here and break per-topic order.
+			for _, m := range s.pendingReg[p.TopicID] {
+				switch m.qos {
+				case mqttsn.QoS1, mqttsn.QoS2:
+					s.sendQ = append(s.sendQ, m)
+				default:
+					pubs = append(pubs, &mqttsn.Publish{
+						Flags:   mqttsn.Flags{QoS: m.qos, Retain: m.retain},
+						TopicID: m.topicID,
+						Data:    m.payload,
+					})
+					fired = append(fired, m) // fire-and-forget: done once sent
+				}
+			}
+			pubs = append(pubs, s.pumpLocked(b, b.cfg.SendWindow)...)
+			saddr = s.addr
 		} else {
 			rejected = s.pendingReg[p.TopicID]
 		}
@@ -1060,8 +1174,11 @@ func (b *Broker) handleRegack(addr net.Addr, p *mqttsn.Regack) {
 		delete(s.regFlows, p.TopicID)
 	}
 	sh.mu.Unlock()
-	for _, m := range flush {
-		b.deliverOrSettle(s, m)
+	for _, pub := range pubs {
+		b.sendTo(saddr, pub)
+	}
+	for _, m := range fired {
+		b.putMsg(m)
 	}
 	// A rejected registration means this subscriber can never take these
 	// frames: hand group frames back, drop and count the rest.
@@ -1144,12 +1261,19 @@ func (b *Broker) handlePubrel(addr net.Addr, p *mqttsn.Pubrel) {
 		}
 	}
 	sh.mu.Unlock()
-	comp := &mqttsn.Pubcomp{}
-	comp.MsgID = p.MsgID
-	b.sendTo(addr, comp)
+	// Route released frames BEFORE acknowledging the release: once the
+	// publisher sees PUBCOMP, each released frame has passed the Forward
+	// hook or been enqueued to every local subscriber. The cluster's
+	// migration drain relies on this ordering — a forwarding link whose
+	// in-flight count hits zero knows its frames are accounted for at the
+	// owner. A delayed PUBCOMP just makes the publisher retransmit its
+	// PUBREL, which is answered as the duplicate it is.
 	for _, m := range ready {
 		b.routeAndRelease(m)
 	}
+	comp := &mqttsn.Pubcomp{}
+	comp.MsgID = p.MsgID
+	b.sendTo(addr, comp)
 }
 
 func (b *Broker) handlePuback(addr net.Addr, p *mqttsn.Puback) {
@@ -1183,24 +1307,58 @@ func (b *Broker) handlePubrec(addr net.Addr, p *mqttsn.Pubrec) {
 	sh := b.shardFor(key)
 	sh.mu.Lock()
 	s := sh.sessions[key]
-	send := false
+	var rels []uint16
 	if s != nil {
 		s.lastSeen = time.Now()
-		if ob, ok := s.outbound[p.MsgID]; ok && ob.state == obAwaitPubrec {
-			ob.state = obAwaitPubcomp
-			ob.lastSent = time.Now()
-			ob.retries = 0
-			send = true
-		} else if ok {
-			send = true // duplicate PUBREC: re-send PUBREL
+		if ob, ok := s.outbound[p.MsgID]; ok {
+			switch ob.state {
+			case obAwaitPubrec:
+				ob.state = obRelPending
+				ob.retries = 0
+				rels = s.releasableLocked()
+			case obRelPending:
+				// Duplicate PUBREC (our DUP PUBLISH nudged the client):
+				// the blocker may have been given up since — try again.
+				rels = s.releasableLocked()
+			case obAwaitPubcomp:
+				rels = append(rels, p.MsgID) // duplicate PUBREC: re-send PUBREL
+			}
 		}
 	}
 	sh.mu.Unlock()
-	if send {
+	for _, id := range rels {
 		rel := &mqttsn.Pubrel{}
-		rel.MsgID = p.MsgID
+		rel.MsgID = id
 		b.sendTo(addr, rel)
 	}
+}
+
+// releasableLocked collects, in enqueue order, the QoS 2 flows whose
+// PUBREL may go on the wire now: every flow up to (and not beyond) the
+// oldest one still awaiting its PUBREC. Marking them obAwaitPubcomp
+// under the shard lock keeps the collection exactly-once; the caller
+// sends the returned msgIDs in slice order. All PUBRECs of a session
+// arrive on its single shard worker, so collections never race each
+// other and PUBRELs hit the wire in seq order.
+func (s *session) releasableLocked() []uint16 {
+	var cand []*outbound
+	for _, ob := range s.outbound {
+		if ob.state == obAwaitPubrec || ob.state == obRelPending {
+			cand = append(cand, ob)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].seq < cand[j].seq })
+	var rels []uint16
+	for _, ob := range cand {
+		if ob.state != obRelPending {
+			break // oldest unreleased flow still awaits its PUBREC
+		}
+		ob.state = obAwaitPubcomp
+		ob.lastSent = time.Now()
+		ob.retries = 0
+		rels = append(rels, ob.msgID)
+	}
+	return rels
 }
 
 func (b *Broker) handlePubcomp(addr net.Addr, p *mqttsn.Pubcomp) {
@@ -1265,8 +1423,13 @@ func (b *Broker) handleSubscribe(addr net.Addr, p *mqttsn.Subscribe) {
 		})
 		return
 	}
+	_, hadFilter := s.subs[filter]
 	s.subs[filter] = p.Flags.QoS
+	isBridge := strings.HasPrefix(s.clientID, BridgeSessionPrefix)
 	sh.mu.Unlock()
+	if !hadFilter && !isBridge && b.cfg.OnSubscribe != nil {
+		b.cfg.OnSubscribe(filter)
+	}
 
 	var topicID uint16
 	if mqttsn.ValidTopicName(filter) { // exact topic: hand out its id now
@@ -1307,6 +1470,7 @@ func (b *Broker) handleUnsubscribe(addr net.Addr, p *mqttsn.Unsubscribe) {
 	sh.mu.Lock()
 	var left *consumerGroup
 	var s *session
+	var dropped string
 	if s = sh.sessions[key]; s != nil {
 		s.lastSeen = time.Now()
 		filter := p.TopicName
@@ -1316,13 +1480,19 @@ func (b *Broker) handleUnsubscribe(addr net.Addr, p *mqttsn.Unsubscribe) {
 		if g, ok := s.groupSubs[filter]; ok {
 			delete(s.groupSubs, filter)
 			left = g
-		} else {
+		} else if _, ok := s.subs[filter]; ok {
 			delete(s.subs, filter)
+			if !strings.HasPrefix(s.clientID, BridgeSessionPrefix) {
+				dropped = filter
+			}
 		}
 	}
 	sh.mu.Unlock()
 	if left != nil {
 		b.leaveGroup(left, s)
+	}
+	if dropped != "" && b.cfg.OnUnsubscribe != nil {
+		b.cfg.OnUnsubscribe(dropped)
 	}
 	ack := &mqttsn.Unsuback{}
 	ack.MsgID = p.MsgID
@@ -1353,11 +1523,153 @@ func (b *Broker) handleDisconnect(addr net.Addr) {
 }
 
 // routeAndRelease routes msg, then returns it to the message pool unless
-// the retained store took ownership of it.
+// the retained store took ownership of it. When a Forward hook is set it
+// gets first refusal: frames it takes (another node owns the topic, or a
+// migration pause is buffering it) never reach local routing, which is
+// what keeps cluster delivery exactly-once.
 func (b *Broker) routeAndRelease(msg *message) {
+	if b.cfg.Forward != nil && !msg.injected {
+		if b.cfg.Forward(ForwardFrame{Topic: msg.topic, Payload: msg.payload, QoS: msg.qos, Retain: msg.retain}) {
+			b.ctr.forwarded.Add(1)
+			b.putMsg(msg)
+			return
+		}
+	}
 	if !b.route(msg) {
 		b.putMsg(msg)
 	}
+}
+
+// Submit routes a frame as if a local publisher had just released it,
+// bypassing the Forward hook. The cluster uses it to re-enter frames
+// that already completed cluster routing: a forwarded frame flushed from
+// a migration buffer whose partition this node now owns.
+func (b *Broker) Submit(topic string, payload []byte, qos mqttsn.QoS, retain bool) {
+	msg := b.getMsg()
+	*msg = message{topic: topic, payload: payload, qos: qos, retain: retain}
+	if !b.route(msg) {
+		b.putMsg(msg)
+	}
+}
+
+// Inject delivers a frame that arrived over an inter-node bridge link to
+// this node's local individual subscribers only: consumer groups, the
+// retained store, and bridge sessions are all skipped (the topic's owner
+// already handled those), so a publication can neither double-deliver
+// nor echo between nodes.
+func (b *Broker) Inject(topic string, payload []byte, qos mqttsn.QoS) {
+	msg := b.getMsg()
+	*msg = message{topic: topic, payload: payload, qos: qos, injected: true}
+	b.ctr.injected.Add(1)
+	if !b.route(msg) {
+		b.putMsg(msg)
+	}
+}
+
+// PendingForTopics counts QoS 1/2 frames still queued or in flight
+// toward this broker's local subscribers whose topic matches. The
+// cluster polls it during a partition drain: once the peers' forwarding
+// links are idle and this count reaches zero, every frame of the moving
+// partitions has been delivered and acknowledged.
+func (b *Broker) PendingForTopics(match func(topic string) bool) int {
+	n := 0
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			for _, ob := range s.outbound {
+				if ob.msg != nil && match(ob.msg.topic) {
+					n++
+				}
+			}
+			for _, m := range s.sendQ {
+				if match(m.topic) {
+					n++
+				}
+			}
+			for _, pending := range s.pendingReg {
+				for _, m := range pending {
+					if match(m.topic) {
+						n++
+					}
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// DetachMatching removes every queued or in-flight QoS 1/2 frame whose
+// topic matches from this broker's local subscribers and returns them in
+// per-session send order, counting them as Migrated. It is the
+// migration drain's escape hatch for a subscriber that stopped
+// acknowledging: the frames move to the partition's new owner instead of
+// wedging the handoff. A detached in-flight frame may already have
+// reached its subscriber (the ack just never came back), so delivery for
+// detached frames is at-least-once — same contract as a consumer-group
+// member failover.
+func (b *Broker) DetachMatching(match func(topic string) bool) []ForwardFrame {
+	var out []ForwardFrame
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			type seqFrame struct {
+				seq uint64
+				f   ForwardFrame
+			}
+			var inflight []seqFrame
+			for id, ob := range s.outbound {
+				if ob.msg == nil || !match(ob.msg.topic) {
+					continue
+				}
+				m := ob.msg
+				inflight = append(inflight, seqFrame{ob.seq, ForwardFrame{Topic: m.topic, Payload: m.payload, QoS: m.qos, Retain: m.retain}})
+				delete(s.outbound, id)
+				ob.msg = nil
+				b.putMsg(m)
+				b.putOutbound(ob)
+			}
+			sort.Slice(inflight, func(i, j int) bool { return inflight[i].seq < inflight[j].seq })
+			for _, sf := range inflight {
+				out = append(out, sf.f)
+			}
+			if len(s.sendQ) > 0 {
+				kept := s.sendQ[:0]
+				for _, m := range s.sendQ {
+					if match(m.topic) {
+						out = append(out, ForwardFrame{Topic: m.topic, Payload: m.payload, QoS: m.qos, Retain: m.retain})
+						b.putMsg(m)
+					} else {
+						kept = append(kept, m)
+					}
+				}
+				for i := len(kept); i < len(s.sendQ); i++ {
+					s.sendQ[i] = nil
+				}
+				s.sendQ = kept
+			}
+			for id, pending := range s.pendingReg {
+				var kept []*message
+				for _, m := range pending {
+					if match(m.topic) {
+						out = append(out, ForwardFrame{Topic: m.topic, Payload: m.payload, QoS: m.qos, Retain: m.retain})
+						b.putMsg(m)
+					} else {
+						kept = append(kept, m)
+					}
+				}
+				if len(kept) == 0 {
+					delete(s.pendingReg, id)
+					delete(s.regFlows, id)
+				} else {
+					s.pendingReg[id] = kept
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	b.ctr.migrated.Add(uint64(len(out)))
+	return out
 }
 
 // route fans a message out to all matching subscribers — every individual
@@ -1366,9 +1678,14 @@ func (b *Broker) routeAndRelease(msg *message) {
 // the shards one at a time, so a hot shard never blocks matching on the
 // others. route does not take ownership of msg (each delivery gets its
 // own pooled copy); it reports whether the retained store kept msg.
+//
+// Injected frames (arrived over an inter-node bridge) take a narrower
+// path: individual non-bridge subscribers only. The topic's owning node
+// already served its consumer groups and retained store, and delivering
+// to another bridge session would echo the frame around the cluster.
 func (b *Broker) route(msg *message) bool {
 	stored := false
-	if msg.retain {
+	if msg.retain && !msg.injected {
 		b.retMu.Lock()
 		if len(msg.payload) == 0 {
 			delete(b.retained, msg.topic)
@@ -1392,6 +1709,9 @@ func (b *Broker) route(msg *message) bool {
 	for _, sh := range b.shards {
 		sh.mu.Lock()
 		for _, s := range sh.sessions {
+			if msg.injected && strings.HasPrefix(s.clientID, BridgeSessionPrefix) {
+				continue
+			}
 			best := mqttsn.QoS(-2)
 			for filter, subQoS := range s.subs {
 				if mqttsn.TopicMatches(filter, msg.topic) && subQoS > best {
@@ -1408,13 +1728,15 @@ func (b *Broker) route(msg *message) bool {
 		}
 		sh.mu.Unlock()
 	}
-	var gbuf [4]groupTarget
-	for _, gt := range b.matchGroups(msg.topic, nil, gbuf[:0]) {
-		q := msg.qos
-		if gt.qos < q {
-			q = gt.qos
+	if !msg.injected {
+		var gbuf [4]groupTarget
+		for _, gt := range b.matchGroups(msg.topic, nil, gbuf[:0]) {
+			q := msg.qos
+			if gt.qos < q {
+				q = gt.qos
+			}
+			targets = append(targets, target{s: gt.s, qos: q, g: gt.g})
 		}
-		targets = append(targets, target{s: gt.s, qos: q, g: gt.g})
 	}
 	b.ctr.messagesRouted.Add(uint64(len(targets)))
 	for _, t := range targets {

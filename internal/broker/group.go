@@ -2,6 +2,7 @@ package broker
 
 import (
 	"sort"
+	"strings"
 
 	"github.com/provlight/provlight/internal/mqttsn"
 )
@@ -254,12 +255,14 @@ func (b *Broker) matchGroupOne(g *consumerGroup, topic string, exclude *session,
 }
 
 // sessionRemains collects everything a dying session still owes: its
-// QoS 1/2 backlog and in-flight frames (for group handoff or release) and
-// its group memberships (to leave). Populated under the session's shard
-// mutex, acted on after unlocking.
+// QoS 1/2 backlog and in-flight frames (for group handoff or release),
+// its group memberships (to leave), and its individual filters (so the
+// OnUnsubscribe hook sees teardown like an explicit unsubscribe).
+// Populated under the session's shard mutex, acted on after unlocking.
 type sessionRemains struct {
-	msgs   []*message // in dead-member send order
-	groups []*consumerGroup
+	msgs    []*message // in dead-member send order
+	groups  []*consumerGroup
+	filters []string // individual filters of a non-bridge session
 }
 
 // collectRemainsLocked strips s of its undelivered frames and group
@@ -306,6 +309,12 @@ func (b *Broker) collectRemainsLocked(s *session) sessionRemains {
 		r.groups = append(r.groups, g)
 	}
 	s.groupSubs = nil
+	if b.cfg.OnUnsubscribe != nil && !strings.HasPrefix(s.clientID, BridgeSessionPrefix) {
+		for filter := range s.subs {
+			r.filters = append(r.filters, filter)
+		}
+	}
+	s.subs = map[string]mqttsn.QoS{}
 	return r
 }
 
@@ -315,6 +324,9 @@ func (b *Broker) collectRemainsLocked(s *session) sessionRemains {
 func (b *Broker) settleRemains(s *session, r sessionRemains) {
 	for _, g := range r.groups {
 		b.leaveGroup(g, s)
+	}
+	for _, filter := range r.filters {
+		b.cfg.OnUnsubscribe(filter)
 	}
 	for _, m := range r.msgs {
 		if m.group != nil {

@@ -1,0 +1,500 @@
+// Package cluster runs N brokers as one logical broker. Topics are
+// partitioned by a stable hash; partitions are assigned to nodes by
+// rendezvous (highest-random-weight) hashing, so membership is the only
+// shared state and any node computes any frame's owner locally. A device
+// or translator session may connect to ANY node: frames released on a
+// non-owner are forwarded over a pooled MQTT-SN bridge link to the
+// owner, whose ordered-release and consumer-group machinery then behaves
+// exactly as in the single-broker case — per-workflow (per-topic) order
+// and QoS 2 exactly-once both survive the extra hop because each
+// (source node, owner) pair shares one link session whose frames are
+// submitted in release order.
+//
+// Membership is static-first: New starts a fixed set of nodes; Join and
+// Leave change it at runtime by migrating the moved partitions live —
+// pause, drain the old owner, hand off its queued and in-flight frames
+// in order, switch the topology, flush. A one-node cluster is byte-for-
+// byte today's broker: no forwarding, no links, no behavior change.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/provlight/provlight/internal/broker"
+	"github.com/provlight/provlight/internal/transport"
+)
+
+// Config sizes a cluster.
+type Config struct {
+	// Nodes is the initial node count (default 1). Ignored when Addrs is
+	// set.
+	Nodes int
+	// Addrs optionally pins each initial node's broker listen address;
+	// empty entries (and all nodes when Addrs is nil) pick free
+	// addresses.
+	Addrs []string
+	// Transport carries both client traffic and inter-node links.
+	// Defaults to UDP; tests use transport.NewLoopback for determinism.
+	Transport transport.Transport
+	// Partitions is the hash-space size (default 64). It bounds
+	// migration granularity, not throughput; it cannot change after New.
+	Partitions int
+	// RetryInterval / MaxRetries / LinkWindow tune the bridge links'
+	// QoS machinery (defaults: client defaults, window 64).
+	RetryInterval time.Duration
+	MaxRetries    int
+	LinkWindow    int
+	// LinkQueue bounds each link's submission queue (default 1024);
+	// a full queue applies backpressure to the releasing broker.
+	LinkQueue int
+	// DrainTimeout bounds how long a migration waits for an old owner to
+	// drain before detaching its remaining frames (at-least-once) and
+	// proceeding. Default 30s.
+	DrainTimeout time.Duration
+	// BrokerRetryInterval / BrokerMaxRetries are passed to each node's
+	// broker config (zero keeps broker defaults).
+	BrokerRetryInterval time.Duration
+	BrokerMaxRetries    int
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Cluster owns its nodes and serializes membership changes.
+type Cluster struct {
+	cfg Config
+	tr  transport.Transport
+
+	mu     sync.Mutex // membership + migration + topology root
+	nodes  map[string]*Node
+	order  []string // ids in start order, for stable Stats/Addrs
+	topo   *topology
+	nextID int
+	closed bool
+}
+
+// New starts the initial membership and wires the full link mesh so
+// filter propagation is in place before any traffic flows.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 64
+	}
+	if cfg.LinkWindow <= 0 {
+		cfg.LinkWindow = 64
+	}
+	if cfg.LinkQueue <= 0 {
+		cfg.LinkQueue = 1024
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.UDP{}
+	}
+	n := cfg.Nodes
+	if len(cfg.Addrs) > 0 {
+		n = len(cfg.Addrs)
+	}
+	if n <= 0 {
+		n = 1
+	}
+	c := &Cluster{cfg: cfg, tr: tr, nodes: map[string]*Node{}}
+	for i := 0; i < n; i++ {
+		addr := ""
+		if i < len(cfg.Addrs) {
+			addr = cfg.Addrs[i]
+		}
+		if _, err := c.startNode(addr); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	c.install(c.computeTopology(c.order))
+	c.meshLinks()
+	return c, nil
+}
+
+// startNode boots one broker with the cluster hooks attached. Caller
+// holds c.mu or is inside New.
+func (c *Cluster) startNode(addr string) (*Node, error) {
+	id := fmt.Sprintf("n%d", c.nextID)
+	c.nextID++
+	n := &Node{
+		id:         id,
+		c:          c,
+		paused:     map[int]bool{},
+		fwdPending: map[int]int{},
+		links:      map[string]*link{},
+		filters:    map[string]int{},
+		subCh:      make(chan subChange, 1024),
+		done:       make(chan struct{}),
+	}
+	b, err := broker.New(broker.Config{
+		Addr:          addr,
+		Transport:     c.tr,
+		RetryInterval: c.cfg.BrokerRetryInterval,
+		MaxRetries:    c.cfg.BrokerMaxRetries,
+		Forward:       n.forwardHook,
+		OnSubscribe:   n.onSubscribe,
+		OnUnsubscribe: n.onUnsubscribe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.b = b
+	n.wg.Add(1)
+	go n.subWorker()
+	c.nodes[id] = n
+	c.order = append(c.order, id)
+	return n, nil
+}
+
+// computeTopology builds the partition map for a membership set.
+func (c *Cluster) computeTopology(ids []string) *topology {
+	addrs := make(map[string]string, len(ids))
+	for _, id := range ids {
+		addrs[id] = c.nodes[id].b.Addr()
+	}
+	return &topology{
+		partitions: c.cfg.Partitions,
+		owner:      rendezvousOwners(c.cfg.Partitions, ids),
+		addrs:      addrs,
+	}
+}
+
+// install publishes a topology to every node and the cluster root.
+func (c *Cluster) install(tp *topology) {
+	for _, n := range c.nodes {
+		n.fmu.Lock()
+		n.topo = tp
+		n.fmu.Unlock()
+	}
+	c.topo = tp
+}
+
+// meshLinks eagerly dials every ordered node pair so propagated filters
+// exist on peers before the first matching frame, not after.
+func (c *Cluster) meshLinks() {
+	for _, id := range c.order {
+		n := c.nodes[id]
+		for _, pid := range c.order {
+			if pid == id {
+				continue
+			}
+			n.linkTo(pid, c.nodes[pid].b.Addr())
+		}
+	}
+}
+
+// Addrs lists the nodes' broker addresses in start order — feed it to
+// translate.Config.ClusterAddrs or device configs.
+func (c *Cluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, 0, len(c.order))
+	for _, id := range c.order {
+		addrs = append(addrs, c.nodes[id].b.Addr())
+	}
+	return addrs
+}
+
+// NodeIDs lists member ids in start order.
+func (c *Cluster) NodeIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// Node returns a member by id, or nil.
+func (c *Cluster) Node(id string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[id]
+}
+
+// Join starts a fresh node, meshes it into the link graph, and migrates
+// the partitions rendezvous assigns to it — live, preserving order and
+// QoS 2 exactly-once for the moved topics. Returns the new node's id.
+func (c *Cluster) Join(ctx context.Context) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", fmt.Errorf("cluster: closed")
+	}
+	n, err := c.startNode("")
+	if err != nil {
+		return "", err
+	}
+	// Interim topology: old ownership, new address book — peers can dial
+	// the joiner (and it them) before any partition moves.
+	interim := &topology{
+		partitions: c.topo.partitions,
+		owner:      c.topo.owner,
+		addrs:      c.computeTopology(c.order).addrs,
+	}
+	c.install(interim)
+	for _, pid := range c.order {
+		if pid == n.id {
+			continue
+		}
+		c.nodes[pid].linkTo(n.id, n.b.Addr())
+		n.linkTo(pid, c.nodes[pid].b.Addr())
+	}
+	c.migrate(ctx, c.computeTopology(c.order))
+	return n.id, nil
+}
+
+// Leave migrates a node's partitions to the survivors, then shuts it
+// down. Its local clients are disconnected by the broker close and are
+// expected to redial another node (translator supervisors and device
+// spools already do). The last node cannot leave.
+func (c *Cluster) Leave(ctx context.Context, id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("cluster: closed")
+	}
+	leaving := c.nodes[id]
+	if leaving == nil {
+		return fmt.Errorf("cluster: unknown node %q", id)
+	}
+	if len(c.nodes) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last node")
+	}
+	survivors := make([]string, 0, len(c.order)-1)
+	for _, oid := range c.order {
+		if oid != id {
+			survivors = append(survivors, oid)
+		}
+	}
+	c.migrate(ctx, c.computeTopology(survivors))
+	delete(c.nodes, id)
+	c.order = survivors
+	for _, sid := range survivors {
+		c.nodes[sid].dropLink(id)
+	}
+	leaving.close()
+	return nil
+}
+
+// migrate moves ownership from c.topo to newTopo with per-topic order
+// and QoS 2 exactly-once preserved for the moved partitions:
+//
+//  1. Pause the moved partitions on every node — frames released for
+//     them buffer locally instead of routing or forwarding.
+//  2. Drain each old owner: wait until no node has a forward in flight
+//     toward it for a moved partition AND its broker has delivered its
+//     queued/in-flight frames for moved topics. The forward-pending
+//     counter only drops after the owner has routed a frame (the broker
+//     acks a QoS 2 release post-routing), so sampling forwards-then-
+//     broker cannot miss a frame mid-hop. On timeout, detach the
+//     stragglers from the broker in order (at-least-once for those
+//     frames only).
+//  3. Hand off in-process: each old owner's buffer — prefixed by any
+//     detached frames, which are older — is prepended to the new
+//     owners' buffers. Per topic, all pre-pause frames now sit in ONE
+//     buffer ahead of anything buffered elsewhere, because a topic's
+//     younger frames only buffer on its publisher's node.
+//  4. Switch and flush, new owners first: each new owner installs the
+//     topology and drains its buffer (Submit locally, link to peers),
+//     unpausing atomically with the final emptiness check; then every
+//     other node does the same. A publisher node's younger frames
+//     therefore cannot reach the new owner before the handed-off older
+//     frames have been routed.
+//
+// Single-membership-change deltas (Join/Leave) make the old-owner and
+// new-owner sets disjoint (see rendezvousOwners), which step 4's
+// ordering relies on. Caller holds c.mu.
+func (c *Cluster) migrate(ctx context.Context, newTopo *topology) {
+	old := c.topo
+	moved := map[int]bool{}
+	oldOwnerParts := map[string]map[int]bool{}
+	for p := range newTopo.owner {
+		if old.owner[p] == newTopo.owner[p] {
+			continue
+		}
+		moved[p] = true
+		op := old.owner[p]
+		if oldOwnerParts[op] == nil {
+			oldOwnerParts[op] = map[int]bool{}
+		}
+		oldOwnerParts[op][p] = true
+	}
+	if len(moved) == 0 {
+		c.install(newTopo)
+		return
+	}
+	nodes := make([]*Node, 0, len(c.order))
+	for _, id := range c.order {
+		nodes = append(nodes, c.nodes[id])
+	}
+
+	c.logf("cluster: migrating %d partitions from %d node(s)", len(moved), len(oldOwnerParts))
+
+	// 1. Pause.
+	for _, n := range nodes {
+		n.pause(moved)
+	}
+
+	// 2. Drain old owners (stable iteration for reproducible logs).
+	oldOwners := make([]string, 0, len(oldOwnerParts))
+	for id := range oldOwnerParts {
+		oldOwners = append(oldOwners, id)
+	}
+	sort.Strings(oldOwners)
+	for _, oid := range oldOwners {
+		o := c.nodes[oid]
+		parts := oldOwnerParts[oid]
+		match := partsMatcher(old.partitions, parts)
+		drained := c.waitDrained(ctx, nodes, o, parts, match)
+		c.logf("cluster: drain of %s done (clean=%v)", oid, drained)
+		if !drained {
+			left := o.b.DetachMatching(match)
+			if len(left) > 0 {
+				c.logf("cluster: drain timeout on %s: detached %d in-flight frames (at-least-once)", oid, len(left))
+				detached := make([]bufFrame, 0, len(left))
+				for _, f := range left {
+					detached = append(detached, bufFrame{part: PartitionOf(f.Topic, old.partitions), f: f})
+				}
+				o.prependBuffer(detached)
+			}
+		}
+	}
+
+	// 3. In-process handoff: old owners' buffers -> new owners' buffers.
+	for _, oid := range oldOwners {
+		o := c.nodes[oid]
+		buf := o.takeBuffer()
+		if len(buf) == 0 {
+			continue
+		}
+		perOwner := map[string][]bufFrame{}
+		ownerSeen := []string{}
+		for _, bf := range buf {
+			nid := newTopo.owner[bf.part]
+			if perOwner[nid] == nil {
+				ownerSeen = append(ownerSeen, nid)
+			}
+			perOwner[nid] = append(perOwner[nid], bf)
+		}
+		for _, nid := range ownerSeen {
+			c.nodes[nid].prependBuffer(perOwner[nid])
+		}
+	}
+
+	// 4. Switch + flush: new owners first, then everyone else.
+	newOwners := map[string]bool{}
+	for p := range moved {
+		newOwners[newTopo.owner[p]] = true
+	}
+	switched := map[string]bool{}
+	for _, n := range nodes {
+		if newOwners[n.id] {
+			n.switchAndFlush(newTopo, moved)
+			switched[n.id] = true
+		}
+	}
+	c.logf("cluster: new owners switched and flushed")
+	for _, n := range nodes {
+		if !switched[n.id] {
+			n.switchAndFlush(newTopo, moved)
+		}
+	}
+	c.topo = newTopo
+}
+
+// waitDrained polls until old owner o holds no undelivered frame for the
+// moved partitions: first the cluster-wide forward-pending counters
+// (which a frame only leaves after o routed it), then o's broker queues.
+func (c *Cluster) waitDrained(ctx context.Context, nodes []*Node, o *Node, parts map[int]bool, match func(string) bool) bool {
+	deadline := time.Now().Add(c.cfg.DrainTimeout)
+	for {
+		pending := 0
+		for _, n := range nodes {
+			pending += n.pendingForParts(parts)
+		}
+		if pending == 0 && o.b.PendingForTopics(match) == 0 {
+			return true
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return false
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TopologyInfo is the ownership table snapshot surfaced in stats.
+type TopologyInfo struct {
+	Partitions int      `json:"partitions"`
+	Owners     []string `json:"owners"` // partition index -> node id
+}
+
+// Topology returns the current partition map.
+func (c *Cluster) Topology() TopologyInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return TopologyInfo{
+		Partitions: c.topo.partitions,
+		Owners:     append([]string(nil), c.topo.owner...),
+	}
+}
+
+// NodeStats is one node's view: identity, ownership, broker counters,
+// and the cluster-layer forward/migration counters.
+type NodeStats struct {
+	ID           string       `json:"id"`
+	Addr         string       `json:"addr"`
+	Partitions   []int        `json:"partitions"`
+	Broker       broker.Stats `json:"broker"`
+	ForwardedOut uint64       `json:"forwarded_out"`
+	Migrated     uint64       `json:"migrated"`
+	LinkLost     uint64       `json:"link_lost"`
+}
+
+// Stats snapshots every node in start order.
+func (c *Cluster) Stats() []NodeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeStats, 0, len(c.order))
+	for _, id := range c.order {
+		n := c.nodes[id]
+		bs := n.b.Stats()
+		out = append(out, NodeStats{
+			ID:           id,
+			Addr:         n.b.Addr(),
+			Partitions:   c.topo.ownedBy(id),
+			Broker:       bs,
+			ForwardedOut: n.forwardedOut.Load(),
+			Migrated:     n.migratedBuf.Load() + bs.Migrated,
+			LinkLost:     n.linkLost.Load(),
+		})
+	}
+	return out
+}
+
+// Close shuts down every node. Not a graceful leave: buffered link
+// frames may be lost, which is fine at teardown.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, id := range c.order {
+		c.nodes[id].close()
+	}
+}
+
+func (c *Cluster) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"github.com/provlight/provlight/internal/broker"
+	"github.com/provlight/provlight/internal/mqttsn"
+)
+
+// link is one directed inter-node forwarding channel: an MQTT-SN client
+// session on the peer broker under the bridge prefix (so the peer's
+// routing never echoes frames back), carrying two flows:
+//
+//   - outbound publishes: frames this node releases for partitions the
+//     peer owns, forwarded at the frame's original QoS through a single
+//     runner, so one link's frames reach the peer in submission order
+//     and the peer's ordered-release machinery preserves per-topic order
+//     end to end;
+//   - inbound subscriptions: the node's propagated individual filters,
+//     delivered by the peer when IT releases a matching frame and
+//     re-injected into the local broker for local subscribers only.
+type link struct {
+	n    *Node
+	peer string
+	mc   *mqttsn.Client
+	q    chan queuedFrame
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+type queuedFrame struct {
+	part int
+	f    broker.ForwardFrame
+}
+
+func newLink(n *Node, peer, addr string) (*link, error) {
+	cfg := n.c.cfg
+	mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
+		ClientID:       broker.BridgeSessionPrefix + n.id,
+		Gateway:        addr,
+		Transport:      n.c.tr,
+		KeepAlive:      30 * time.Second,
+		RetryInterval:  cfg.RetryInterval,
+		MaxRetries:     cfg.MaxRetries,
+		InflightWindow: cfg.LinkWindow,
+		CleanSession:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := mc.Connect(); err != nil {
+		mc.Close()
+		return nil, err
+	}
+	l := &link{
+		n:    n,
+		peer: peer,
+		mc:   mc,
+		q:    make(chan queuedFrame, cfg.LinkQueue),
+		done: make(chan struct{}),
+	}
+	for _, filter := range n.filterSnapshot() {
+		l.subscribe(filter)
+	}
+	l.wg.Add(1)
+	go l.run()
+	return l, nil
+}
+
+// subscribe propagates a local individual filter to the peer: frames the
+// peer releases matching it come back through this session and are
+// injected for this node's local subscribers.
+func (l *link) subscribe(filter string) {
+	err := l.mc.Subscribe(filter, mqttsn.QoS1, func(topic string, payload []byte) {
+		l.n.b.Inject(topic, payload, mqttsn.QoS1)
+	})
+	if err != nil {
+		l.n.c.logf("cluster: %s->%s: propagate subscribe %q: %v", l.n.id, l.peer, filter, err)
+	}
+}
+
+func (l *link) unsubscribe(filter string) {
+	if err := l.mc.Unsubscribe(filter); err != nil {
+		l.n.c.logf("cluster: %s->%s: propagate unsubscribe %q: %v", l.n.id, l.peer, filter, err)
+	}
+}
+
+// enqueue commits a frame to the link. Blocking when the queue is full
+// is deliberate backpressure: it stalls the releasing shard worker the
+// same way a slow local subscriber would.
+func (l *link) enqueue(part int, f broker.ForwardFrame) {
+	select {
+	case l.q <- queuedFrame{part: part, f: f}:
+	case <-l.done:
+		l.n.decPending(part)
+		l.n.linkLost.Add(1)
+	}
+}
+
+// run is the single submission goroutine: PublishAsync transmits each
+// initial PUBLISH before returning, so frames hit the wire in queue
+// order; completions (which may finish out of order) only settle the
+// pending counter. A frame's pending count is released strictly after
+// the owner routed it — the broker acknowledges a QoS 2 release only
+// after routing — which is what lets the migration drain trust a zero.
+func (l *link) run() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.done:
+			return
+		case qf := <-l.q:
+			errc := l.mc.PublishAsync(qf.f.Topic, qf.f.Payload, qf.f.QoS)
+			l.wg.Add(1)
+			go func(part int, topic string) {
+				defer l.wg.Done()
+				if err := <-errc; err != nil {
+					l.n.linkLost.Add(1)
+					l.n.c.logf("cluster: %s->%s: forward %q: %v", l.n.id, l.peer, topic, err)
+				}
+				l.n.decPending(part)
+			}(qf.part, qf.f.Topic)
+		}
+	}
+}
+
+// close releases the link. Frames still queued are counted lost — the
+// cluster only closes links after a drain proved the queue empty, or on
+// whole-cluster shutdown.
+func (l *link) close() {
+	l.once.Do(func() { close(l.done) })
+	l.mc.Close()
+	l.wg.Wait()
+	// Settle anything left in the queue so pending counters converge.
+	for {
+		select {
+		case qf := <-l.q:
+			l.n.decPending(qf.part)
+			l.n.linkLost.Add(1)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/provlight/provlight/internal/broker"
+)
+
+// Node is one broker plus its cluster plumbing: the forward hook that
+// steers released frames to their partition's owner, the pause buffer
+// used during migration, the per-peer forwarding links, and the
+// refcounted individual filters it propagates to peers so remote
+// subscribers (device ack listeners, monitors) receive frames released
+// on any node.
+type Node struct {
+	id string
+	c  *Cluster
+	b  *broker.Broker
+
+	// fmu guards the forwarding view: the installed topology, the
+	// paused-partition set, and the migration buffer. Held only for
+	// map/slice work — network sends happen after unlock.
+	fmu    sync.Mutex
+	topo   *topology
+	paused map[int]bool
+	buf    []bufFrame
+
+	// pendMu guards fwdPending: frames committed to a forwarding link
+	// but not yet acknowledged routed by the owner, per partition. A
+	// frame is counted here from inside the fmu critical section that
+	// decided to forward it until its QoS handshake completes, so the
+	// migration drain never sees a frame in neither counter. Lock order:
+	// fmu may take pendMu, never the reverse.
+	pendMu     sync.Mutex
+	fwdPending map[int]int
+
+	linkMu sync.Mutex
+	links  map[string]*link
+
+	// filterMu guards the refcounted individual filters local non-bridge
+	// sessions hold; each distinct filter is subscribed once on every
+	// peer link.
+	filterMu sync.Mutex
+	filters  map[string]int
+
+	// subCh feeds the propagation worker: subscribe/unsubscribe hooks
+	// must not block on peer round trips, so they enqueue and return.
+	subCh chan subChange
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	forwardedOut atomic.Uint64 // frames enqueued to peer links
+	migratedBuf  atomic.Uint64 // frames handed off through migration buffers
+	linkLost     atomic.Uint64 // forwarded frames whose handshake failed
+}
+
+// bufFrame is one buffered frame with its precomputed partition.
+type bufFrame struct {
+	part int
+	f    broker.ForwardFrame
+}
+
+type subChange struct {
+	filter string
+	add    bool
+	// sync, when non-nil, marks a barrier: the worker closes it once
+	// every previously enqueued change has been propagated. Tests use it
+	// to wait out the asynchronous filter propagation deterministically.
+	sync chan struct{}
+}
+
+// ID returns the node's cluster-unique id.
+func (n *Node) ID() string { return n.id }
+
+// Addr returns the node's broker listen address.
+func (n *Node) Addr() string { return n.b.Addr() }
+
+// Broker exposes the underlying broker (stats, direct inspection).
+func (n *Node) Broker() *broker.Broker { return n.b }
+
+// forwardHook is the broker's Forward hook: called once per fully
+// released inbound publish. Returning true takes ownership of the frame.
+func (n *Node) forwardHook(f broker.ForwardFrame) bool {
+	n.fmu.Lock()
+	tp := n.topo
+	if tp == nil {
+		n.fmu.Unlock()
+		return false
+	}
+	part := PartitionOf(f.Topic, tp.partitions)
+	if n.paused[part] {
+		n.buf = append(n.buf, bufFrame{part: part, f: f})
+		n.fmu.Unlock()
+		return true
+	}
+	owner := tp.owner[part]
+	if owner == n.id {
+		n.fmu.Unlock()
+		return false // local routing handles it
+	}
+	addr := tp.addrs[owner]
+	// Count the frame as in flight before leaving the critical section:
+	// a drain that samples after this pause-consistent point sees it.
+	n.addPending(part)
+	n.fmu.Unlock()
+	n.forwardedOut.Add(1)
+	n.sendTo(owner, addr, part, f)
+	return true
+}
+
+// sendTo hands a frame to the link for owner, dropping (with a loss
+// count) only if the peer cannot be dialed.
+func (n *Node) sendTo(owner, addr string, part int, f broker.ForwardFrame) {
+	l := n.linkTo(owner, addr)
+	if l == nil {
+		n.decPending(part)
+		n.linkLost.Add(1)
+		return
+	}
+	l.enqueue(part, f)
+}
+
+func (n *Node) addPending(part int) {
+	n.pendMu.Lock()
+	n.fwdPending[part]++
+	n.pendMu.Unlock()
+}
+
+func (n *Node) decPending(part int) {
+	n.pendMu.Lock()
+	n.fwdPending[part]--
+	n.pendMu.Unlock()
+}
+
+// pendingForParts sums the in-flight forward counts for a partition set.
+func (n *Node) pendingForParts(parts map[int]bool) int {
+	n.pendMu.Lock()
+	defer n.pendMu.Unlock()
+	total := 0
+	for p := range parts {
+		total += n.fwdPending[p]
+	}
+	return total
+}
+
+// linkTo returns the live link to peer, dialing one if needed. A dial
+// failure is logged and retried on the next call.
+func (n *Node) linkTo(peer, addr string) *link {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	if l := n.links[peer]; l != nil {
+		return l
+	}
+	select {
+	case <-n.done:
+		return nil
+	default:
+	}
+	l, err := newLink(n, peer, addr)
+	if err != nil {
+		n.c.logf("cluster: %s: dial link to %s (%s): %v", n.id, peer, addr, err)
+		return nil
+	}
+	n.links[peer] = l
+	return l
+}
+
+// dropLink tears down the link to a departed peer.
+func (n *Node) dropLink(peer string) {
+	n.linkMu.Lock()
+	l := n.links[peer]
+	delete(n.links, peer)
+	n.linkMu.Unlock()
+	if l != nil {
+		l.close()
+	}
+}
+
+func (n *Node) linkSnapshot() []*link {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	ls := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		ls = append(ls, l)
+	}
+	return ls
+}
+
+// filterSnapshot lists the filters a freshly dialed link must subscribe.
+func (n *Node) filterSnapshot() []string {
+	n.filterMu.Lock()
+	defer n.filterMu.Unlock()
+	fs := make([]string, 0, len(n.filters))
+	for f := range n.filters {
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// onSubscribe / onUnsubscribe are the broker hooks; they enqueue to the
+// propagation worker so the broker's shard path never waits on a peer.
+func (n *Node) onSubscribe(filter string) {
+	select {
+	case n.subCh <- subChange{filter: filter, add: true}:
+	case <-n.done:
+	}
+}
+
+func (n *Node) onUnsubscribe(filter string) {
+	select {
+	case n.subCh <- subChange{filter: filter, add: false}:
+	case <-n.done:
+	}
+}
+
+func (n *Node) subWorker() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case ch := <-n.subCh:
+			if ch.sync != nil {
+				close(ch.sync)
+				continue
+			}
+			n.applySubChange(ch)
+		}
+	}
+}
+
+// syncSubs blocks until every filter change enqueued before the call has
+// been propagated to the node's peer links.
+func (n *Node) syncSubs() {
+	ch := make(chan struct{})
+	select {
+	case n.subCh <- subChange{sync: ch}:
+	case <-n.done:
+		return
+	}
+	select {
+	case <-ch:
+	case <-n.done:
+	}
+}
+
+// applySubChange propagates a refcount edge (0->1 subscribe, 1->0
+// unsubscribe) to every live peer link. Shared-group filters never reach
+// here (the broker hook reports individual filters only): a consumer
+// group is expected to keep a member per node instead — see
+// translate.Config.ClusterAddrs.
+func (n *Node) applySubChange(ch subChange) {
+	n.filterMu.Lock()
+	if ch.add {
+		n.filters[ch.filter]++
+		if n.filters[ch.filter] != 1 {
+			n.filterMu.Unlock()
+			return
+		}
+	} else {
+		n.filters[ch.filter]--
+		if n.filters[ch.filter] > 0 {
+			n.filterMu.Unlock()
+			return
+		}
+		delete(n.filters, ch.filter)
+	}
+	n.filterMu.Unlock()
+	for _, l := range n.linkSnapshot() {
+		if ch.add {
+			l.subscribe(ch.filter)
+		} else {
+			l.unsubscribe(ch.filter)
+		}
+	}
+}
+
+// pause marks partitions so frames released here are buffered instead of
+// routed or forwarded.
+func (n *Node) pause(moved map[int]bool) {
+	n.fmu.Lock()
+	for p := range moved {
+		n.paused[p] = true
+	}
+	n.fmu.Unlock()
+}
+
+// takeBuffer extracts the node's entire migration buffer (all entries
+// belong to paused — i.e. moved — partitions).
+func (n *Node) takeBuffer() []bufFrame {
+	n.fmu.Lock()
+	buf := n.buf
+	n.buf = nil
+	n.fmu.Unlock()
+	return buf
+}
+
+// prependBuffer puts handed-off frames (older than anything buffered
+// locally) at the FRONT of the migration buffer, preserving their order.
+func (n *Node) prependBuffer(frames []bufFrame) {
+	if len(frames) == 0 {
+		return
+	}
+	n.fmu.Lock()
+	merged := make([]bufFrame, 0, len(frames)+len(n.buf))
+	merged = append(merged, frames...)
+	merged = append(merged, n.buf...)
+	n.buf = merged
+	n.fmu.Unlock()
+}
+
+// switchAndFlush installs the new topology, then drains the migration
+// buffer through it — local partitions via Broker.Submit (synchronous,
+// order-preserving), remote ones via the owner's link — looping until
+// the buffer is empty, and finally unpauses the moved partitions
+// atomically with the last emptiness check so no frame can slip between
+// the flush and the resume.
+func (n *Node) switchAndFlush(tp *topology, moved map[int]bool) {
+	n.fmu.Lock()
+	n.topo = tp
+	n.fmu.Unlock()
+	for {
+		n.fmu.Lock()
+		if len(n.buf) == 0 {
+			for p := range moved {
+				delete(n.paused, p)
+			}
+			n.fmu.Unlock()
+			return
+		}
+		buf := n.buf
+		n.buf = nil
+		n.fmu.Unlock()
+		for _, bf := range buf {
+			owner := tp.owner[bf.part]
+			n.migratedBuf.Add(1)
+			if owner == n.id {
+				n.b.Submit(bf.f.Topic, bf.f.Payload, bf.f.QoS, bf.f.Retain)
+				continue
+			}
+			n.addPending(bf.part)
+			n.forwardedOut.Add(1)
+			n.sendTo(owner, tp.addrs[owner], bf.part, bf.f)
+		}
+	}
+}
+
+// close stops the propagation worker, tears down every link, and closes
+// the broker (which disconnects local clients so they can redial a
+// surviving node).
+func (n *Node) close() {
+	n.closeOnce.Do(func() { close(n.done) })
+	n.wg.Wait()
+	for _, l := range n.linkSnapshot() {
+		l.close()
+	}
+	n.linkMu.Lock()
+	n.links = map[string]*link{}
+	n.linkMu.Unlock()
+	n.b.Close()
+}

@@ -20,6 +20,7 @@ import (
 	"github.com/provlight/provlight/internal/mqttsn"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/spool"
+	"github.com/provlight/provlight/internal/transport"
 	"github.com/provlight/provlight/internal/wal"
 	"github.com/provlight/provlight/internal/wire"
 )
@@ -145,6 +146,10 @@ type Config struct {
 	MaxRetries    int
 	// Conn optionally supplies the UDP socket (e.g. netem-shaped).
 	Conn net.PacketConn
+	// Transport dials the broker over an alternate packet substrate
+	// (in-process loopback, TCP stream — see internal/transport); nil
+	// means UDP. DialConn and Conn take precedence when set.
+	Transport transport.Transport
 	// OnError receives asynchronous transmission errors. Default: drop.
 	//
 	// Serialization contract: invocations are serialized — the callback is
@@ -319,6 +324,7 @@ func NewClient(ctx context.Context, cfg Config) (*Client, error) {
 		ClientID:       cfg.ClientID,
 		Gateway:        cfg.Broker,
 		Conn:           cfg.Conn,
+		Transport:      cfg.Transport,
 		KeepAlive:      cfg.KeepAlive,
 		RetryInterval:  cfg.RetryInterval,
 		MaxRetries:     cfg.MaxRetries,

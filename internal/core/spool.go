@@ -253,6 +253,7 @@ func (c *Client) dialSession() (*mqttsn.Client, net.PacketConn, <-chan struct{},
 		ClientID:       c.cfg.ClientID,
 		Gateway:        c.cfg.Broker,
 		Conn:           conn,
+		Transport:      c.cfg.Transport,
 		KeepAlive:      c.cfg.KeepAlive,
 		RetryInterval:  c.cfg.RetryInterval,
 		MaxRetries:     c.cfg.MaxRetries,

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/provlight/provlight/internal/transport"
 )
 
 // Errors returned by the client.
@@ -36,11 +38,17 @@ type Will struct {
 type ClientConfig struct {
 	// ClientID identifies the session (1-23 characters per spec).
 	ClientID string
-	// Gateway is the UDP address of the MQTT-SN gateway/broker.
+	// Gateway is the address of the MQTT-SN gateway/broker, in the
+	// dialing transport's address format (UDP host:port by default).
 	Gateway string
 	// Conn optionally supplies the packet connection to use (e.g. a
-	// netem-shaped one). If nil, a UDP socket is opened.
+	// netem-shaped one). If nil, Transport (or UDP) opens one.
 	Conn net.PacketConn
+	// Transport, when set and Conn is nil, dials the gateway over an
+	// alternate packet substrate (in-process loopback, TCP stream). The
+	// default is plain UDP. With Conn set it is ignored: the borrowed
+	// conn's Gateway is resolved as a UDP address.
+	Transport transport.Transport
 	// KeepAlive is the session keepalive; the client pings at half this
 	// interval when idle. Defaults to 60s.
 	KeepAlive time.Duration
@@ -155,12 +163,20 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg.InflightWindow = 16
 	}
 	conn := cfg.Conn
+	var gwAddr net.Addr
 	ownConn := false
 	if conn == nil {
 		var err error
-		conn, err = net.ListenPacket("udp", ":0")
-		if err != nil {
-			return nil, fmt.Errorf("mqttsn: open socket: %w", err)
+		if cfg.Transport != nil {
+			conn, gwAddr, err = cfg.Transport.Dial(cfg.Gateway)
+			if err != nil {
+				return nil, fmt.Errorf("mqttsn: dial gateway %q: %w", cfg.Gateway, err)
+			}
+		} else {
+			conn, err = net.ListenPacket("udp", ":0")
+			if err != nil {
+				return nil, fmt.Errorf("mqttsn: open socket: %w", err)
+			}
 		}
 		ownConn = true
 	} else {
@@ -176,12 +192,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if rb, ok := conn.(interface{ SetReadBuffer(int) error }); ok {
 		_ = rb.SetReadBuffer(1 << 20)
 	}
-	gwAddr, err := net.ResolveUDPAddr("udp", cfg.Gateway)
-	if err != nil {
-		if ownConn {
-			conn.Close()
+	if gwAddr == nil {
+		var err error
+		gwAddr, err = net.ResolveUDPAddr("udp", cfg.Gateway)
+		if err != nil {
+			if ownConn {
+				conn.Close()
+			}
+			return nil, fmt.Errorf("mqttsn: resolve gateway %q: %w", cfg.Gateway, err)
 		}
-		return nil, fmt.Errorf("mqttsn: resolve gateway %q: %w", cfg.Gateway, err)
 	}
 	c := &Client{
 		cfg:         cfg,
@@ -719,10 +738,16 @@ func (c *Client) dispatch(pkt Packet) {
 			topic = c.topicName[u16FromPayload(payload)]
 		}
 		c.mu.Unlock()
-		_ = c.send(&Pubcomp{msgIDOnly{MsgID: p.MsgID}})
+		// Deliver BEFORE acknowledging the release, like the QoS 1
+		// deliver-before-PUBACK path: once the broker sees our PUBCOMP
+		// the frame has passed through every handler. The cluster's
+		// partition drain counts broker-side outbound state, so an
+		// acked-but-undelivered frame would let a migration cut ahead
+		// of it and break per-topic ordering.
 		if ok {
 			c.deliver(topic, payload[2:])
 		}
+		_ = c.send(&Pubcomp{msgIDOnly{MsgID: p.MsgID}})
 	case *Disconnect:
 		c.mu.Lock()
 		c.connected = false

@@ -1,0 +1,76 @@
+package mqttsn
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSharedFilter checks the shared-subscription filter parser on
+// arbitrary strings: it must never panic, and a successful parse must be
+// a lossless, well-formed split of the input.
+func FuzzParseSharedFilter(f *testing.F) {
+	f.Add("$share/g/provlight/+/records")
+	f.Add("$share/translators/a/b/#")
+	f.Add("$share//missing-group")
+	f.Add("$share/g/")
+	f.Add("$share/g+h/t")
+	f.Add("no-share-prefix")
+	f.Add("$share/g")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, filter string) {
+		group, inner, ok := ParseSharedFilter(filter)
+		if !ok {
+			if group != "" || inner != "" {
+				t.Fatalf("failed parse of %q returned non-empty parts (%q, %q)", filter, group, inner)
+			}
+			return
+		}
+		if group == "" || inner == "" {
+			t.Fatalf("parse of %q accepted an empty part (%q, %q)", filter, group, inner)
+		}
+		if strings.ContainsAny(group, "+#") {
+			t.Fatalf("parse of %q accepted wildcard group %q", filter, group)
+		}
+		if re := SharePrefix + group + "/" + inner; re != filter {
+			t.Fatalf("parse of %q is lossy: reassembles to %q", filter, re)
+		}
+		// ValidFilter must agree with the parser on the shared syntax.
+		if ValidFilter(inner) != ValidFilter(filter) {
+			t.Fatalf("ValidFilter disagrees for %q: inner %v, full %v",
+				filter, ValidFilter(inner), ValidFilter(filter))
+		}
+	})
+}
+
+// FuzzTopicMatches checks wildcard matching on arbitrary filter/topic
+// pairs: no panic, and the algebraic properties routing relies on —
+// exact names match themselves, '#' matches everything, and wrapping a
+// filter in a consumer-group prefix never changes what it matches
+// (share routing picks the receiver, not the match).
+func FuzzTopicMatches(f *testing.F) {
+	f.Add("provlight/+/records", "provlight/dev-1/records")
+	f.Add("a/b/#", "a/b/c/d")
+	f.Add("#", "anything/at/all")
+	f.Add("+/+", "a/b")
+	f.Add("a/+/c", "a/b/x")
+	f.Add("$share/g/provlight/+/records", "provlight/dev-1/records")
+	f.Add("", "")
+	f.Add("a/#/b", "a/x/b")
+
+	f.Fuzz(func(t *testing.T, filter, topic string) {
+		got := TopicMatches(filter, topic)
+		if filter == topic && !got {
+			t.Fatalf("filter %q does not match itself", filter)
+		}
+		if filter == "#" && !got {
+			t.Fatalf("'#' does not match %q", topic)
+		}
+		if filter != "" {
+			shared := SharePrefix + "g/" + filter
+			if TopicMatches(shared, topic) != got {
+				t.Fatalf("share wrapping changes match: %q vs %q on %q", filter, shared, topic)
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/provlight/provlight/internal/mqttsn"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/resilience"
+	"github.com/provlight/provlight/internal/transport"
 	"github.com/provlight/provlight/internal/wire"
 )
 
@@ -85,6 +86,22 @@ type Stats struct {
 type Config struct {
 	// Broker is the MQTT-SN gateway address.
 	Broker string
+	// ClusterAddrs lists every node of a clustered broker tier
+	// (cluster.Cluster.Addrs). When set it supersedes Broker: Sessions is
+	// raised to at least len(ClusterAddrs) and session i makes node
+	// i%len(ClusterAddrs) its home, so the consumer group keeps a member
+	// on every node — the cluster routes a group frame to a member LOCAL
+	// to the topic's owning node, so a node without a member would
+	// silently drop its share of the stream. The shared subscription is
+	// forced (even with one address) and a supervisor redials its home
+	// node first, rotating through the others when it is gone (how a
+	// session survives its node leaving the cluster). A single address
+	// behaves exactly like Broker.
+	ClusterAddrs []string
+	// Transport dials broker sessions over an alternate packet substrate
+	// (in-process loopback, TCP stream); nil means UDP. DialConn takes
+	// precedence when both are set.
+	Transport transport.Transport
 	// ClientID of the translator's broker session. Default "translator".
 	// With Sessions > 1 each session appends its index ("-s2", "-s3", …).
 	ClientID string
@@ -272,6 +289,14 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 	if cfg.Sessions <= 0 {
 		cfg.Sessions = 1
 	}
+	if len(cfg.ClusterAddrs) > 0 {
+		if cfg.Sessions < len(cfg.ClusterAddrs) {
+			cfg.Sessions = len(cfg.ClusterAddrs)
+		}
+		if cfg.Broker == "" {
+			cfg.Broker = cfg.ClusterAddrs[0]
+		}
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
@@ -288,7 +313,7 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 	// a shared-subscription consumer group so the broker partitions the
 	// stream across the sessions instead of duplicating it to each.
 	filter := cfg.TopicFilter
-	if cfg.Sessions > 1 || cfg.Group != "" {
+	if cfg.Sessions > 1 || cfg.Group != "" || len(cfg.ClusterAddrs) > 0 {
 		group := cfg.Group
 		if group == "" {
 			group = cfg.ClientID
@@ -308,7 +333,7 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 	}
 	for i := 0; i < cfg.Sessions; i++ {
 		clientID := t.slotClientID(i)
-		mc, conn, down, err := t.dialSession(ctx, clientID, true)
+		mc, conn, down, err := t.dialSession(ctx, clientID, true, t.sessionAddr(i, 0))
 		if err != nil {
 			t.Close()
 			return nil, fmt.Errorf("translate: session %d: %w", i+1, err)
@@ -316,20 +341,31 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 		slot := &sessionSlot{mc: mc, conn: conn}
 		t.slots = append(t.slots, slot)
 		t.supWG.Add(1)
-		go t.supervise(slot, clientID, true, down)
+		go t.supervise(slot, clientID, true, i, down)
 	}
 	if !cfg.DisableAcks {
 		clientID := cfg.ClientID + "-acks"
-		mc, conn, down, err := t.dialSession(ctx, clientID, false)
+		mc, conn, down, err := t.dialSession(ctx, clientID, false, t.sessionAddr(0, 0))
 		if err != nil {
 			t.Close()
 			return nil, fmt.Errorf("translate: ack session: %w", err)
 		}
 		t.ackSlot = &sessionSlot{mc: mc, conn: conn}
 		t.supWG.Add(1)
-		go t.supervise(t.ackSlot, clientID, false, down)
+		go t.supervise(t.ackSlot, clientID, false, 0, down)
 	}
 	return t, nil
+}
+
+// sessionAddr resolves the gateway a session dials: its home node on the
+// first attempt, rotating through the other cluster nodes on redials so
+// a session outlives its home leaving the tier. Outside cluster mode it
+// is always Config.Broker.
+func (t *Translator) sessionAddr(home, attempt int) string {
+	if len(t.cfg.ClusterAddrs) == 0 {
+		return t.cfg.Broker
+	}
+	return t.cfg.ClusterAddrs[(home+attempt)%len(t.cfg.ClusterAddrs)]
 }
 
 func (t *Translator) slotClientID(i int) string {
@@ -342,7 +378,7 @@ func (t *Translator) slotClientID(i int) string {
 // dialSession dials one broker session: connect and, for a consumer
 // session, subscribe to the resolved filter. The returned channel closes
 // when the session dies without a local teardown.
-func (t *Translator) dialSession(ctx context.Context, clientID string, consumer bool) (*mqttsn.Client, net.PacketConn, <-chan struct{}, error) {
+func (t *Translator) dialSession(ctx context.Context, clientID string, consumer bool, gateway string) (*mqttsn.Client, net.PacketConn, <-chan struct{}, error) {
 	var conn net.PacketConn
 	if t.cfg.DialConn != nil {
 		var err error
@@ -354,8 +390,9 @@ func (t *Translator) dialSession(ctx context.Context, clientID string, consumer 
 	var downOnce sync.Once
 	mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
 		ClientID:      clientID,
-		Gateway:       t.cfg.Broker,
+		Gateway:       gateway,
 		Conn:          conn,
+		Transport:     t.cfg.Transport,
 		KeepAlive:     t.cfg.KeepAlive,
 		RetryInterval: t.cfg.RetryInterval,
 		MaxRetries:    t.cfg.MaxRetries,
@@ -393,7 +430,7 @@ func (t *Translator) dialSession(ctx context.Context, clientID string, consumer 
 // window, janitor expiry surfaced as a DISCONNECT to our next ping), the
 // remains are closed and the slot is redialed under the shared jittered
 // backoff until the broker admits it again or the translator stops.
-func (t *Translator) supervise(slot *sessionSlot, clientID string, consumer bool, down <-chan struct{}) {
+func (t *Translator) supervise(slot *sessionSlot, clientID string, consumer bool, home int, down <-chan struct{}) {
 	defer t.supWG.Done()
 	bo := resilience.Backoff{Min: redialMinDelay, Max: redialMaxDelay}
 	for {
@@ -416,7 +453,7 @@ func (t *Translator) supervise(slot *sessionSlot, clientID string, consumer bool
 			if !t.sleepStop(bo.Delay(attempt)) {
 				return
 			}
-			mc, conn, nd, err := t.dialSession(context.Background(), clientID, consumer)
+			mc, conn, nd, err := t.dialSession(context.Background(), clientID, consumer, t.sessionAddr(home, attempt))
 			if err != nil {
 				if t.cfg.OnError != nil {
 					t.cfg.OnError(fmt.Errorf("translate: redial %s: %w", clientID, err))

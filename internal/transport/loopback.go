@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Loopback is an in-process packet substrate: endpoints are registered
+// in a shared table and datagrams are delivered over bounded channels.
+// It mimics UDP semantics — unreliable (a full inbox drops the packet),
+// unordered across senders, message-oriented — so broker and client
+// retry machinery is exercised exactly as on the wire, but with zero
+// syscalls and deterministic addressing. Create one per test or cluster
+// with NewLoopback; endpoints from different Loopbacks cannot reach
+// each other.
+type Loopback struct {
+	mu     sync.Mutex
+	eps    map[string]*loopEndpoint
+	nextID int
+	// InboxDepth bounds each endpoint's receive queue (default 1024).
+	// Writes to a full inbox are dropped, like UDP under pressure.
+	InboxDepth int
+
+	overflow atomic.Uint64
+	deadDst  atomic.Uint64
+}
+
+// Drops reports how many datagrams the network discarded: overflow is
+// writes to a full inbox, dead is writes to an endpoint that does not
+// (or no longer) exists. Useful when a test needs to distinguish "the
+// protocol reordered" from "the network lost packets and retransmission
+// reordered".
+func (l *Loopback) Drops() (overflow, dead uint64) {
+	return l.overflow.Load(), l.deadDst.Load()
+}
+
+// NewLoopback creates an empty in-process packet network.
+func NewLoopback() *Loopback {
+	return &Loopback{eps: make(map[string]*loopEndpoint)}
+}
+
+type loopAddr string
+
+func (a loopAddr) Network() string { return "loop" }
+func (a loopAddr) String() string  { return string(a) }
+
+type loopPacket struct {
+	data []byte
+	from net.Addr
+}
+
+type loopEndpoint struct {
+	net  *Loopback
+	addr loopAddr
+
+	inbox chan loopPacket
+
+	mu       sync.Mutex
+	closed   bool
+	deadline time.Time
+	// deadlineCh is closed (and replaced) whenever the deadline moves,
+	// waking blocked readers so they re-arm their timers.
+	deadlineCh chan struct{}
+	done       chan struct{}
+}
+
+// Listen implements Transport. An empty addr auto-generates a unique
+// name ("loop-N").
+func (l *Loopback) Listen(addr string) (net.PacketConn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if addr == "" {
+		l.nextID++
+		addr = fmt.Sprintf("loop-%d", l.nextID)
+	}
+	if _, ok := l.eps[addr]; ok {
+		return nil, fmt.Errorf("transport: loopback address %q in use", addr)
+	}
+	ep := l.newEndpointLocked(addr)
+	return ep, nil
+}
+
+// Dial implements Transport. The returned conn gets its own
+// auto-generated address; addr must name a live listener (checked again
+// on every write, so a listener may come up later or go away).
+func (l *Loopback) Dial(addr string) (net.PacketConn, net.Addr, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	ep := l.newEndpointLocked(fmt.Sprintf("loop-%d", l.nextID))
+	return ep, loopAddr(addr), nil
+}
+
+func (l *Loopback) newEndpointLocked(addr string) *loopEndpoint {
+	depth := l.InboxDepth
+	if depth <= 0 {
+		depth = 1024
+	}
+	ep := &loopEndpoint{
+		net:        l,
+		addr:       loopAddr(addr),
+		inbox:      make(chan loopPacket, depth),
+		deadlineCh: make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	l.eps[addr] = ep
+	return ep
+}
+
+func (l *Loopback) lookup(addr string) *loopEndpoint {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eps[addr]
+}
+
+func (l *Loopback) drop(addr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.eps, addr)
+}
+
+func (e *loopEndpoint) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return 0, nil, net.ErrClosed
+		}
+		deadline := e.deadline
+		deadlineCh := e.deadlineCh
+		e.mu.Unlock()
+
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				// Drain a ready packet even at the deadline edge, like
+				// the UDP stack does.
+				select {
+				case pkt := <-e.inbox:
+					return copy(p, pkt.data), pkt.from, nil
+				default:
+					return 0, nil, os.ErrDeadlineExceeded
+				}
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+		select {
+		case pkt := <-e.inbox:
+			if timer != nil {
+				timer.Stop()
+			}
+			return copy(p, pkt.data), pkt.from, nil
+		case <-timeout:
+			return 0, nil, os.ErrDeadlineExceeded
+		case <-deadlineCh:
+			// Deadline changed; loop and re-arm.
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-e.done:
+			if timer != nil {
+				timer.Stop()
+			}
+			return 0, nil, net.ErrClosed
+		}
+	}
+}
+
+func (e *loopEndpoint) WriteTo(p []byte, addr net.Addr) (int, error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return 0, net.ErrClosed
+	}
+	dst := e.net.lookup(addr.String())
+	if dst == nil {
+		// No such endpoint: silently dropped, as UDP to a dead port is
+		// from the sender's point of view.
+		e.net.deadDst.Add(1)
+		return len(p), nil
+	}
+	pkt := loopPacket{data: append([]byte(nil), p...), from: e.addr}
+	select {
+	case dst.inbox <- pkt:
+	default:
+		// Full inbox behaves like a full socket buffer: drop.
+		e.net.overflow.Add(1)
+	}
+	return len(p), nil
+}
+
+func (e *loopEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	e.mu.Unlock()
+	e.net.drop(string(e.addr))
+	return nil
+}
+
+func (e *loopEndpoint) LocalAddr() net.Addr { return e.addr }
+
+func (e *loopEndpoint) SetDeadline(t time.Time) error { return e.SetReadDeadline(t) }
+
+func (e *loopEndpoint) SetReadDeadline(t time.Time) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return net.ErrClosed
+	}
+	e.deadline = t
+	close(e.deadlineCh)
+	e.deadlineCh = make(chan struct{})
+	return nil
+}
+
+func (e *loopEndpoint) SetWriteDeadline(t time.Time) error { return nil }

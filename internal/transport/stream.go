@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxStreamFrame bounds a single MQTT-SN packet carried over a stream.
+// The MQTT-SN 3-byte length format tops out at 64 KiB; a 1 MiB cap
+// leaves headroom without letting a corrupt length prefix allocate
+// unbounded memory.
+const maxStreamFrame = 1 << 20
+
+// TCP carries each MQTT-SN packet as a 4-byte big-endian
+// length-prefixed frame over a TCP stream, presenting the familiar
+// net.PacketConn face to broker and client. The listener side
+// multiplexes all accepted connections into one PacketConn whose
+// ReadFrom tags packets with the remote address and whose WriteTo
+// routes to the matching connection — exactly the addressing model the
+// broker already uses for UDP. Use it where datagrams are filtered or
+// the underlay is lossy enough that kernel retransmission below the
+// MQTT-SN QoS machinery is worth the head-of-line cost.
+type TCP struct{}
+
+// Listen implements Transport.
+func (TCP) Listen(addr string) (net.PacketConn, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &streamListener{
+		ln:         ln,
+		inbox:      make(chan streamPacket, 4096),
+		conns:      make(map[string]*serverConn),
+		done:       make(chan struct{}),
+		deadlineCh: make(chan struct{}),
+	}
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Dial implements Transport.
+func (TCP) Dial(addr string) (net.PacketConn, net.Addr, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc := &streamClientConn{conn: c}
+	return sc, c.RemoteAddr(), nil
+}
+
+type streamPacket struct {
+	data []byte
+	from net.Addr
+}
+
+// streamListener adapts a TCP listener plus its accepted connections to
+// a single net.PacketConn.
+type streamListener struct {
+	ln    net.Listener
+	inbox chan streamPacket
+
+	mu         sync.Mutex
+	conns      map[string]*serverConn
+	closed     bool
+	deadline   time.Time
+	deadlineCh chan struct{}
+	done       chan struct{}
+}
+
+func (l *streamListener) acceptLoop() {
+	for {
+		raw, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := &serverConn{Conn: raw}
+		key := raw.RemoteAddr().String()
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			raw.Close()
+			return
+		}
+		l.conns[key] = c
+		l.mu.Unlock()
+		go l.readLoop(c, key)
+	}
+}
+
+func (l *streamListener) readLoop(c *serverConn, key string) {
+	defer func() {
+		l.mu.Lock()
+		if l.conns[key] == c {
+			delete(l.conns, key)
+		}
+		l.mu.Unlock()
+		c.Close()
+	}()
+	from := c.RemoteAddr()
+	for {
+		data, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		select {
+		case l.inbox <- streamPacket{data: data, from: from}:
+		case <-l.done:
+			return
+		}
+	}
+}
+
+func (l *streamListener) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return 0, nil, net.ErrClosed
+		}
+		deadline := l.deadline
+		deadlineCh := l.deadlineCh
+		l.mu.Unlock()
+
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				select {
+				case pkt := <-l.inbox:
+					return copy(p, pkt.data), pkt.from, nil
+				default:
+					return 0, nil, errDeadline()
+				}
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+		select {
+		case pkt := <-l.inbox:
+			if timer != nil {
+				timer.Stop()
+			}
+			return copy(p, pkt.data), pkt.from, nil
+		case <-timeout:
+			return 0, nil, errDeadline()
+		case <-deadlineCh:
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-l.done:
+			if timer != nil {
+				timer.Stop()
+			}
+			return 0, nil, net.ErrClosed
+		}
+	}
+}
+
+func (l *streamListener) WriteTo(p []byte, addr net.Addr) (int, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	c := l.conns[addr.String()]
+	l.mu.Unlock()
+	if c == nil {
+		// The peer hung up: swallow the packet like UDP to a dead port.
+		return len(p), nil
+	}
+	c.wmu.Lock()
+	err := writeFrame(c, p)
+	c.wmu.Unlock()
+	if err != nil {
+		l.mu.Lock()
+		if l.conns[addr.String()] == c {
+			delete(l.conns, addr.String())
+		}
+		l.mu.Unlock()
+		c.Close()
+		return len(p), nil
+	}
+	return len(p), nil
+}
+
+func (l *streamListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.done)
+	conns := make([]*serverConn, 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.conns = map[string]*serverConn{}
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return l.ln.Close()
+}
+
+func (l *streamListener) LocalAddr() net.Addr { return l.ln.Addr() }
+
+func (l *streamListener) SetDeadline(t time.Time) error { return l.SetReadDeadline(t) }
+
+func (l *streamListener) SetReadDeadline(t time.Time) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return net.ErrClosed
+	}
+	l.deadline = t
+	close(l.deadlineCh)
+	l.deadlineCh = make(chan struct{})
+	return nil
+}
+
+func (l *streamListener) SetWriteDeadline(t time.Time) error { return nil }
+
+// serverConn pairs an accepted connection with a write mutex so
+// concurrent broker goroutines can't interleave frame bytes.
+type serverConn struct {
+	net.Conn
+	wmu sync.Mutex
+}
+
+// streamClientConn adapts one dialed TCP connection to a
+// net.PacketConn. ReadFrom reports the gateway's address; WriteTo
+// ignores its address argument (there is only one peer).
+type streamClientConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+}
+
+func (c *streamClientConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	data, err := readFrame(c.conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	return copy(p, data), c.conn.RemoteAddr(), nil
+}
+
+func (c *streamClientConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := writeFrame(c.conn, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (c *streamClientConn) Close() error                       { return c.conn.Close() }
+func (c *streamClientConn) LocalAddr() net.Addr                { return c.conn.LocalAddr() }
+func (c *streamClientConn) SetDeadline(t time.Time) error      { return c.conn.SetDeadline(t) }
+func (c *streamClientConn) SetReadDeadline(t time.Time) error  { return c.conn.SetReadDeadline(t) }
+func (c *streamClientConn) SetWriteDeadline(t time.Time) error { return c.conn.SetWriteDeadline(t) }
+
+func errDeadline() error { return deadlineErr }
+
+var deadlineErr net.Error = &streamTimeout{}
+
+type streamTimeout struct{}
+
+func (*streamTimeout) Error() string   { return "transport: i/o timeout" }
+func (*streamTimeout) Timeout() bool   { return true }
+func (*streamTimeout) Temporary() bool { return true }
+
+func writeFrame(w io.Writer, p []byte) error {
+	buf := make([]byte, 4+len(p))
+	binary.BigEndian.PutUint32(buf, uint32(len(p)))
+	copy(buf[4:], p)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxStreamFrame {
+		return nil, fmt.Errorf("transport: stream frame of %d bytes exceeds %d", n, maxStreamFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/provlight/provlight/internal/provdm"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder. The
+// decoder fronts the broker, translator, and spool replay on input that
+// arrived over UDP, so it must be total: any byte string either decodes
+// to records or returns an error — never a panic, never unbounded
+// allocation (the compressed path is capped at MaxFrameBody). When a
+// frame does decode and its records survive re-encoding, the round trip
+// must be lossless.
+func FuzzDecodeFrame(f *testing.F) {
+	enc := &Encoder{}
+	raw := &Encoder{DisableCompression: true}
+	seed := func(frame []byte, err error) {
+		if err != nil {
+			f.Fatalf("seed frame: %v", err)
+		}
+		f.Add(frame)
+	}
+	// One frame per encoder shape: single/group, compressed (the large
+	// record crosses the compression threshold) and uncompressed, with
+	// and without a durable frame id.
+	seed(enc.EncodeFrame(taskRecord(3)))
+	seed(enc.EncodeFrame(taskRecord(100)))
+	seed(raw.EncodeFrame(taskRecord(100)))
+	seed(enc.EncodeFrame(taskRecord(1), taskRecord(2), taskRecord(3)))
+	seed(enc.EncodeFrame(&provdm.Record{Event: provdm.EventWorkflowEnd, WorkflowID: "wf"}))
+	seed(enc.AppendFrameSeq(nil, 42, taskRecord(2)))
+	seed(raw.AppendFrameSeq(nil, 7, taskRecord(1), taskRecord(2)))
+	// Truncations and junk the generator should mutate from.
+	f.Add([]byte{})
+	f.Add([]byte{0x10})
+	f.Add([]byte{0x14, 0xff})
+	f.Add([]byte{0x12, 0x78, 0x9c})
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		records, err := DecodeFrame(frame)
+		if err != nil {
+			return
+		}
+		ptrs := make([]*provdm.Record, len(records))
+		for i := range records {
+			ptrs[i] = &records[i]
+		}
+		re, err := (&Encoder{}).EncodeFrame(ptrs...)
+		if err != nil {
+			// The wire format can express records the encoder refuses to
+			// produce (e.g. a task event without a task id); decoding them
+			// is fine, round-tripping them is not required.
+			return
+		}
+		again, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(records, again) {
+			t.Fatalf("round trip mismatch:\n first %+v\n again %+v", records, again)
+		}
+	})
+}
+
+// FuzzDecodeAckPayload covers the other wire-format decoder: the
+// cumulative-ack payload the translator publishes back to devices. Same
+// contract — total on arbitrary bytes, lossless on valid payloads.
+func FuzzDecodeAckPayload(f *testing.F) {
+	f.Add(AppendAckPayload(nil, 0, nil))
+	f.Add(AppendAckPayload(nil, 12, []uint64{13, 15, 900}))
+	f.Add(AppendAckPayload(nil, ^uint64(0), []uint64{1}))
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		seqs, term, err := DecodeAckPayload(p)
+		if err != nil {
+			return
+		}
+		re := AppendAckPayload(nil, term, seqs)
+		seqs2, term2, err := DecodeAckPayload(re)
+		if err != nil {
+			t.Fatalf("re-encoded ack payload does not decode: %v", err)
+		}
+		if term2 != term || !reflect.DeepEqual(seqs, seqs2) {
+			t.Fatalf("round trip mismatch: (%v, %d) vs (%v, %d)", seqs, term, seqs2, term2)
+		}
+	})
+}
