@@ -9,7 +9,7 @@
 //	    [-send-window 32] [-shards 16] \
 //	    [-max-sessions 0] [-connect-rate 0] \
 //	    [-cluster 1] [-cluster-addrs host:port,host:port,...] \
-//	    [-partitions 64] \
+//	    [-partitions 64] [-heartbeat 1s] [-suspect-timeout 5s] \
 //	    [-stats-listen 127.0.0.1:1884] [-v]
 //
 // -max-sessions and -connect-rate enable overload admission control:
@@ -26,8 +26,14 @@
 // -stats-listen serves counters as JSON on GET /stats (plus GET
 // /healthz). In cluster mode /stats carries the full ownership table:
 // per node its id, listen address, owned partitions, broker counters,
-// and the forwarded/migrated/link-lost cluster counters, alongside the
-// partition->owner map.
+// the forwarded/migrated/link-lost cluster counters, the membership
+// epoch, and per-peer link health (state, suspect flag, redials, last
+// heartbeat age), alongside the partition->owner map.
+//
+// In cluster mode a heartbeat failure detector runs between the nodes:
+// a node silent for -suspect-timeout (confirmed by a second peer when
+// one exists) is removed and its partitions reassigned to survivors,
+// with the frames retained on its links redelivered to the new owners.
 package main
 
 import (
@@ -88,6 +94,8 @@ func main() {
 	clusterN := flag.Int("cluster", 1, "run this many broker nodes as one logical broker (1: plain single broker, no clustering)")
 	clusterAddrs := flag.String("cluster-addrs", "", "comma-separated UDP listen addresses, one per cluster node (overrides -cluster and -addr)")
 	partitions := flag.Int("partitions", 64, "cluster topic hash-space size (fixed for the cluster's lifetime)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "cluster failure-detector heartbeat interval (<0: disable detection)")
+	suspectTimeout := flag.Duration("suspect-timeout", 0, "silence before a cluster node is suspected dead (0: 5x -heartbeat)")
 	statsListen := flag.String("stats-listen", "", "serve broker stats as JSON on this HTTP address (GET /stats, /healthz)")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
@@ -109,6 +117,8 @@ func main() {
 			Partitions:          *partitions,
 			BrokerRetryInterval: *retry,
 			BrokerMaxRetries:    *maxRetries,
+			HeartbeatInterval:   *heartbeat,
+			SuspectTimeout:      *suspectTimeout,
 		}
 		if *verbose {
 			ccfg.Logf = log.Printf
@@ -130,9 +140,10 @@ func main() {
 		}
 		<-sig
 		for _, ns := range cl.Stats() {
-			log.Printf("provlight-broker: shutting down %s (publishes=%d routed=%d forwarded_out=%d migrated=%d link_lost=%d)",
+			log.Printf("provlight-broker: shutting down %s (publishes=%d routed=%d forwarded_out=%d migrated=%d link_lost=%d takeover_redelivered=%d epoch_refused=%d)",
 				ns.ID, ns.Broker.PublishesReceived, ns.Broker.MessagesRouted,
-				ns.ForwardedOut, ns.Migrated, ns.LinkLost)
+				ns.ForwardedOut, ns.Migrated, ns.LinkLost,
+				ns.TakeoverRedelivered, ns.EpochRefused)
 		}
 		// Graceful-ish teardown: nodes leave one by one so in-flight
 		// frames migrate to survivors before the last broker closes.

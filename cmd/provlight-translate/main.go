@@ -88,6 +88,7 @@ func main() {
 	plURL := flag.String("provlake", "", "ProvLake base URL (enables ProvLake target)")
 	provjson := flag.String("provjson", "", "write a PROV-JSON document to this file (atomically)")
 	outputInterval := flag.Duration("output-interval", 30*time.Second, "refresh the PROV-JSON document this often (0: only on exit)")
+	keepAlive := flag.Duration("keepalive", 0, "broker session keep-alive; a silent broker is declared dead after 1.5x this (0: library default). Lower it to fail over faster when a cluster node crashes")
 	connectTimeout := flag.Duration("connect-timeout", 30*time.Second, "broker connect/subscribe deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 	flag.Parse()
@@ -159,6 +160,7 @@ func main() {
 		Workers:      *workers,
 		BatchSize:    *batch,
 		BatchLinger:  *linger,
+		KeepAlive:    *keepAlive,
 		Targets:      targets,
 		DisableAcks:  disableAcks,
 		OnError:      func(err error) { log.Printf("provlight-translate: %v", err) },
@@ -188,8 +190,8 @@ func main() {
 		select {
 		case <-ticker.C:
 			st := tr.Stats()
-			log.Printf("provlight-translate: frames=%d records=%d batches=%d acks=%d decode_errs=%d delivery_errs=%d",
-				st.FramesReceived, st.RecordsTranslated, st.BatchesDelivered, st.AcksPublished, st.DecodeErrors, st.DeliveryErrors)
+			log.Printf("provlight-translate: frames=%d records=%d batches=%d acks=%d decode_errs=%d delivery_errs=%d redials=%d",
+				st.FramesReceived, st.RecordsTranslated, st.BatchesDelivered, st.AcksPublished, st.DecodeErrors, st.DeliveryErrors, st.SessionRedials)
 		case <-output:
 			if err := writeAtomic(*provjson, pj); err != nil {
 				log.Printf("provlight-translate: %v", err)

@@ -125,6 +125,15 @@ type Config struct {
 	// into this broker.
 	OnSubscribe   func(filter string)
 	OnUnsubscribe func(filter string)
+	// ConnectGate, when set, is consulted for every CONNECT that passed
+	// admission control, before a session is created. Returning anything
+	// other than Accepted refuses the session with that CONNACK code and
+	// leaves existing sessions untouched. The cluster uses this to fence
+	// membership: a bridge session from a node that is no longer a member
+	// is refused with RejectedInvalidID, so a zombie's forwards can never
+	// fork a partition's stream. Must not block or call back into this
+	// broker.
+	ConnectGate func(clientID string) mqttsn.ReturnCode
 	// Logf, when set, receives debug logs.
 	Logf func(format string, args ...any)
 }
@@ -1024,6 +1033,12 @@ func (b *Broker) handleConnect(addr net.Addr, p *mqttsn.Connect) {
 		b.sendTo(addr, &mqttsn.Connack{ReturnCode: mqttsn.RejectedCongestion})
 		return
 	}
+	if b.cfg.ConnectGate != nil {
+		if rc := b.cfg.ConnectGate(p.ClientID); rc != mqttsn.Accepted {
+			b.sendTo(addr, &mqttsn.Connack{ReturnCode: rc})
+			return
+		}
+	}
 	s := &session{
 		clientID:     p.ClientID,
 		addr:         addr,
@@ -1520,6 +1535,44 @@ func (b *Broker) handleDisconnect(addr net.Addr) {
 		b.settleRemains(s, remains)
 	}
 	b.sendTo(addr, &mqttsn.Disconnect{})
+}
+
+// DisconnectClientsPrefix tears down every session whose client id has
+// the given prefix, exactly as if each had sent a DISCONNECT: backlogs
+// are handed back to their groups or released, and a DISCONNECT is sent
+// to the session's address so a live peer learns immediately instead of
+// at its next exchange. The cluster uses it to fence a removed node:
+// killing its established bridge sessions closes the door its future
+// CONNECTs will find barred by the gate. Returns the number of sessions
+// dropped.
+func (b *Broker) DisconnectClientsPrefix(prefix string) int {
+	b.clientMu.Lock()
+	var victims []*session
+	for clientID, s := range b.byClientID {
+		if strings.HasPrefix(clientID, prefix) {
+			victims = append(victims, s)
+		}
+	}
+	b.clientMu.Unlock()
+	for _, s := range victims {
+		sh := b.shardFor(s.addrKey)
+		sh.mu.Lock()
+		if sh.sessions[s.addrKey] != s {
+			sh.mu.Unlock()
+			continue // already replaced or expired
+		}
+		delete(sh.sessions, s.addrKey)
+		remains := b.collectRemainsLocked(s)
+		sh.mu.Unlock()
+		b.clientMu.Lock()
+		if b.byClientID[s.clientID] == s {
+			delete(b.byClientID, s.clientID)
+		}
+		b.clientMu.Unlock()
+		b.settleRemains(s, remains)
+		b.sendTo(s.addr, &mqttsn.Disconnect{})
+	}
+	return len(victims)
 }
 
 // routeAndRelease routes msg, then returns it to the message pool unless

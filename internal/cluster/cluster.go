@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/provlight/provlight/internal/broker"
@@ -55,6 +56,26 @@ type Config struct {
 	// drain before detaching its remaining frames (at-least-once) and
 	// proceeding. Default 30s.
 	DrainTimeout time.Duration
+	// HeartbeatInterval paces the failure detector: every node beats on
+	// every link this often, and the detector evaluates suspicion at the
+	// same cadence. Default 1s; negative disables the detector (and
+	// heartbeats) entirely.
+	HeartbeatInterval time.Duration
+	// SuspectTimeout is how long a peer must be silent before a node
+	// suspects it. A member is declared dead — and crash takeover runs —
+	// only when at least two members agree (the lone other member in a
+	// two-node cluster), so one bad link cannot evict a healthy node.
+	// Default 5× HeartbeatInterval.
+	SuspectTimeout time.Duration
+	// LinkKeepAlive is the bridge sessions' MQTT-SN keepalive; it bounds
+	// how fast a link notices a silently dead peer (1.5× this) when no
+	// forward traffic is failing. Default 30s (heartbeats usually detect
+	// death much sooner).
+	LinkKeepAlive time.Duration
+	// OnDemoted, when set, is called (on its own goroutine) with a node's
+	// id after the node discovered it was fenced out of membership and
+	// shut itself down. Operators rejoin via Join; tests assert on it.
+	OnDemoted func(id string)
 	// BrokerRetryInterval / BrokerMaxRetries are passed to each node's
 	// broker config (zero keeps broker defaults).
 	BrokerRetryInterval time.Duration
@@ -73,7 +94,21 @@ type Cluster struct {
 	order  []string // ids in start order, for stable Stats/Addrs
 	topo   *topology
 	nextID int
+	epoch  uint64 // bumped by computeTopology on every membership change
 	closed bool
+
+	// removed holds nodes taken out of membership by Remove but not shut
+	// down by the cluster: a genuinely crashed node's object is inert,
+	// and a zombie keeps running on its stale topology until fencing
+	// demotes it. Tracked so Close can reap whatever is left.
+	removed map[string]*Node
+
+	// members is the lock-free membership snapshot the broker connect
+	// gates read on their shard path (never under c.mu).
+	members atomic.Pointer[map[string]bool]
+
+	done chan struct{} // stops the detector
+	wg   sync.WaitGroup
 }
 
 // New starts the initial membership and wires the full link mesh so
@@ -91,6 +126,15 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = 5 * cfg.HeartbeatInterval
+	}
+	if cfg.LinkKeepAlive <= 0 {
+		cfg.LinkKeepAlive = 30 * time.Second
+	}
 	tr := cfg.Transport
 	if tr == nil {
 		tr = transport.UDP{}
@@ -102,7 +146,13 @@ func New(cfg Config) (*Cluster, error) {
 	if n <= 0 {
 		n = 1
 	}
-	c := &Cluster{cfg: cfg, tr: tr, nodes: map[string]*Node{}}
+	c := &Cluster{
+		cfg:     cfg,
+		tr:      tr,
+		nodes:   map[string]*Node{},
+		removed: map[string]*Node{},
+		done:    make(chan struct{}),
+	}
 	for i := 0; i < n; i++ {
 		addr := ""
 		if i < len(cfg.Addrs) {
@@ -115,6 +165,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.install(c.computeTopology(c.order))
 	c.meshLinks()
+	if cfg.HeartbeatInterval > 0 {
+		c.wg.Add(1)
+		go c.detector()
+	}
 	return c, nil
 }
 
@@ -130,6 +184,8 @@ func (c *Cluster) startNode(addr string) (*Node, error) {
 		fwdPending: map[int]int{},
 		links:      map[string]*link{},
 		filters:    map[string]int{},
+		lastHeard:  map[string]time.Time{},
+		peerEpoch:  map[string]uint64{},
 		subCh:      make(chan subChange, 1024),
 		done:       make(chan struct{}),
 	}
@@ -141,6 +197,7 @@ func (c *Cluster) startNode(addr string) (*Node, error) {
 		Forward:       n.forwardHook,
 		OnSubscribe:   n.onSubscribe,
 		OnUnsubscribe: n.onUnsubscribe,
+		ConnectGate:   c.connectGate(n),
 	})
 	if err != nil {
 		return nil, err
@@ -148,25 +205,34 @@ func (c *Cluster) startNode(addr string) (*Node, error) {
 	n.b = b
 	n.wg.Add(1)
 	go n.subWorker()
+	if c.cfg.HeartbeatInterval > 0 {
+		n.wg.Add(1)
+		go n.heartbeatLoop(c.cfg.HeartbeatInterval)
+	}
 	c.nodes[id] = n
 	c.order = append(c.order, id)
 	return n, nil
 }
 
-// computeTopology builds the partition map for a membership set.
+// computeTopology builds the partition map for a membership set, bumping
+// the fencing epoch (every computed topology represents a membership
+// decision; monotonicity is all fencing needs).
 func (c *Cluster) computeTopology(ids []string) *topology {
 	addrs := make(map[string]string, len(ids))
 	for _, id := range ids {
 		addrs[id] = c.nodes[id].b.Addr()
 	}
+	c.epoch++
 	return &topology{
 		partitions: c.cfg.Partitions,
 		owner:      rendezvousOwners(c.cfg.Partitions, ids),
 		addrs:      addrs,
+		epoch:      c.epoch,
 	}
 }
 
-// install publishes a topology to every node and the cluster root.
+// install publishes a topology to every node and the cluster root, and
+// refreshes the gate membership snapshot and heartbeat baselines.
 func (c *Cluster) install(tp *topology) {
 	for _, n := range c.nodes {
 		n.fmu.Lock()
@@ -174,6 +240,26 @@ func (c *Cluster) install(tp *topology) {
 		n.fmu.Unlock()
 	}
 	c.topo = tp
+	c.syncMembers()
+}
+
+// syncMembers rebuilds the lock-free membership snapshot from c.nodes
+// and seeds heartbeat baselines for every member pair, so a fresh member
+// gets a full suspicion timeout before anyone can suspect it. Caller
+// holds c.mu.
+func (c *Cluster) syncMembers() {
+	m := make(map[string]bool, len(c.nodes))
+	for id := range c.nodes {
+		m[id] = true
+	}
+	c.members.Store(&m)
+	for _, n := range c.nodes {
+		for id := range c.nodes {
+			if id != n.id {
+				n.seedHeartbeat(id)
+			}
+		}
+	}
 }
 
 // meshLinks eagerly dials every ordered node pair so propagated filters
@@ -231,10 +317,12 @@ func (c *Cluster) Join(ctx context.Context) (string, error) {
 	}
 	// Interim topology: old ownership, new address book — peers can dial
 	// the joiner (and it them) before any partition moves.
+	full := c.computeTopology(c.order)
 	interim := &topology{
 		partitions: c.topo.partitions,
 		owner:      c.topo.owner,
-		addrs:      c.computeTopology(c.order).addrs,
+		addrs:      full.addrs,
+		epoch:      full.epoch,
 	}
 	c.install(interim)
 	for _, pid := range c.order {
@@ -279,6 +367,146 @@ func (c *Cluster) Leave(ctx context.Context, id string) error {
 	}
 	leaving.close()
 	return nil
+}
+
+// Remove takes a dead (or unreachable) node out of membership WITHOUT
+// draining it — crash takeover. The failure detector calls it when
+// enough peers confirm silence; operators and tests may call it
+// directly. Unlike Leave, the node is not asked anything:
+//
+//  1. Membership shrinks first: the dead node leaves c.nodes and the
+//     gate snapshot, so any zombie redial is refused from this moment.
+//  2. Fence established sessions: every survivor disconnects the dead
+//     node's bridge sessions, so a zombie that is merely slow (not dead)
+//     loses its live forwarding paths too and demotes itself.
+//  3. Takeover: the dead node's partitions pause on the survivors; each
+//     survivor tears down its link to the dead node and harvests the
+//     retained unacked + queued frames, prepending them (in send order)
+//     to its forwarding buffer for redelivery to the new owners.
+//  4. Switch + flush new-owners-first, exactly like migrate step 4.
+//
+// Redelivered frames may already have been routed by the dead broker
+// before it died (the ack is what's missing), so takeover is
+// at-least-once per moved flow; QoS 2 end-to-end dedup (device spool +
+// store FrameTarget dedup) restores exactly-once above it. Per-link
+// send order is preserved; interleaving ACROSS surviving forwarders is
+// not (each survivor redelivers its own retained frames independently).
+func (c *Cluster) Remove(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeLocked(id)
+}
+
+// removeLocked implements Remove with c.mu held (the detector calls it
+// inline from its sweep).
+func (c *Cluster) removeLocked(id string) error {
+	if c.closed {
+		return fmt.Errorf("cluster: closed")
+	}
+	dead := c.nodes[id]
+	if dead == nil {
+		return fmt.Errorf("cluster: unknown node %q", id)
+	}
+	if len(c.nodes) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last node")
+	}
+	c.logf("cluster: removing %s (crash takeover)", id)
+
+	// 1. Shrink membership. The dead node keeps its stale topology and
+	// epoch — that staleness is what fencing refuses if it turns out to
+	// be a zombie rather than a corpse.
+	survivors := make([]string, 0, len(c.order)-1)
+	for _, oid := range c.order {
+		if oid != id {
+			survivors = append(survivors, oid)
+		}
+	}
+	delete(c.nodes, id)
+	c.order = survivors
+	c.removed[id] = dead
+	newTopo := c.computeTopology(survivors)
+	old := c.topo
+	c.syncMembers()
+
+	// 2. Fence established inbound bridge sessions from the dead node.
+	prefix := broker.BridgeSessionPrefix + id + "@"
+	for _, sid := range survivors {
+		c.nodes[sid].b.DisconnectClientsPrefix(prefix)
+	}
+
+	// 3. Takeover: pause moved partitions, harvest links to the corpse.
+	moved := map[int]bool{}
+	for _, p := range old.ownedBy(id) {
+		moved[p] = true
+	}
+	nodes := make([]*Node, 0, len(survivors))
+	for _, sid := range survivors {
+		nodes = append(nodes, c.nodes[sid])
+	}
+	for _, n := range nodes {
+		n.pause(moved)
+	}
+	for _, n := range nodes {
+		if harvested := n.harvestLink(id); len(harvested) > 0 {
+			buf := make([]bufFrame, 0, len(harvested))
+			for _, qf := range harvested {
+				buf = append(buf, bufFrame{part: qf.part, f: qf.f})
+			}
+			n.prependBuffer(buf)
+			n.takeoverRedelivered.Add(uint64(len(harvested)))
+			c.logf("cluster: %s redelivering %d retained frames for partitions of %s", n.id, len(harvested), id)
+		}
+	}
+
+	// 4. Switch + flush, new owners (of the moved partitions) first.
+	newOwners := map[string]bool{}
+	for p := range moved {
+		newOwners[newTopo.owner[p]] = true
+	}
+	switched := map[string]bool{}
+	for _, n := range nodes {
+		if newOwners[n.id] {
+			n.switchAndFlush(newTopo, moved)
+			switched[n.id] = true
+		}
+	}
+	for _, n := range nodes {
+		if !switched[n.id] {
+			n.switchAndFlush(newTopo, moved)
+		}
+	}
+	c.topo = newTopo
+	c.logf("cluster: %s removed at epoch %d; %d partitions reassigned", id, newTopo.epoch, len(moved))
+	return nil
+}
+
+// Kill hard-stops a node without touching membership — SIGKILL
+// semantics for tests and chaos harnesses. The cluster still believes
+// the node is a member; the failure detector (or an explicit Remove)
+// must notice. Frames queued inside the killed process are lost at the
+// broker layer, exactly as in a real crash.
+func (c *Cluster) Kill(id string) error {
+	c.mu.Lock()
+	n := c.nodes[id]
+	c.mu.Unlock()
+	if n == nil {
+		return fmt.Errorf("cluster: unknown node %q", id)
+	}
+	n.close()
+	return nil
+}
+
+// noteDemoted is called by a zombie node after fencing made it shut
+// itself down: forget its object (it closed itself) and surface the
+// event.
+func (c *Cluster) noteDemoted(id string) {
+	c.mu.Lock()
+	delete(c.removed, id)
+	cb := c.cfg.OnDemoted
+	c.mu.Unlock()
+	if cb != nil {
+		cb(id)
+	}
 }
 
 // migrate moves ownership from c.topo to newTopo with per-topic order
@@ -434,6 +662,7 @@ func (c *Cluster) waitDrained(ctx context.Context, nodes []*Node, o *Node, parts
 type TopologyInfo struct {
 	Partitions int      `json:"partitions"`
 	Owners     []string `json:"owners"` // partition index -> node id
+	Epoch      uint64   `json:"epoch"`  // membership fencing epoch
 }
 
 // Topology returns the current partition map.
@@ -443,11 +672,25 @@ func (c *Cluster) Topology() TopologyInfo {
 	return TopologyInfo{
 		Partitions: c.topo.partitions,
 		Owners:     append([]string(nil), c.topo.owner...),
+		Epoch:      c.topo.epoch,
 	}
 }
 
+// LinkHealth is one node's view of one inter-node link, surfaced in
+// stats for operators watching a cluster heal.
+type LinkHealth struct {
+	Peer    string    `json:"peer"`
+	State   LinkState `json:"state"`   // connected / down / fenced
+	Suspect bool      `json:"suspect"` // peer silent past the suspicion timeout
+	Redials uint64    `json:"redials"` // successful re-dials after session loss
+	// LastHeartbeatAgeMs is the age of the peer's last heartbeat (or of
+	// the local baseline if none arrived yet); -1 before any baseline.
+	LastHeartbeatAgeMs int64  `json:"last_heartbeat_age_ms"`
+	Epoch              uint64 `json:"epoch"` // epoch the session dialed at
+}
+
 // NodeStats is one node's view: identity, ownership, broker counters,
-// and the cluster-layer forward/migration counters.
+// and the cluster-layer forward/migration/self-healing counters.
 type NodeStats struct {
 	ID           string       `json:"id"`
 	Addr         string       `json:"addr"`
@@ -456,6 +699,15 @@ type NodeStats struct {
 	ForwardedOut uint64       `json:"forwarded_out"`
 	Migrated     uint64       `json:"migrated"`
 	LinkLost     uint64       `json:"link_lost"`
+	// Epoch is the membership epoch of the node's installed topology.
+	Epoch uint64 `json:"epoch"`
+	// TakeoverRedelivered counts frames this node re-forwarded to new
+	// owners after harvesting them from a dead peer's link.
+	TakeoverRedelivered uint64 `json:"takeover_redelivered"`
+	// EpochRefused counts bridge connects this node's gate refused
+	// because the dialing node was fenced out of membership.
+	EpochRefused uint64       `json:"epoch_refused"`
+	Links        []LinkHealth `json:"links,omitempty"`
 }
 
 // Stats snapshots every node in start order.
@@ -467,29 +719,44 @@ func (c *Cluster) Stats() []NodeStats {
 		n := c.nodes[id]
 		bs := n.b.Stats()
 		out = append(out, NodeStats{
-			ID:           id,
-			Addr:         n.b.Addr(),
-			Partitions:   c.topo.ownedBy(id),
-			Broker:       bs,
-			ForwardedOut: n.forwardedOut.Load(),
-			Migrated:     n.migratedBuf.Load() + bs.Migrated,
-			LinkLost:     n.linkLost.Load(),
+			ID:                  id,
+			Addr:                n.b.Addr(),
+			Partitions:          c.topo.ownedBy(id),
+			Broker:              bs,
+			ForwardedOut:        n.forwardedOut.Load(),
+			Migrated:            n.migratedBuf.Load() + bs.Migrated,
+			LinkLost:            n.linkLost.Load(),
+			Epoch:               n.currentEpoch(),
+			TakeoverRedelivered: n.takeoverRedelivered.Load(),
+			EpochRefused:        n.epochRefused.Load(),
+			Links:               n.linkHealth(c.cfg.SuspectTimeout),
 		})
 	}
 	return out
 }
 
-// Close shuts down every node. Not a graceful leave: buffered link
-// frames may be lost, which is fine at teardown.
+// Close shuts down every node — members and any removed-but-unreaped
+// zombies. Not a graceful leave: buffered link frames may be lost,
+// which is fine at teardown.
 func (c *Cluster) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return
 	}
 	c.closed = true
+	nodes := make([]*Node, 0, len(c.order)+len(c.removed))
 	for _, id := range c.order {
-		c.nodes[id].close()
+		nodes = append(nodes, c.nodes[id])
+	}
+	for _, n := range c.removed {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	close(c.done)
+	c.wg.Wait()
+	for _, n := range nodes {
+		n.close()
 	}
 }
 

@@ -1,0 +1,77 @@
+package cluster
+
+import "time"
+
+// Failure detection. Every node beats on its links each
+// HeartbeatInterval ("!cluster/hb/<id>", epoch payload); receivers
+// intercept the beats in their forward hook and record arrival times.
+// The detector sweeps at the same cadence and declares a member dead
+// only when enough OTHER members independently stopped hearing it —
+// min(2, members-1) confirmations — so one flaky link cannot evict a
+// healthy node, while a two-node cluster can still heal on the lone
+// survivor's word. Death triggers crash takeover (Remove): partitions
+// reassign, retained link frames redeliver, and the gate fences the
+// corpse in case it was a zombie all along.
+//
+// Heartbeats ride the link sessions themselves (QoS 0, intercepted
+// before the pause check), so they measure exactly the path forwards
+// take: a peer that can't receive forwards can't look alive, and a
+// paused migration doesn't buffer them.
+
+// detector is the cluster's sweep loop; started by New when
+// HeartbeatInterval > 0.
+func (c *Cluster) detector() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		c.sweep()
+	}
+}
+
+// sweep evaluates suspicion for every member and removes the confirmed
+// dead. Holding c.mu the whole time serializes against Join/Leave, so
+// membership cannot shift under a takeover.
+func (c *Cluster) sweep() {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	var dead []string
+	for _, id := range c.order {
+		// Only members whose own beat loop demonstrably ticked within the
+		// window may testify: a corpse's frozen lastHeard map ages against
+		// every healthy peer and must not count as a confirmation.
+		confirm, eligible := 0, 0
+		for _, oid := range c.order {
+			if oid == id {
+				continue
+			}
+			o := c.nodes[oid]
+			if !o.beatRecently(now, c.cfg.SuspectTimeout) {
+				continue
+			}
+			eligible++
+			if o.heardAge(id, now) > c.cfg.SuspectTimeout {
+				confirm++
+			}
+		}
+		need := min(2, eligible)
+		if need > 0 && confirm >= need {
+			c.logf("cluster: detector: %s confirmed dead by %d/%d live peer(s)", id, confirm, eligible)
+			dead = append(dead, id)
+		}
+	}
+	for _, id := range dead {
+		if err := c.removeLocked(id); err != nil {
+			c.logf("cluster: detector: remove %s: %v", id, err)
+		}
+	}
+}

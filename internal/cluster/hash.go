@@ -78,6 +78,12 @@ type topology struct {
 	partitions int
 	owner      []string          // partition index -> owning node id
 	addrs      map[string]string // node id -> broker listen address
+	// epoch is the membership fencing token: monotonically bumped by
+	// every Join/Leave/Remove, stamped into bridge client ids and
+	// heartbeats. A node left behind by a Remove keeps its stale
+	// topology (and epoch) — that staleness is what the survivors'
+	// connect gates refuse (see epoch.go).
+	epoch uint64
 }
 
 // ownedBy lists the partitions tp assigns to node id, in order.

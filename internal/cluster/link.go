@@ -1,11 +1,14 @@
 package cluster
 
 import (
+	"errors"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/provlight/provlight/internal/broker"
 	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/resilience"
 )
 
 // link is one directed inter-node forwarding channel: an MQTT-SN client
@@ -20,60 +23,354 @@ import (
 //   - inbound subscriptions: the node's propagated individual filters,
 //     delivered by the peer when IT releases a matching frame and
 //     re-injected into the local broker for local subscribers only.
+//
+// The link is supervised: the session is dialed (and re-dialed, with
+// jittered exponential backoff) by the runner itself, each dial stamping
+// the node's current epoch into the bridge client id. Frames are
+// RETAINED in an ordered unacked table until their QoS handshake
+// completes — a failed handshake no longer counts the frame lost, it
+// keeps it for replay on the next session (at-least-once across a link
+// outage; per-topic order preserved because replay is in submission
+// order and newer frames only leave the queue after replay finishes).
+// Two exits are terminal: the link being closed, and the peer refusing
+// the dial with RejectedInvalidID — the membership gate's verdict that
+// this node has been fenced out, which demotes the whole node.
 type link struct {
 	n    *Node
 	peer string
-	mc   *mqttsn.Client
+	addr string
+
 	q    chan queuedFrame
 	done chan struct{}
 	once sync.Once
 	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	mc       *mqttsn.Client // live session, nil while redialing
+	dialing  *mqttsn.Client // client mid-Connect, closable by shutdown
+	sessDown chan struct{}  // closed when the current session fails
+	downSess func()         // idempotent closer for sessDown
+	gen      uint64         // session generation; stale failures are ignored
+	nextSeq  uint64
+	unacked  map[uint64]queuedFrame // send seq -> frame awaiting handshake
+	state    LinkState
+	epoch    uint64 // epoch stamped into the current session's client id
+	redials  uint64
+
+	// hbBusy suppresses heartbeat pile-up: at most one heartbeat publish
+	// in flight per link, so a wedged window can't leak goroutines.
+	hbBusy bool
 }
+
+// LinkState labels a link's session for stats.
+type LinkState string
+
+const (
+	// LinkConnected: a live session is established.
+	LinkConnected LinkState = "connected"
+	// LinkDown: no session; the supervisor is redialing with backoff.
+	LinkDown LinkState = "down"
+	// LinkFenced: the peer's membership gate refused the dial — this
+	// node has been removed from the cluster and is demoting.
+	LinkFenced LinkState = "fenced"
+)
 
 type queuedFrame struct {
 	part int
 	f    broker.ForwardFrame
 }
 
-func newLink(n *Node, peer, addr string) (*link, error) {
-	cfg := n.c.cfg
+// newLink starts a supervised link; the first dial happens on the
+// runner, so construction never blocks and never fails.
+func newLink(n *Node, peer, addr string) *link {
+	l := &link{
+		n:       n,
+		peer:    peer,
+		addr:    addr,
+		q:       make(chan queuedFrame, n.c.cfg.LinkQueue),
+		done:    make(chan struct{}),
+		unacked: map[uint64]queuedFrame{},
+		state:   LinkDown,
+	}
+	l.wg.Add(1)
+	go l.run()
+	return l
+}
+
+// run supervises the session: dial (with backoff), replay the retained
+// unacked frames in order, then pump new frames until the session fails;
+// repeat. Exits on link close or fencing.
+func (l *link) run() {
+	defer l.wg.Done()
+	bo := resilience.Backoff{Min: 50 * time.Millisecond, Max: 2 * time.Second}
+	attempt := 0
+	for {
+		select {
+		case <-l.done:
+			return
+		default:
+		}
+		mc := l.session()
+		if mc == nil {
+			m, err := l.dial()
+			if err != nil {
+				var rej *mqttsn.ConnectRejectedError
+				if errors.As(err, &rej) && rej.Code == mqttsn.RejectedInvalidID {
+					l.fence()
+					return
+				}
+				attempt++
+				if attempt == 1 || attempt%8 == 0 {
+					l.n.c.logf("cluster: %s->%s: dial: %v (attempt %d)", l.n.id, l.peer, err, attempt)
+				}
+				if !l.sleep(bo.Delay(attempt - 1)) {
+					return
+				}
+				continue
+			}
+			attempt = 0
+			mc = m
+		}
+		if l.replay(mc) {
+			l.pump(mc)
+		}
+		select {
+		case <-l.done:
+			return
+		default:
+			l.dropSession(mc)
+		}
+	}
+}
+
+// dial establishes a fresh session stamped with the node's current
+// epoch, installs it, and re-subscribes the propagated filters.
+func (l *link) dial() (*mqttsn.Client, error) {
+	cfg := l.n.c.cfg
+	epoch := l.n.currentEpoch()
+	sd := make(chan struct{})
+	var sdOnce sync.Once
+	downSess := func() { sdOnce.Do(func() { close(sd) }) }
 	mc, err := mqttsn.NewClient(mqttsn.ClientConfig{
-		ClientID:       broker.BridgeSessionPrefix + n.id,
-		Gateway:        addr,
-		Transport:      n.c.tr,
-		KeepAlive:      30 * time.Second,
+		ClientID:       bridgeClientID(l.n.id, epoch),
+		Gateway:        l.addr,
+		Transport:      l.n.c.tr,
+		KeepAlive:      cfg.LinkKeepAlive,
 		RetryInterval:  cfg.RetryInterval,
 		MaxRetries:     cfg.MaxRetries,
 		InflightWindow: cfg.LinkWindow,
 		CleanSession:   true,
+		OnDisconnect:   func(error) { downSess() },
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := mc.Connect(); err != nil {
+	// Expose the client to shutdown while Connect blocks, so a takeover
+	// harvest never waits out a dead peer's full retry budget.
+	l.mu.Lock()
+	select {
+	case <-l.done:
+		l.mu.Unlock()
+		mc.Close()
+		return nil, mqttsn.ErrClosed
+	default:
+	}
+	l.dialing = mc
+	l.mu.Unlock()
+	err = mc.Connect()
+	l.mu.Lock()
+	l.dialing = nil
+	l.mu.Unlock()
+	if err != nil {
 		mc.Close()
 		return nil, err
 	}
-	l := &link{
-		n:    n,
-		peer: peer,
-		mc:   mc,
-		q:    make(chan queuedFrame, cfg.LinkQueue),
-		done: make(chan struct{}),
+	l.mu.Lock()
+	wasConnected := l.gen > 0
+	l.mc = mc
+	l.sessDown = sd
+	l.downSess = downSess
+	l.gen++
+	l.epoch = epoch
+	l.state = LinkConnected
+	if wasConnected {
+		l.redials++
 	}
-	for _, filter := range n.filterSnapshot() {
-		l.subscribe(filter)
+	l.mu.Unlock()
+	for _, filter := range l.n.filterSnapshot() {
+		l.subscribeOn(mc, filter)
 	}
-	l.wg.Add(1)
-	go l.run()
-	return l, nil
+	return mc, nil
+}
+
+// replay re-publishes the retained unacked frames in send order on a
+// fresh session, serially, before any queued frame may follow — that is
+// what preserves per-topic order across a link outage. A frame whose
+// original handshake actually completed at the peer is published twice;
+// the at-least-once degradation is absorbed downstream (QoS 2 / store
+// dedup). Returns false if the session died mid-replay.
+func (l *link) replay(mc *mqttsn.Client) bool {
+	l.mu.Lock()
+	if len(l.unacked) == 0 {
+		l.mu.Unlock()
+		return true
+	}
+	seqs := make([]uint64, 0, len(l.unacked))
+	for seq := range l.unacked {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	frames := make([]queuedFrame, len(seqs))
+	for i, seq := range seqs {
+		frames[i] = l.unacked[seq]
+	}
+	l.mu.Unlock()
+	l.n.c.logf("cluster: %s->%s: replaying %d retained frame(s)", l.n.id, l.peer, len(frames))
+	for i, qf := range frames {
+		if err := mc.Publish(qf.f.Topic, qf.f.Payload, qf.f.QoS); err != nil {
+			l.n.c.logf("cluster: %s->%s: replay %q: %v", l.n.id, l.peer, qf.f.Topic, err)
+			return false
+		}
+		l.settle(seqs[i], qf.part)
+	}
+	return true
+}
+
+// pump is the submission loop for one session: PublishAsync transmits
+// each initial PUBLISH before returning, so frames hit the wire in queue
+// order; completions (which may finish out of order) settle the unacked
+// table. A failed completion leaves its frame retained and declares the
+// session down.
+func (l *link) pump(mc *mqttsn.Client) {
+	l.mu.Lock()
+	sd := l.sessDown
+	gen := l.gen
+	l.mu.Unlock()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-sd:
+			return
+		case qf := <-l.q:
+			l.mu.Lock()
+			seq := l.nextSeq
+			l.nextSeq++
+			l.unacked[seq] = qf
+			l.mu.Unlock()
+			errc := mc.PublishAsync(qf.f.Topic, qf.f.Payload, qf.f.QoS)
+			l.wg.Add(1)
+			go func(seq uint64, part int, topic string) {
+				defer l.wg.Done()
+				if err := <-errc; err != nil {
+					// Retained for replay; no pending release, no loss count.
+					l.sessionFailed(gen, topic, err)
+					return
+				}
+				l.settle(seq, part)
+			}(seq, qf.part, qf.f.Topic)
+		}
+	}
+}
+
+// settle marks one frame's handshake complete: out of the retained
+// table, pending counter released. Idempotent versus a replay that
+// raced a late completion.
+func (l *link) settle(seq uint64, part int) {
+	l.mu.Lock()
+	_, ok := l.unacked[seq]
+	if ok {
+		delete(l.unacked, seq)
+	}
+	l.mu.Unlock()
+	if ok {
+		l.n.decPending(part)
+	}
+}
+
+// sessionFailed declares the generation's session dead (waking pump);
+// stale generations are ignored.
+func (l *link) sessionFailed(gen uint64, topic string, err error) {
+	l.mu.Lock()
+	if l.gen != gen {
+		l.mu.Unlock()
+		return
+	}
+	down := l.downSess
+	l.mu.Unlock()
+	l.n.c.logf("cluster: %s->%s: forward %q: %v (retained for replay)", l.n.id, l.peer, topic, err)
+	down()
+}
+
+// dropSession discards the current session after a failure; the runner
+// redials.
+func (l *link) dropSession(mc *mqttsn.Client) {
+	mc.Close()
+	l.mu.Lock()
+	if l.mc == mc {
+		l.mc = nil
+		l.state = LinkDown
+	}
+	l.mu.Unlock()
+}
+
+// session returns the live session, or nil while redialing.
+func (l *link) session() *mqttsn.Client {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mc
+}
+
+// sleep waits d or until the link closes; false means closed.
+func (l *link) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-l.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// fence handles the terminal RejectedInvalidID dial: this node is no
+// longer a member. The retained frames are discarded (their partitions'
+// new owners serve the streams now; redelivering from a fenced node is
+// exactly the fork fencing exists to prevent) and the node demotes.
+func (l *link) fence() {
+	l.mu.Lock()
+	l.state = LinkFenced
+	dropped := len(l.unacked)
+	parts := make([]int, 0, dropped)
+	for _, qf := range l.unacked {
+		parts = append(parts, qf.part)
+	}
+	l.unacked = map[uint64]queuedFrame{}
+	l.mu.Unlock()
+	for _, p := range parts {
+		l.n.decPending(p)
+	}
+	if dropped > 0 {
+		l.n.linkLost.Add(uint64(dropped))
+	}
+	l.n.c.logf("cluster: %s->%s: fenced by peer (not a member); demoting", l.n.id, l.peer)
+	go l.n.demote()
 }
 
 // subscribe propagates a local individual filter to the peer: frames the
 // peer releases matching it come back through this session and are
-// injected for this node's local subscribers.
+// injected for this node's local subscribers. While the link is down the
+// call is a no-op — every dial re-subscribes the full filter snapshot.
 func (l *link) subscribe(filter string) {
-	err := l.mc.Subscribe(filter, mqttsn.QoS1, func(topic string, payload []byte) {
+	mc := l.session()
+	if mc == nil {
+		return
+	}
+	l.subscribeOn(mc, filter)
+}
+
+func (l *link) subscribeOn(mc *mqttsn.Client, filter string) {
+	err := mc.Subscribe(filter, mqttsn.QoS1, func(topic string, payload []byte) {
 		l.n.b.Inject(topic, payload, mqttsn.QoS1)
 	})
 	if err != nil {
@@ -82,63 +379,140 @@ func (l *link) subscribe(filter string) {
 }
 
 func (l *link) unsubscribe(filter string) {
-	if err := l.mc.Unsubscribe(filter); err != nil {
+	mc := l.session()
+	if mc == nil {
+		return
+	}
+	if err := mc.Unsubscribe(filter); err != nil {
 		l.n.c.logf("cluster: %s->%s: propagate unsubscribe %q: %v", l.n.id, l.peer, filter, err)
+	}
+}
+
+// heartbeat publishes one failure-detector beat (QoS 0, best effort) on
+// the current session, skipping while the link is down or the previous
+// beat is still in flight.
+func (l *link) heartbeat(topic string, payload []byte) {
+	l.mu.Lock()
+	mc := l.mc
+	if mc == nil || l.hbBusy {
+		l.mu.Unlock()
+		return
+	}
+	l.hbBusy = true
+	l.mu.Unlock()
+	// The whole publish happens off the caller's goroutine: even the
+	// async variant can block (REGISTER handshake, send window) when the
+	// peer is dead, and the heartbeat loop iterates every link — one
+	// wedged link must not starve beats to healthy peers and turn into
+	// false suspicions.
+	go func() {
+		<-mc.PublishAsync(topic, payload, mqttsn.QoS0)
+		l.mu.Lock()
+		l.hbBusy = false
+		l.mu.Unlock()
+	}()
+}
+
+// health snapshots the link's supervision state for stats.
+func (l *link) health() (state LinkState, redials, epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state, l.redials, l.epoch
+}
+
+// shutdown stops the runner and the session, then waits for every
+// in-flight completion to settle, so the retained table is final.
+func (l *link) shutdown() {
+	l.once.Do(func() { close(l.done) })
+	l.mu.Lock()
+	mc := l.mc
+	l.mc = nil
+	d := l.dialing
+	l.dialing = nil
+	l.mu.Unlock()
+	if d != nil {
+		d.Close() // fails the in-flight Connect promptly
+	}
+	if mc != nil {
+		mc.Close()
+	}
+	l.wg.Wait()
+}
+
+// harvest stops the link and returns everything it still holds for the
+// peer, oldest first: the retained unacked frames in send order (already
+// transmitted at least once — possibly routed by the peer before it
+// died, which is the documented at-least-once crash degradation), then
+// the queued frames that never went out. Pending counters are released
+// here; the caller re-forwards the frames through the takeover buffer,
+// which re-counts them. Used by Remove: a crashed owner's frames go to
+// the partitions' new owners instead of dying as linkLost.
+func (l *link) harvest() []queuedFrame {
+	l.shutdown()
+	l.mu.Lock()
+	seqs := make([]uint64, 0, len(l.unacked))
+	for seq := range l.unacked {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]queuedFrame, 0, len(seqs)+len(l.q))
+	for _, seq := range seqs {
+		out = append(out, l.unacked[seq])
+	}
+	l.unacked = map[uint64]queuedFrame{}
+	l.mu.Unlock()
+	for {
+		select {
+		case qf := <-l.q:
+			out = append(out, qf)
+		default:
+			for _, qf := range out {
+				l.n.decPending(qf.part)
+			}
+			return out
+		}
 	}
 }
 
 // enqueue commits a frame to the link. Blocking when the queue is full
 // is deliberate backpressure: it stalls the releasing shard worker the
-// same way a slow local subscriber would.
+// same way a slow local subscriber would. A frame arriving after the
+// link closed is redirected through the current topology (the partition
+// has a new owner by then) instead of being dropped.
 func (l *link) enqueue(part int, f broker.ForwardFrame) {
 	select {
 	case l.q <- queuedFrame{part: part, f: f}:
 	case <-l.done:
-		l.n.decPending(part)
-		l.n.linkLost.Add(1)
+		l.n.redirect(part, f)
 	}
 }
 
-// run is the single submission goroutine: PublishAsync transmits each
-// initial PUBLISH before returning, so frames hit the wire in queue
-// order; completions (which may finish out of order) only settle the
-// pending counter. A frame's pending count is released strictly after
-// the owner routed it — the broker acknowledges a QoS 2 release only
-// after routing — which is what lets the migration drain trust a zero.
-func (l *link) run() {
-	defer l.wg.Done()
-	for {
-		select {
-		case <-l.done:
-			return
-		case qf := <-l.q:
-			errc := l.mc.PublishAsync(qf.f.Topic, qf.f.Payload, qf.f.QoS)
-			l.wg.Add(1)
-			go func(part int, topic string) {
-				defer l.wg.Done()
-				if err := <-errc; err != nil {
-					l.n.linkLost.Add(1)
-					l.n.c.logf("cluster: %s->%s: forward %q: %v", l.n.id, l.peer, topic, err)
-				}
-				l.n.decPending(part)
-			}(qf.part, qf.f.Topic)
-		}
-	}
-}
-
-// close releases the link. Frames still queued are counted lost — the
-// cluster only closes links after a drain proved the queue empty, or on
-// whole-cluster shutdown.
+// close releases the link. Anything still retained or queued is
+// redirected through the current topology — during a graceful Leave the
+// drain has already proven both empty; on a drain timeout or node
+// shutdown the redirect delivers to the partition's new owner (or counts
+// the frame lost if this whole node is closing).
 func (l *link) close() {
-	l.once.Do(func() { close(l.done) })
-	l.mc.Close()
-	l.wg.Wait()
-	// Settle anything left in the queue so pending counters converge.
+	l.shutdown()
+	l.mu.Lock()
+	seqs := make([]uint64, 0, len(l.unacked))
+	for seq := range l.unacked {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	frames := make([]queuedFrame, 0, len(seqs))
+	for _, seq := range seqs {
+		frames = append(frames, l.unacked[seq])
+	}
+	l.unacked = map[uint64]queuedFrame{}
+	l.mu.Unlock()
+	for _, qf := range frames {
+		l.n.redirect(qf.part, qf.f)
+	}
 	for {
 		select {
 		case qf := <-l.q:
-			l.n.decPending(qf.part)
-			l.n.linkLost.Add(1)
+			l.n.redirect(qf.part, qf.f)
 		default:
 			return
 		}

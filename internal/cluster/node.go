@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/provlight/provlight/internal/broker"
 )
@@ -48,13 +50,42 @@ type Node struct {
 	// must not block on peer round trips, so they enqueue and return.
 	subCh chan subChange
 
+	// hbMu guards the failure detector's receive side: when each peer's
+	// heartbeat was last heard on this node (over the peer's own link
+	// session into this broker) and the epoch it claimed. Leaf lock.
+	hbMu      sync.Mutex
+	lastHeard map[string]time.Time
+	peerEpoch map[string]uint64
+	// hbPause suppresses heartbeat SENDING (tests simulate a partitioned
+	// node with it; the node keeps running, peers just stop hearing it).
+	hbPause atomic.Bool
+
+	// demoted flips once when a peer's membership gate fences this node
+	// out; the node then closes itself so local clients fail over.
+	demoted atomic.Bool
+
+	// lastBeatAttempt (unix nanos) is stamped every heartbeat tick,
+	// whether or not beats are paused: it proves this node's loop is
+	// RUNNING. The detector only trusts confirmations from nodes that
+	// recently stamped it — a corpse's frozen lastHeard map must not
+	// count as evidence against the living.
+	lastBeatAttempt atomic.Int64
+
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
 	forwardedOut atomic.Uint64 // frames enqueued to peer links
 	migratedBuf  atomic.Uint64 // frames handed off through migration buffers
-	linkLost     atomic.Uint64 // forwarded frames whose handshake failed
+	linkLost     atomic.Uint64 // forwarded frames dropped for good (teardown, fencing)
+	// takeoverRedelivered counts frames this forwarder re-delivered to a
+	// partition's new owner after the old owner crashed (the retained
+	// unacked + queued frames a pre-self-healing cluster counted lost).
+	takeoverRedelivered atomic.Uint64
+	// epochRefused counts bridge CONNECTs this node's membership gate
+	// refused — a non-zero value is the fingerprint of a fenced zombie
+	// knocking.
+	epochRefused atomic.Uint64
 }
 
 // bufFrame is one buffered frame with its precomputed partition.
@@ -84,6 +115,14 @@ func (n *Node) Broker() *broker.Broker { return n.b }
 // forwardHook is the broker's Forward hook: called once per fully
 // released inbound publish. Returning true takes ownership of the frame.
 func (n *Node) forwardHook(f broker.ForwardFrame) bool {
+	// Failure-detector heartbeats ride the same link sessions as data
+	// (so they attest exactly the path forwards take) but are consumed
+	// here, BEFORE the pause check: a migration pause must never make a
+	// healthy peer look dead.
+	if peer, ok := parseHeartbeatTopic(f.Topic); ok {
+		n.recordHeartbeat(peer, parseHeartbeatPayload(f.Payload))
+		return true
+	}
 	n.fmu.Lock()
 	tp := n.topo
 	if tp == nil {
@@ -146,8 +185,9 @@ func (n *Node) pendingForParts(parts map[int]bool) int {
 	return total
 }
 
-// linkTo returns the live link to peer, dialing one if needed. A dial
-// failure is logged and retried on the next call.
+// linkTo returns the supervised link to peer, creating one if needed
+// (the link dials — and redials — on its own runner; creation never
+// blocks on the network).
 func (n *Node) linkTo(peer, addr string) *link {
 	n.linkMu.Lock()
 	defer n.linkMu.Unlock()
@@ -159,13 +199,179 @@ func (n *Node) linkTo(peer, addr string) *link {
 		return nil
 	default:
 	}
-	l, err := newLink(n, peer, addr)
-	if err != nil {
-		n.c.logf("cluster: %s: dial link to %s (%s): %v", n.id, peer, addr, err)
-		return nil
-	}
+	l := newLink(n, peer, addr)
 	n.links[peer] = l
 	return l
+}
+
+// harvestLink detaches and stops the link to a crashed peer, returning
+// every frame it still held (retained unacked first, then queued, both
+// in submission order) for redelivery to the partitions' new owners.
+func (n *Node) harvestLink(peer string) []queuedFrame {
+	n.linkMu.Lock()
+	l := n.links[peer]
+	delete(n.links, peer)
+	n.linkMu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.harvest()
+}
+
+// redirect re-routes a frame whose link went away mid-flight through the
+// current topology: buffered if its partition is paused, submitted
+// locally if this node now owns it, forwarded to the new owner
+// otherwise. Only a node that is itself shutting down drops the frame.
+// This is what turns the old "closing a link settles its queue as lost"
+// into a requeue to the partition's new owner.
+func (n *Node) redirect(part int, f broker.ForwardFrame) {
+	n.decPending(part)
+	select {
+	case <-n.done:
+		n.linkLost.Add(1)
+		return
+	default:
+	}
+	n.fmu.Lock()
+	tp := n.topo
+	if tp == nil {
+		n.fmu.Unlock()
+		n.linkLost.Add(1)
+		return
+	}
+	if n.paused[part] {
+		n.buf = append(n.buf, bufFrame{part: part, f: f})
+		n.fmu.Unlock()
+		return
+	}
+	owner := tp.owner[part]
+	if owner == n.id {
+		n.fmu.Unlock()
+		n.b.Submit(f.Topic, f.Payload, f.QoS, f.Retain)
+		return
+	}
+	addr := tp.addrs[owner]
+	n.addPending(part)
+	n.fmu.Unlock()
+	n.sendTo(owner, addr, part, f)
+}
+
+// currentEpoch reads the installed topology's fencing epoch.
+func (n *Node) currentEpoch() uint64 {
+	n.fmu.Lock()
+	defer n.fmu.Unlock()
+	if n.topo == nil {
+		return 0
+	}
+	return n.topo.epoch
+}
+
+// recordHeartbeat notes a peer's beat (receive side of the detector).
+func (n *Node) recordHeartbeat(peer string, epoch uint64) {
+	n.hbMu.Lock()
+	n.lastHeard[peer] = time.Now()
+	n.peerEpoch[peer] = epoch
+	n.hbMu.Unlock()
+}
+
+// seedHeartbeat gives peer a fresh baseline if none exists, so a node
+// is never suspected before it had one suspicion-timeout's chance to
+// beat (fresh joiners, detector start).
+func (n *Node) seedHeartbeat(peer string) {
+	n.hbMu.Lock()
+	if _, ok := n.lastHeard[peer]; !ok {
+		n.lastHeard[peer] = time.Now()
+	}
+	n.hbMu.Unlock()
+}
+
+// heardAge returns how long ago peer's last beat arrived (0 if never
+// seeded — the detector seeds every member pair before evaluating).
+func (n *Node) heardAge(peer string, now time.Time) time.Duration {
+	n.hbMu.Lock()
+	defer n.hbMu.Unlock()
+	t, ok := n.lastHeard[peer]
+	if !ok {
+		return 0
+	}
+	return now.Sub(t)
+}
+
+// heartbeatLoop publishes this node's beat over every live link at the
+// configured interval. Sending bypasses the forward path entirely (no
+// pause, no pending counters); receiving peers consume the beat in
+// their forward hook.
+func (n *Node) heartbeatLoop(interval time.Duration) {
+	defer n.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	topic := heartbeatTopic(n.id)
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+			n.lastBeatAttempt.Store(time.Now().UnixNano())
+			if n.hbPause.Load() {
+				continue
+			}
+			payload := heartbeatPayload(n.currentEpoch())
+			for _, l := range n.linkSnapshot() {
+				l.heartbeat(topic, payload)
+			}
+		}
+	}
+}
+
+// beatRecently reports whether this node's heartbeat loop ticked within
+// the given window — i.e. whether its observations can be trusted.
+func (n *Node) beatRecently(now time.Time, within time.Duration) bool {
+	last := n.lastBeatAttempt.Load()
+	return last != 0 && now.Sub(time.Unix(0, last)) <= within
+}
+
+// demote runs once, when a peer's membership gate fences this node out:
+// the cluster has moved on without it, so it closes down — local clients
+// get broker disconnects and fail over to surviving nodes — and reports
+// itself, to rejoin (if the operator wants) via Join as a new member.
+func (n *Node) demote() {
+	if !n.demoted.CompareAndSwap(false, true) {
+		return
+	}
+	n.c.logf("cluster: %s: demoted (fenced out of membership at epoch %d); closing for rejoin via Join", n.id, n.currentEpoch())
+	n.close()
+	n.c.noteDemoted(n.id)
+}
+
+// linkHealth snapshots per-peer link supervision state plus the
+// detector's receive-side view, for stats.
+func (n *Node) linkHealth(suspectAfter time.Duration) []LinkHealth {
+	links := map[string]*link{}
+	n.linkMu.Lock()
+	for peer, l := range n.links {
+		links[peer] = l
+	}
+	n.linkMu.Unlock()
+	now := time.Now()
+	out := make([]LinkHealth, 0, len(links))
+	for peer, l := range links {
+		state, redials, epoch := l.health()
+		h := LinkHealth{
+			Peer:    peer,
+			State:   state,
+			Redials: redials,
+			Epoch:   epoch,
+		}
+		if age := n.heardAge(peer, now); age > 0 {
+			h.LastHeartbeatAgeMs = age.Milliseconds()
+			h.Suspect = suspectAfter > 0 && age > suspectAfter
+		} else {
+			h.LastHeartbeatAgeMs = -1
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
 }
 
 // dropLink tears down the link to a departed peer.

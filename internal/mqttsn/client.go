@@ -25,6 +25,21 @@ var (
 	ErrCongestion = errors.New("mqttsn: connect rejected: congestion")
 )
 
+// ConnectRejectedError is returned by Connect for a non-congestion
+// CONNACK refusal, carrying the gateway's return code so callers can
+// tell a permanent refusal apart from a transient one. The cluster's
+// link supervisor depends on this: RejectedInvalidID from a peer's
+// membership gate means this node has been fenced out of the cluster
+// (retrying is useless — the node must demote and rejoin), while any
+// other failure is retried with backoff.
+type ConnectRejectedError struct {
+	Code ReturnCode
+}
+
+func (e *ConnectRejectedError) Error() string {
+	return fmt.Sprintf("mqttsn: connect rejected: %s", e.Code)
+}
+
 // Will configures a last-will message published by the gateway if the
 // session dies without a clean disconnect.
 type Will struct {
@@ -108,6 +123,7 @@ type Client struct {
 	subs      map[string]MessageHandler
 	inbound2  map[uint16][]byte // inbound QoS2 msgID -> payload pending PUBREL
 	lastSend  time.Time
+	lastRecv  time.Time // last packet from the gateway (liveness)
 
 	// pending exchanges consulted by the read loop so that topic/handler
 	// state is installed *before* the ack wakes the caller; otherwise a
@@ -340,12 +356,20 @@ func (c *Client) Connect() error {
 		return ErrCongestion
 	}
 	if ca.ReturnCode != Accepted {
-		return fmt.Errorf("mqttsn: connect rejected: %s", ca.ReturnCode)
+		return &ConnectRejectedError{Code: ca.ReturnCode}
 	}
 	c.mu.Lock()
+	// A concurrent Close (a supervisor abandoning an in-flight dial) may
+	// have won the race against the CONNACK; adding to the WaitGroup
+	// after its Wait started would be both a race and a leak.
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
 	c.connected = true
-	c.mu.Unlock()
+	c.lastRecv = time.Now()
 	c.wg.Add(1)
+	c.mu.Unlock()
 	go c.keepaliveLoop()
 	return nil
 }
@@ -610,9 +634,28 @@ func (c *Client) keepaliveLoop() {
 		case <-ticker.C:
 			c.mu.Lock()
 			idle := time.Since(c.lastSend)
+			silent := time.Since(c.lastRecv)
 			connected := c.connected
 			c.mu.Unlock()
-			if connected && idle >= interval {
+			if !connected {
+				continue
+			}
+			// A gateway that died without a goodbye is pure silence: a
+			// crashed node's endpoint swallows datagrams, so sends keep
+			// "succeeding" while nothing ever comes back. Declare the
+			// session down after the same 1.5x keepalive grace the broker
+			// applies to clients, so reconnect loops (translator session
+			// supervisors, cluster links) fail over on node death instead
+			// of waiting for the next publish to exhaust its retries.
+			if silent > c.cfg.KeepAlive+c.cfg.KeepAlive/2 {
+				c.sessionDown(fmt.Errorf("%w: gateway silent for %v", ErrTimeout, silent.Round(time.Millisecond)))
+				continue
+			}
+			// Ping when idle (classic keepalive) but also when we are
+			// sending without hearing back — a QoS 0-only stream (e.g.
+			// cluster heartbeats) refreshes lastSend forever and would
+			// otherwise suppress the ping that liveness depends on.
+			if idle >= interval || silent >= interval {
 				// Fire-and-forget ping; response handled by readLoop.
 				_ = c.send(&Pingreq{})
 			}
@@ -654,6 +697,7 @@ func (c *Client) readLoop() {
 		c.mu.Lock()
 		c.stats.PacketsReceived++
 		c.stats.BytesReceived += uint64(n)
+		c.lastRecv = time.Now()
 		c.mu.Unlock()
 		c.dispatch(pkt)
 	}
