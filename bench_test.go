@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"github.com/provlight/provlight/internal/experiment"
 	"github.com/provlight/provlight/internal/mqttsn"
 	"github.com/provlight/provlight/internal/netem"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/provlake"
 	"github.com/provlight/provlight/internal/translate"
@@ -324,6 +326,16 @@ func BenchmarkPipelineLocal(b *testing.B) {
 				Broker:     server.Addr(),
 				ClientID:   "bench-device",
 				WindowSize: 16,
+			}
+			// The bench measures the instrumented capture path — frame
+			// tracing on (the default) and a live metrics registry — so a
+			// regression in observability overhead shows up here, not just
+			// in production. BENCH_OBS=off measures the uninstrumented
+			// path for comparison.
+			if os.Getenv("BENCH_OBS") == "off" {
+				cfg.DisableTrace = true
+			} else {
+				cfg.Metrics = obs.NewRegistry()
 			}
 			if mode == "spooled" {
 				cfg.SpoolDir = b.TempDir()

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/replica"
 	"github.com/provlight/provlight/internal/wal"
 )
@@ -36,6 +37,7 @@ func main() {
 	minSync := flag.Int("min-sync", 0, "followers that must acknowledge a record before it counts as committed (0 = async replication)")
 	promote := flag.Bool("promote", false, "promote this data directory to primary under a new term, then serve (run against the most caught-up replica after primary loss)")
 	readyMaxLag := flag.Uint64("ready-max-lag", 0, "replica lag (records) beyond which /readyz reports not ready (0: any connected replica is ready)")
+	enablePProf := flag.Bool("pprof", false, "mount net/http/pprof on the API mux")
 	flag.Parse()
 
 	if (*replListen != "" || *replFrom != "" || *promote) && *dataDir == "" {
@@ -78,6 +80,8 @@ func main() {
 
 	srv := dfanalyzer.NewServer(store)
 	srv.ReadyMaxLag = *readyMaxLag
+	srv.Metrics = obs.NewRegistry()
+	srv.EnablePProf = *enablePProf
 
 	var repl *replica.Server
 	var follower *replica.Follower
@@ -120,7 +124,7 @@ func main() {
 	}
 	defer srv.Close()
 	log.Printf("dfanalyzer-server: serving on http://%s", srv.Addr())
-	log.Printf("dfanalyzer-server: endpoints: POST /dataflow, POST /task, POST /tasks (batch), POST /frames (exactly-once), POST /query, GET /dataflow/{tag}, GET /stats, GET /healthz, GET /readyz")
+	log.Printf("dfanalyzer-server: endpoints: POST /dataflow, POST /task, POST /tasks (batch), POST /frames (exactly-once), POST /query, GET /dataflow/{tag}, GET /stats, GET /metrics, GET /healthz, GET /readyz")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

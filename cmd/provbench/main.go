@@ -40,6 +40,7 @@ import (
 	"github.com/provlight/provlight/internal/core"
 	"github.com/provlight/provlight/internal/experiment"
 	"github.com/provlight/provlight/internal/netem"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/soak"
 	"github.com/provlight/provlight/internal/spool"
@@ -73,6 +74,8 @@ func main() {
 	soakDrainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "soak post-run spool drain deadline")
 	soakDrainConc := flag.Int("drain-concurrency", 64, "soak devices draining concurrently in the post-run phase")
 	soakOut := flag.String("out", "BENCH_soak.json", "soak report output path")
+	statsListen := flag.String("stats-listen", "", "serve /metrics, /stats and /healthz on this address during -soak (e.g. 127.0.0.1:9300)")
+	enablePProf := flag.Bool("pprof", false, "also mount net/http/pprof on the -stats-listen mux")
 	flag.Parse()
 
 	switch {
@@ -80,6 +83,19 @@ func main() {
 		policy, err := spool.ParseDegradePolicy(*soakPolicy)
 		if err != nil {
 			log.Fatalf("provbench: %v", err)
+		}
+		var reg *obs.Registry
+		if *statsListen != "" {
+			reg = obs.NewRegistry()
+			addr, stop, err := obs.Serve(*statsListen, obs.NewMux(obs.MuxOptions{
+				Registry: reg,
+				PProf:    *enablePProf,
+			}))
+			if err != nil {
+				log.Fatalf("provbench: stats listener: %v", err)
+			}
+			defer stop()
+			log.Printf("provbench: metrics on http://%s/metrics", addr)
 		}
 		rep, err := soak.Run(context.Background(), soak.Options{
 			Devices:          *devices,
@@ -95,6 +111,7 @@ func main() {
 			DrainTimeout:     *soakDrainTimeout,
 			DrainConcurrency: *soakDrainConc,
 			Logf:             log.Printf,
+			Metrics:          reg,
 		})
 		if err != nil {
 			log.Fatalf("provbench: soak: %v", err)

@@ -24,11 +24,13 @@
 // forwarding, no links, zero extra configuration.
 //
 // -stats-listen serves counters as JSON on GET /stats (plus GET
-// /healthz). In cluster mode /stats carries the full ownership table:
-// per node its id, listen address, owned partitions, broker counters,
-// the forwarded/migrated/link-lost cluster counters, the membership
-// epoch, and per-peer link health (state, suspect flag, redials, last
-// heartbeat age), alongside the partition->owner map.
+// /healthz and Prometheus text exposition on GET /metrics; -pprof
+// additionally mounts net/http/pprof). In cluster mode /stats carries
+// the full ownership table: per node its id, listen address, owned
+// partitions, broker counters, the forwarded/migrated/link-lost
+// cluster counters, the membership epoch, and per-peer link health
+// (state, suspect flag, redials, last heartbeat age), alongside the
+// partition->owner map.
 //
 // In cluster mode a heartbeat failure detector runs between the nodes:
 // a node silent for -suspect-timeout (confirmed by a second peer when
@@ -38,10 +40,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +50,7 @@ import (
 
 	"github.com/provlight/provlight/internal/broker"
 	"github.com/provlight/provlight/internal/cluster"
+	"github.com/provlight/provlight/internal/obs"
 )
 
 // clusterStats is the /stats document in cluster mode: the partition
@@ -60,26 +61,20 @@ type clusterStats struct {
 	Nodes    []cluster.NodeStats  `json:"nodes"`
 }
 
-// serveStats starts the JSON stats listener: GET /stats returns
-// payload(), GET /healthz a liveness probe. Returns a shutdown func.
-func serveStats(listen string, payload func() any) func() {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(payload())
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write([]byte(`{"ok":true}` + "\n"))
-	})
-	statsSrv := &http.Server{Addr: listen, Handler: mux}
-	go func() {
-		if err := statsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Printf("provlight-broker: stats listener: %v", err)
-		}
-	}()
-	log.Printf("provlight-broker: serving stats on http://%s/stats", listen)
-	return func() { statsSrv.Close() }
+// serveStats starts the shared stats listener: GET /stats returns
+// payload() as JSON, /metrics the registry, /healthz a liveness probe,
+// and -pprof mounts net/http/pprof. Returns a shutdown func.
+func serveStats(listen string, reg *obs.Registry, pprofOn bool, payload func() any) func() {
+	addr, stop, err := obs.Serve(listen, obs.NewMux(obs.MuxOptions{
+		Registry: reg,
+		Stats:    payload,
+		PProf:    pprofOn,
+	}))
+	if err != nil {
+		log.Fatalf("provlight-broker: stats listener: %v", err)
+	}
+	log.Printf("provlight-broker: serving stats on http://%s/stats (metrics on /metrics)", addr)
+	return stop
 }
 
 func main() {
@@ -96,9 +91,12 @@ func main() {
 	partitions := flag.Int("partitions", 64, "cluster topic hash-space size (fixed for the cluster's lifetime)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "cluster failure-detector heartbeat interval (<0: disable detection)")
 	suspectTimeout := flag.Duration("suspect-timeout", 0, "silence before a cluster node is suspected dead (0: 5x -heartbeat)")
-	statsListen := flag.String("stats-listen", "", "serve broker stats as JSON on this HTTP address (GET /stats, /healthz)")
+	statsListen := flag.String("stats-listen", "", "serve broker stats on this HTTP address (GET /stats, /metrics, /healthz)")
+	enablePProf := flag.Bool("pprof", false, "also mount net/http/pprof on the -stats-listen mux")
 	verbose := flag.Bool("v", false, "verbose protocol logging")
 	flag.Parse()
+
+	reg := obs.NewRegistry()
 
 	var nodeAddrs []string
 	if *clusterAddrs != "" {
@@ -119,6 +117,7 @@ func main() {
 			BrokerMaxRetries:    *maxRetries,
 			HeartbeatInterval:   *heartbeat,
 			SuspectTimeout:      *suspectTimeout,
+			Metrics:             reg,
 		}
 		if *verbose {
 			ccfg.Logf = log.Printf
@@ -133,7 +132,7 @@ func main() {
 			log.Printf("provlight-broker: node %s serving MQTT-SN on udp://%s", ids[i], a)
 		}
 		if *statsListen != "" {
-			stop := serveStats(*statsListen, func() any {
+			stop := serveStats(*statsListen, reg, *enablePProf, func() any {
 				return clusterStats{Topology: cl.Topology(), Nodes: cl.Stats()}
 			})
 			defer stop()
@@ -169,6 +168,7 @@ func main() {
 		MaxSessions:   *maxSessions,
 		ConnectRate:   *connectRate,
 		ConnectBurst:  *connectBurst,
+		Metrics:       reg,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -178,10 +178,11 @@ func main() {
 		log.Fatalf("provlight-broker: %v", err)
 	}
 	defer b.Close()
+	broker.CollectStats(reg, "", b.Stats)
 	log.Printf("provlight-broker: serving MQTT-SN on udp://%s", b.Addr())
 
 	if *statsListen != "" {
-		stop := serveStats(*statsListen, func() any { return b.Stats() })
+		stop := serveStats(*statsListen, reg, *enablePProf, func() any { return b.Stats() })
 		defer stop()
 	}
 

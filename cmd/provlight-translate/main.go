@@ -12,7 +12,13 @@
 //	    [-data-dir ./translator-data] [-fsync interval] \
 //	    [-dfanalyzer http://host:port -dataflow tag] \
 //	    [-provlake http://host:port] \
-//	    [-provjson out.json] [-output-interval 30s]
+//	    [-provjson out.json] [-output-interval 30s] \
+//	    [-stats-listen 127.0.0.1:9201] [-pprof]
+//
+// -stats-listen serves translator counters as JSON on GET /stats,
+// Prometheus text exposition (including the end-to-end stage latency
+// histograms) on GET /metrics, and a liveness probe on GET /healthz;
+// -pprof additionally mounts net/http/pprof.
 //
 // With -sessions > 1 (or an explicit -group) the translator consumes
 // through a shared-subscription consumer group ($share/<group>/<topic>):
@@ -50,6 +56,7 @@ import (
 	"time"
 
 	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/provlake"
 	"github.com/provlight/provlight/internal/translate"
 	"github.com/provlight/provlight/internal/wal"
@@ -91,7 +98,11 @@ func main() {
 	keepAlive := flag.Duration("keepalive", 0, "broker session keep-alive; a silent broker is declared dead after 1.5x this (0: library default). Lower it to fail over faster when a cluster node crashes")
 	connectTimeout := flag.Duration("connect-timeout", 30*time.Second, "broker connect/subscribe deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
+	statsListen := flag.String("stats-listen", "", "serve translator stats on this HTTP address (GET /stats, /metrics, /healthz)")
+	enablePProf := flag.Bool("pprof", false, "also mount net/http/pprof on the -stats-listen mux")
 	flag.Parse()
+
+	reg := obs.NewRegistry()
 
 	var targets []translate.Target
 	var durable *dfanalyzer.Store
@@ -164,6 +175,7 @@ func main() {
 		Targets:      targets,
 		DisableAcks:  disableAcks,
 		OnError:      func(err error) { log.Printf("provlight-translate: %v", err) },
+		Metrics:      reg,
 	})
 	cancelConnect()
 	if err != nil {
@@ -175,6 +187,19 @@ func main() {
 	}
 	log.Printf("provlight-translate: consuming %q from %s with %d targets (%d sessions)",
 		*topic, from, len(targets), tr.Sessions())
+
+	if *statsListen != "" {
+		addr, stop, err := obs.Serve(*statsListen, obs.NewMux(obs.MuxOptions{
+			Registry: reg,
+			Stats:    func() any { return tr.Stats() },
+			PProf:    *enablePProf,
+		}))
+		if err != nil {
+			log.Fatalf("provlight-translate: stats listener: %v", err)
+		}
+		defer stop()
+		log.Printf("provlight-translate: serving stats on http://%s/stats (metrics on /metrics)", addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

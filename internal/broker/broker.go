@@ -46,7 +46,9 @@ import (
 	"time"
 
 	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/transport"
+	"github.com/provlight/provlight/internal/wire"
 )
 
 // BridgeSessionPrefix marks inter-node bridge sessions (the mqttsn
@@ -63,6 +65,11 @@ type ForwardFrame struct {
 	Payload []byte
 	QoS     mqttsn.QoS
 	Retain  bool
+	// Bridge marks frames published by an inter-node bridge session
+	// (clientID prefixed BridgeSessionPrefix): the frame already crossed a
+	// forwarding link from a peer. The cluster uses it to record
+	// forward-hop latency exactly once, at the hop's receiving end.
+	Bridge bool
 }
 
 // Config configures a broker.
@@ -134,6 +141,12 @@ type Config struct {
 	// fork a partition's stream. Must not block or call back into this
 	// broker.
 	ConnectGate func(clientID string) mqttsn.ReturnCode
+	// Metrics, when set, feeds the broker-route stage of the e2e frame
+	// latency histogram (frames whose payload carries a capture
+	// timestamp). Counter export is the owner's job — the daemon or
+	// cluster registers one Collect over Stats(), so a node that leaves a
+	// cluster cannot strand a stale collector in a shared registry.
+	Metrics *obs.Registry
 	// Logf, when set, receives debug logs.
 	Logf func(format string, args ...any)
 }
@@ -178,6 +191,44 @@ type Stats struct {
 	Migrated uint64
 }
 
+// CollectStats registers a scrape-time collector on r exporting s() under
+// the provlight_broker_* metric families, labeled node=<node> when node is
+// non-empty (cluster members) and unlabeled for a standalone broker. The
+// caller owns the collector's lifetime coupling: pass a stats func whose
+// broker outlives the registry's scrapes, or one that returns zero values
+// after close (Broker.Stats does — counters remain readable).
+func CollectStats(r *obs.Registry, node string, s func() Stats) {
+	if r == nil {
+		return
+	}
+	r.Collect(func(e *obs.Emitter) {
+		var lbl []string
+		if node != "" {
+			lbl = []string{"node", node}
+		}
+		EmitStats(e, s(), lbl...)
+	})
+}
+
+// EmitStats writes one broker stats snapshot into a scrape, under the
+// given extra labels. Factored out of CollectStats so a cluster with a
+// dynamic node set can emit every member from a single collector.
+func EmitStats(e *obs.Emitter, st Stats, lbl ...string) {
+	e.Gauge("provlight_broker_sessions", "Live MQTT-SN sessions.", float64(st.Sessions), lbl...)
+	e.Gauge("provlight_broker_groups", "Live consumer groups ($share subscriptions).", float64(st.Groups), lbl...)
+	e.Counter("provlight_broker_publishes_received_total", "PUBLISH packets received.", float64(st.PublishesReceived), lbl...)
+	e.Counter("provlight_broker_messages_routed_total", "Frames routed to local subscribers.", float64(st.MessagesRouted), lbl...)
+	e.Counter("provlight_broker_duplicates_dropped_total", "QoS 2 duplicate publishes dropped.", float64(st.DuplicatesDropped), lbl...)
+	e.Counter("provlight_broker_retransmissions_total", "Outbound retransmissions.", float64(st.Retransmissions), lbl...)
+	e.Counter("provlight_broker_delivery_giveups_total", "QoS 1/2 frames abandoned after MaxRetries with no group to reclaim them.", float64(st.DeliveryGiveUps), lbl...)
+	e.Counter("provlight_broker_group_rerouted_total", "Frames re-delivered to a surviving consumer-group member.", float64(st.GroupRerouted), lbl...)
+	e.Counter("provlight_broker_backlog_dropped_total", "Frames discarded because their subscriber session ended.", float64(st.BacklogDropped), lbl...)
+	e.Counter("provlight_broker_congestion_rejected_total", "CONNECTs refused by admission control.", float64(st.CongestionRejected), lbl...)
+	e.Counter("provlight_broker_forwarded_total", "Released publishes the cluster Forward hook took.", float64(st.Forwarded), lbl...)
+	e.Counter("provlight_broker_injected_total", "Frames delivered locally after arriving over a bridge link.", float64(st.Injected), lbl...)
+	e.Counter("provlight_broker_migrated_total", "Frames detached during partition handoffs.", float64(st.Migrated), lbl...)
+}
+
 type message struct {
 	topic   string
 	topicID uint16
@@ -189,6 +240,9 @@ type message struct {
 	// inter-node bridge): routed to local individual non-bridge
 	// subscribers only — no groups, no retained store, no bridge echo.
 	injected bool
+	// bridge marks frames whose *publisher* is a bridge session; carried
+	// into ForwardFrame so the cluster can spot a completed forward hop.
+	bridge bool
 	// group is set on copies routed on behalf of a consumer group; a
 	// frame the member never acknowledges is handed back to the group
 	// instead of dropped.
@@ -360,12 +414,12 @@ type inPacket struct {
 
 // counters are the lock-free internals behind Stats.
 type counters struct {
-	publishesReceived atomic.Uint64
-	messagesRouted    atomic.Uint64
-	duplicatesDropped atomic.Uint64
-	retransmissions   atomic.Uint64
-	willsPublished    atomic.Uint64
-	sessionsExpired   atomic.Uint64
+	publishesReceived  atomic.Uint64
+	messagesRouted     atomic.Uint64
+	duplicatesDropped  atomic.Uint64
+	retransmissions    atomic.Uint64
+	willsPublished     atomic.Uint64
+	sessionsExpired    atomic.Uint64
 	deliveryGiveUps    atomic.Uint64
 	groupRerouted      atomic.Uint64
 	backlogDropped     atomic.Uint64
@@ -449,6 +503,10 @@ type Broker struct {
 
 	ctr counters
 
+	// stageRoute is the broker-route stage of the e2e latency histogram
+	// (nil without Config.Metrics).
+	stageRoute *obs.Histogram
+
 	// connLimit rate-limits CONNECT admission (nil = unlimited).
 	connLimit *connLimiter
 
@@ -525,6 +583,9 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.ConnectRate > 0 {
 		b.connLimit = newConnLimiter(cfg.ConnectRate, cfg.ConnectBurst)
 	}
+	if cfg.Metrics != nil {
+		b.stageRoute = obs.StageLatency(cfg.Metrics).With(obs.StageBrokerRoute)
+	}
 	b.topics.Store(&topicTables{ids: map[string]uint16{}, names: map[uint16]string{}})
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -555,13 +616,13 @@ func (b *Broker) Addr() string { return b.conn.LocalAddr().String() }
 // Stats returns a snapshot of broker counters.
 func (b *Broker) Stats() Stats {
 	st := Stats{
-		PublishesReceived: b.ctr.publishesReceived.Load(),
-		MessagesRouted:    b.ctr.messagesRouted.Load(),
-		DuplicatesDropped: b.ctr.duplicatesDropped.Load(),
-		Retransmissions:   b.ctr.retransmissions.Load(),
-		WillsPublished:    b.ctr.willsPublished.Load(),
-		SessionsExpired:   b.ctr.sessionsExpired.Load(),
-		DeliveryGiveUps:   b.ctr.deliveryGiveUps.Load(),
+		PublishesReceived:  b.ctr.publishesReceived.Load(),
+		MessagesRouted:     b.ctr.messagesRouted.Load(),
+		DuplicatesDropped:  b.ctr.duplicatesDropped.Load(),
+		Retransmissions:    b.ctr.retransmissions.Load(),
+		WillsPublished:     b.ctr.willsPublished.Load(),
+		SessionsExpired:    b.ctr.sessionsExpired.Load(),
+		DeliveryGiveUps:    b.ctr.deliveryGiveUps.Load(),
 		GroupRerouted:      b.ctr.groupRerouted.Load(),
 		BacklogDropped:     b.ctr.backlogDropped.Load(),
 		CongestionRejected: b.ctr.congestionRejected.Load(),
@@ -1228,14 +1289,15 @@ func (b *Broker) handlePublish(addr net.Addr, p *mqttsn.Publish) {
 		}
 		return
 	}
+	fromBridge := s != nil && strings.HasPrefix(s.clientID, BridgeSessionPrefix)
 	switch p.Flags.QoS {
 	case mqttsn.QoS0, mqttsn.QoSMinusOne:
 		msg := b.getMsg()
-		*msg = message{topic: topic, topicID: p.TopicID, payload: p.Data, qos: p.Flags.QoS, retain: p.Flags.Retain}
+		*msg = message{topic: topic, topicID: p.TopicID, payload: p.Data, qos: p.Flags.QoS, retain: p.Flags.Retain, bridge: fromBridge}
 		b.routeAndRelease(msg)
 	case mqttsn.QoS1:
 		msg := b.getMsg()
-		*msg = message{topic: topic, topicID: p.TopicID, payload: p.Data, qos: p.Flags.QoS, retain: p.Flags.Retain}
+		*msg = message{topic: topic, topicID: p.TopicID, payload: p.Data, qos: p.Flags.QoS, retain: p.Flags.Retain, bridge: fromBridge}
 		b.routeAndRelease(msg)
 		b.sendTo(addr, &mqttsn.Puback{TopicID: p.TopicID, MsgID: p.MsgID, ReturnCode: mqttsn.Accepted})
 	case mqttsn.QoS2:
@@ -1246,7 +1308,7 @@ func (b *Broker) handlePublish(addr net.Addr, p *mqttsn.Publish) {
 			msg := b.getMsg()
 			*msg = message{
 				topic: topic, topicID: p.TopicID, payload: p.Data,
-				qos: p.Flags.QoS, retain: p.Flags.Retain, seq: s.pubSeq,
+				qos: p.Flags.QoS, retain: p.Flags.Retain, seq: s.pubSeq, bridge: fromBridge,
 			}
 			s.pubSeq++
 			s.inbound2[p.MsgID] = msg
@@ -1582,7 +1644,7 @@ func (b *Broker) DisconnectClientsPrefix(prefix string) int {
 // what keeps cluster delivery exactly-once.
 func (b *Broker) routeAndRelease(msg *message) {
 	if b.cfg.Forward != nil && !msg.injected {
-		if b.cfg.Forward(ForwardFrame{Topic: msg.topic, Payload: msg.payload, QoS: msg.qos, Retain: msg.retain}) {
+		if b.cfg.Forward(ForwardFrame{Topic: msg.topic, Payload: msg.payload, QoS: msg.qos, Retain: msg.retain, Bridge: msg.bridge}) {
 			b.ctr.forwarded.Add(1)
 			b.putMsg(msg)
 			return
@@ -1737,6 +1799,11 @@ func (b *Broker) DetachMatching(match func(topic string) bool) []ForwardFrame {
 // already served its consumer groups and retained store, and delivering
 // to another bridge session would echo the frame around the cluster.
 func (b *Broker) route(msg *message) bool {
+	if b.stageRoute != nil {
+		if ns, ok := wire.FrameCaptureNS(msg.payload); ok {
+			obs.ObserveSince(b.stageRoute, ns)
+		}
+	}
 	stored := false
 	if msg.retain && !msg.injected {
 		b.retMu.Lock()

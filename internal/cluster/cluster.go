@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/provlight/provlight/internal/broker"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/transport"
 )
 
@@ -80,6 +81,13 @@ type Config struct {
 	// broker config (zero keeps broker defaults).
 	BrokerRetryInterval time.Duration
 	BrokerMaxRetries    int
+	// Metrics, when set, exports the whole cluster through one scrape-time
+	// collector (per-node broker counters, forward/migration/self-healing
+	// counters, per-peer link health labeled node+peer) and feeds each
+	// node's broker-route and forward-hop stage latency histograms. One
+	// collector for all nodes — membership churn cannot strand stale
+	// per-node collectors in a shared registry.
+	Metrics *obs.Registry
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -169,7 +177,46 @@ func New(cfg Config) (*Cluster, error) {
 		c.wg.Add(1)
 		go c.detector()
 	}
+	if cfg.Metrics != nil {
+		c.registerMetrics(cfg.Metrics)
+	}
 	return c, nil
+}
+
+// registerMetrics installs the cluster's one scrape-time collector: every
+// current member's broker counters (labeled node=<id>), the cluster-layer
+// forward/migration/self-healing counters, and per-peer link health
+// (labeled node+peer). Reading Stats() live means nodes added by Join
+// appear and removed nodes disappear without collector churn.
+func (c *Cluster) registerMetrics(r *obs.Registry) {
+	r.Collect(func(e *obs.Emitter) {
+		for _, ns := range c.Stats() {
+			lbl := []string{"node", ns.ID}
+			broker.EmitStats(e, ns.Broker, lbl...)
+			e.Gauge("provlight_cluster_epoch", "Membership epoch of the node's installed topology.", float64(ns.Epoch), lbl...)
+			e.Gauge("provlight_cluster_partitions_owned", "Partitions this node currently owns.", float64(len(ns.Partitions)), lbl...)
+			e.Counter("provlight_cluster_forwarded_out_total", "Frames enqueued to peer forwarding links.", float64(ns.ForwardedOut), lbl...)
+			e.Counter("provlight_cluster_migrated_total", "Frames handed off through migration buffers or detached during handoffs.", float64(ns.Migrated), lbl...)
+			e.Counter("provlight_cluster_link_lost_total", "Forwarded frames dropped for good (teardown, fencing).", float64(ns.LinkLost), lbl...)
+			e.Counter("provlight_cluster_takeover_redelivered_total", "Frames re-forwarded to new owners after harvesting a dead peer's link.", float64(ns.TakeoverRedelivered), lbl...)
+			e.Counter("provlight_cluster_epoch_refused_total", "Bridge connects refused because the dialer was fenced out of membership.", float64(ns.EpochRefused), lbl...)
+			for _, lh := range ns.Links {
+				plbl := []string{"node", ns.ID, "peer", lh.Peer}
+				e.Gauge("provlight_cluster_peer_heartbeat_age_seconds", "Age of the peer's last heartbeat as seen by this node (-1 before any baseline).", float64(lh.LastHeartbeatAgeMs)/1000, plbl...)
+				suspect := 0.0
+				if lh.Suspect {
+					suspect = 1
+				}
+				e.Gauge("provlight_cluster_peer_suspect", "1 while the peer is silent past the suspicion timeout.", suspect, plbl...)
+				e.Counter("provlight_cluster_link_redials_total", "Successful link re-dials after session loss.", float64(lh.Redials), plbl...)
+				up := 0.0
+				if lh.State == LinkConnected {
+					up = 1
+				}
+				e.Gauge("provlight_cluster_link_up", "1 while a live bridge session to the peer is established.", up, plbl...)
+			}
+		}
+	})
 }
 
 // startNode boots one broker with the cluster hooks attached. Caller
@@ -198,11 +245,15 @@ func (c *Cluster) startNode(addr string) (*Node, error) {
 		OnSubscribe:   n.onSubscribe,
 		OnUnsubscribe: n.onUnsubscribe,
 		ConnectGate:   c.connectGate(n),
+		Metrics:       c.cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
 	n.b = b
+	if c.cfg.Metrics != nil {
+		n.stageForward = obs.StageLatency(c.cfg.Metrics).With(obs.StageForwardHop)
+	}
 	n.wg.Add(1)
 	go n.subWorker()
 	if c.cfg.HeartbeatInterval > 0 {

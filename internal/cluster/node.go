@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"github.com/provlight/provlight/internal/broker"
+	"github.com/provlight/provlight/internal/obs"
+	"github.com/provlight/provlight/internal/wire"
 )
 
 // Node is one broker plus its cluster plumbing: the forward hook that
@@ -86,6 +88,11 @@ type Node struct {
 	// refused — a non-zero value is the fingerprint of a fenced zombie
 	// knocking.
 	epochRefused atomic.Uint64
+
+	// stageForward is the forward-hop stage of the e2e latency histogram
+	// (nil without cluster Metrics): observed when a traced frame that
+	// crossed a bridge link lands on its partition's owner.
+	stageForward *obs.Histogram
 }
 
 // bufFrame is one buffered frame with its precomputed partition.
@@ -138,6 +145,14 @@ func (n *Node) forwardHook(f broker.ForwardFrame) bool {
 	owner := tp.owner[part]
 	if owner == n.id {
 		n.fmu.Unlock()
+		// A bridge-published frame reaching its owner has completed its
+		// forward hop; record the hop's cumulative latency here, at the
+		// receiving end, before local routing takes over.
+		if f.Bridge && n.stageForward != nil {
+			if ns, ok := wire.FrameCaptureNS(f.Payload); ok {
+				obs.ObserveSince(n.stageForward, ns)
+			}
+		}
 		return false // local routing handles it
 	}
 	addr := tp.addrs[owner]

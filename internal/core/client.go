@@ -18,6 +18,7 @@ import (
 
 	"github.com/provlight/provlight/internal/ctxutil"
 	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/spool"
 	"github.com/provlight/provlight/internal/transport"
@@ -160,6 +161,17 @@ type Config struct {
 	// the capture path itself). Calling methods of the originating Client
 	// from inside the callback risks deadlock.
 	OnError func(error)
+	// Metrics, when set, registers this client's counters (labeled
+	// client=<ClientID>) and the capture→publish stage latency histogram
+	// with the registry. Export happens at scrape time from the same
+	// atomics behind StatsSnapshot, so the capture hot path pays nothing.
+	Metrics *obs.Registry
+	// DisableTrace turns off the per-frame capture timestamp (flagTrace).
+	// Traced frames cost ~9 bytes and one clock read each and let every
+	// downstream stage (broker, cluster link, translator, store) export
+	// cumulative e2e latency histograms; leave tracing on unless an
+	// ablation needs byte-identical frames.
+	DisableTrace bool
 }
 
 // Stats counts client activity. Values are a point-in-time snapshot taken
@@ -245,6 +257,10 @@ type Client struct {
 
 	ctr    counters
 	closed atomic.Bool
+
+	// stageCapture is the capture→publish latency histogram (nil without
+	// Config.Metrics — all obs instruments are nil-safe).
+	stageCapture *obs.Histogram
 
 	sendQ chan *[]byte
 	wg    sync.WaitGroup // sender goroutine
@@ -356,11 +372,79 @@ func NewClient(ctx context.Context, cfg Config) (*Client, error) {
 		enc:   wire.Encoder{DisableCompression: cfg.DisableCompression},
 		sendQ: make(chan *[]byte, cfg.QueueCapacity),
 	}
+	c.initMetrics()
 	if !cfg.Synchronous {
 		c.wg.Add(1)
 		go c.sender()
 	}
 	return c, nil
+}
+
+// captureNow returns the trace timestamp to stamp into the next frame, or
+// 0 when tracing is disabled.
+func (c *Client) captureNow() int64 {
+	if c.cfg.DisableTrace {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// initMetrics wires the client into Config.Metrics: the capture→publish
+// stage histogram plus a scrape-time collector exporting the counters
+// behind StatsSnapshot labeled client=<ClientID>. No-op without a
+// registry.
+func (c *Client) initMetrics() {
+	r := c.cfg.Metrics
+	if r == nil {
+		return
+	}
+	c.stageCapture = obs.StageLatency(r).With(obs.StageCapturePublish)
+	id := c.cfg.ClientID
+	r.Collect(func(e *obs.Emitter) {
+		if c.closed.Load() {
+			return
+		}
+		st := c.StatsSnapshot()
+		lbl := []string{"client", id}
+		e.Counter("provlight_client_records_captured_total", "Records captured by the client library.", float64(st.RecordsCaptured), lbl...)
+		e.Counter("provlight_client_frames_published_total", "Frames handed to the transport (or spooled).", float64(st.FramesPublished+st.FramesSpooled), lbl...)
+		e.Counter("provlight_client_bytes_published_total", "Encoded frame bytes published or spooled.", float64(st.BytesPublished), lbl...)
+		e.Counter("provlight_client_async_errors_total", "Asynchronous publish errors.", float64(st.AsyncErrors), lbl...)
+		e.Counter("provlight_client_queue_full_total", "Frames dropped on a full transmit queue.", float64(st.QueueFull), lbl...)
+		e.Counter("provlight_client_frames_shed_total", "Frames shed by the spool degradation policy.", float64(st.FramesShed), lbl...)
+		e.Counter("provlight_client_reconnects_total", "Broker sessions established by the spool drainer.", float64(st.SpoolReconnects), lbl...)
+		e.Counter("provlight_client_redeliveries_total", "Spool rewind/redelivery passes after ack stalls.", float64(st.SpoolRedeliveries), lbl...)
+		e.Counter("provlight_client_stale_acks_total", "Acks dropped for carrying a stale replication term.", float64(st.StaleAcks), lbl...)
+		mst := c.MQTTStats()
+		e.Counter("provlight_client_retransmissions_total", "MQTT-SN packet retransmissions (current session).", float64(mst.Retransmissions), lbl...)
+		if mc := c.sessionForMetrics(); mc != nil {
+			inFly, capWin := mc.WindowOccupancy()
+			e.Gauge("provlight_client_window_inflight", "Publish handshakes currently in flight.", float64(inFly), lbl...)
+			e.Gauge("provlight_client_window_capacity", "Configured in-flight publish window.", float64(capWin), lbl...)
+		}
+		if c.spool != nil {
+			e.Gauge("provlight_client_spool_pending", "Spooled frames awaiting end-to-end acknowledgement.", float64(st.SpoolPending), lbl...)
+			e.Gauge("provlight_client_spool_used_bytes", "Spool bytes on disk.", float64(st.SpoolUsedBytes), lbl...)
+			degraded := 0.0
+			if st.SpoolDegraded {
+				degraded = 1
+			}
+			e.Gauge("provlight_client_spool_degraded", "1 while the spool quota degradation policy is active.", degraded, lbl...)
+			e.Counter("provlight_client_spool_wal_sync_errors_total", "Spool WAL fsync failures (disk-health alarm).", float64(st.SpoolWALSyncErrors), lbl...)
+			e.Counter("provlight_client_spool_mark_persist_errors_total", "Failures persisting the spool ack floor.", float64(st.SpoolMarkPersistErrors), lbl...)
+			e.Counter("provlight_client_spool_blocked_appends_total", "Captures stalled by the spool Block policy.", float64(st.SpoolBlockedAppends), lbl...)
+		}
+	})
+}
+
+// sessionForMetrics returns the transport session to sample window
+// occupancy from: the fixed session in direct mode, the drainer's current
+// one in spool mode (nil while disconnected).
+func (c *Client) sessionForMetrics() *mqttsn.Client {
+	if c.spool != nil {
+		return c.currentSession()
+	}
+	return c.mqtt
 }
 
 // StatsSnapshot returns a race-safe snapshot of the capture counters: each
@@ -433,6 +517,11 @@ func (c *Client) MQTTStats() mqttsn.ClientStats {
 func (c *Client) sender() {
 	defer c.wg.Done()
 	for bufp := range c.sendQ {
+		if c.stageCapture != nil {
+			if ns, ok := wire.FrameCaptureNS(*bufp); ok {
+				obs.ObserveSince(c.stageCapture, ns)
+			}
+		}
 		errc := c.mqtt.PublishAsync(c.topic, *bufp, c.cfg.QoS)
 		go func() {
 			if err := <-errc; err != nil {
@@ -611,7 +700,7 @@ func (c *Client) transmitOrderedCtx(ctx context.Context, records ...*provdm.Reco
 		return c.spoolAppend(records...)
 	}
 	bufp := framePool.Get().(*[]byte)
-	frame, err := c.enc.AppendFrame((*bufp)[:0], records...)
+	frame, err := c.enc.AppendFrameSeqCapture((*bufp)[:0], 0, c.captureNow(), records...)
 	if err != nil {
 		framePool.Put(bufp)
 		return err
@@ -632,6 +721,9 @@ func (c *Client) transmitOrderedCtx(ctx context.Context, records ...*provdm.Reco
 	}
 	if c.cfg.Synchronous {
 		countPublished()
+		if ns, ok := wire.FrameCaptureNS(frame); ok {
+			obs.ObserveSince(c.stageCapture, ns)
+		}
 		err := c.mqtt.Publish(c.topic, frame, c.cfg.QoS)
 		framePool.Put(bufp)
 		return err

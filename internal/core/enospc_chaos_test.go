@@ -1,14 +1,18 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"github.com/provlight/provlight/internal/broker"
 	"github.com/provlight/provlight/internal/chaos"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/spool"
 	"github.com/provlight/provlight/internal/translate"
@@ -126,6 +130,102 @@ func TestENOSPCBlockStallsThenDrains(t *testing.T) {
 	}
 	if st.SpoolAcked != uint64(want) {
 		t.Fatalf("acked %d frames, want %d", st.SpoolAcked, want)
+	}
+}
+
+// TestENOSPCMetricsSurfaceSpoolFailures: the registry must turn the
+// spool's quiet failure counters — blocked appends under ENOSPC and
+// ack-mark persist failures — into non-zero scrapeable series, because a
+// client embedded in a soak or daemon has no other way to page on them.
+// Detection must not break recovery: after the faults heal, every
+// admitted frame still drains exactly once.
+func TestENOSPCMetricsSurfaceSpoolFailures(t *testing.T) {
+	addr := deadBrokerAddr(t)
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	client, err := NewClient(context.Background(), Config{
+		Broker:            addr,
+		ClientID:          "enospc-metrics",
+		SpoolDir:          dir,
+		SpoolSegmentSize:  256,
+		SpoolPolicy:       spool.Block,
+		RetryInterval:     100 * time.Millisecond,
+		MaxRetries:        3,
+		RedeliverAfter:    500 * time.Millisecond,
+		ReconnectMinDelay: 20 * time.Millisecond,
+		ReconnectMaxDelay: 100 * time.Millisecond,
+		Metrics:           reg,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	const before = 20
+	for i := 0; i < before; i++ {
+		if err := captureOne(client, i); err != nil {
+			t.Fatalf("capture %d with space: %v", i, err)
+		}
+	}
+
+	// Fault 1: disk full. Block-policy captures fail and are counted.
+	dq := chaos.NewDiskQuota(client.spool)
+	dq.Fill()
+	for i := 0; i < 3; i++ {
+		if err := captureOne(client, before+i); err == nil {
+			t.Fatalf("capture %d succeeded with the quota exhausted", before+i)
+		}
+	}
+
+	// Fault 2: the ack-mark path becomes unwritable — a directory sits
+	// where the mark file goes, so the atomic rename fails the way a
+	// corrupted or permission-broken state directory would.
+	markPath := filepath.Join(dir, "ack.mark")
+	if err := os.RemoveAll(markPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(markPath, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.spool.SyncMark(); err == nil {
+		t.Fatalf("SyncMark succeeded with a directory squatting on the mark path")
+	}
+
+	scrape := func() *obs.Scrape {
+		t.Helper()
+		var buf bytes.Buffer
+		if _, err := reg.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		sc, err := obs.ParseText(&buf)
+		if err != nil {
+			t.Fatalf("exposition does not parse: %v", err)
+		}
+		return sc
+	}
+	sc := scrape()
+	if v, ok := sc.Value("provlight_client_spool_blocked_appends_total", "client", "enospc-metrics"); !ok || v <= 0 {
+		t.Errorf("spool_blocked_appends_total = %v (present=%v), want > 0", v, ok)
+	}
+	if v, ok := sc.Value("provlight_client_spool_mark_persist_errors_total", "client", "enospc-metrics"); !ok || v <= 0 {
+		t.Errorf("spool_mark_persist_errors_total = %v (present=%v), want > 0", v, ok)
+	}
+	// The fsync-failure alarm must be exported even while zero — an
+	// absent series can't be alerted on.
+	if _, ok := sc.Value("provlight_client_spool_wal_sync_errors_total", "client", "enospc-metrics"); !ok {
+		t.Errorf("spool_wal_sync_errors_total missing from exposition")
+	}
+
+	// Heal both faults; the stream must still drain exactly once.
+	dq.Free()
+	if err := os.Remove(markPath); err != nil {
+		t.Fatal(err)
+	}
+	st, got := drainAndCount(t, client, addr)
+	if got != before {
+		t.Fatalf("target has %d records, want %d", got, before)
+	}
+	if st.SpoolAcked != before {
+		t.Fatalf("acked %d frames, want %d", st.SpoolAcked, before)
 	}
 }
 

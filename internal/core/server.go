@@ -7,6 +7,7 @@ import (
 
 	"github.com/provlight/provlight/internal/broker"
 	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/translate"
 )
@@ -52,6 +53,9 @@ type ServerConfig struct {
 	ConnectBurst int
 	// OnError receives asynchronous translator errors.
 	OnError func(error)
+	// Metrics, when set, exports broker counters, translator counters and
+	// pipeline stage latencies into the registry. Scrape-time cost only.
+	Metrics *obs.Registry
 }
 
 // Server bundles the broker and translators.
@@ -75,9 +79,13 @@ func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 		MaxSessions:   cfg.MaxSessions,
 		ConnectRate:   cfg.ConnectRate,
 		ConnectBurst:  cfg.ConnectBurst,
+		Metrics:       cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		broker.CollectStats(cfg.Metrics, "", b.Stats)
 	}
 	filters := cfg.TopicFilters
 	if len(filters) == 0 {
@@ -105,6 +113,7 @@ func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 			RetryInterval: cfg.RetryInterval,
 			OnError:       cfg.OnError,
 			Hub:           srv.hub,
+			Metrics:       cfg.Metrics,
 		})
 		if err != nil {
 			srv.Close()

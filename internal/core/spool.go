@@ -10,6 +10,7 @@ import (
 
 	"github.com/provlight/provlight/internal/ctxutil"
 	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/resilience"
 	"github.com/provlight/provlight/internal/spool"
@@ -77,6 +78,7 @@ func newSpoolClient(cfg Config) (*Client, error) {
 		drainStop: make(chan struct{}),
 		drainKill: make(chan struct{}),
 	}
+	c.initMetrics()
 	c.drainWG.Add(1)
 	go c.drainer()
 	return c, nil
@@ -98,7 +100,7 @@ func (c *Client) spoolAppend(records ...*provdm.Record) error {
 	var compressed bool
 	qos0 := c.cfg.QoS <= mqttsn.QoS0
 	_, err := c.spool.AppendFrame(qos0, func(seq uint64) ([]byte, error) {
-		frame, err := c.enc.AppendFrameSeq((*bufp)[:0], seq, records...)
+		frame, err := c.enc.AppendFrameSeqCapture((*bufp)[:0], seq, c.captureNow(), records...)
 		if err != nil {
 			return nil, err
 		}
@@ -427,6 +429,11 @@ func (c *Client) drainWith(mc *mqttsn.Client, down <-chan struct{}) error {
 			framePool.Put(bufp)
 			c.reportAsync(fmt.Errorf("provlight: sync spool before publish: %w", err))
 			return errSpoolReadEnd
+		}
+		if c.stageCapture != nil {
+			if ns, ok := wire.FrameCaptureNS(frame); ok {
+				obs.ObserveSince(c.stageCapture, ns)
+			}
 		}
 		// Blocks only while the transport's in-flight window is full;
 		// Close/Abort unblocks it.

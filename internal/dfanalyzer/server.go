@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"github.com/provlight/provlight/internal/obs"
 )
 
 // TermHeader carries the writer's replication term on mutating requests.
@@ -38,6 +40,16 @@ type Server struct {
 	// primary and still report ready on /readyz. 0 means any connected
 	// replica is ready regardless of lag. Set before Start.
 	ReadyMaxLag uint64
+
+	// Metrics, when set before Start, mounts GET /metrics on the API
+	// listener and registers a scrape-time collector exporting the store's
+	// role/term/WAL health, per-follower replication lag (primary), and
+	// applied-seq/staleness (replica).
+	Metrics *obs.Registry
+
+	// EnablePProf mounts net/http/pprof under /debug/pprof/ (opt-in; set
+	// before Start).
+	EnablePProf bool
 
 	requests atomic.Uint64
 }
@@ -74,11 +86,72 @@ func (s *Server) Start(addr string) error {
 	mux.HandleFunc("/frames", s.handleFrames)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	// Liveness comes from the shared obs wiring; /stats and /readyz stay
+	// local because they carry store semantics (OnStats decoration,
+	// replica-lag readiness) the generic handlers do not know.
+	mux.Handle("/healthz", obs.HealthHandler())
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	if s.Metrics != nil {
+		mux.Handle("/metrics", obs.MetricsHandler(s.Metrics))
+		s.registerMetrics(s.Metrics)
+	}
+	if s.EnablePProf {
+		obs.AttachPProf(mux)
+	}
 	s.http = &http.Server{Handler: s.count(mux)}
 	go s.http.Serve(lis)
 	return nil
+}
+
+// registerMetrics installs the server's scrape-time collector: store
+// catalog sizes, WAL health, and both sides of the replication picture —
+// per-follower lag labeled follower=<id> on a primary, applied/staleness
+// on a replica.
+func (s *Server) registerMetrics(r *obs.Registry) {
+	r.Collect(func(e *obs.Emitter) {
+		st := s.statsDoc()
+		e.Counter("provlight_store_http_requests_total", "API requests served.", float64(s.requests.Load()))
+		e.Gauge("provlight_store_dataflows", "Dataflows in the catalog.", float64(st.Dataflows))
+		e.Gauge("provlight_store_tasks", "Tasks in the catalog.", float64(st.Tasks))
+		e.Gauge("provlight_store_term", "Current replication term.", float64(st.Term))
+		primary := 0.0
+		if st.Role == RolePrimary.String() || st.Role == RoleStandalone.String() {
+			primary = 1
+		}
+		e.Gauge("provlight_store_writable", "1 when this store accepts writes (primary or standalone).", primary)
+		e.Gauge("provlight_store_wal_last_seq", "Highest WAL sequence appended (0 for in-memory stores).", float64(st.WALLastSeq))
+		e.Gauge("provlight_store_snapshot_seq", "WAL sequence of the last compaction snapshot.", float64(st.SnapshotSeq))
+		e.Counter("provlight_store_wal_sync_errors_total", "Background WAL fsync failures — silent durability degradation.", float64(st.WALSyncErrors))
+		if st.Replication != nil {
+			e.Gauge("provlight_store_min_sync_followers", "Followers required durable before acks release.", float64(st.Replication.MinSync))
+			for _, f := range st.Replication.Followers {
+				lbl := []string{"follower", f.ID}
+				e.Gauge("provlight_store_follower_acked_seq", "Highest WAL sequence the follower confirmed durable.", float64(f.AckedSeq), lbl...)
+				e.Gauge("provlight_store_follower_lag_records", "Records the follower trails the primary's WAL tail.", float64(f.LagRecords), lbl...)
+				e.Gauge("provlight_store_follower_lag_bytes", "Bytes sent to the follower but not yet acknowledged.", float64(f.LagBytes), lbl...)
+			}
+		}
+		if st.Replica != nil {
+			connected := 0.0
+			if st.Replica.Connected {
+				connected = 1
+			}
+			e.Gauge("provlight_store_replica_connected", "1 while the replication stream to the primary is live.", connected)
+			e.Gauge("provlight_store_replica_applied_seq", "Last WAL sequence replayed locally.", float64(st.Replica.AppliedSeq))
+			e.Gauge("provlight_store_replica_lag_records", "Records this replica trails its primary.", float64(st.Replica.LagRecords))
+			e.Gauge("provlight_store_replica_staleness_seconds", "Time since the last record or heartbeat from the primary.", float64(st.Replica.StalenessMillis)/1000)
+		}
+	})
+}
+
+// statsDoc builds the replication-decorated stats snapshot served by
+// /stats and /readyz and exported by the metrics collector.
+func (s *Server) statsDoc() StoreStats {
+	st := s.store.Stats()
+	if s.OnStats != nil {
+		s.OnStats(&st)
+	}
+	return st
 }
 
 // Addr returns the listen address.
@@ -278,18 +351,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusMethodNotAllowed)
 		return
 	}
-	st := s.store.Stats()
-	if s.OnStats != nil {
-		s.OnStats(&st)
-	}
-	writeJSON(w, http.StatusOK, st)
-}
-
-// handleHealthz is process liveness: serving at all means the process is
-// up and — for durable stores — WAL recovery completed (OpenStore only
-// returns after replay, and Start runs after OpenStore).
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	writeJSON(w, http.StatusOK, s.statsDoc())
 }
 
 // readyzResponse is the /readyz body: whether this node should receive
@@ -307,10 +369,7 @@ type readyzResponse struct {
 // ReadyMaxLag is set — trailing by no more than that many records. A
 // standalone or primary store that is serving is always ready.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	st := s.store.Stats()
-	if s.OnStats != nil {
-		s.OnStats(&st)
-	}
+	st := s.statsDoc()
 	resp := readyzResponse{Ready: true, Role: st.Role}
 	if st.Role == RoleReplica.String() {
 		switch {

@@ -245,6 +245,13 @@ func (c *Client) Stats() ClientStats {
 	return c.stats
 }
 
+// WindowOccupancy reports how many publish handshakes are currently in
+// flight and the window capacity (Config.InflightWindow). Occupancy
+// pinned at capacity means the sender is window-limited.
+func (c *Client) WindowOccupancy() (inFlight, capacity int) {
+	return len(c.window), cap(c.window)
+}
+
 func (c *Client) nextMsgID() uint16 {
 	for {
 		id := uint16(c.msgID.Add(1))

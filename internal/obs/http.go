@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MuxOptions configures the shared stats/metrics/health HTTP wiring every
+// ProvLight daemon mounts on its stats listener.
+type MuxOptions struct {
+	// Registry backs GET /metrics (Prometheus text exposition). Nil
+	// omits the endpoint.
+	Registry *Registry
+	// Stats, when set, backs GET /stats with its JSON-encoded result —
+	// the pre-existing per-daemon snapshot document.
+	Stats func() any
+	// Ready, when set, backs GET /readyz: nil error is ready (200),
+	// non-nil is not (503, message in the body). Omitted when nil —
+	// /healthz (pure liveness) is always mounted.
+	Ready func() error
+	// PProf mounts net/http/pprof under /debug/pprof/ (opt-in: profiling
+	// endpoints expose heap contents and must not be on by default).
+	PProf bool
+}
+
+// MetricsHandler serves r in Prometheus text exposition format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}
+
+// StatsHandler serves payload() as JSON.
+func StatsHandler(payload func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(payload())
+	})
+}
+
+// HealthHandler is the shared liveness probe.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}` + "\n"))
+	})
+}
+
+// Attach mounts the selected endpoints on mux. Daemons with their own
+// API mux (dfanalyzer-server) call this directly; standalone stats
+// listeners use NewMux.
+func Attach(mux *http.ServeMux, o MuxOptions) {
+	if o.Stats != nil {
+		mux.Handle("/stats", StatsHandler(o.Stats))
+	}
+	if o.Registry != nil {
+		mux.Handle("/metrics", MetricsHandler(o.Registry))
+	}
+	mux.Handle("/healthz", HealthHandler())
+	if o.Ready != nil {
+		ready := o.Ready
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := ready(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": err.Error()})
+				return
+			}
+			_, _ = w.Write([]byte(`{"ready":true}` + "\n"))
+		})
+	}
+	if o.PProf {
+		AttachPProf(mux)
+	}
+}
+
+// AttachPProf mounts net/http/pprof on mux. Exported separately for
+// daemons (dfanalyzer-server) that own their mux and only want the
+// profiling endpoints from this package.
+func AttachPProf(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// NewMux returns a fresh mux with the selected endpoints mounted.
+func NewMux(o MuxOptions) *http.ServeMux {
+	mux := http.NewServeMux()
+	Attach(mux, o)
+	return mux
+}
+
+// Serve binds listen and serves mux on it in the background. The bind
+// happens synchronously so misconfiguration fails at startup, not in a
+// goroutine's log line. Returns the bound address and a stop func.
+func Serve(listen string, mux http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -21,6 +21,7 @@ import (
 	"github.com/provlight/provlight/internal/chaos"
 	"github.com/provlight/provlight/internal/core"
 	"github.com/provlight/provlight/internal/dfanalyzer"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/simulation"
 	"github.com/provlight/provlight/internal/spool"
@@ -76,6 +77,12 @@ type Options struct {
 
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+
+	// Metrics, when set, exports the whole pipeline into the registry:
+	// broker and translator counters, pipeline stage latencies, and every
+	// device client's capture/spool families (labeled client=<id>).
+	// Scrape-time cost only; the capture hot path is unaffected.
+	Metrics *obs.Registry
 }
 
 // Report is the machine-readable outcome of a soak run (BENCH_soak.json).
@@ -187,6 +194,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		MaxSessions:  opts.MaxSessions,
 		ConnectRate:  opts.ConnectRate,
 		ConnectBurst: opts.ConnectBurst,
+		Metrics:      opts.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("soak: start pipeline: %w", err)
@@ -227,6 +235,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			RedeliverAfter:    10 * time.Second,
 			ReconnectMinDelay: 250 * time.Millisecond,
 			ReconnectMaxDelay: 8 * time.Second,
+			Metrics:           opts.Metrics,
 		})
 		if err != nil {
 			return err

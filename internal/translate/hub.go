@@ -84,7 +84,16 @@ type Hub struct {
 
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+
+	// metricsClaimed lets the first translator wired to a registry claim
+	// this hub's export: several translators may share one hub AND one
+	// registry, and a shared counter emitted by each would double-count.
+	metricsClaimed atomic.Bool
 }
+
+// claimMetrics returns true exactly once per hub: the caller that wins
+// exports the hub's stats.
+func (h *Hub) claimMetrics() bool { return h.metricsClaimed.CompareAndSwap(false, true) }
 
 type hubSub struct {
 	ch       chan provdm.Record

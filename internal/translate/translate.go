@@ -15,6 +15,7 @@ import (
 
 	"github.com/provlight/provlight/internal/ctxutil"
 	"github.com/provlight/provlight/internal/mqttsn"
+	"github.com/provlight/provlight/internal/obs"
 	"github.com/provlight/provlight/internal/provdm"
 	"github.com/provlight/provlight/internal/resilience"
 	"github.com/provlight/provlight/internal/transport"
@@ -50,6 +51,11 @@ type Frame struct {
 	Origin  string
 	Seq     uint64
 	Records []provdm.Record
+	// CaptureNS is the capture timestamp a tracing client stamped into the
+	// frame (wire flagTrace), 0 when untraced. The translator observes the
+	// translate and durable-apply stages of the e2e latency histogram
+	// against it.
+	CaptureNS int64
 }
 
 // FrameTarget is the durable-delivery extension of Target: the translator
@@ -181,6 +187,11 @@ type Config struct {
 	// subscribers (Server.Subscribe). Several translators may share one
 	// hub.
 	Hub *Hub
+	// Metrics, when set, exports the translator's counters (and the hub's,
+	// when Hub is set) at scrape time, plus the translate and
+	// durable-apply stages of the e2e frame latency histogram and a
+	// delivered micro-batch size histogram.
+	Metrics *obs.Registry
 }
 
 // sessionSlot is one supervised broker session: the current client and
@@ -273,6 +284,12 @@ type Translator struct {
 	inFl    sync.WaitGroup
 	closed  atomic.Bool
 	aborted atomic.Bool
+
+	// Stage histograms and the batch-size histogram (nil without
+	// Config.Metrics; obs instruments are nil-safe).
+	stageTranslate *obs.Histogram
+	stageApply     *obs.Histogram
+	batchSizes     *obs.Histogram
 }
 
 // New connects the translator to the broker and starts consuming. ctx
@@ -327,9 +344,51 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 		stop:   make(chan struct{}),
 	}
 	t.term.Store(cfg.Term)
+	if r := cfg.Metrics; r != nil {
+		t.stageTranslate = obs.StageLatency(r).With(obs.StageTranslate)
+		t.stageApply = obs.StageLatency(r).With(obs.StageDurableApply)
+		t.batchSizes = r.Histogram("provlight_translate_batch_frames", "Frames per delivered micro-batch.", obs.BatchBuckets)
+		var hub *Hub
+		if cfg.Hub != nil && cfg.Hub.claimMetrics() {
+			hub = cfg.Hub
+		}
+		r.Collect(func(e *obs.Emitter) {
+			st := t.Stats()
+			e.Counter("provlight_translate_frames_received_total", "Frames consumed from the broker.", float64(st.FramesReceived))
+			e.Counter("provlight_translate_records_total", "Records translated into targets.", float64(st.RecordsTranslated))
+			e.Counter("provlight_translate_batches_total", "Delivery rounds.", float64(st.BatchesDelivered))
+			e.Counter("provlight_translate_decode_errors_total", "Frames that failed wire decoding.", float64(st.DecodeErrors))
+			e.Counter("provlight_translate_delivery_errors_total", "Target delivery failures.", float64(st.DeliveryErrors))
+			e.Counter("provlight_translate_acks_published_total", "End-to-end acknowledgements published to devices.", float64(st.AcksPublished))
+			e.Counter("provlight_translate_ack_errors_total", "Failed or skipped ack publishes.", float64(st.AckErrors))
+			e.Counter("provlight_translate_session_redials_total", "Broker sessions replaced after dying.", float64(st.SessionRedials))
+			e.Gauge("provlight_translate_term", "Replication term stamped into acks.", float64(t.Term()))
+			if hub != nil {
+				hs := hub.Stats()
+				e.Gauge("provlight_translate_hub_subscribers", "Active live subscriptions.", float64(hs.Subscribers))
+				e.Counter("provlight_translate_hub_delivered_total", "Records handed to subscriber channels.", float64(hs.Delivered))
+				e.Counter("provlight_translate_hub_dropped_total", "Records dropped on full subscriber buffers.", float64(hs.Dropped))
+			}
+		})
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		t.wg.Add(1)
 		go t.worker()
+	}
+	// The ack session must exist before any consumer session can feed a
+	// frame to the workers: publishAcks reads t.ackSlot unsynchronized,
+	// relying on the frame's trip through t.work for visibility — a frame
+	// can only be enqueued by a session dialed after this write.
+	if !cfg.DisableAcks {
+		clientID := cfg.ClientID + "-acks"
+		mc, conn, down, err := t.dialSession(ctx, clientID, false, t.sessionAddr(0, 0))
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("translate: ack session: %w", err)
+		}
+		t.ackSlot = &sessionSlot{mc: mc, conn: conn}
+		t.supWG.Add(1)
+		go t.supervise(t.ackSlot, clientID, false, 0, down)
 	}
 	for i := 0; i < cfg.Sessions; i++ {
 		clientID := t.slotClientID(i)
@@ -342,17 +401,6 @@ func New(ctx context.Context, cfg Config) (*Translator, error) {
 		t.slots = append(t.slots, slot)
 		t.supWG.Add(1)
 		go t.supervise(slot, clientID, true, i, down)
-	}
-	if !cfg.DisableAcks {
-		clientID := cfg.ClientID + "-acks"
-		mc, conn, down, err := t.dialSession(ctx, clientID, false, t.sessionAddr(0, 0))
-		if err != nil {
-			t.Close()
-			return nil, fmt.Errorf("translate: ack session: %w", err)
-		}
-		t.ackSlot = &sessionSlot{mc: mc, conn: conn}
-		t.supWG.Add(1)
-		go t.supervise(t.ackSlot, clientID, false, 0, down)
 	}
 	return t, nil
 }
@@ -527,8 +575,10 @@ func (t *Translator) onMessage(topic string, payload []byte) {
 		return
 	}
 	seq, _ := wire.FrameSeq(payload)
+	captureNS, _ := wire.FrameCaptureNS(payload)
+	obs.ObserveSince(t.stageTranslate, captureNS)
 	t.inFl.Add(1)
-	t.work <- Frame{Origin: topic, Seq: seq, Records: records}
+	t.work <- Frame{Origin: topic, Seq: seq, Records: records, CaptureNS: captureNS}
 }
 
 // worker drains the frame queue into micro-batches and delivers each to
@@ -643,6 +693,14 @@ func (t *Translator) deliver(batch []Frame, recordsView [][]provdm.Record) {
 			t.publishAcks(batch)
 		}
 	}
+	if delivered && t.stageApply != nil {
+		// Every target took the batch: each traced frame's durable-apply
+		// observation is the full capture→durable e2e latency.
+		for i := range batch {
+			obs.ObserveSince(t.stageApply, batch[i].CaptureNS)
+		}
+	}
+	t.batchSizes.Observe(float64(len(batch)))
 	t.records.Add(n)
 	t.batches.Add(1)
 	t.inFl.Add(-len(batch))

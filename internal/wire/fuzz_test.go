@@ -33,6 +33,8 @@ func FuzzDecodeFrame(f *testing.F) {
 	seed(enc.EncodeFrame(&provdm.Record{Event: provdm.EventWorkflowEnd, WorkflowID: "wf"}))
 	seed(enc.AppendFrameSeq(nil, 42, taskRecord(2)))
 	seed(raw.AppendFrameSeq(nil, 7, taskRecord(1), taskRecord(2)))
+	seed(enc.AppendFrameSeqCapture(nil, 42, 1700000000000000000, taskRecord(2)))
+	seed(raw.AppendFrameSeqCapture(nil, 0, 1700000000000000000, taskRecord(1), taskRecord(2)))
 	// Truncations and junk the generator should mutate from.
 	f.Add([]byte{})
 	f.Add([]byte{0x10})

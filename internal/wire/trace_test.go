@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestFrameCaptureRoundTrip(t *testing.T) {
+	enc := &Encoder{}
+	rec := taskRecord(10)
+	now := time.Now().UnixNano()
+	for _, seq := range []uint64{0, 1, 1 << 40} {
+		frame, err := enc.AppendFrameSeqCapture(nil, seq, now, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotNS, ok := FrameCaptureNS(frame)
+		if !ok || gotNS != now {
+			t.Fatalf("seq=%d: FrameCaptureNS = %d, %v; want %d", seq, gotNS, ok, now)
+		}
+		gotSeq, seqOK := FrameSeq(frame)
+		if seq == 0 {
+			if seqOK {
+				t.Fatalf("seq=0 frame reports a sequence")
+			}
+		} else if !seqOK || gotSeq != seq {
+			t.Fatalf("FrameSeq = %d, %v; want %d", gotSeq, seqOK, seq)
+		}
+		records, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("decode traced frame: %v", err)
+		}
+		if len(records) != 1 || !reflect.DeepEqual(records[0], *rec) {
+			t.Fatal("traced frame body mismatch")
+		}
+	}
+}
+
+func TestFrameCaptureZeroEncodesUntraced(t *testing.T) {
+	enc := &Encoder{}
+	rec := taskRecord(2)
+	plain, err := enc.AppendFrameSeq(nil, 5, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCapture, err := enc.AppendFrameSeqCapture(nil, 5, 0, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, viaCapture) {
+		t.Fatal("captureNS=0 frame differs from seq frame")
+	}
+	if _, ok := FrameCaptureNS(plain); ok {
+		t.Fatal("untraced frame reports a capture timestamp")
+	}
+}
+
+func TestFrameCaptureGroupedCompressed(t *testing.T) {
+	enc := &Encoder{}
+	now := time.Now().UnixNano()
+	frame, err := enc.AppendFrameSeqCapture(nil, 77, now, taskRecord(40), taskRecord(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsCompressed(frame) || !IsGroup(frame) {
+		t.Fatalf("expected compressed group frame, flags=%x", frame[0])
+	}
+	if ns, ok := FrameCaptureNS(frame); !ok || ns != now {
+		t.Fatalf("FrameCaptureNS = %d, %v", ns, ok)
+	}
+	if seq, ok := FrameSeq(frame); !ok || seq != 77 {
+		t.Fatalf("FrameSeq = %d, %v", seq, ok)
+	}
+	records, err := DecodeFrame(frame)
+	if err != nil || len(records) != 2 {
+		t.Fatalf("decode: %d records, err %v", len(records), err)
+	}
+}
+
+func TestFrameCaptureNSMalformed(t *testing.T) {
+	for _, frame := range [][]byte{
+		nil,
+		{0x18},                   // flagTrace set, no timestamp bytes
+		{0x18, 0x80},             // truncated varint
+		{0x1c, 0x01},             // flagSeq+flagTrace, seq only
+		{0x28, 0x02, 0x01},       // wrong version
+		{0x10, 0x02, 0x01, 0x01}, // no trace flag
+	} {
+		if ns, ok := FrameCaptureNS(frame); ok {
+			t.Errorf("FrameCaptureNS(%x) = %d, true; want false", frame, ns)
+		}
+	}
+}

@@ -38,6 +38,12 @@ const (
 	// clients stamp every frame with its spool sequence so the server can
 	// deduplicate redeliveries across client restarts (exactly-once).
 	flagSeq = 0x04
+	// flagTrace marks a frame carrying a capture timestamp: a varint
+	// UnixNano between the seq field (if any) and the body. Every stage of
+	// the pipeline (publish, broker route, cluster forward, translate,
+	// durable apply) subtracts it from its own clock to record cumulative
+	// end-to-end latency histograms without any out-of-band trace store.
+	flagTrace = 0x08
 )
 
 // DefaultCompressThreshold is the body size above which EncodeFrame
@@ -204,6 +210,14 @@ func (e *Encoder) AppendFrame(dst []byte, records ...*provdm.Record) ([]byte, er
 // deduplicate redelivered frames by (origin topic, seq). seq == 0 encodes
 // a plain frame.
 func (e *Encoder) AppendFrameSeq(dst []byte, seq uint64, records ...*provdm.Record) ([]byte, error) {
+	return e.AppendFrameSeqCapture(dst, seq, 0, records...)
+}
+
+// AppendFrameSeqCapture is AppendFrameSeq with an optional capture
+// timestamp (flagTrace): when captureNS > 0 the frame carries the capture
+// UnixNano so every downstream stage can record cumulative latency since
+// capture. captureNS == 0 encodes an untraced frame.
+func (e *Encoder) AppendFrameSeqCapture(dst []byte, seq uint64, captureNS int64, records ...*provdm.Record) ([]byte, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("wire: empty frame")
 	}
@@ -260,7 +274,7 @@ func (e *Encoder) AppendFrameSeq(dst []byte, seq uint64, records ...*provdm.Reco
 			flags |= flagCompressed
 		}
 	}
-	need := 1 + binary.MaxVarintLen64 + len(body)
+	need := 1 + 2*binary.MaxVarintLen64 + len(body)
 	if cap(dst)-len(dst) < need {
 		grown := make([]byte, len(dst), len(dst)+need)
 		copy(grown, dst)
@@ -269,9 +283,15 @@ func (e *Encoder) AppendFrameSeq(dst []byte, seq uint64, records ...*provdm.Reco
 	if seq > 0 {
 		flags |= flagSeq
 	}
+	if captureNS > 0 {
+		flags |= flagTrace
+	}
 	dst = append(dst, Version<<4|flags)
 	if seq > 0 {
 		dst = binary.AppendUvarint(dst, seq)
+	}
+	if captureNS > 0 {
+		dst = binary.AppendVarint(dst, captureNS)
 	}
 	dst = append(dst, body...)
 	putEncScratch(s)
@@ -289,6 +309,27 @@ func FrameSeq(frame []byte) (uint64, bool) {
 		return 0, false
 	}
 	return seq, true
+}
+
+// FrameCaptureNS returns the capture timestamp (UnixNano) carried by a
+// traced frame, if any, without decoding the body.
+func FrameCaptureNS(frame []byte) (int64, bool) {
+	if len(frame) < 2 || frame[0]>>4 != Version || frame[0]&flagTrace == 0 {
+		return 0, false
+	}
+	body := frame[1:]
+	if frame[0]&flagSeq != 0 {
+		_, n := binary.Uvarint(body)
+		if n <= 0 {
+			return 0, false
+		}
+		body = body[n:]
+	}
+	ns, n := binary.Varint(body)
+	if n <= 0 || ns <= 0 {
+		return 0, false
+	}
+	return ns, true
 }
 
 // reader consumes a record body.
@@ -560,6 +601,13 @@ func DecodeFrame(frame []byte) ([]provdm.Record, error) {
 		_, n := binary.Uvarint(body)
 		if n <= 0 {
 			return nil, fmt.Errorf("wire: bad frame sequence field")
+		}
+		body = body[n:]
+	}
+	if head&flagTrace != 0 {
+		_, n := binary.Varint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("wire: bad frame capture timestamp field")
 		}
 		body = body[n:]
 	}
